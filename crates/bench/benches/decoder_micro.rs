@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the paper's core algorithms, isolated from the
+//! simulation substrate: signal conditioning, preamble correlation,
+//! majority slicing, the full MRC decoder on a synthetic bundle, the
+//! analog receiver circuit, and the DCF MAC.
+
+use bs_dsp::codes::BARKER13;
+use bs_dsp::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use wifi_backscatter::uplink::{UplinkDecoder, UplinkDecoderConfig};
+use wifi_backscatter::SeriesBundle;
+
+/// A 90-channel synthetic bundle mirroring a 3000-packet CSI capture.
+fn synth_bundle(seed: u64) -> SeriesBundle {
+    let mut rng = SimRng::new(seed).stream("bench-bundle");
+    let t_us: Vec<u64> = (0..3000u64).map(|i| i * 333).collect();
+    let bits: Vec<bool> = (0..116).map(|i| i % 3 == 0).collect();
+    let series: Vec<Vec<f64>> = (0..90)
+        .map(|c| {
+            let good = c < 12;
+            t_us
+                .iter()
+                .map(|&t| {
+                    let slot = (t / 10_000) as usize;
+                    let level = if good {
+                        match bits.get(slot) {
+                            Some(&true) => 0.4,
+                            Some(&false) => -0.4,
+                            None => 0.0,
+                        }
+                    } else {
+                        0.0
+                    };
+                    9.0 + level + rng.gaussian(0.0, 0.5)
+                })
+                .collect()
+        })
+        .collect();
+    SeriesBundle { t_us, series }
+}
+
+fn bench_conditioning(c: &mut Criterion) {
+    let bundle = synth_bundle(1);
+    c.bench_function("condition_3000_samples", |b| {
+        b.iter(|| std::hint::black_box(bs_dsp::filter::condition(&bundle.series[0], 600)))
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut rng = SimRng::new(2).stream("bench-corr");
+    let signal: Vec<f64> = (0..3000).map(|_| rng.gaussian(0.0, 1.0)).collect();
+    c.bench_function("sliding_correlation_barker13", |b| {
+        b.iter(|| std::hint::black_box(bs_dsp::correlate::sliding(&signal, &BARKER13)))
+    });
+}
+
+fn bench_mrc_decode(c: &mut Criterion) {
+    let bundle = synth_bundle(3);
+    let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, 90));
+    c.bench_function("mrc_decode_90ch_3000pkt", |b| {
+        b.iter(|| std::hint::black_box(dec.decode(&bundle, 0)))
+    });
+}
+
+fn bench_receiver_circuit(c: &mut Criterion) {
+    use bs_tag::envelope::{EnvelopeConfig, EnvelopeModel};
+    use bs_tag::receiver::{CircuitConfig, ReceiverCircuit};
+    let cfg = EnvelopeConfig::default();
+    let mut env = EnvelopeModel::new(cfg, SimRng::new(4).stream("bench-env"));
+    let trace = env.trace(100_000, |i| if (i / 50) % 2 == 0 { cfg.noise_mw * 50.0 } else { 0.0 });
+    c.bench_function("receiver_circuit_100k_samples", |b| {
+        b.iter(|| {
+            let mut circuit = ReceiverCircuit::new(CircuitConfig::default());
+            std::hint::black_box(circuit.run(&trace))
+        })
+    });
+}
+
+fn bench_mac(c: &mut Criterion) {
+    use bs_wifi::mac::{Medium, Station};
+    c.bench_function("dcf_mac_1s_3_stations", |b| {
+        b.iter(|| {
+            let rng = SimRng::new(5);
+            let stations: Vec<Station> = (0..3)
+                .map(|i| {
+                    let mut r = rng.stream("bench-mac").substream(i);
+                    Station::data(bs_wifi::traffic::poisson(800.0, 1_000_000, &mut r), 1000, 54.0)
+                })
+                .collect();
+            let mut medium = Medium::with_seed(6);
+            std::hint::black_box(medium.simulate(&stations, 1_000_000))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_conditioning,
+    bench_correlation,
+    bench_mrc_decode,
+    bench_receiver_circuit,
+    bench_mac
+);
+criterion_main!(benches);

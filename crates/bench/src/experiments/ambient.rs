@@ -1,0 +1,149 @@
+//! Ambient-traffic experiments: Figs 15 (office traffic) and 16 (beacons
+//! only).
+
+use bs_dsp::bits::BerCounter;
+use bs_dsp::SimRng;
+use wifi_backscatter::link::{run_uplink, LinkConfig};
+use wifi_backscatter::link::Measurement;
+
+use super::uplink::eval_payload;
+
+/// One Fig. 15 time slot.
+#[derive(Debug, Clone, Copy)]
+pub struct OfficeSlot {
+    /// Hour of day (fractional).
+    pub hour: f64,
+    /// Observed network load (packets/s) in the slot.
+    pub load_pps: f64,
+    /// Achievable uplink bit rate (bps) using only that ambient traffic.
+    pub achievable_bps: u64,
+}
+
+/// Fig. 15: achievable uplink bit rate using only the ambient office
+/// traffic, sampled every `step_h` hours from 12:00 to 20:00. No traffic
+/// is injected — the "helper" is the building AP carrying the diurnal
+/// office load, and the reader passively captures everything it sends.
+pub fn ambient_office(step_h: f64, runs: u64, seed: u64) -> Vec<OfficeSlot> {
+    let profile = bs_wifi::traffic::OfficeLoadProfile;
+    let mut out = Vec::new();
+    let mut hour = 12.0;
+    while hour <= 20.0 + 1e-9 {
+        let load = profile.load_pps(hour);
+        let achievable = super::achievable_rate(&[100, 200, 500, 1000], 1e-2, |bps| {
+            let mut ber = BerCounter::new();
+            for r in 0..runs {
+                let mut cfg = LinkConfig::fig10(0.05, bps, 1, seed + r * 41 + (hour * 10.0) as u64);
+                // Ambient Poisson traffic at the profiled load instead of
+                // controlled injection.
+                cfg.helper_pps = load;
+                cfg.payload = eval_payload();
+                // The office load is bursty Poisson, not CBR — rebuild the
+                // run with ambient arrivals by marking all traffic usable.
+                cfg.use_all_traffic = true;
+                ber.merge(&run_uplink(&cfg).ber);
+            }
+            ber.raw_ber()
+        });
+        out.push(OfficeSlot {
+            hour,
+            load_pps: load,
+            achievable_bps: achievable,
+        });
+        hour += step_h;
+    }
+    out
+}
+
+/// Fig. 16: achievable uplink bit rate using only the AP's periodic
+/// beacons, decoded from RSSI (the Intel tool reports no CSI for beacons,
+/// §7.5). Returns `(beacons_per_second, achievable_bps)`.
+pub fn beacons_only(beacon_rates: &[u32], runs: u64, seed: u64) -> Vec<(u32, u64)> {
+    beacon_rates
+        .iter()
+        .map(|&bps_beacons| {
+            // Candidate tag rates: a few beacons per bit down to ~1.4.
+            let candidates: Vec<u64> = [8u64, 5, 4, 3, 2]
+                .iter()
+                .map(|div| u64::from(bps_beacons) / div)
+                .filter(|&r| r >= 1)
+                .collect();
+            let rate = super::achievable_rate(&candidates, 1e-2, |bps| {
+                let mut ber = BerCounter::new();
+                for r in 0..runs {
+                    let mut cfg =
+                        LinkConfig::fig10(0.05, bps, 1, seed + r * 59 + u64::from(bps_beacons));
+                    cfg.measurement = Measurement::Rssi;
+                    cfg.payload = (0..45).map(|i| (i * 13) % 7 < 3).collect();
+                    // Beacon traffic has no randomness in arrival times;
+                    // the MAC adds only small backoff jitter.
+                    cfg.helper_pps = f64::from(bps_beacons);
+                    ber.merge(&run_uplink_with_beacons(&cfg, bps_beacons).ber);
+                }
+                ber.raw_ber()
+            });
+            (bps_beacons, rate)
+        })
+        .collect()
+}
+
+/// Like [`run_uplink`] but with the helper sending periodic beacons
+/// instead of CBR data. Implemented by substituting the helper arrival
+/// process; everything downstream is identical.
+fn run_uplink_with_beacons(
+    cfg: &LinkConfig,
+    beacons_per_s: u32,
+) -> wifi_backscatter::link::UplinkRun {
+    // Approximate: drive the standard pipeline with CBR at the beacon
+    // rate; beacons are strictly periodic and the CBR generator's ±10 %
+    // jitter stands in for TBTT contention jitter.
+    let mut c = cfg.clone();
+    c.helper_pps = f64::from(beacons_per_s);
+    run_uplink(&c)
+}
+
+/// Sanity statistic for Fig. 15: mean packets/s seen over a slot of
+/// simulated ambient traffic (what the paper plots on the right axis).
+pub fn observed_load(hour: f64, duration_s: f64, seed: u64) -> f64 {
+    let profile = bs_wifi::traffic::OfficeLoadProfile;
+    let mut rng = SimRng::new(seed).stream("load-probe");
+    let arrivals = profile.arrivals(hour, (duration_s * 1e6) as u64, &mut rng);
+    arrivals.len() as f64 / duration_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn office_rate_tracks_load() {
+        let slots = ambient_office(4.0, 1, 21); // 12:00, 16:00, 20:00
+        assert_eq!(slots.len(), 3);
+        let noon = slots[0];
+        let peak = slots[1];
+        assert!(peak.load_pps > noon.load_pps);
+        assert!(
+            peak.achievable_bps >= noon.achievable_bps,
+            "peak {} noon {}",
+            peak.achievable_bps,
+            noon.achievable_bps
+        );
+        // Paper: 100–200 bps band over the day; allow up to 500 in sim.
+        assert!(noon.achievable_bps >= 100, "noon {}", noon.achievable_bps);
+    }
+
+    #[test]
+    fn beacon_rate_increases_with_beacon_frequency() {
+        let rows = beacons_only(&[10, 70], 1, 22);
+        assert!(rows[1].1 >= rows[0].1, "{rows:?}");
+        assert!(rows[1].1 > 0, "70 beacons/s should support some rate");
+        // Fig. 16 tops out below ~50 bps.
+        assert!(rows[1].1 <= 50, "beacon rate {} too high", rows[1].1);
+    }
+
+    #[test]
+    fn observed_load_matches_profile() {
+        let l = observed_load(16.0, 5.0, 23);
+        let expect = bs_wifi::traffic::OfficeLoadProfile.load_pps(16.0);
+        assert!((l - expect).abs() < 0.2 * expect, "{l} vs {expect}");
+    }
+}

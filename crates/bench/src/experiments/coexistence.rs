@@ -1,0 +1,171 @@
+//! Fig. 19: effect of the tag's modulation on a normal Wi-Fi
+//! transmitter–receiver pair with rate adaptation.
+//!
+//! The paper stress-tests a UDP flow (Lenovo laptop → Linksys AP) with the
+//! tag continuously modulating right next to the receiver, and finds the
+//! throughput differences stay within the measurement variance because
+//! rate adaptation absorbs the small channel perturbation. We reproduce
+//! this by simulating the pair's SNR trajectory through the scene — with
+//! the tag absent, at 100 bps and at 1 kbps — and feeding it to the
+//! hysteresis rate adapter.
+
+use bs_channel::geometry::{Testbed, TestbedLocation};
+use bs_channel::scene::{Scene, SceneConfig};
+use bs_channel::TagState;
+use bs_dsp::SimRng;
+use bs_wifi::ofdm::csi_subchannel_offsets;
+use bs_wifi::rate_adapt::RateAdapter;
+
+/// Tag behaviour during a coexistence run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagActivity {
+    /// Tag absent (baseline).
+    Absent,
+    /// Continuously modulating at the given bit rate.
+    Modulating {
+        /// Tag bit rate (bps).
+        bit_rate_bps: u64,
+    },
+}
+
+/// One Fig. 19 measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputPoint {
+    /// Wi-Fi transmitter location (2–5 in the Fig. 13 testbed).
+    pub location: u32,
+    /// Tag↔receiver distance (cm): 5 or 30 in the paper.
+    pub tag_distance_cm: u32,
+    /// Tag activity.
+    pub activity: TagActivity,
+    /// Mean UDP goodput (MB/s) over the two-minute run.
+    pub goodput_mbytes: f64,
+}
+
+/// Runs the Fig. 19 experiment: for each transmitter location and each tag
+/// activity, simulate `duration_s` of per-packet SNR observations (500
+/// observations/s, mirroring the paper's 500 ms logging granularity well
+/// oversampled) through the rate adapter and report mean goodput.
+pub fn throughput_with_tag(
+    tag_distance_cm: u32,
+    activities: &[TagActivity],
+    duration_s: f64,
+    seed: u64,
+) -> Vec<ThroughputPoint> {
+    let tb = Testbed::new();
+    let offsets = csi_subchannel_offsets();
+    let mut out = Vec::new();
+    for (i, &loc) in TestbedLocation::HELPER_LOCATIONS.iter().enumerate() {
+        for &activity in activities {
+            // Receiver at location 1, transmitter at `loc`, tag next to
+            // the receiver. The transmitter is a laptop (≈7 dBm effective
+            // EIRP from an internal antenna) in a cluttered office
+            // (exponent 3.0, 10 dB interior wall) — this is what gives the
+            // far locations their lower rates in Fig. 19.
+            let mut cfg = SceneConfig::uplink(tag_distance_cm as f64 / 100.0);
+            cfg.helper = tb.position(loc);
+            cfg.reader = tb.position(TestbedLocation::Loc1);
+            cfg.tag = bs_channel::Point::new(
+                cfg.reader.x + tag_distance_cm as f64 / 100.0,
+                cfg.reader.y,
+            );
+            cfg.helper_tx_dbm = 7.0;
+            cfg.pathloss.exponent = 3.0;
+            cfg.walls = tb
+                .walls()
+                .iter()
+                .map(|w| bs_channel::geometry::Wall::new(w.a, w.b, 14.0))
+                .collect();
+            let mut scene = Scene::new(cfg, &SimRng::new(seed + i as u64 * 17));
+
+            let mut adapter = RateAdapter::default();
+            let samples = (duration_s * 500.0) as u64;
+            let mut goodput_sum = 0.0;
+            for s in 0..samples {
+                let t = s as f64 / 500.0;
+                let state = match activity {
+                    TagActivity::Absent => TagState::Absorb,
+                    TagActivity::Modulating { bit_rate_bps } => {
+                        let bit = (t * bit_rate_bps as f64) as u64;
+                        TagState::from_bit(bit % 2 == 0)
+                    }
+                };
+                let snap = scene.snapshot(t, state, &offsets);
+                let snr_db = 10.0 * snap.mean_snr(0).log10();
+                adapter.observe(snr_db);
+                goodput_sum += adapter.goodput_mbytes();
+            }
+            out.push(ThroughputPoint {
+                location: i as u32 + 2,
+                tag_distance_cm,
+                activity,
+                goodput_mbytes: goodput_sum / samples as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Convenience: the three Fig. 19 scenarios.
+pub fn fig19_activities() -> Vec<TagActivity> {
+    vec![
+        TagActivity::Absent,
+        TagActivity::Modulating { bit_rate_bps: 100 },
+        TagActivity::Modulating { bit_rate_bps: 1000 },
+    ]
+}
+
+/// Per-location relative throughput deviation caused by the tag, and the
+/// mean across locations — the headline number of §9 ("mostly within the
+/// variance"). A location whose SNR happens to sit exactly on a rate
+/// boundary can show a one-tier swing (the paper sees the same at its
+/// heavily-utilised location 5); the mean is the robust summary.
+pub fn relative_impact(points: &[ThroughputPoint]) -> (Vec<(u32, f64)>, f64) {
+    let mut per_loc = Vec::new();
+    for loc in [2u32, 3, 4, 5] {
+        let base = points
+            .iter()
+            .find(|p| p.location == loc && p.activity == TagActivity::Absent)
+            .map(|p| p.goodput_mbytes);
+        let Some(base) = base else { continue };
+        let mut worst: f64 = 0.0;
+        for p in points.iter().filter(|p| p.location == loc) {
+            if base > 0.0 {
+                worst = worst.max((p.goodput_mbytes - base).abs() / base);
+            }
+        }
+        per_loc.push((loc, worst));
+    }
+    let mean = if per_loc.is_empty() {
+        0.0
+    } else {
+        per_loc.iter().map(|&(_, v)| v).sum::<f64>() / per_loc.len() as f64
+    };
+    (per_loc, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_impact_is_negligible() {
+        let points = throughput_with_tag(5, &fig19_activities(), 10.0, 41);
+        assert_eq!(points.len(), 12);
+        let (per_loc, mean) = relative_impact(&points);
+        assert!(
+            mean < 0.10,
+            "tag changed mean throughput by {:.1}% ({per_loc:?})",
+            mean * 100.0
+        );
+    }
+
+    #[test]
+    fn goodput_decreases_with_tx_distance() {
+        let points = throughput_with_tag(5, &[TagActivity::Absent], 10.0, 42);
+        let g2 = points.iter().find(|p| p.location == 2).unwrap().goodput_mbytes;
+        let g5 = points.iter().find(|p| p.location == 5).unwrap().goodput_mbytes;
+        assert!(g2 > g5, "loc2 {g2} loc5 {g5} (NLOS location should drop a rate tier)");
+        // Fig. 19's axis: up to ~4 MB/s.
+        assert!(g2 <= 4.5 && g2 > 1.0, "g2 {g2}");
+    }
+}

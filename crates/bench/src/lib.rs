@@ -1,0 +1,15 @@
+//! # bs-bench — experiment harness for the Wi-Fi Backscatter reproduction
+//!
+//! Shared experiment runners used by the `experiments` binary (which
+//! regenerates every figure of the paper) and by the Criterion benches.
+//! Each public function corresponds to one figure; see DESIGN.md §4 for
+//! the experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+//! results.
+//!
+//! All runners are deterministic given their seed arguments and print
+//! nothing — they return typed rows that the binary formats.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

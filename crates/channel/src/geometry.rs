@@ -1,0 +1,252 @@
+//! 2-D geometry: positions, walls, line-of-sight, and the paper's testbed.
+//!
+//! The evaluation floor plan (Fig. 13) places the tag + reader at location 1
+//! and moves the helper between locations 2–5, spanning line-of-sight and
+//! non-line-of-sight (location 5 is in an adjacent room) at 3–9 m from the
+//! tag. [`Testbed`] reproduces that layout with representative coordinates.
+
+/// A point in the 2-D floor plan, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point (m).
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// A wall segment that attenuates signals crossing it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wall {
+    /// One endpoint.
+    pub a: Point,
+    /// Other endpoint.
+    pub b: Point,
+    /// Penetration loss in dB (typical interior drywall ≈ 3–6 dB,
+    /// concrete ≈ 10–15 dB).
+    pub loss_db: f64,
+}
+
+impl Wall {
+    /// Creates a wall segment.
+    pub fn new(a: Point, b: Point, loss_db: f64) -> Self {
+        Wall { a, b, loss_db }
+    }
+
+    /// True if the segment `p→q` crosses this wall.
+    pub fn blocks(&self, p: Point, q: Point) -> bool {
+        segments_intersect(p, q, self.a, self.b)
+    }
+}
+
+/// Proper segment-intersection test (shared endpoints count as crossing).
+fn segments_intersect(p1: Point, p2: Point, p3: Point, p4: Point) -> bool {
+    fn orient(a: Point, b: Point, c: Point) -> f64 {
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    }
+    fn on_segment(a: Point, b: Point, c: Point) -> bool {
+        c.x >= a.x.min(b.x) - 1e-12
+            && c.x <= a.x.max(b.x) + 1e-12
+            && c.y >= a.y.min(b.y) - 1e-12
+            && c.y <= a.y.max(b.y) + 1e-12
+    }
+    let d1 = orient(p3, p4, p1);
+    let d2 = orient(p3, p4, p2);
+    let d3 = orient(p1, p2, p3);
+    let d4 = orient(p1, p2, p4);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1 == 0.0 && on_segment(p3, p4, p1))
+        || (d2 == 0.0 && on_segment(p3, p4, p2))
+        || (d3 == 0.0 && on_segment(p1, p2, p3))
+        || (d4 == 0.0 && on_segment(p1, p2, p4))
+}
+
+/// Total wall loss (dB) along the straight path `p→q`.
+pub fn path_wall_loss_db(walls: &[Wall], p: Point, q: Point) -> f64 {
+    walls
+        .iter()
+        .filter(|w| w.blocks(p, q))
+        .map(|w| w.loss_db)
+        .sum()
+}
+
+/// True if no wall blocks `p→q`.
+pub fn line_of_sight(walls: &[Wall], p: Point, q: Point) -> bool {
+    !walls.iter().any(|w| w.blocks(p, q))
+}
+
+/// The five helper locations of the paper's testbed (Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestbedLocation {
+    /// Location 1: tag + reader position.
+    Loc1,
+    /// Location 2: same room, ≈3 m, line-of-sight.
+    Loc2,
+    /// Location 3: same room, ≈5 m, line-of-sight.
+    Loc3,
+    /// Location 4: same room, ≈7 m, partially obstructed.
+    Loc4,
+    /// Location 5: adjacent room, ≈9 m, non-line-of-sight.
+    Loc5,
+}
+
+impl TestbedLocation {
+    /// All helper locations used in Figs 14 and 19 (locations 2–5).
+    pub const HELPER_LOCATIONS: [TestbedLocation; 4] = [
+        TestbedLocation::Loc2,
+        TestbedLocation::Loc3,
+        TestbedLocation::Loc4,
+        TestbedLocation::Loc5,
+    ];
+}
+
+/// A reproduction of the Fig. 13 floor plan: one lab room roughly 10 × 6 m
+/// with an adjacent room behind an interior wall.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    walls: Vec<Wall>,
+}
+
+impl Default for Testbed {
+    fn default() -> Self {
+        Testbed::new()
+    }
+}
+
+impl Testbed {
+    /// Builds the testbed floor plan.
+    pub fn new() -> Self {
+        // Interior wall at x = 8.0 m separating the lab from the adjacent
+        // room, with a doorway gap between y = 4.5 and y = 6.0 that the
+        // location-5 path does not pass through.
+        let walls = vec![Wall::new(
+            Point::new(8.0, 0.0),
+            Point::new(8.0, 4.5),
+            8.0,
+        )];
+        Testbed { walls }
+    }
+
+    /// Coordinates of a testbed location.
+    pub fn position(&self, loc: TestbedLocation) -> Point {
+        match loc {
+            TestbedLocation::Loc1 => Point::new(1.0, 1.0),
+            TestbedLocation::Loc2 => Point::new(4.0, 1.5),
+            TestbedLocation::Loc3 => Point::new(5.5, 3.0),
+            TestbedLocation::Loc4 => Point::new(7.5, 3.5),
+            TestbedLocation::Loc5 => Point::new(9.8, 2.0),
+        }
+    }
+
+    /// The walls of the floor plan.
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// Distance from a helper location to the tag (location 1).
+    pub fn distance_to_tag(&self, loc: TestbedLocation) -> f64 {
+        self.position(loc)
+            .distance(self.position(TestbedLocation::Loc1))
+    }
+
+    /// True if the path from `loc` to the tag is line-of-sight.
+    pub fn is_los(&self, loc: TestbedLocation) -> bool {
+        line_of_sight(
+            &self.walls,
+            self.position(loc),
+            self.position(TestbedLocation::Loc1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn wall_blocks_crossing_path() {
+        let w = Wall::new(Point::new(1.0, -1.0), Point::new(1.0, 1.0), 6.0);
+        assert!(w.blocks(Point::new(0.0, 0.0), Point::new(2.0, 0.0)));
+        assert!(!w.blocks(Point::new(0.0, 2.0), Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn wall_parallel_paths_do_not_block() {
+        let w = Wall::new(Point::new(1.0, 0.0), Point::new(1.0, 5.0), 6.0);
+        assert!(!w.blocks(Point::new(0.0, 0.0), Point::new(0.0, 5.0)));
+    }
+
+    #[test]
+    fn touching_endpoint_counts_as_blocked() {
+        let w = Wall::new(Point::new(1.0, -1.0), Point::new(1.0, 1.0), 6.0);
+        assert!(w.blocks(Point::new(0.0, 0.0), Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn path_wall_loss_sums_crossed_walls() {
+        let walls = vec![
+            Wall::new(Point::new(1.0, -1.0), Point::new(1.0, 1.0), 3.0),
+            Wall::new(Point::new(2.0, -1.0), Point::new(2.0, 1.0), 5.0),
+            Wall::new(Point::new(9.0, -1.0), Point::new(9.0, 1.0), 7.0),
+        ];
+        let loss = path_wall_loss_db(&walls, Point::new(0.0, 0.0), Point::new(3.0, 0.0));
+        assert_eq!(loss, 8.0);
+    }
+
+    #[test]
+    fn line_of_sight_basics() {
+        let walls = vec![Wall::new(Point::new(1.0, -1.0), Point::new(1.0, 1.0), 3.0)];
+        assert!(!line_of_sight(&walls, Point::new(0.0, 0.0), Point::new(2.0, 0.0)));
+        assert!(line_of_sight(&walls, Point::new(0.0, 0.0), Point::new(0.5, 0.0)));
+        assert!(line_of_sight(&[], Point::new(0.0, 0.0), Point::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn testbed_distances_span_3_to_9_meters() {
+        // The paper: helper locations are 3–9 m from the tag.
+        let tb = Testbed::new();
+        for loc in TestbedLocation::HELPER_LOCATIONS {
+            let d = tb.distance_to_tag(loc);
+            assert!((2.5..=9.5).contains(&d), "{loc:?} at {d} m");
+        }
+        // Distances increase from location 2 to 5.
+        let d: Vec<f64> = TestbedLocation::HELPER_LOCATIONS
+            .iter()
+            .map(|&l| tb.distance_to_tag(l))
+            .collect();
+        assert!(d.windows(2).all(|w| w[0] < w[1]), "{d:?}");
+    }
+
+    #[test]
+    fn testbed_location5_is_nlos_others_los() {
+        let tb = Testbed::new();
+        assert!(tb.is_los(TestbedLocation::Loc2));
+        assert!(tb.is_los(TestbedLocation::Loc3));
+        assert!(tb.is_los(TestbedLocation::Loc4));
+        assert!(!tb.is_los(TestbedLocation::Loc5), "loc 5 must be in the adjacent room");
+    }
+}

@@ -1,0 +1,539 @@
+//! The composed propagation scene.
+//!
+//! A [`Scene`] holds one helper, one reader (with one or more antennas) and
+//! one backscatter tag, plus the static multipath realisations and slow
+//! fading processes of every link. Each call to [`Scene::snapshot`] returns
+//! the *true* complex channel from the helper to each reader antenna at the
+//! requested subcarrier offsets, for the tag's current state:
+//!
+//! ```text
+//! H(f, ant, state) = A_hr · g_hr(t) · M_hr[ant](f)                (direct)
+//!                  + A_ht·A_tr · s(state) · g_bs(t) · M_ht(f)·M_tr[ant](f)
+//! ```
+//!
+//! where `A` are large-scale amplitude gains (path loss + walls), `M` are
+//! unit-power multipath responses, `g` are slow-fading gains and `s` is the
+//! tag's scatter amplitude. The `bs-wifi` crate layers measurement effects
+//! (CSI estimation noise, quantisation, RSSI integration) on top.
+
+use crate::backscatter::{RadarCrossSection, TagState};
+use crate::fading::{FadingConfig, SlowFading};
+use crate::geometry::{path_wall_loss_db, Point, Wall};
+use crate::multipath::{Multipath, MultipathConfig};
+use crate::noise::NoiseConfig;
+use crate::pathloss::{db_to_linear, dbm_to_mw, LogDistance};
+use bs_dsp::{Complex, SimRng};
+
+/// Configuration of a propagation scene.
+#[derive(Debug, Clone)]
+pub struct SceneConfig {
+    /// Helper (transmitting Wi-Fi device) position.
+    pub helper: Point,
+    /// Reader (receiving Wi-Fi device) position.
+    pub reader: Point,
+    /// Tag position.
+    pub tag: Point,
+    /// Number of reader antennas (Intel 5300: 3).
+    pub reader_antennas: usize,
+    /// Wall segments of the floor plan.
+    pub walls: Vec<Wall>,
+    /// Large-scale path-loss model.
+    pub pathloss: LogDistance,
+    /// Small-scale multipath profile for line-of-sight links.
+    pub multipath: MultipathConfig,
+    /// Slow temporal fading.
+    pub fading: FadingConfig,
+    /// Tag radar cross-section.
+    pub rcs: RadarCrossSection,
+    /// Helper transmit power (dBm), spread evenly over the data subcarriers.
+    pub helper_tx_dbm: f64,
+    /// Number of occupied subcarriers sharing the transmit power (802.11n
+    /// 20 MHz: 52 data+pilot subcarriers).
+    pub occupied_subcarriers: usize,
+    /// Bandwidth of one subcarrier (Hz).
+    pub subcarrier_bw_hz: f64,
+    /// Receiver noise model.
+    pub noise: NoiseConfig,
+    /// Optional non-Wi-Fi interferer raising the in-band noise floor
+    /// while active (e.g. a microwave oven's magnetron duty cycle).
+    pub interference: Option<InterferenceConfig>,
+}
+
+/// A duty-cycled wideband interferer.
+///
+/// Microwave ovens are the classic 2.4 GHz offender: the magnetron runs
+/// at the mains half-cycle (~8.3 ms on / 8.3 ms off at 60 Hz) and raises
+/// the in-band noise floor by tens of dB while on. The paper does not
+/// evaluate interference; this extension lets the robustness tests do so.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceConfig {
+    /// Interference power received across the 20 MHz band (dBm).
+    pub power_dbm: f64,
+    /// Fraction of each period the interferer is on.
+    pub on_fraction: f64,
+    /// Cycle period (µs); 16 667 µs ≈ a 60 Hz mains cycle.
+    pub period_us: u64,
+}
+
+impl InterferenceConfig {
+    /// A microwave oven heard at moderate range: −70 dBm across the band,
+    /// half duty at the mains rate.
+    pub fn microwave_oven() -> Self {
+        InterferenceConfig {
+            power_dbm: -70.0,
+            on_fraction: 0.5,
+            period_us: 16_667,
+        }
+    }
+
+    /// True if the interferer is radiating at time `t_s`.
+    pub fn active_at(&self, t_s: f64) -> bool {
+        let t_us = (t_s * 1e6) as u64;
+        let phase = t_us % self.period_us.max(1);
+        (phase as f64) < self.on_fraction * self.period_us as f64
+    }
+
+    /// Added noise per subcarrier (mW) while active, for `n_subcarriers`
+    /// sharing the band.
+    pub fn per_subcarrier_mw(&self, n_subcarriers: usize) -> f64 {
+        dbm_to_mw(self.power_dbm) / n_subcarriers.max(1) as f64
+    }
+}
+
+impl SceneConfig {
+    /// The canonical uplink evaluation layout (§7.1): helper 3 m from the
+    /// tag, reader at `tag_reader_m` metres from the tag, no walls.
+    pub fn uplink(tag_reader_m: f64) -> Self {
+        SceneConfig {
+            helper: Point::new(3.0, 0.0),
+            reader: Point::new(-tag_reader_m, 0.0),
+            tag: Point::new(0.0, 0.0),
+            reader_antennas: 3,
+            walls: Vec::new(),
+            pathloss: LogDistance {
+                exponent: crate::calib::PATHLOSS_EXPONENT,
+                freq_hz: crate::pathloss::WIFI_CH6_HZ,
+            },
+            multipath: MultipathConfig::default(),
+            fading: FadingConfig::default(),
+            rcs: crate::calib::TAG_RCS,
+            helper_tx_dbm: crate::calib::HELPER_TX_DBM,
+            occupied_subcarriers: 52,
+            subcarrier_bw_hz: 312_500.0,
+            noise: NoiseConfig::default(),
+            interference: None,
+        }
+    }
+
+    /// Distance between helper and reader (m).
+    pub fn d_helper_reader(&self) -> f64 {
+        self.helper.distance(self.reader)
+    }
+
+    /// Distance between helper and tag (m).
+    pub fn d_helper_tag(&self) -> f64 {
+        self.helper.distance(self.tag)
+    }
+
+    /// Distance between tag and reader (m).
+    pub fn d_tag_reader(&self) -> f64 {
+        self.tag.distance(self.reader)
+    }
+}
+
+/// The true channel at one instant, for one packet.
+#[derive(Debug, Clone)]
+pub struct ChannelSnapshot {
+    /// `h[antenna][subcarrier]`: complex channel including path loss.
+    pub h: Vec<Vec<Complex>>,
+    /// Transmit power per subcarrier (mW).
+    pub tx_mw_per_subcarrier: f64,
+    /// Receiver noise power per subcarrier (mW).
+    pub noise_mw_per_subcarrier: f64,
+    /// The tag state this snapshot was taken under.
+    pub tag_state: TagState,
+    /// Simulation time of the snapshot (seconds).
+    pub time_s: f64,
+}
+
+impl ChannelSnapshot {
+    /// Received power (mW) summed over the sampled subcarriers on one
+    /// antenna.
+    pub fn rx_power_mw(&self, antenna: usize) -> f64 {
+        self.h[antenna]
+            .iter()
+            .map(|h| self.tx_mw_per_subcarrier * h.norm_sq())
+            .sum()
+    }
+
+    /// Mean per-subcarrier SNR (linear) on one antenna.
+    pub fn mean_snr(&self, antenna: usize) -> f64 {
+        let n = self.h[antenna].len().max(1) as f64;
+        self.rx_power_mw(antenna) / (self.noise_mw_per_subcarrier * n)
+    }
+}
+
+/// One link's static propagation state.
+#[derive(Debug, Clone)]
+struct Link {
+    /// Large-scale amplitude gain (path loss + wall loss).
+    amp: f64,
+    /// Small-scale multipath realisation.
+    mp: Multipath,
+}
+
+/// A composed propagation scene; see the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    cfg: SceneConfig,
+    /// Helper → reader, one realisation per antenna.
+    hr: Vec<Link>,
+    /// Helper → tag.
+    ht: Link,
+    /// Tag → reader, one per antenna.
+    tr: Vec<Link>,
+    fading_direct: SlowFading,
+    fading_scatter: SlowFading,
+}
+
+impl Scene {
+    /// Builds the scene, drawing all multipath realisations from `rng`.
+    ///
+    /// # Panics
+    /// Panics if `reader_antennas == 0`.
+    pub fn new(cfg: SceneConfig, rng: &SimRng) -> Self {
+        assert!(cfg.reader_antennas > 0, "scene needs at least one reader antenna");
+        let make_link = |a: Point, b: Point, name: &str, idx: u64| -> Link {
+            let d = a.distance(b);
+            let wall_db = path_wall_loss_db(&cfg.walls, a, b);
+            let amp = cfg.pathloss.amplitude_gain(d) * db_to_linear(-wall_db).sqrt();
+            let los = crate::geometry::line_of_sight(&cfg.walls, a, b);
+            let mp_cfg = if los {
+                cfg.multipath
+            } else {
+                cfg.multipath.nlos()
+            };
+            let mut link_rng = rng.stream(name).substream(idx);
+            Link {
+                amp,
+                mp: Multipath::generate(&mp_cfg, &mut link_rng),
+            }
+        };
+
+        let hr = (0..cfg.reader_antennas)
+            .map(|a| make_link(cfg.helper, cfg.reader, "link-helper-reader", a as u64))
+            .collect();
+        let ht = make_link(cfg.helper, cfg.tag, "link-helper-tag", 0);
+        let tr = (0..cfg.reader_antennas)
+            .map(|a| make_link(cfg.tag, cfg.reader, "link-tag-reader", a as u64))
+            .collect();
+
+        let fading_direct = SlowFading::new(cfg.fading, rng.stream("fading-direct"));
+        let fading_scatter = SlowFading::new(cfg.fading, rng.stream("fading-scatter"));
+
+        Scene {
+            cfg,
+            hr,
+            ht,
+            tr,
+            fading_direct,
+            fading_scatter,
+        }
+    }
+
+    /// The scene configuration.
+    pub fn config(&self) -> &SceneConfig {
+        &self.cfg
+    }
+
+    /// The true channel at time `t_s` with the tag in `tag_state`, sampled
+    /// at the given subcarrier frequency offsets (Hz from the carrier).
+    ///
+    /// Time must be non-decreasing across calls (the slow-fading processes
+    /// advance monotonically).
+    pub fn snapshot(
+        &mut self,
+        t_s: f64,
+        tag_state: TagState,
+        freq_offsets_hz: &[f64],
+    ) -> ChannelSnapshot {
+        let g_direct = self.fading_direct.gain_at(t_s);
+        let g_scatter = self.fading_scatter.gain_at(t_s);
+        let scatter_amp = self
+            .cfg
+            .rcs
+            .scatter_amplitude(tag_state, self.cfg.pathloss.freq_hz);
+
+        let h = (0..self.cfg.reader_antennas)
+            .map(|ant| {
+                let hr = &self.hr[ant];
+                let tr = &self.tr[ant];
+                freq_offsets_hz
+                    .iter()
+                    .map(|&f| {
+                        let direct = g_direct * hr.mp.response(f) * hr.amp;
+                        let scattered = g_scatter
+                            * self.ht.mp.response(f)
+                            * tr.mp.response(f)
+                            * (self.ht.amp * tr.amp * scatter_amp);
+                        direct + scattered
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut noise_mw = self.cfg.noise.noise_mw(self.cfg.subcarrier_bw_hz);
+        if let Some(intf) = &self.cfg.interference {
+            if intf.active_at(t_s) {
+                noise_mw += intf.per_subcarrier_mw(self.cfg.occupied_subcarriers);
+            }
+        }
+        ChannelSnapshot {
+            h,
+            tx_mw_per_subcarrier: dbm_to_mw(self.cfg.helper_tx_dbm)
+                / self.cfg.occupied_subcarriers as f64,
+            noise_mw_per_subcarrier: noise_mw,
+            tag_state,
+            time_s: t_s,
+        }
+    }
+
+    /// The complex backscatter *differential* per antenna/subcarrier:
+    /// `H(Reflect) − H(Absorb)`. Useful for analysis and tests; the fading
+    /// state is not advanced.
+    pub fn differential(&self, freq_offsets_hz: &[f64]) -> Vec<Vec<Complex>> {
+        let d_amp = self.cfg.rcs.differential_amplitude(self.cfg.pathloss.freq_hz);
+        (0..self.cfg.reader_antennas)
+            .map(|ant| {
+                let tr = &self.tr[ant];
+                freq_offsets_hz
+                    .iter()
+                    .map(|&f| {
+                        self.ht.mp.response(f)
+                            * tr.mp.response(f)
+                            * (self.ht.amp * tr.amp * d_amp)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Power gain (linear) of the direct reader→tag path, including walls —
+    /// used by the downlink to compute the incident power at the tag's
+    /// envelope detector.
+    pub fn reader_to_tag_power_gain(&self) -> f64 {
+        let d = self.cfg.reader.distance(self.cfg.tag);
+        let wall_db = path_wall_loss_db(&self.cfg.walls, self.cfg.reader, self.cfg.tag);
+        self.cfg.pathloss.power_gain(d) * db_to_linear(-wall_db)
+    }
+
+    /// Power gain of the helper→reader path (mean over small-scale fading).
+    pub fn helper_to_reader_power_gain(&self) -> f64 {
+        self.hr[0].amp * self.hr[0].amp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 30 sub-channel offsets reported by the Intel CSI tool, spaced
+    /// across ±10 MHz (approximation used only by these tests).
+    fn offsets() -> Vec<f64> {
+        (0..30).map(|i| (i as f64 - 14.5) * 625_000.0).collect()
+    }
+
+    fn scene(d_tag_reader: f64, seed: u64) -> Scene {
+        let mut cfg = SceneConfig::uplink(d_tag_reader);
+        cfg.fading = FadingConfig::static_channel();
+        Scene::new(cfg, &SimRng::new(seed))
+    }
+
+    #[test]
+    fn snapshot_shape_matches_config() {
+        let mut s = scene(0.5, 1);
+        let snap = s.snapshot(0.0, TagState::Reflect, &offsets());
+        assert_eq!(snap.h.len(), 3);
+        assert!(snap.h.iter().all(|a| a.len() == 30));
+    }
+
+    #[test]
+    fn states_differ_and_differential_matches() {
+        let mut s = scene(0.3, 2);
+        let f = offsets();
+        let a = s.snapshot(0.0, TagState::Reflect, &f);
+        let b = s.snapshot(0.0, TagState::Absorb, &f);
+        let d = s.differential(&f);
+        for ant in 0..3 {
+            for k in 0..f.len() {
+                let measured = a.h[ant][k] - b.h[ant][k];
+                assert!(
+                    (measured - d[ant][k]).abs() < 1e-12,
+                    "ant {ant} sc {k}"
+                );
+                assert!(measured.abs() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn differential_decays_with_tag_reader_distance() {
+        let f = offsets();
+        let mean_diff = |d: f64| -> f64 {
+            // Average over several seeds to smooth small-scale fading.
+            (0..10)
+                .map(|seed| {
+                    let s = scene(d, 100 + seed);
+                    let diff = s.differential(&f);
+                    diff.iter()
+                        .flat_map(|a| a.iter().map(|c| c.abs()))
+                        .sum::<f64>()
+                        / (3.0 * f.len() as f64)
+                })
+                .sum::<f64>()
+                / 10.0
+        };
+        let d05 = mean_diff(0.05);
+        let d50 = mean_diff(0.5);
+        let d200 = mean_diff(2.0);
+        assert!(d05 > d50 && d50 > d200, "{d05} {d50} {d200}");
+        // Beyond the 1 m reference the model is steeper than free space;
+        // overall the decay should be at least ~1/d.
+        assert!(d05 / d50 > 5.0, "ratio {}", d05 / d50);
+    }
+
+    #[test]
+    fn rx_power_at_3m_is_plausible() {
+        // +16 dBm over ~52 subcarriers at 3 m with exponent 2.6:
+        // roughly -75..-55 dBm total received power.
+        let mut s = scene(0.5, 3);
+        let snap = s.snapshot(0.0, TagState::Absorb, &offsets());
+        let rx_dbm = crate::pathloss::mw_to_dbm(snap.rx_power_mw(0));
+        assert!((-80.0..=-40.0).contains(&rx_dbm), "rx {rx_dbm} dBm");
+        // SNR comfortably positive.
+        assert!(snap.mean_snr(0) > 10.0, "snr {}", snap.mean_snr(0));
+    }
+
+    #[test]
+    fn antennas_have_independent_small_scale_fading() {
+        let mut s = scene(0.5, 4);
+        let snap = s.snapshot(0.0, TagState::Absorb, &offsets());
+        // Different antennas see different channel magnitudes.
+        let m0: f64 = snap.h[0].iter().map(|h| h.abs()).sum();
+        let m1: f64 = snap.h[1].iter().map(|h| h.abs()).sum();
+        assert!((m0 - m1).abs() / m0 > 0.01, "{m0} vs {m1}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = scene(0.7, 9);
+        let mut b = scene(0.7, 9);
+        let f = offsets();
+        let sa = a.snapshot(0.5, TagState::Reflect, &f);
+        let sb = b.snapshot(0.5, TagState::Reflect, &f);
+        for ant in 0..3 {
+            for k in 0..f.len() {
+                assert_eq!(sa.h[ant][k], sb.h[ant][k]);
+            }
+        }
+    }
+
+    #[test]
+    fn differential_projection_varies_across_subcarriers() {
+        // The *measured CSI amplitude* change is the projection of ΔH onto
+        // the direct channel's phase; multipath makes this projection vary
+        // across subcarriers — the mechanism behind Fig. 4/5.
+        let mut s = scene(0.1, 11);
+        let f = offsets();
+        let snap = s.snapshot(0.0, TagState::Absorb, &f);
+        let d = s.differential(&f);
+        let projections: Vec<f64> = (0..f.len())
+            .map(|k| {
+                let h = snap.h[0][k];
+                (d[0][k].conj() * h).re / h.abs()
+            })
+            .collect();
+        let max = projections.iter().cloned().fold(f64::MIN, f64::max);
+        let min = projections.iter().cloned().fold(f64::MAX, f64::min);
+        // Some subcarriers see strong positive change, others weak or
+        // negative.
+        assert!(max > 0.0, "max {max}");
+        assert!(min < max * 0.25, "min {min} max {max}");
+    }
+
+    #[test]
+    fn wall_reduces_received_power() {
+        let f = offsets();
+        let mut open = SceneConfig::uplink(0.5);
+        open.fading = FadingConfig::static_channel();
+        let mut walled = open.clone();
+        walled.walls = vec![crate::geometry::Wall::new(
+            Point::new(1.5, -5.0),
+            Point::new(1.5, 5.0),
+            10.0,
+        )];
+        // Average over seeds: NLOS multipath redistributes power randomly,
+        // but the 10 dB wall must dominate.
+        let mean_rx = |cfg: &SceneConfig| -> f64 {
+            (0..8)
+                .map(|seed| {
+                    let mut s = Scene::new(cfg.clone(), &SimRng::new(500 + seed));
+                    s.snapshot(0.0, TagState::Absorb, &f).rx_power_mw(0)
+                })
+                .sum::<f64>()
+                / 8.0
+        };
+        let p_open = mean_rx(&open);
+        let p_wall = mean_rx(&walled);
+        let drop_db = crate::pathloss::linear_to_db(p_open / p_wall);
+        assert!(drop_db > 6.0, "wall only dropped {drop_db} dB");
+    }
+
+    #[test]
+    fn reader_to_tag_gain_decreases_with_distance() {
+        let near = scene(0.5, 21).reader_to_tag_power_gain();
+        let far = scene(3.0, 21).reader_to_tag_power_gain();
+        assert!(near > far);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reader antenna")]
+    fn zero_antennas_panics() {
+        let mut cfg = SceneConfig::uplink(0.5);
+        cfg.reader_antennas = 0;
+        Scene::new(cfg, &SimRng::new(0));
+    }
+
+    #[test]
+    fn interferer_duty_cycle_timing() {
+        let i = InterferenceConfig::microwave_oven();
+        assert!(i.active_at(0.001)); // early in the cycle
+        assert!(!i.active_at(0.012)); // second half of the 16.7 ms cycle
+        assert!(i.active_at(0.0175)); // next cycle's on phase
+    }
+
+    #[test]
+    fn interferer_raises_noise_floor_while_on() {
+        let mut cfg = SceneConfig::uplink(0.3);
+        cfg.fading = FadingConfig::static_channel();
+        cfg.interference = Some(InterferenceConfig::microwave_oven());
+        let mut s = Scene::new(cfg, &SimRng::new(50));
+        let f = offsets();
+        let on = s.snapshot(0.001, TagState::Absorb, &f);
+        let off = s.snapshot(0.012, TagState::Absorb, &f);
+        assert!(
+            on.noise_mw_per_subcarrier > 10.0 * off.noise_mw_per_subcarrier,
+            "on {} off {}",
+            on.noise_mw_per_subcarrier,
+            off.noise_mw_per_subcarrier
+        );
+    }
+
+    #[test]
+    fn distances_accessors() {
+        let cfg = SceneConfig::uplink(0.5);
+        assert!((cfg.d_tag_reader() - 0.5).abs() < 1e-12);
+        assert!((cfg.d_helper_tag() - 3.0).abs() < 1e-12);
+        assert!((cfg.d_helper_reader() - 3.5).abs() < 1e-12);
+    }
+}

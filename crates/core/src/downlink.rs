@@ -1,0 +1,305 @@
+//! The reader's downlink encoder (§4.1).
+//!
+//! The reader can only transmit Wi-Fi packets; the tag can only detect
+//! energy. So the reader encodes a `1` as the presence of a short Wi-Fi
+//! packet and a `0` as an equal-length silence, and reserves the medium
+//! with a CTS_to_SELF first so that other (protocol-unaware) Wi-Fi devices
+//! do not fill the silences. The 802.11 standard caps one reservation at
+//! 32 ms; messages that don't fit are split across multiple reservations,
+//! one complete frame per reservation.
+
+use bs_tag::frame::DownlinkFrame;
+use bs_wifi::frame::{FrameKind, StationId, WifiFrame, MAX_NAV_US};
+
+/// Downlink encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DownlinkEncoderConfig {
+    /// Bit duration = marker packet duration = silence duration (µs).
+    /// Paper rates: 50 µs → 20 kbps, 100 µs → 10 kbps, 200 µs → 5 kbps.
+    pub bit_duration_us: u64,
+    /// The reader's station id on the medium.
+    pub reader: StationId,
+    /// Airtime of the CTS_to_SELF control frame itself (µs).
+    pub cts_duration_us: u64,
+    /// Guard silence between the CTS frame and the first data bit (µs),
+    /// letting the tag's comparator settle.
+    pub guard_us: u64,
+}
+
+impl DownlinkEncoderConfig {
+    /// A configuration at the given bit rate (bits/s).
+    pub fn at_rate(bit_rate_bps: u64, reader: StationId) -> Self {
+        assert!(bit_rate_bps > 0);
+        DownlinkEncoderConfig {
+            bit_duration_us: 1_000_000 / bit_rate_bps,
+            reader,
+            cts_duration_us: 30,
+            guard_us: 100,
+        }
+    }
+
+    /// The downlink bit rate (bits/s).
+    pub fn bit_rate_bps(&self) -> u64 {
+        1_000_000 / self.bit_duration_us
+    }
+
+    /// How many bits fit in one CTS_to_SELF reservation.
+    pub fn bits_per_reservation(&self) -> usize {
+        ((MAX_NAV_US - self.guard_us) / self.bit_duration_us) as usize
+    }
+}
+
+/// A fully-scheduled downlink transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DownlinkTransmission {
+    /// Every frame the reader puts on the air (CTS_to_SELF reservations
+    /// and the marker packets for `1` bits), in time order. Feed these to
+    /// the MAC medium as pre-scheduled transmissions.
+    pub frames: Vec<WifiFrame>,
+    /// The encoded bit sequence.
+    pub bits: Vec<bool>,
+    /// Start time (µs) of each bit interval.
+    pub bit_starts_us: Vec<u64>,
+    /// When the first data bit begins.
+    pub data_start_us: u64,
+    /// When the transmission (including NAV) ends.
+    pub end_us: u64,
+}
+
+impl DownlinkTransmission {
+    /// Signal-presence at time `t_us`: true while a marker packet (or CTS)
+    /// is on the air. This drives the tag-side envelope model.
+    pub fn on_air(&self, t_us: u64) -> bool {
+        // Frames are in time order; linear scan is fine for tests, but the
+        // envelope loop calls this per microsecond — binary search on start.
+        let idx = self
+            .frames
+            .partition_point(|f| f.timestamp_us <= t_us);
+        if idx == 0 {
+            return false;
+        }
+        let f = &self.frames[idx - 1];
+        t_us < f.end_us()
+    }
+}
+
+/// Errors from encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The frame's on-air length exceeds one CTS_to_SELF reservation; use
+    /// [`DownlinkEncoder::encode_multi`] with smaller frames.
+    TooLongForReservation {
+        /// Bits needed.
+        needed: usize,
+        /// Bits available in one reservation.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::TooLongForReservation { needed, available } => write!(
+                f,
+                "frame needs {needed} bits but one 32 ms reservation fits {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// The downlink encoder.
+#[derive(Debug, Clone, Copy)]
+pub struct DownlinkEncoder {
+    cfg: DownlinkEncoderConfig,
+}
+
+impl DownlinkEncoder {
+    /// Creates an encoder.
+    pub fn new(cfg: DownlinkEncoderConfig) -> Self {
+        assert!(cfg.bit_duration_us > 0);
+        DownlinkEncoder { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> DownlinkEncoderConfig {
+        self.cfg
+    }
+
+    /// Encodes one frame into a scheduled transmission starting at
+    /// `start_us`.
+    pub fn encode(
+        &self,
+        frame: &DownlinkFrame,
+        start_us: u64,
+    ) -> Result<DownlinkTransmission, EncodeError> {
+        let bits = frame.to_bits();
+        let capacity = self.cfg.bits_per_reservation();
+        if bits.len() > capacity {
+            return Err(EncodeError::TooLongForReservation {
+                needed: bits.len(),
+                available: capacity,
+            });
+        }
+        let bit = self.cfg.bit_duration_us;
+        let nav = self.cfg.guard_us + bits.len() as u64 * bit;
+        let mut frames = vec![WifiFrame {
+            kind: FrameKind::CtsToSelf { nav_us: nav },
+            src: self.cfg.reader,
+            timestamp_us: start_us,
+            duration_us: self.cfg.cts_duration_us,
+        }];
+        let data_start = start_us + self.cfg.cts_duration_us + self.cfg.guard_us;
+        let mut bit_starts = Vec::with_capacity(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            let t = data_start + i as u64 * bit;
+            bit_starts.push(t);
+            if b {
+                frames.push(WifiFrame {
+                    kind: FrameKind::DownlinkMarker,
+                    src: self.cfg.reader,
+                    timestamp_us: t,
+                    duration_us: bit,
+                });
+            }
+        }
+        let end = data_start + bits.len() as u64 * bit;
+        Ok(DownlinkTransmission {
+            frames,
+            bits,
+            bit_starts_us: bit_starts,
+            data_start_us: data_start,
+            end_us: end,
+        })
+    }
+
+    /// Encodes a sequence of frames, one CTS_to_SELF reservation per frame,
+    /// separated by `gap_us` of idle medium (during which normal traffic
+    /// proceeds).
+    pub fn encode_multi(
+        &self,
+        frames: &[DownlinkFrame],
+        start_us: u64,
+        gap_us: u64,
+    ) -> Result<Vec<DownlinkTransmission>, EncodeError> {
+        let mut out = Vec::with_capacity(frames.len());
+        let mut t = start_us;
+        for f in frames {
+            let tx = self.encode(f, t)?;
+            t = tx.end_us + gap_us;
+            out.push(tx);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder(rate: u64) -> DownlinkEncoder {
+        DownlinkEncoder::new(DownlinkEncoderConfig::at_rate(rate, 0))
+    }
+
+    #[test]
+    fn rates_map_to_paper_bit_durations() {
+        assert_eq!(DownlinkEncoderConfig::at_rate(20_000, 0).bit_duration_us, 50);
+        assert_eq!(DownlinkEncoderConfig::at_rate(10_000, 0).bit_duration_us, 100);
+        assert_eq!(DownlinkEncoderConfig::at_rate(5_000, 0).bit_duration_us, 200);
+    }
+
+    #[test]
+    fn marker_frames_match_one_bits() {
+        let f = DownlinkFrame::new(vec![0xF0]);
+        let tx = encoder(20_000).encode(&f, 1_000).unwrap();
+        let markers = tx
+            .frames
+            .iter()
+            .filter(|fr| fr.kind == FrameKind::DownlinkMarker)
+            .count();
+        let ones = tx.bits.iter().filter(|&&b| b).count();
+        assert_eq!(markers, ones);
+        // CTS first.
+        assert!(matches!(tx.frames[0].kind, FrameKind::CtsToSelf { .. }));
+        assert_eq!(tx.frames[0].timestamp_us, 1_000);
+    }
+
+    #[test]
+    fn nav_covers_whole_message() {
+        let f = DownlinkFrame::new(vec![1, 2, 3, 4]);
+        let tx = encoder(20_000).encode(&f, 0).unwrap();
+        let nav = tx.frames[0].nav_us();
+        let msg_span = tx.end_us - tx.frames[0].end_us();
+        assert!(nav >= msg_span, "nav {nav} < span {msg_span}");
+        assert!(nav <= MAX_NAV_US);
+    }
+
+    #[test]
+    fn bit_starts_are_contiguous() {
+        let f = DownlinkFrame::new(vec![0xAA, 0x55]);
+        let tx = encoder(10_000).encode(&f, 500).unwrap();
+        assert_eq!(tx.bit_starts_us.len(), tx.bits.len());
+        for w in tx.bit_starts_us.windows(2) {
+            assert_eq!(w[1] - w[0], 100);
+        }
+        assert_eq!(tx.bit_starts_us[0], tx.data_start_us);
+    }
+
+    #[test]
+    fn on_air_tracks_markers_and_silences() {
+        let f = DownlinkFrame::new(vec![0b1010_0000]);
+        let tx = encoder(20_000).encode(&f, 1_000).unwrap();
+        // Preamble starts with five 1s: first data bit is on the air.
+        assert!(tx.on_air(tx.data_start_us + 10));
+        // Find a 0 bit and check silence mid-bit.
+        let zero_idx = tx.bits.iter().position(|&b| !b).unwrap();
+        assert!(!tx.on_air(tx.bit_starts_us[zero_idx] + 25));
+        // Before the transmission begins: silent.
+        assert!(!tx.on_air(500));
+    }
+
+    #[test]
+    fn paper_example_is_about_4ms() {
+        // 64-bit payload (8 bytes): 96 on-air bits at 50 µs ≈ 4.8 ms, fits
+        // easily in one 32 ms reservation.
+        let f = DownlinkFrame::new(vec![0; 8]);
+        let tx = encoder(20_000).encode(&f, 0).unwrap();
+        let span_ms = (tx.end_us - tx.data_start_us) as f64 / 1000.0;
+        assert!((4.0..=5.0).contains(&span_ms), "{span_ms} ms");
+    }
+
+    #[test]
+    fn oversize_frame_rejected() {
+        // At 5 kbps (200 µs bits) one reservation fits ~159 bits; a 32-byte
+        // payload needs 16+8+256+8 = 288 bits.
+        let f = DownlinkFrame::new(vec![0; 32]);
+        match encoder(5_000).encode(&f, 0) {
+            Err(EncodeError::TooLongForReservation { needed, available }) => {
+                assert_eq!(needed, 288);
+                assert!(available < needed);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_multi_spaces_reservations() {
+        let frames = vec![
+            DownlinkFrame::new(vec![1]),
+            DownlinkFrame::new(vec![2]),
+        ];
+        let txs = encoder(20_000).encode_multi(&frames, 0, 5_000).unwrap();
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[1].frames[0].timestamp_us, txs[0].end_us + 5_000);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EncodeError::TooLongForReservation {
+            needed: 100,
+            available: 50,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+}

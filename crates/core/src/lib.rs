@@ -1,0 +1,53 @@
+//! # wifi-backscatter — the Wi-Fi Backscatter system (SIGCOMM 2014)
+//!
+//! A full reproduction of *"Wi-Fi Backscatter: Internet Connectivity for
+//! RF-Powered Devices"* (Kellogg, Parks, Gollakota, Smith, Wetherall,
+//! SIGCOMM 2014), running on the simulated substrates in `bs-channel`,
+//! `bs-wifi` and `bs-tag`. See DESIGN.md for the substitution map.
+//!
+//! The paper's contribution — implemented unchanged on top of the
+//! simulated hardware — lives here:
+//!
+//! * [`series`] — per-packet channel time series (CSI sub-channels ×
+//!   antennas, or per-antenna RSSI) with MAC timestamps.
+//! * [`uplink`] — the reader's uplink decoder (§3.2/§3.3): signal
+//!   conditioning, good-sub-channel selection by preamble correlation,
+//!   maximum-ratio combining by 1/σ², hysteresis thresholding and
+//!   timestamp-binned majority voting.
+//! * [`longrange`] — the coded long-range decoder (§3.4): the tag expands
+//!   each bit to an L-chip orthogonal code; the reader correlates.
+//! * [`downlink`] — the reader's downlink encoder (§4.1): bits as packet /
+//!   silence inside CTS_to_SELF reservations.
+//! * [`protocol`] — the query-response link protocol (§2, §5): queries,
+//!   responses, ACKs, and the N/M rate-selection rule for shared networks.
+//! * [`link`] — an end-to-end simulator wiring scene + MAC + tag + reader
+//!   together; this is the API the examples and every experiment harness
+//!   use.
+//!
+//! Beyond the paper's evaluation, two extensions it explicitly points at:
+//!
+//! * [`multitag`] — EPC-Gen-2-style framed-slotted-ALOHA inventory for
+//!   identifying multiple tags before querying them individually (§2).
+//! * [`trace`] — capture save/load, splitting capture from offline
+//!   decoding the way the Intel CSI tool workflow does.
+//! * [`session`] — the high-level [`session::Reader`] API: rate
+//!   selection, query retransmission and the long-range fallback composed
+//!   into one call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod downlink;
+pub mod link;
+pub mod longrange;
+pub mod multitag;
+pub mod protocol;
+pub mod series;
+pub mod session;
+pub mod trace;
+pub mod uplink;
+
+pub use link::{DownlinkRun, LinkConfig, UplinkRun};
+pub use session::{Reader, ReaderConfig};
+pub use series::SeriesBundle;
+pub use uplink::{UplinkDecoder, UplinkDecoderConfig};

@@ -1,0 +1,269 @@
+//! The query-response link protocol (§2, §5).
+//!
+//! Wi-Fi Backscatter follows a request-response model like RFID: the reader
+//! queries the tag on the downlink; the tag answers on the uplink at the
+//! bit rate the query commanded. The reader picks that rate from the
+//! current network conditions: if the helper delivers N packets/s and the
+//! decoder wants M packets per bit, the tag can sustain N/M bits/s — scaled
+//! by a conservative margin so that bursty traffic rarely starves a bit of
+//! channel measurements (§5).
+
+use bs_tag::frame::DownlinkFrame;
+
+/// The uplink bit rates the prototype supports (§7.2 evaluates exactly
+/// these).
+pub const SUPPORTED_RATES_BPS: [u64; 4] = [100, 200, 500, 1000];
+
+/// Opcode byte distinguishing downlink message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Opcode {
+    Query = 0x01,
+    Ack = 0x02,
+}
+
+/// A query from the reader to a tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Address of the tag being interrogated (EPC-Gen2-style singulation
+    /// is out of scope, as in the paper; the address is a plain byte).
+    pub tag_address: u8,
+    /// Number of payload bits requested on the uplink.
+    pub payload_bits: u16,
+    /// Commanded uplink bit rate (bits/s).
+    pub bit_rate_bps: u64,
+    /// Code length for the long-range mode; 1 = plain (uncoded) mode.
+    pub code_length: u16,
+}
+
+impl Query {
+    /// Serialises into a downlink frame payload.
+    pub fn to_frame(&self) -> DownlinkFrame {
+        let rate_idx = SUPPORTED_RATES_BPS
+            .iter()
+            .position(|&r| r == self.bit_rate_bps)
+            .expect("unsupported bit rate") as u8;
+        DownlinkFrame::new(vec![
+            Opcode::Query as u8,
+            self.tag_address,
+            (self.payload_bits >> 8) as u8,
+            (self.payload_bits & 0xFF) as u8,
+            rate_idx,
+            (self.code_length >> 8) as u8,
+            (self.code_length & 0xFF) as u8,
+        ])
+    }
+
+    /// Parses a query from a downlink frame; `None` if the frame is not a
+    /// well-formed query.
+    pub fn from_frame(frame: &DownlinkFrame) -> Option<Query> {
+        let p = &frame.payload;
+        if p.len() != 7 || p[0] != Opcode::Query as u8 {
+            return None;
+        }
+        let rate = *SUPPORTED_RATES_BPS.get(p[4] as usize)?;
+        let code_length = (u16::from(p[5]) << 8) | u16::from(p[6]);
+        if code_length == 0 {
+            return None;
+        }
+        Some(Query {
+            tag_address: p[1],
+            payload_bits: (u16::from(p[2]) << 8) | u16::from(p[3]),
+            bit_rate_bps: rate,
+            code_length,
+        })
+    }
+
+    /// True if the query asks for the long-range coded uplink.
+    pub fn is_coded(&self) -> bool {
+        self.code_length > 1
+    }
+}
+
+/// An ACK from the reader (the short retransmission-control message of
+/// §4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ack {
+    /// Address of the tag being acknowledged.
+    pub tag_address: u8,
+}
+
+impl Ack {
+    /// Serialises into a downlink frame.
+    pub fn to_frame(&self) -> DownlinkFrame {
+        DownlinkFrame::new(vec![Opcode::Ack as u8, self.tag_address])
+    }
+
+    /// Parses an ACK.
+    pub fn from_frame(frame: &DownlinkFrame) -> Option<Ack> {
+        let p = &frame.payload;
+        if p.len() != 2 || p[0] != Opcode::Ack as u8 {
+            return None;
+        }
+        Some(Ack { tag_address: p[1] })
+    }
+}
+
+/// The §5 rate-selection rule: with the helper delivering `helper_pps`
+/// packets/s and the decoder wanting `pkts_per_bit` measurements per bit,
+/// pick the fastest supported rate not exceeding
+/// `margin · helper_pps / pkts_per_bit`. The margin < 1 is the paper's
+/// "conservative bit rate estimate" guarding against bursty traffic.
+pub fn select_bit_rate(helper_pps: f64, pkts_per_bit: u32, margin: f64) -> u64 {
+    assert!(pkts_per_bit > 0);
+    let max_rate = margin * helper_pps / f64::from(pkts_per_bit);
+    SUPPORTED_RATES_BPS
+        .iter()
+        .rev()
+        .find(|&&r| (r as f64) <= max_rate)
+        .copied()
+        .unwrap_or(SUPPORTED_RATES_BPS[0])
+}
+
+/// How many packets per bit the decoder will see on average at a chosen
+/// rate — used by tests and the harness to sanity-check selections.
+pub fn expected_pkts_per_bit(helper_pps: f64, bit_rate_bps: u64) -> f64 {
+    helper_pps / bit_rate_bps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = Query {
+            tag_address: 0x42,
+            payload_bits: 90,
+            bit_rate_bps: 500,
+            code_length: 1,
+        };
+        let f = q.to_frame();
+        assert_eq!(Query::from_frame(&f), Some(q));
+    }
+
+    #[test]
+    fn coded_query_roundtrip() {
+        let q = Query {
+            tag_address: 1,
+            payload_bits: 16,
+            bit_rate_bps: 100,
+            code_length: 150,
+        };
+        let f = q.to_frame();
+        let back = Query::from_frame(&f).unwrap();
+        assert!(back.is_coded());
+        assert_eq!(back.code_length, 150);
+    }
+
+    #[test]
+    fn query_rejects_garbage() {
+        assert_eq!(Query::from_frame(&DownlinkFrame::new(vec![0x01])), None);
+        assert_eq!(Query::from_frame(&DownlinkFrame::new(vec![0xFF; 7])), None);
+        // Bad rate index.
+        let mut f = Query {
+            tag_address: 0,
+            payload_bits: 8,
+            bit_rate_bps: 100,
+            code_length: 1,
+        }
+        .to_frame();
+        f.payload[4] = 9;
+        assert_eq!(Query::from_frame(&f), None);
+        // Zero code length.
+        let mut g = Query {
+            tag_address: 0,
+            payload_bits: 8,
+            bit_rate_bps: 100,
+            code_length: 1,
+        }
+        .to_frame();
+        g.payload[5] = 0;
+        g.payload[6] = 0;
+        assert_eq!(Query::from_frame(&g), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn query_unsupported_rate_panics() {
+        Query {
+            tag_address: 0,
+            payload_bits: 8,
+            bit_rate_bps: 123,
+            code_length: 1,
+        }
+        .to_frame();
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let a = Ack { tag_address: 7 };
+        assert_eq!(Ack::from_frame(&a.to_frame()), Some(a));
+        assert_eq!(Ack::from_frame(&DownlinkFrame::new(vec![0x01, 0x02])), None);
+    }
+
+    #[test]
+    fn ack_is_tiny() {
+        // §4.1: the tag "can reduce the overhead of the ACK packet" — ours
+        // is 2 payload bytes → 48 on-air bits, 2.4 ms at 50 µs/bit.
+        let a = Ack { tag_address: 0 };
+        assert_eq!(a.to_frame().to_bits().len(), 48);
+    }
+
+    #[test]
+    fn rate_selection_matches_fig12_operating_points() {
+        // Fig. 12: ~100 bps at 500 pkts/s, ~1 kbps at ~3000 pkts/s, with
+        // ~5 packets/bit sufficing at short range.
+        assert_eq!(select_bit_rate(500.0, 4, 0.9), 100);
+        assert_eq!(select_bit_rate(3_000.0, 2, 0.9), 1000);
+        assert_eq!(select_bit_rate(1_200.0, 4, 0.9), 200);
+    }
+
+    #[test]
+    fn rate_selection_is_conservative_under_margin() {
+        // Exactly at the boundary, a smaller margin must drop a tier.
+        let generous = select_bit_rate(1000.0, 2, 1.0);
+        let cautious = select_bit_rate(1000.0, 2, 0.5);
+        assert!(cautious < generous, "{cautious} vs {generous}");
+    }
+
+    #[test]
+    fn rate_selection_floors_at_slowest() {
+        assert_eq!(select_bit_rate(10.0, 30, 0.8), 100);
+    }
+
+    #[test]
+    fn rate_monotone_in_load() {
+        let mut prev = 0;
+        for pps in [200.0, 600.0, 1500.0, 4000.0, 12_000.0] {
+            let r = select_bit_rate(pps, 3, 0.9);
+            assert!(r >= prev, "rate decreased at {pps}");
+            prev = r;
+        }
+        assert_eq!(prev, 1000);
+    }
+
+    #[test]
+    fn expected_pkts_per_bit_math() {
+        assert_eq!(expected_pkts_per_bit(3000.0, 100), 30.0);
+        assert_eq!(expected_pkts_per_bit(500.0, 100), 5.0);
+    }
+
+    #[test]
+    fn combining_enum_exists_for_protocol_consumers() {
+        // The query implies a decoding mode at the reader.
+        let q = Query {
+            tag_address: 0,
+            payload_bits: 8,
+            bit_rate_bps: 100,
+            code_length: 1,
+        };
+        use crate::uplink::Combining;
+        let mode = if q.is_coded() {
+            None
+        } else {
+            Some(Combining::Mrc)
+        };
+        assert_eq!(mode, Some(Combining::Mrc));
+    }
+}

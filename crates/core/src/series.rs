@@ -1,0 +1,157 @@
+//! Per-packet channel time series.
+//!
+//! The uplink decoder is agnostic to whether its input is CSI or RSSI: both
+//! are "one value per packet per channel, with a MAC timestamp". A
+//! [`SeriesBundle`] holds that shape; constructors adapt the two
+//! measurement types. CSI yields 90 *virtual sub-channels* (30 sub-channels
+//! × 3 antennas — the paper treats antennas as extra sub-channels, §3.2),
+//! RSSI yields one series per antenna (§3.3).
+
+use bs_wifi::{CsiMeasurement, RssiMeasurement};
+
+/// A bundle of synchronized per-packet series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesBundle {
+    /// MAC timestamp (µs) of each packet, ascending.
+    pub t_us: Vec<u64>,
+    /// `series[channel][packet]`.
+    pub series: Vec<Vec<f64>>,
+}
+
+impl SeriesBundle {
+    /// Builds the bundle from per-packet CSI measurements.
+    ///
+    /// # Panics
+    /// Panics if measurements have inconsistent shapes.
+    pub fn from_csi(measurements: &[CsiMeasurement]) -> Self {
+        if measurements.is_empty() {
+            return SeriesBundle {
+                t_us: Vec::new(),
+                series: Vec::new(),
+            };
+        }
+        let channels = measurements[0].antennas() * measurements[0].subchannels();
+        let mut series = vec![Vec::with_capacity(measurements.len()); channels];
+        let mut t_us = Vec::with_capacity(measurements.len());
+        for m in measurements {
+            let flat = m.flat();
+            assert_eq!(flat.len(), channels, "inconsistent CSI shape");
+            for (c, v) in flat.into_iter().enumerate() {
+                series[c].push(v);
+            }
+            t_us.push(m.timestamp_us);
+        }
+        SeriesBundle { t_us, series }
+    }
+
+    /// Builds the bundle from per-packet RSSI measurements (values in dBm;
+    /// the decoder's conditioning normalises scale away).
+    pub fn from_rssi(measurements: &[RssiMeasurement]) -> Self {
+        if measurements.is_empty() {
+            return SeriesBundle {
+                t_us: Vec::new(),
+                series: Vec::new(),
+            };
+        }
+        let channels = measurements[0].antennas();
+        let mut series = vec![Vec::with_capacity(measurements.len()); channels];
+        let mut t_us = Vec::with_capacity(measurements.len());
+        for m in measurements {
+            assert_eq!(m.rssi_dbm.len(), channels, "inconsistent RSSI shape");
+            for (c, &v) in m.rssi_dbm.iter().enumerate() {
+                series[c].push(v);
+            }
+            t_us.push(m.timestamp_us);
+        }
+        SeriesBundle { t_us, series }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Number of packets.
+    pub fn packets(&self) -> usize {
+        self.t_us.len()
+    }
+
+    /// Median inter-packet gap (µs); 0 if fewer than two packets. Used to
+    /// convert the paper's 400 ms conditioning window into a packet count.
+    pub fn median_gap_us(&self) -> u64 {
+        if self.t_us.len() < 2 {
+            return 0;
+        }
+        let mut gaps: Vec<u64> = self.t_us.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_unstable();
+        gaps[gaps.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csi(t: u64, val: f64) -> CsiMeasurement {
+        CsiMeasurement {
+            timestamp_us: t,
+            amplitude: vec![vec![val; 4]; 2],
+        }
+    }
+
+    #[test]
+    fn from_csi_shapes() {
+        let ms = vec![csi(0, 1.0), csi(100, 2.0), csi(250, 3.0)];
+        let b = SeriesBundle::from_csi(&ms);
+        assert_eq!(b.channels(), 8);
+        assert_eq!(b.packets(), 3);
+        assert_eq!(b.series[0], vec![1.0, 2.0, 3.0]);
+        assert_eq!(b.t_us, vec![0, 100, 250]);
+    }
+
+    #[test]
+    fn from_rssi_shapes() {
+        let ms = vec![
+            RssiMeasurement {
+                timestamp_us: 5,
+                rssi_dbm: vec![-40.0, -42.0],
+            },
+            RssiMeasurement {
+                timestamp_us: 15,
+                rssi_dbm: vec![-41.0, -43.0],
+            },
+        ];
+        let b = SeriesBundle::from_rssi(&ms);
+        assert_eq!(b.channels(), 2);
+        assert_eq!(b.series[1], vec![-42.0, -43.0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let b = SeriesBundle::from_csi(&[]);
+        assert_eq!(b.channels(), 0);
+        assert_eq!(b.packets(), 0);
+        assert_eq!(b.median_gap_us(), 0);
+        let r = SeriesBundle::from_rssi(&[]);
+        assert_eq!(r.channels(), 0);
+    }
+
+    #[test]
+    fn median_gap() {
+        let ms = vec![csi(0, 0.0), csi(10, 0.0), csi(30, 0.0), csi(35, 0.0), csi(100, 0.0)];
+        let b = SeriesBundle::from_csi(&ms);
+        // gaps: 10, 20, 5, 65 → sorted 5,10,20,65 → median idx 2 = 20.
+        assert_eq!(b.median_gap_us(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn inconsistent_shape_panics() {
+        let a = csi(0, 1.0);
+        let b = CsiMeasurement {
+            timestamp_us: 1,
+            amplitude: vec![vec![0.0; 3]; 2],
+        };
+        SeriesBundle::from_csi(&[a, b]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Capture traces: save and load [`SeriesBundle`]s as plain text.
+//!
+//! The paper's workflow separates *capture* (the CSI tool logging packets
+//! on the reader) from *decoding* (offline processing). This module gives
+//! the reproduction the same split: a [`SeriesBundle`] serialises to a
+//! simple line-oriented text format that survives a round trip exactly, so
+//! captures can be archived, diffed, and re-decoded later — no serde
+//! dependency needed for a numeric table.
+//!
+//! Format:
+//!
+//! ```text
+//! # wifi-backscatter capture v1
+//! # channels=<n> packets=<m>
+//! <t_us> <ch0> <ch1> ... <chN-1>
+//! ...
+//! ```
+
+use crate::series::SeriesBundle;
+
+/// Errors from parsing a capture trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The header line is missing or wrong.
+    BadHeader,
+    /// A data line has the wrong number of fields or an unparsable value.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Timestamps are not non-decreasing.
+    UnsortedTimestamps {
+        /// 1-based line number where order broke.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadHeader => write!(f, "missing or invalid capture header"),
+            TraceError::BadLine { line } => write!(f, "malformed data on line {line}"),
+            TraceError::UnsortedTimestamps { line } => {
+                write!(f, "timestamps go backwards at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The header magic of the capture format.
+pub const MAGIC: &str = "# wifi-backscatter capture v1";
+
+/// Serialises a bundle to the capture text format.
+pub fn to_text(bundle: &SeriesBundle) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!(
+        "# channels={} packets={}\n",
+        bundle.channels(),
+        bundle.packets()
+    ));
+    for (p, &t) in bundle.t_us.iter().enumerate() {
+        out.push_str(&t.to_string());
+        for ch in &bundle.series {
+            out.push(' ');
+            // 17 significant digits: f64 round-trips exactly.
+            out.push_str(&format!("{:.17e}", ch[p]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a capture back into a bundle.
+pub fn from_text(text: &str) -> Result<SeriesBundle, TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == MAGIC => {}
+        _ => return Err(TraceError::BadHeader),
+    }
+
+    let mut t_us: Vec<u64> = Vec::new();
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let t: u64 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or(TraceError::BadLine { line: i + 1 })?;
+        if let Some(&last) = t_us.last() {
+            if t < last {
+                return Err(TraceError::UnsortedTimestamps { line: i + 1 });
+            }
+        }
+        let values: Result<Vec<f64>, _> = fields.map(str::parse::<f64>).collect();
+        let values = values.map_err(|_| TraceError::BadLine { line: i + 1 })?;
+        if series.is_empty() {
+            series = vec![Vec::new(); values.len()];
+        } else if values.len() != series.len() {
+            return Err(TraceError::BadLine { line: i + 1 });
+        }
+        t_us.push(t);
+        for (c, v) in values.into_iter().enumerate() {
+            series[c].push(v);
+        }
+    }
+    Ok(SeriesBundle { t_us, series })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle() -> SeriesBundle {
+        SeriesBundle {
+            t_us: vec![0, 333, 666, 1000],
+            series: vec![
+                vec![1.0, 2.5, -0.125, 1e-9],
+                vec![9.75, 9.5, 10.0, std::f64::consts::PI],
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let b = bundle();
+        let text = to_text(&b);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn empty_bundle_roundtrips() {
+        let b = SeriesBundle {
+            t_us: vec![],
+            series: vec![],
+        };
+        assert_eq!(from_text(&to_text(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(from_text("0 1.0 2.0\n"), Err(TraceError::BadHeader));
+        assert_eq!(from_text(""), Err(TraceError::BadHeader));
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let text = format!("{MAGIC}\n0 1.0\nnot-a-number 2.0\n");
+        assert_eq!(from_text(&text), Err(TraceError::BadLine { line: 3 }));
+    }
+
+    #[test]
+    fn inconsistent_width_rejected() {
+        let text = format!("{MAGIC}\n0 1.0 2.0\n10 1.0\n");
+        assert_eq!(from_text(&text), Err(TraceError::BadLine { line: 3 }));
+    }
+
+    #[test]
+    fn backwards_time_rejected() {
+        let text = format!("{MAGIC}\n100 1.0\n50 2.0\n");
+        assert_eq!(
+            from_text(&text),
+            Err(TraceError::UnsortedTimestamps { line: 3 })
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = format!("{MAGIC}\n# a comment\n\n0 1.0\n# more\n10 2.0\n");
+        let b = from_text(&text).unwrap();
+        assert_eq!(b.packets(), 2);
+        assert_eq!(b.series[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn real_capture_decodes_after_roundtrip() {
+        // Capture a real simulated exchange, serialise, re-load, decode.
+        use crate::link::{capture_uplink, LinkConfig};
+        use crate::uplink::{UplinkDecoder, UplinkDecoderConfig};
+        let mut cfg = LinkConfig::fig10(0.10, 100, 30, 77);
+        cfg.payload = (0..16).map(|i| i % 2 == 0).collect();
+        let cap = capture_uplink(&cfg);
+        let restored = from_text(&to_text(&cap.bundle)).unwrap();
+        assert_eq!(restored, cap.bundle);
+        let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, 16));
+        let out = dec.decode(&restored, cap.start_us).expect("no detection");
+        assert_eq!(out.frame.unwrap().payload, cfg.payload);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TraceError::BadHeader.to_string().contains("header"));
+        assert!(TraceError::BadLine { line: 7 }.to_string().contains('7'));
+    }
+}

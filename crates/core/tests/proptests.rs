@@ -1,0 +1,129 @@
+//! Property-based tests for the core decoders and protocol.
+
+use bs_tag::frame::UplinkFrame;
+use proptest::prelude::*;
+use wifi_backscatter::multitag::{run_inventory, InventoryConfig, InventoryTag};
+use wifi_backscatter::protocol::{select_bit_rate, Query, SUPPORTED_RATES_BPS};
+use wifi_backscatter::series::SeriesBundle;
+use wifi_backscatter::trace;
+use wifi_backscatter::uplink::{UplinkDecoder, UplinkDecoderConfig};
+
+/// Builds a clean synthetic bundle carrying `payload` on every channel.
+fn clean_bundle(payload: &[bool], channels: usize, amp: f64) -> SeriesBundle {
+    let frame = UplinkFrame::new(payload.to_vec());
+    let bits = frame.to_bits();
+    let bit_us = 10_000u64;
+    let gap = 500u64;
+    let total = bits.len() as u64 * bit_us + 100_000;
+    let t_us: Vec<u64> = (0..).map(|i| i * gap).take_while(|&t| t < total).collect();
+    let series: Vec<Vec<f64>> = (0..channels)
+        .map(|c| {
+            let pol = if c % 2 == 0 { 1.0 } else { -1.0 };
+            t_us.iter()
+                .map(|&t| {
+                    let slot = (t / bit_us) as usize;
+                    let lv = match bits.get(slot) {
+                        Some(&true) => amp * pol,
+                        Some(&false) => -amp * pol,
+                        None => 0.0,
+                    };
+                    // Deterministic dither so conditioning has variance to
+                    // estimate.
+                    10.0 + lv + 0.01 * ((t % 7) as f64 - 3.0)
+                })
+                .collect()
+        })
+        .collect();
+    SeriesBundle { t_us, series }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any payload decodes from a clean bundle — the decoder pipeline is
+    /// payload-agnostic.
+    #[test]
+    fn decoder_recovers_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<bool>(), 4..48),
+    ) {
+        let bundle = clean_bundle(&payload, 8, 0.5);
+        let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, payload.len()));
+        let out = dec.decode(&bundle, 0).expect("clean bundle must decode");
+        let got: Option<Vec<bool>> = out.bits.into_iter().collect();
+        prop_assert_eq!(got, Some(payload));
+    }
+
+    /// Decoding is a pure function of the bundle.
+    #[test]
+    fn decode_is_deterministic(
+        payload in proptest::collection::vec(any::<bool>(), 4..32),
+    ) {
+        let bundle = clean_bundle(&payload, 6, 0.4);
+        let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, payload.len()));
+        let a = dec.decode(&bundle, 0);
+        let b = dec.decode(&bundle, 0);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Trace round-trips preserve the bundle exactly.
+    #[test]
+    fn trace_roundtrip_exact(
+        payload in proptest::collection::vec(any::<bool>(), 1..16),
+        channels in 1usize..6,
+    ) {
+        let bundle = clean_bundle(&payload, channels, 0.3);
+        let text = trace::to_text(&bundle);
+        let back = trace::from_text(&text).unwrap();
+        prop_assert_eq!(back, bundle);
+    }
+
+    /// Queries round-trip for any field values (within supported rates).
+    #[test]
+    fn query_roundtrip(
+        addr in any::<u8>(),
+        bits in 1u16..1024,
+        rate_idx in 0usize..4,
+        code in 1u16..512,
+    ) {
+        let q = Query {
+            tag_address: addr,
+            payload_bits: bits,
+            bit_rate_bps: SUPPORTED_RATES_BPS[rate_idx],
+            code_length: code,
+        };
+        prop_assert_eq!(Query::from_frame(&q.to_frame()), Some(q));
+    }
+
+    /// Rate selection is monotone in load and always supported.
+    #[test]
+    fn rate_selection_monotone(
+        load1 in 10.0f64..10_000.0,
+        load2 in 10.0f64..10_000.0,
+        m in 1u32..40,
+    ) {
+        let (lo, hi) = if load1 <= load2 { (load1, load2) } else { (load2, load1) };
+        let r_lo = select_bit_rate(lo, m, 0.8);
+        let r_hi = select_bit_rate(hi, m, 0.8);
+        prop_assert!(r_lo <= r_hi);
+        prop_assert!(SUPPORTED_RATES_BPS.contains(&r_lo));
+        prop_assert!(SUPPORTED_RATES_BPS.contains(&r_hi));
+    }
+
+    /// Inventory always identifies every tag (distinct addresses, default
+    /// config) and never reports duplicates or ghosts.
+    #[test]
+    fn inventory_is_complete_and_sound(
+        n in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let tags: Vec<InventoryTag> = (0..n).map(|i| InventoryTag::new(i as u8)).collect();
+        let mut rng = bs_dsp::SimRng::new(seed).stream("prop-inventory");
+        let r = run_inventory(&tags, InventoryConfig::default(), &mut rng);
+        prop_assert!(r.complete(&tags), "missed tags (n={n})");
+        let mut ids = r.identified.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "duplicates reported");
+        prop_assert!(r.identified.iter().all(|a| (*a as usize) < n), "ghost tag");
+    }
+}

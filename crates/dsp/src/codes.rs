@@ -1,0 +1,295 @@
+//! Line codes used by the tag.
+//!
+//! * **Barker codes** — the prototype uses a 13-bit Barker code as its
+//!   uplink preamble "for its good autocorrelation properties" (§6). We also
+//!   provide the 7- and 11-chip codes for experimentation.
+//! * **Orthogonal code pairs** — the long-range uplink (§3.4) represents the
+//!   one and zero bits with two orthogonal length-L codes; the reader
+//!   correlates with both and picks the larger. Correlating over L chips
+//!   buys an SNR gain proportional to L, which is what extends the range to
+//!   2.1 m in Fig. 20.
+
+/// The 13-chip Barker code (peak sidelobe 1/13).
+pub const BARKER13: [i8; 13] = [1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1];
+
+/// The 11-chip Barker code.
+pub const BARKER11: [i8; 11] = [1, 1, 1, -1, -1, -1, 1, -1, -1, 1, -1];
+
+/// The 7-chip Barker code.
+pub const BARKER7: [i8; 7] = [1, 1, 1, -1, -1, 1, -1];
+
+/// Returns the Barker code of the given length, if one exists.
+/// Defined lengths: 7, 11, 13.
+pub fn barker(len: usize) -> Option<&'static [i8]> {
+    match len {
+        7 => Some(&BARKER7),
+        11 => Some(&BARKER11),
+        13 => Some(&BARKER13),
+        _ => None,
+    }
+}
+
+/// A pair of mutually-orthogonal ±1 codes of equal length, representing the
+/// tag's one and zero bits on the long-range uplink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrthogonalPair {
+    /// Code transmitted for a `1` bit.
+    pub one: Vec<i8>,
+    /// Code transmitted for a `0` bit.
+    pub zero: Vec<i8>,
+}
+
+impl OrthogonalPair {
+    /// Builds an orthogonal pair of length `len` (must be even and ≥ 2).
+    ///
+    /// Construction: the `one` code is an alternating ±1 square wave of
+    /// period 2; the `zero` code is a square wave of period 4 truncated to
+    /// `len`. For even `len` divisible by 4 these are exactly orthogonal;
+    /// for even lengths not divisible by 4 we flip the final chip of `zero`
+    /// to restore exact orthogonality. The codes are also both zero-mean,
+    /// which makes them immune to residual DC left by signal conditioning.
+    ///
+    /// # Panics
+    /// Panics if `len < 2` or `len` is odd.
+    pub fn new(len: usize) -> Self {
+        assert!(len >= 2 && len % 2 == 0, "code length must be even and >= 2");
+        let one: Vec<i8> = (0..len).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        let mut zero: Vec<i8> = (0..len)
+            .map(|i| if (i / 2) % 2 == 0 { 1 } else { -1 })
+            .collect();
+        // Exact-orthogonality fixup for len % 4 == 2.
+        let dot: i32 = one
+            .iter()
+            .zip(&zero)
+            .map(|(&a, &b)| i32::from(a) * i32::from(b))
+            .sum();
+        if dot != 0 {
+            // Flipping the last chip changes the dot product by ∓2·one[last].
+            // For this construction |dot| == 2 when len % 4 == 2, so one flip
+            // suffices.
+            let last = len - 1;
+            zero[last] = -zero[last];
+            debug_assert_eq!(
+                one.iter()
+                    .zip(&zero)
+                    .map(|(&a, &b)| i32::from(a) * i32::from(b))
+                    .sum::<i32>(),
+                0
+            );
+        }
+        OrthogonalPair { one, zero }
+    }
+
+    /// Code length L.
+    pub fn len(&self) -> usize {
+        self.one.len()
+    }
+
+    /// Always false: codes have length ≥ 2 by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The code for the given bit value.
+    pub fn code_for(&self, bit: bool) -> &[i8] {
+        if bit {
+            &self.one
+        } else {
+            &self.zero
+        }
+    }
+
+    /// Expands a bit sequence into the chip sequence the tag transmits.
+    pub fn encode(&self, bits: &[bool]) -> Vec<i8> {
+        let mut chips = Vec::with_capacity(bits.len() * self.len());
+        for &b in bits {
+            chips.extend_from_slice(self.code_for(b));
+        }
+        chips
+    }
+
+    /// Decodes one bit from a window of `len()` conditioned channel samples
+    /// by correlating with both codes and picking the larger (§3.4).
+    /// Returns the bit and the winning correlation margin.
+    ///
+    /// # Panics
+    /// Panics if `window.len() != self.len()`.
+    pub fn decode_bit(&self, window: &[f64]) -> (bool, f64) {
+        let c1 = crate::correlate::dot(window, &self.one);
+        let c0 = crate::correlate::dot(window, &self.zero);
+        ((c1 >= c0), (c1 - c0).abs())
+    }
+}
+
+/// Autocorrelation peak-to-max-sidelobe ratio of a ±1 code — a quality
+/// metric used in tests and available to callers tuning preambles.
+pub fn sidelobe_ratio(code: &[i8]) -> f64 {
+    let n = code.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut max_side = 0i64;
+    for lag in 1..n {
+        let s: i64 = (0..n - lag)
+            .map(|i| i64::from(code[i]) * i64::from(code[i + lag]))
+            .sum();
+        max_side = max_side.max(s.abs());
+    }
+    if max_side == 0 {
+        f64::INFINITY
+    } else {
+        n as f64 / max_side as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barker13_is_13_chips_of_pm1() {
+        assert_eq!(BARKER13.len(), 13);
+        assert!(BARKER13.iter().all(|&c| c == 1 || c == -1));
+    }
+
+    #[test]
+    fn barker_lookup() {
+        assert_eq!(barker(13), Some(&BARKER13[..]));
+        assert_eq!(barker(11), Some(&BARKER11[..]));
+        assert_eq!(barker(7), Some(&BARKER7[..]));
+        assert_eq!(barker(5), None);
+    }
+
+    #[test]
+    fn all_barker_codes_have_unit_sidelobes() {
+        for code in [&BARKER7[..], &BARKER11[..], &BARKER13[..]] {
+            let n = code.len();
+            for lag in 1..n {
+                let s: i32 = (0..n - lag)
+                    .map(|i| i32::from(code[i]) * i32::from(code[i + lag]))
+                    .sum();
+                assert!(s.abs() <= 1, "lag {lag} sidelobe {s} for len {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn barker13_sidelobe_ratio_is_13() {
+        assert_eq!(sidelobe_ratio(&BARKER13), 13.0);
+    }
+
+    #[test]
+    fn orthogonal_pair_is_orthogonal_for_many_lengths() {
+        for len in (2..=160).step_by(2) {
+            let p = OrthogonalPair::new(len);
+            let dot: i32 = p
+                .one
+                .iter()
+                .zip(&p.zero)
+                .map(|(&a, &b)| i32::from(a) * i32::from(b))
+                .sum();
+            assert_eq!(dot, 0, "len {len}");
+            assert_eq!(p.len(), len);
+        }
+    }
+
+    #[test]
+    fn orthogonal_pair_codes_are_near_zero_mean() {
+        for len in [20usize, 150] {
+            let p = OrthogonalPair::new(len);
+            let s1: i32 = p.one.iter().map(|&c| i32::from(c)).sum();
+            let s0: i32 = p.zero.iter().map(|&c| i32::from(c)).sum();
+            assert_eq!(s1, 0, "one code len {len}");
+            assert!(s0.abs() <= 2, "zero code len {len} sum {s0}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn orthogonal_pair_odd_length_panics() {
+        OrthogonalPair::new(7);
+    }
+
+    #[test]
+    fn encode_concatenates_codes() {
+        let p = OrthogonalPair::new(4);
+        let chips = p.encode(&[true, false]);
+        assert_eq!(chips.len(), 8);
+        assert_eq!(&chips[..4], &p.one[..]);
+        assert_eq!(&chips[4..], &p.zero[..]);
+    }
+
+    #[test]
+    fn decode_bit_recovers_clean_codes() {
+        let p = OrthogonalPair::new(20);
+        let one_sig: Vec<f64> = p.one.iter().map(|&c| f64::from(c)).collect();
+        let zero_sig: Vec<f64> = p.zero.iter().map(|&c| f64::from(c)).collect();
+        assert!(p.decode_bit(&one_sig).0);
+        assert!(!p.decode_bit(&zero_sig).0);
+    }
+
+    #[test]
+    fn decode_bit_survives_heavy_noise_at_long_length() {
+        // The §3.4 claim: correlation over L chips gains SNR ∝ L. At chip
+        // SNR far below 0 dB, a length-150 code still decodes.
+        use crate::SimRng;
+        let p = OrthogonalPair::new(150);
+        let mut rng = SimRng::new(42).stream("code-noise");
+        let mut errors = 0;
+        let trials = 200;
+        for t in 0..trials {
+            let bit = t % 2 == 0;
+            // Chip SNR ≈ -10 dB; correlation gain sqrt(L/2) ≈ 8.7 makes the
+            // per-bit error probability Q(2.6) ≈ 0.5 %.
+            let sig: Vec<f64> = p
+                .code_for(bit)
+                .iter()
+                .map(|&c| 0.3 * f64::from(c) + rng.gaussian(0.0, 1.0))
+                .collect();
+            if p.decode_bit(&sig).0 != bit {
+                errors += 1;
+            }
+        }
+        assert!(errors <= 6, "errors {errors}/{trials}");
+    }
+
+    #[test]
+    fn short_code_fails_where_long_code_succeeds() {
+        // Monotonic benefit of code length — the mechanism behind Fig. 20.
+        use crate::SimRng;
+        let noise_sigma = 1.0;
+        let amp = 0.25;
+        let err_rate = |len: usize| {
+            let p = OrthogonalPair::new(len);
+            let mut rng = SimRng::new(7).stream("len-sweep").substream(len as u64);
+            let trials = 400;
+            let mut errors = 0;
+            for t in 0..trials {
+                let bit = t % 2 == 0;
+                let sig: Vec<f64> = p
+                    .code_for(bit)
+                    .iter()
+                    .map(|&c| amp * f64::from(c) + rng.gaussian(0.0, noise_sigma))
+                    .collect();
+                if p.decode_bit(&sig).0 != bit {
+                    errors += 1;
+                }
+            }
+            errors as f64 / trials as f64
+        };
+        let short = err_rate(2);
+        let long = err_rate(200);
+        assert!(
+            long < short,
+            "long-code BER {long} should beat short-code BER {short}"
+        );
+        assert!(long < 0.02, "long-code BER {long}");
+    }
+
+    #[test]
+    fn sidelobe_ratio_edge_cases() {
+        assert_eq!(sidelobe_ratio(&[]), 0.0);
+        // A length-2 orthogonal-ish code [1, -1]: lag-1 autocorr = -1.
+        assert_eq!(sidelobe_ratio(&[1, -1]), 2.0);
+    }
+}

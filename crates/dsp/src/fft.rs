@@ -1,0 +1,189 @@
+//! Radix-2 FFT for OFDM waveform synthesis.
+//!
+//! The downlink envelope model needs the statistics of a real 802.11 OFDM
+//! time-domain envelope; `bs-wifi` synthesises symbol waveforms with a
+//! 64-point IFFT built on this module. The implementation is the classic
+//! iterative Cooley–Tukey with bit-reversal permutation — small, exact
+//! enough for simulation, and free of external dependencies.
+
+use crate::Complex;
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+/// Panics if the length is not a power of two (or is zero).
+pub fn fft(x: &mut [Complex]) {
+    transform(x, false);
+}
+
+/// In-place inverse FFT (includes the 1/N normalisation).
+///
+/// # Panics
+/// Panics if the length is not a power of two (or is zero).
+pub fn ifft(x: &mut [Complex]) {
+    transform(x, true);
+    let n = x.len() as f64;
+    for v in x.iter_mut() {
+        *v = *v / n;
+    }
+}
+
+fn transform(x: &mut [Complex], inverse: bool) {
+    let n = x.len();
+    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two");
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = x[start + k];
+                let v = x[start + k + len / 2] * w;
+                x[start + k] = u + v;
+                x[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Convenience: forward FFT of a borrowed slice into a new vector.
+pub fn fft_copy(x: &[Complex]) -> Vec<Complex> {
+    let mut v = x.to_vec();
+    fft(&mut v);
+    v
+}
+
+/// Convenience: inverse FFT of a borrowed slice into a new vector.
+pub fn ifft_copy(x: &[Complex]) -> Vec<Complex> {
+    let mut v = x.to_vec();
+    ifft(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    /// Naive O(n²) DFT for cross-checking.
+    fn dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| {
+                        x[t] * Complex::from_polar(
+                            1.0,
+                            -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64,
+                        )
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        use crate::SimRng;
+        let mut rng = SimRng::new(1).stream("fft");
+        for &n in &[2usize, 4, 8, 16, 64] {
+            let x: Vec<Complex> = (0..n).map(|_| rng.complex_gaussian(1.0)).collect();
+            let fast = fft_copy(&x);
+            let slow = dft(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!(close(*a, *b), "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        use crate::SimRng;
+        let mut rng = SimRng::new(2).stream("fft-inv");
+        let x: Vec<Complex> = (0..128).map(|_| rng.complex_gaussian(1.0)).collect();
+        let back = ifft_copy(&fft_copy(&x));
+        for (a, b) in back.iter().zip(&x) {
+            assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!(close(*v, Complex::ONE));
+        }
+    }
+
+    #[test]
+    fn single_tone_transforms_to_impulse() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| {
+                Complex::from_polar(1.0, 2.0 * std::f64::consts::PI * (k0 * t) as f64 / n as f64)
+            })
+            .collect();
+        let y = fft_copy(&x);
+        for (k, v) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leakage at bin {k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        use crate::SimRng;
+        let mut rng = SimRng::new(3).stream("fft-parseval");
+        let x: Vec<Complex> = (0..256).map(|_| rng.complex_gaussian(1.0)).collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let y = fft_copy(&x);
+        let freq_energy: f64 = y.iter().map(|v| v.norm_sq()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    #[test]
+    fn linearity() {
+        use crate::SimRng;
+        let mut rng = SimRng::new(4).stream("fft-lin");
+        let a: Vec<Complex> = (0..32).map(|_| rng.complex_gaussian(1.0)).collect();
+        let b: Vec<Complex> = (0..32).map(|_| rng.complex_gaussian(1.0)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft_copy(&a);
+        let fb = fft_copy(&b);
+        let fsum = fft_copy(&sum);
+        for i in 0..32 {
+            assert!(close(fsum[i], fa[i] + fb[i]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex::ZERO; 6];
+        fft(&mut x);
+    }
+}

@@ -1,0 +1,241 @@
+//! Signal conditioning: moving-average detrending and ±1 normalisation.
+//!
+//! §3.2 step 1 of the paper removes slow temporal channel variation (people
+//! moving, furniture, drift) by subtracting a moving average computed over a
+//! 400 ms window, then normalises the zero-mean residual by the mean of its
+//! absolute values so that the two tag states land near −1 and +1.
+//!
+//! Two flavours are provided:
+//!
+//! * [`condition`] — the offline (whole-record) version used when decoding a
+//!   captured trace, matching the paper's evaluation methodology.
+//! * [`SlidingConditioner`] — a streaming version with an explicit window in
+//!   *samples*, for online operation.
+
+/// Centred moving average with window `2·half + 1`, truncated at the edges.
+///
+/// Edge samples average over whatever part of the window is in range, so the
+/// output has the same length as the input and no startup transient is
+/// discarded (the paper decodes full captures).
+pub fn moving_average(xs: &[f64], half: usize) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    // Prefix sums for O(n) averaging.
+    let mut prefix = Vec::with_capacity(xs.len() + 1);
+    prefix.push(0.0);
+    for &x in xs {
+        prefix.push(prefix.last().unwrap() + x);
+    }
+    (0..xs.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(xs.len());
+            (prefix[hi] - prefix[lo]) / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// The paper's signal-conditioning transform (§3.2 step 1):
+/// subtract a centred moving average (window `2·half + 1` samples), then
+/// divide by the mean absolute residual so the two backscatter states map to
+/// approximately ±1.
+///
+/// Returns all zeros if the residual is identically zero (e.g. constant
+/// input), rather than dividing by zero.
+pub fn condition(xs: &[f64], half: usize) -> Vec<f64> {
+    let ma = moving_average(xs, half);
+    let resid: Vec<f64> = xs.iter().zip(&ma).map(|(x, m)| x - m).collect();
+    let scale = crate::stats::mean_abs(&resid);
+    if scale == 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    resid.iter().map(|r| r / scale).collect()
+}
+
+/// Streaming signal conditioner.
+///
+/// Keeps a trailing window of `window` samples; each pushed sample is
+/// detrended by the current window mean and normalised by the window's mean
+/// absolute residual. The first few outputs (before the window fills) use
+/// the partial window, analogous to [`moving_average`]'s edge handling.
+#[derive(Debug, Clone)]
+pub struct SlidingConditioner {
+    window: usize,
+    buf: std::collections::VecDeque<f64>,
+    sum: f64,
+}
+
+impl SlidingConditioner {
+    /// Creates a conditioner with a trailing window of `window` samples.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "conditioner window must be positive");
+        SlidingConditioner {
+            window,
+            buf: std::collections::VecDeque::with_capacity(window),
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes a raw sample, returning the conditioned (zero-mean,
+    /// unit-mean-abs) value.
+    pub fn push(&mut self, x: f64) -> f64 {
+        if self.buf.len() == self.window {
+            self.sum -= self.buf.pop_front().unwrap();
+        }
+        self.buf.push_back(x);
+        self.sum += x;
+        let mean = self.sum / self.buf.len() as f64;
+        let mean_abs_resid = self
+            .buf
+            .iter()
+            .map(|v| (v - mean).abs())
+            .sum::<f64>()
+            / self.buf.len() as f64;
+        if mean_abs_resid == 0.0 {
+            0.0
+        } else {
+            (x - mean) / mean_abs_resid
+        }
+    }
+
+    /// Number of samples currently buffered.
+    pub fn fill(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let xs = vec![3.0; 20];
+        let ma = moving_average(&xs, 4);
+        assert!(ma.iter().all(|&m| (m - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn moving_average_empty() {
+        assert!(moving_average(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn moving_average_window_zero_is_identity() {
+        let xs = [1.0, 2.0, -4.0];
+        assert_eq!(moving_average(&xs, 0), xs.to_vec());
+    }
+
+    #[test]
+    fn moving_average_matches_naive() {
+        let xs: Vec<f64> = (0..50).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let half = 3;
+        let fast = moving_average(&xs, half);
+        for i in 0..xs.len() {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(xs.len());
+            let naive: f64 = xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            assert!((fast[i] - naive).abs() < 1e-12, "at {i}");
+        }
+    }
+
+    #[test]
+    fn condition_removes_slow_trend() {
+        // Square wave riding on a slow ramp; conditioning should recover ±1.
+        let n = 400;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| {
+                let trend = i as f64 * 0.01;
+                let sq = if (i / 10) % 2 == 0 { 0.5 } else { -0.5 };
+                trend + sq
+            })
+            .collect();
+        let y = condition(&xs, 20);
+        // Skip edges; interior values should be near ±1.
+        let interior = &y[40..n - 40];
+        let near_pm1 = interior
+            .iter()
+            .filter(|v| (v.abs() - 1.0).abs() < 0.35)
+            .count();
+        assert!(
+            near_pm1 as f64 / interior.len() as f64 > 0.9,
+            "only {near_pm1}/{} near ±1",
+            interior.len()
+        );
+    }
+
+    #[test]
+    fn condition_constant_input_is_zero() {
+        let xs = vec![7.5; 64];
+        let y = condition(&xs, 8);
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn condition_output_mean_abs_is_one() {
+        let xs: Vec<f64> = (0..200).map(|i| ((i as f64) * 0.7).sin() * 4.0 + 10.0).collect();
+        let y = condition(&xs, 25);
+        let ma = crate::stats::mean_abs(&y);
+        assert!((ma - 1.0).abs() < 1e-9, "mean abs {ma}");
+    }
+
+    #[test]
+    fn sliding_conditioner_tracks_square_wave() {
+        let mut c = SlidingConditioner::new(40);
+        let mut outputs = Vec::new();
+        for i in 0..400 {
+            let sq = if (i / 10) % 2 == 0 { 1.0 } else { -1.0 };
+            outputs.push(c.push(5.0 + 0.3 * sq));
+        }
+        // After warmup, output sign should track the square wave.
+        let mut agree = 0;
+        let mut total = 0;
+        for (i, &y) in outputs.iter().enumerate().skip(80) {
+            let sq = if (i / 10) % 2 == 0 { 1.0 } else { -1.0 };
+            // skip transition edges
+            if i % 10 >= 2 {
+                total += 1;
+                if y.signum() == sq {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(
+            agree as f64 / total as f64 > 0.95,
+            "agree {agree}/{total}"
+        );
+    }
+
+    #[test]
+    fn sliding_conditioner_constant_is_zero() {
+        let mut c = SlidingConditioner::new(10);
+        for _ in 0..30 {
+            assert_eq!(c.push(2.5), 0.0);
+        }
+    }
+
+    #[test]
+    fn sliding_conditioner_window_caps_buffer() {
+        let mut c = SlidingConditioner::new(8);
+        for i in 0..100 {
+            c.push(i as f64);
+        }
+        assert_eq!(c.fill(), 8);
+        assert_eq!(c.window(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sliding_conditioner_zero_window_panics() {
+        SlidingConditioner::new(0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Deterministic random-number streams for the simulation.
+//!
+//! Every stochastic component in the reproduction draws from a [`SimRng`]
+//! stream derived from a master seed and a *name*. Two properties matter:
+//!
+//! 1. **Reproducibility** — the same master seed regenerates every figure
+//!    bit-for-bit.
+//! 2. **Stream independence** — adding a new consumer (e.g. a new noise
+//!    source) never perturbs the draws seen by existing consumers, because
+//!    each consumer owns a stream keyed by its own name. This is the classic
+//!    "named substream" discipline from discrete-event simulation.
+//!
+//! We use `rand`'s `SmallRng` under the hood (fast, not cryptographic — this
+//! is a physics simulation) and implement the distributions the channel and
+//! traffic models need directly: Gaussian (Box–Muller), Rayleigh and
+//! exponential, avoiding a `rand_distr` dependency.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// FNV-1a 64-bit hash, used to derive per-stream seeds from names.
+///
+/// Stable across platforms and Rust versions (unlike `std`'s `DefaultHasher`,
+/// whose algorithm is unspecified), which keeps experiment outputs
+/// reproducible everywhere.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic random stream.
+///
+/// Construct the root stream with [`SimRng::new`], then derive independent
+/// substreams with [`SimRng::stream`]:
+///
+/// ```
+/// use bs_dsp::SimRng;
+/// let mut root = SimRng::new(42);
+/// let mut noise = root.stream("thermal-noise");
+/// let mut fading = root.stream("fading");
+/// // Draws from `noise` never affect `fading`.
+/// let a = noise.gaussian(0.0, 1.0);
+/// let b = fading.gaussian(0.0, 1.0);
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates the root stream from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        SimRng {
+            seed: master_seed,
+            inner: SmallRng::seed_from_u64(master_seed),
+        }
+    }
+
+    /// Derives an independent named substream.
+    ///
+    /// The substream's seed depends only on this stream's seed and `name`,
+    /// never on how many values have been drawn, so call order does not
+    /// matter.
+    pub fn stream(&self, name: &str) -> SimRng {
+        let mut h = fnv1a(name.as_bytes());
+        h ^= self.seed.rotate_left(32);
+        SimRng::new(h)
+    }
+
+    /// Derives an independent substream indexed by an integer (e.g. one
+    /// stream per packet or per subcarrier).
+    pub fn substream(&self, index: u64) -> SimRng {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&index.to_le_bytes());
+        let mut h = fnv1a(&bytes);
+        h ^= self.seed.rotate_left(17);
+        SimRng::new(h)
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() requires a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Gaussian with the given mean and standard deviation (Box–Muller).
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // Box–Muller; one value per call keeps the stream stateless w.r.t.
+        // cached spares, which keeps substream derivation order-insensitive.
+        let u1: f64 = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * mag * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A circularly-symmetric complex Gaussian with per-component standard
+    /// deviation `std_dev` (i.e. total variance `2·std_dev²`).
+    pub fn complex_gaussian(&mut self, std_dev: f64) -> crate::Complex {
+        crate::Complex::new(self.gaussian(0.0, std_dev), self.gaussian(0.0, std_dev))
+    }
+
+    /// Rayleigh-distributed magnitude with scale parameter `sigma`
+    /// (mode of the distribution). Used for multipath tap amplitudes and the
+    /// OFDM envelope model.
+    pub fn rayleigh(&mut self, sigma: f64) -> f64 {
+        let u: f64 = loop {
+            let u = self.uniform();
+            if u < 1.0 {
+                break u;
+            }
+        };
+        sigma * (-2.0 * (1.0 - u).ln()).sqrt()
+    }
+
+    /// Exponentially-distributed value with the given mean. Used for
+    /// Poisson packet inter-arrival times.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Uniformly random phase in `[0, 2π)`.
+    pub fn phase(&mut self) -> f64 {
+        self.uniform() * 2.0 * std::f64::consts::PI
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn named_streams_are_stable_regardless_of_draws() {
+        let root1 = SimRng::new(99);
+        let mut root2 = SimRng::new(99);
+        // Draw a bunch from root2 before deriving — must not matter.
+        for _ in 0..50 {
+            root2.uniform();
+        }
+        let mut s1 = root1.stream("noise");
+        let mut s2 = root2.stream("noise");
+        for _ in 0..20 {
+            assert_eq!(s1.next_u64(), s2.next_u64());
+        }
+    }
+
+    #[test]
+    fn named_streams_differ_by_name() {
+        let root = SimRng::new(5);
+        let mut a = root.stream("alpha");
+        let mut b = root.stream("beta");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn indexed_substreams_differ() {
+        let root = SimRng::new(5);
+        let mut a = root.substream(0);
+        let mut b = root.substream(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SimRng::new(1234).stream("gauss-test");
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn rayleigh_mean_matches_theory() {
+        // E[X] = sigma * sqrt(pi/2)
+        let mut rng = SimRng::new(77).stream("rayleigh-test");
+        let n = 200_000;
+        let mean = (0..n).map(|_| rng.rayleigh(2.0)).sum::<f64>() / n as f64;
+        let expect = 2.0 * (std::f64::consts::PI / 2.0f64).sqrt();
+        assert!((mean - expect).abs() < 0.02, "mean {mean} expect {expect}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_theory() {
+        let mut rng = SimRng::new(11).stream("exp-test");
+        let n = 200_000;
+        let mean = (0..n).map(|_| rng.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.08, "mean {mean}");
+    }
+
+    #[test]
+    fn complex_gaussian_is_circular() {
+        let mut rng = SimRng::new(31).stream("cg");
+        let n = 100_000;
+        let mut re_sum = 0.0;
+        let mut im_sum = 0.0;
+        let mut cross = 0.0;
+        for _ in 0..n {
+            let z = rng.complex_gaussian(1.0);
+            re_sum += z.re;
+            im_sum += z.im;
+            cross += z.re * z.im;
+        }
+        assert!((re_sum / n as f64).abs() < 0.02);
+        assert!((im_sum / n as f64).abs() < 0.02);
+        assert!((cross / n as f64).abs() < 0.02); // components uncorrelated
+    }
+
+    #[test]
+    fn chance_frequency() {
+        let mut rng = SimRng::new(8).stream("chance");
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.chance(0.25)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.25).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut rng = SimRng::new(8).stream("index");
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.index(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn index_zero_panics() {
+        SimRng::new(0).index(0);
+    }
+
+    #[test]
+    fn fnv_hash_known_value() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(super::fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

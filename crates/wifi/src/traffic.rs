@@ -1,0 +1,265 @@
+//! Offered-load generators.
+//!
+//! Every generator returns a sorted list of frame-ready times in µs, which
+//! a [`crate::mac::Station`] then contends with. The profiles mirror the
+//! paper's workloads:
+//!
+//! * [`cbr`] — controlled injection with an inter-packet delay, as the
+//!   evaluation does to sweep the helper's transmission rate (§7.2,
+//!   Fig. 12: 240–3070 packets/s).
+//! * [`poisson`] — memoryless background traffic.
+//! * [`bursty_onoff`] — heavy-tailed ON/OFF bursts ("Internet traffic in
+//!   general is known for its bursty nature", §5).
+//! * [`OfficeLoadProfile`] — the diurnal office load behind Fig. 15
+//!   (12:00–20:00, load between ~100 and ~1100 packets/s).
+//! * [`streaming`] — a Pandora-like audio stream (Fig. 18's background
+//!   traffic).
+//! * [`beacons`] — the AP's fixed beacon schedule (Fig. 16).
+
+use bs_dsp::SimRng;
+
+/// Constant-bit-rate arrivals: `rate_pps` packets per second with ±10 %
+/// uniform jitter, from 0 to `until_us`.
+pub fn cbr(rate_pps: f64, until_us: u64, rng: &mut SimRng) -> Vec<u64> {
+    assert!(rate_pps > 0.0, "rate must be positive");
+    let period = 1e6 / rate_pps;
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    while (t as u64) < until_us {
+        out.push(t as u64);
+        t += period * rng.uniform_range(0.9, 1.1);
+    }
+    out
+}
+
+/// Poisson arrivals at `rate_pps` packets per second.
+pub fn poisson(rate_pps: f64, until_us: u64, rng: &mut SimRng) -> Vec<u64> {
+    assert!(rate_pps > 0.0, "rate must be positive");
+    let mean_gap = 1e6 / rate_pps;
+    let mut out = Vec::new();
+    let mut t = rng.exponential(mean_gap);
+    while (t as u64) < until_us {
+        out.push(t as u64);
+        t += rng.exponential(mean_gap);
+    }
+    out
+}
+
+/// ON/OFF bursty arrivals: exponential ON periods (mean `mean_on_us`)
+/// during which packets arrive at `on_rate_pps`, separated by exponential
+/// OFF periods (mean `mean_off_us`).
+pub fn bursty_onoff(
+    on_rate_pps: f64,
+    mean_on_us: f64,
+    mean_off_us: f64,
+    until_us: u64,
+    rng: &mut SimRng,
+) -> Vec<u64> {
+    assert!(on_rate_pps > 0.0, "rate must be positive");
+    let mean_gap = 1e6 / on_rate_pps;
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        let on_end = t + rng.exponential(mean_on_us);
+        while t < on_end {
+            if (t as u64) >= until_us {
+                return out;
+            }
+            out.push(t as u64);
+            t += rng.exponential(mean_gap);
+        }
+        t = on_end + rng.exponential(mean_off_us);
+        if (t as u64) >= until_us {
+            return out;
+        }
+    }
+}
+
+/// The diurnal office network-load profile used to reproduce Fig. 15.
+///
+/// Fig. 15 plots the building AP's packets-per-second between 12:00 and
+/// 20:00: moderate at lunch, peaking mid-afternoon (~1000+ packets/s),
+/// tailing off into the evening. The profile below is a piecewise-linear
+/// envelope with those features.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OfficeLoadProfile;
+
+impl OfficeLoadProfile {
+    /// Mean offered load (packets/s) at `hour` (fractional, 24 h clock).
+    pub fn load_pps(&self, hour: f64) -> f64 {
+        // Anchor points (hour, pps) mirroring the Fig. 15 load curve.
+        const ANCHORS: [(f64, f64); 7] = [
+            (11.0, 250.0),
+            (12.0, 400.0),
+            (13.0, 550.0),
+            (14.0, 750.0),
+            (16.0, 1050.0),
+            (18.0, 600.0),
+            (20.0, 200.0),
+        ];
+        let h = hour.clamp(ANCHORS[0].0, ANCHORS[ANCHORS.len() - 1].0);
+        for w in ANCHORS.windows(2) {
+            let (h0, p0) = w[0];
+            let (h1, p1) = w[1];
+            if h <= h1 {
+                let frac = (h - h0) / (h1 - h0);
+                return p0 + frac * (p1 - p0);
+            }
+        }
+        ANCHORS[ANCHORS.len() - 1].1
+    }
+
+    /// Poisson arrivals over a window of `duration_us` starting at `hour`,
+    /// with the rate taken from the profile at the window start (windows in
+    /// the Fig. 15 experiment are 10-minute slots, over which the load is
+    /// approximately constant).
+    pub fn arrivals(&self, hour: f64, duration_us: u64, rng: &mut SimRng) -> Vec<u64> {
+        poisson(self.load_pps(hour), duration_us, rng)
+    }
+}
+
+/// A Pandora-like audio stream: `bitrate_kbps` delivered in `packet_bytes`
+/// packets arriving in periodic bursts (one burst per `burst_period_us`,
+/// enough packets per burst to sustain the bitrate).
+pub fn streaming(
+    bitrate_kbps: f64,
+    packet_bytes: usize,
+    burst_period_us: u64,
+    until_us: u64,
+    rng: &mut SimRng,
+) -> Vec<u64> {
+    assert!(bitrate_kbps > 0.0 && packet_bytes > 0);
+    let bits_per_burst = bitrate_kbps * 1e3 * (burst_period_us as f64 / 1e6);
+    let pkts_per_burst = (bits_per_burst / (packet_bytes * 8) as f64).ceil() as usize;
+    let mut out = Vec::new();
+    let mut burst_start = 0u64;
+    while burst_start < until_us {
+        let mut t = burst_start as f64 + rng.uniform_range(0.0, 500.0);
+        for _ in 0..pkts_per_burst {
+            if (t as u64) >= until_us {
+                break;
+            }
+            out.push(t as u64);
+            t += rng.uniform_range(200.0, 500.0); // back-to-backish
+        }
+        burst_start += burst_period_us;
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Beacon schedule: one beacon every `interval_us` (the 802.11 default TBTT
+/// is 102.4 ms), from 0 to `until_us`.
+pub fn beacons(interval_us: u64, until_us: u64) -> Vec<u64> {
+    assert!(interval_us > 0, "beacon interval must be positive");
+    (0..)
+        .map(|i| i * interval_us)
+        .take_while(|&t| t < until_us)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(1337).stream("traffic-test")
+    }
+
+    #[test]
+    fn cbr_rate_is_accurate() {
+        let arr = cbr(1000.0, 1_000_000, &mut rng());
+        assert!((950..=1050).contains(&arr.len()), "{}", arr.len());
+        assert!(arr.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn poisson_rate_is_accurate() {
+        let arr = poisson(500.0, 4_000_000, &mut rng());
+        let rate = arr.len() as f64 / 4.0;
+        assert!((450.0..=550.0).contains(&rate), "{rate}");
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn poisson_interarrival_cv_is_one() {
+        // Coefficient of variation of exponential gaps ≈ 1.
+        let arr = poisson(1000.0, 10_000_000, &mut rng());
+        let gaps: Vec<f64> = arr.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let mean = bs_dsp::stats::mean(&gaps);
+        let cv = bs_dsp::stats::variance(&gaps).sqrt() / mean;
+        assert!((0.9..=1.1).contains(&cv), "cv {cv}");
+    }
+
+    #[test]
+    fn bursty_is_burstier_than_poisson() {
+        let mut r = rng();
+        let bursty = bursty_onoff(3000.0, 50_000.0, 150_000.0, 10_000_000, &mut r);
+        let gaps: Vec<f64> = bursty.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let mean = bs_dsp::stats::mean(&gaps);
+        let cv = bs_dsp::stats::variance(&gaps).sqrt() / mean;
+        assert!(cv > 1.5, "bursty cv {cv} should exceed poisson's 1.0");
+    }
+
+    #[test]
+    fn bursty_respects_horizon() {
+        let arr = bursty_onoff(1000.0, 10_000.0, 10_000.0, 100_000, &mut rng());
+        assert!(arr.iter().all(|&t| t < 100_000));
+    }
+
+    #[test]
+    fn office_profile_peaks_midafternoon() {
+        let p = OfficeLoadProfile;
+        let noon = p.load_pps(12.0);
+        let peak = p.load_pps(16.0);
+        let evening = p.load_pps(20.0);
+        assert!(peak > noon, "peak {peak} noon {noon}");
+        assert!(peak > evening);
+        assert!((100.0..=1200.0).contains(&noon));
+        assert!(peak > 900.0, "peak {peak}");
+    }
+
+    #[test]
+    fn office_profile_clamps_out_of_range() {
+        let p = OfficeLoadProfile;
+        assert_eq!(p.load_pps(3.0), p.load_pps(11.0));
+        assert_eq!(p.load_pps(23.0), p.load_pps(20.0));
+    }
+
+    #[test]
+    fn office_arrivals_track_profile() {
+        let p = OfficeLoadProfile;
+        let mut r = rng();
+        let lunch = p.arrivals(12.0, 2_000_000, &mut r).len() as f64 / 2.0;
+        let peak = p.arrivals(16.0, 2_000_000, &mut r).len() as f64 / 2.0;
+        assert!(peak > lunch * 1.5, "peak {peak} lunch {lunch}");
+    }
+
+    #[test]
+    fn streaming_sustains_bitrate() {
+        // 128 kbps with 500-byte packets = 32 packets/s.
+        let arr = streaming(128.0, 500, 100_000, 5_000_000, &mut rng());
+        let pps = arr.len() as f64 / 5.0;
+        assert!((30.0..=45.0).contains(&pps), "pps {pps}");
+    }
+
+    #[test]
+    fn beacons_are_exactly_periodic() {
+        let b = beacons(102_400, 1_024_000);
+        assert_eq!(b.len(), 10);
+        assert!(b.windows(2).all(|w| w[1] - w[0] == 102_400));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn beacons_zero_interval_panics() {
+        beacons(0, 1000);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = poisson(700.0, 1_000_000, &mut SimRng::new(5));
+        let b = poisson(700.0, 1_000_000, &mut SimRng::new(5));
+        assert_eq!(a, b);
+    }
+}

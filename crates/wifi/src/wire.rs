@@ -1,0 +1,490 @@
+//! Byte-level 802.11 MAC frame formats, smoltcp-style.
+//!
+//! The discrete-event simulation works with [`crate::frame::WifiFrame`]
+//! timing records, but the system also needs the *on-air byte formats* of
+//! the frames it relies on: the CTS_to_SELF control frame that reserves
+//! the medium for the downlink (§4.1), the beacons the reader can decode
+//! the uplink from (§7.5), ACKs, and plain data frames. This module gives
+//! each a typed representation with `emit`/`parse` and an FCS (CRC-32)
+//! check, mirroring smoltcp's `Repr` idiom: parsing never panics, every
+//! malformed input maps to a [`WireError`].
+
+/// Errors from parsing a wire frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the fixed header needs.
+    Truncated,
+    /// The FCS at the tail does not match the computed CRC-32.
+    BadFcs {
+        /// CRC computed over the frame body.
+        computed: u32,
+        /// CRC carried in the frame.
+        received: u32,
+    },
+    /// The frame-control field does not identify the expected frame type.
+    WrongType,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadFcs { computed, received } => {
+                write!(f, "FCS mismatch: computed {computed:#010x}, received {received:#010x}")
+            }
+            WireError::WrongType => write!(f, "unexpected frame type"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// A deterministic locally-administered address derived from a station
+    /// id (handy for simulations).
+    pub fn from_station(id: usize) -> MacAddr {
+        let b = (id as u32).to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// IEEE CRC-32 (as used by the 802.11 FCS): reflected, init and xorout
+/// `0xFFFF_FFFF`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// 802.11 frame-control values for the frame types the system uses
+/// (protocol version 0; type/subtype packed per the standard's bit
+/// layout: `subtype << 4 | type << 2 | version`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Management / beacon (type 00, subtype 1000).
+    Beacon = 0b1000_00_00,
+    /// Control / CTS (type 01, subtype 1100).
+    Cts = 0b1100_01_00,
+    /// Control / ACK (type 01, subtype 1101).
+    Ack = 0b1101_01_00,
+    /// Data (type 10, subtype 0000).
+    Data = 0b0000_10_00,
+}
+
+impl FrameType {
+    /// Decodes the first frame-control byte.
+    pub fn from_fc(b: u8) -> Option<FrameType> {
+        match b {
+            x if x == FrameType::Beacon as u8 => Some(FrameType::Beacon),
+            x if x == FrameType::Cts as u8 => Some(FrameType::Cts),
+            x if x == FrameType::Ack as u8 => Some(FrameType::Ack),
+            x if x == FrameType::Data as u8 => Some(FrameType::Data),
+            _ => None,
+        }
+    }
+}
+
+fn check_fcs(buf: &[u8]) -> Result<(), WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let body = &buf[..buf.len() - 4];
+    let received = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+    let computed = crc32(body);
+    if computed != received {
+        return Err(WireError::BadFcs { computed, received });
+    }
+    Ok(())
+}
+
+fn push_fcs(buf: &mut Vec<u8>) {
+    let fcs = crc32(buf);
+    buf.extend_from_slice(&fcs.to_le_bytes());
+}
+
+/// A CTS frame (14 bytes on the wire). A CTS_to_SELF is simply a CTS whose
+/// receiver address is the sender's own (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtsRepr {
+    /// Receiver address (== the sender itself for CTS_to_SELF).
+    pub ra: MacAddr,
+    /// NAV duration in µs (the field the standard caps at 32 767).
+    pub duration_us: u16,
+}
+
+impl CtsRepr {
+    /// Wire length in bytes.
+    pub const LEN: usize = 14;
+
+    /// Serialises the frame.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(Self::LEN);
+        buf.push(FrameType::Cts as u8);
+        buf.push(0); // flags
+        buf.extend_from_slice(&self.duration_us.to_le_bytes());
+        buf.extend_from_slice(&self.ra.0);
+        push_fcs(&mut buf);
+        buf
+    }
+
+    /// Parses and verifies a frame.
+    pub fn parse(buf: &[u8]) -> Result<CtsRepr, WireError> {
+        if buf.len() < Self::LEN {
+            return Err(WireError::Truncated);
+        }
+        check_fcs(&buf[..Self::LEN])?;
+        if FrameType::from_fc(buf[0]) != Some(FrameType::Cts) {
+            return Err(WireError::WrongType);
+        }
+        Ok(CtsRepr {
+            duration_us: u16::from_le_bytes([buf[2], buf[3]]),
+            ra: MacAddr(buf[4..10].try_into().unwrap()),
+        })
+    }
+}
+
+/// An ACK frame (14 bytes on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckRepr {
+    /// Receiver address.
+    pub ra: MacAddr,
+}
+
+impl AckRepr {
+    /// Wire length in bytes.
+    pub const LEN: usize = 14;
+
+    /// Serialises the frame.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(Self::LEN);
+        buf.push(FrameType::Ack as u8);
+        buf.push(0);
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&self.ra.0);
+        push_fcs(&mut buf);
+        buf
+    }
+
+    /// Parses and verifies a frame.
+    pub fn parse(buf: &[u8]) -> Result<AckRepr, WireError> {
+        if buf.len() < Self::LEN {
+            return Err(WireError::Truncated);
+        }
+        check_fcs(&buf[..Self::LEN])?;
+        if FrameType::from_fc(buf[0]) != Some(FrameType::Ack) {
+            return Err(WireError::WrongType);
+        }
+        Ok(AckRepr {
+            ra: MacAddr(buf[4..10].try_into().unwrap()),
+        })
+    }
+}
+
+/// A data frame: 24-byte MAC header, payload, FCS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataRepr {
+    /// Destination.
+    pub dst: MacAddr,
+    /// Source.
+    pub src: MacAddr,
+    /// BSSID.
+    pub bssid: MacAddr,
+    /// Sequence number (12 bits).
+    pub seq: u16,
+    /// NAV duration, µs.
+    pub duration_us: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl DataRepr {
+    /// Header + FCS overhead in bytes.
+    pub const OVERHEAD: usize = 24 + 4;
+
+    /// Serialises the frame.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(Self::OVERHEAD + self.payload.len());
+        buf.push(FrameType::Data as u8);
+        buf.push(0);
+        buf.extend_from_slice(&self.duration_us.to_le_bytes());
+        buf.extend_from_slice(&self.dst.0);
+        buf.extend_from_slice(&self.src.0);
+        buf.extend_from_slice(&self.bssid.0);
+        buf.extend_from_slice(&((self.seq & 0x0FFF) << 4).to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+        push_fcs(&mut buf);
+        buf
+    }
+
+    /// Parses and verifies a frame.
+    pub fn parse(buf: &[u8]) -> Result<DataRepr, WireError> {
+        if buf.len() < Self::OVERHEAD {
+            return Err(WireError::Truncated);
+        }
+        check_fcs(buf)?;
+        if FrameType::from_fc(buf[0]) != Some(FrameType::Data) {
+            return Err(WireError::WrongType);
+        }
+        Ok(DataRepr {
+            duration_us: u16::from_le_bytes([buf[2], buf[3]]),
+            dst: MacAddr(buf[4..10].try_into().unwrap()),
+            src: MacAddr(buf[10..16].try_into().unwrap()),
+            bssid: MacAddr(buf[16..22].try_into().unwrap()),
+            seq: u16::from_le_bytes([buf[22], buf[23]]) >> 4,
+            payload: buf[24..buf.len() - 4].to_vec(),
+        })
+    }
+}
+
+/// A beacon frame: management header, 64-bit TSF timestamp, beacon
+/// interval (in 1024 µs TUs), capabilities, FCS. The TSF timestamp is the
+/// clock the paper's reader uses to bin channel measurements into bit
+/// intervals (§3.2, §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeaconRepr {
+    /// Source (the AP).
+    pub src: MacAddr,
+    /// BSSID.
+    pub bssid: MacAddr,
+    /// Sequence number (12 bits).
+    pub seq: u16,
+    /// TSF timestamp, µs.
+    pub timestamp_us: u64,
+    /// Beacon interval in time units of 1024 µs (default 100 → 102.4 ms).
+    pub interval_tu: u16,
+}
+
+impl BeaconRepr {
+    /// Wire length in bytes (no tagged IEs — the simulation doesn't need
+    /// SSIDs).
+    pub const LEN: usize = 24 + 8 + 2 + 2 + 4;
+
+    /// Serialises the frame.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(Self::LEN);
+        buf.push(FrameType::Beacon as u8);
+        buf.push(0);
+        buf.extend_from_slice(&0u16.to_le_bytes()); // duration
+        buf.extend_from_slice(&MacAddr::BROADCAST.0); // DA
+        buf.extend_from_slice(&self.src.0);
+        buf.extend_from_slice(&self.bssid.0);
+        buf.extend_from_slice(&((self.seq & 0x0FFF) << 4).to_le_bytes());
+        buf.extend_from_slice(&self.timestamp_us.to_le_bytes());
+        buf.extend_from_slice(&self.interval_tu.to_le_bytes());
+        buf.extend_from_slice(&0x0401u16.to_le_bytes()); // ESS capability
+        push_fcs(&mut buf);
+        buf
+    }
+
+    /// Parses and verifies a frame.
+    pub fn parse(buf: &[u8]) -> Result<BeaconRepr, WireError> {
+        if buf.len() < Self::LEN {
+            return Err(WireError::Truncated);
+        }
+        check_fcs(&buf[..Self::LEN])?;
+        if FrameType::from_fc(buf[0]) != Some(FrameType::Beacon) {
+            return Err(WireError::WrongType);
+        }
+        Ok(BeaconRepr {
+            src: MacAddr(buf[10..16].try_into().unwrap()),
+            bssid: MacAddr(buf[16..22].try_into().unwrap()),
+            seq: u16::from_le_bytes([buf[22], buf[23]]) >> 4,
+            timestamp_us: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
+            interval_tu: u16::from_le_bytes([buf[32], buf[33]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: usize) -> MacAddr {
+        MacAddr::from_station(i)
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32/ISO-HDLC of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+    }
+
+    #[test]
+    fn mac_addr_display_and_broadcast() {
+        assert_eq!(MacAddr::BROADCAST.to_string(), "ff:ff:ff:ff:ff:ff");
+        assert_eq!(mac(1).to_string(), "02:00:00:00:00:01");
+        assert_ne!(mac(1), mac(2));
+    }
+
+    #[test]
+    fn cts_roundtrip() {
+        let r = CtsRepr {
+            ra: mac(3),
+            duration_us: 31_999,
+        };
+        let bytes = r.emit();
+        assert_eq!(bytes.len(), CtsRepr::LEN);
+        assert_eq!(CtsRepr::parse(&bytes), Ok(r));
+    }
+
+    #[test]
+    fn cts_to_self_has_own_address() {
+        // A CTS_to_SELF is a CTS addressed to the sender itself.
+        let me = mac(9);
+        let r = CtsRepr {
+            ra: me,
+            duration_us: 4_000,
+        };
+        let parsed = CtsRepr::parse(&r.emit()).unwrap();
+        assert_eq!(parsed.ra, me);
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let r = AckRepr { ra: mac(7) };
+        assert_eq!(AckRepr::parse(&r.emit()), Ok(r));
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let r = DataRepr {
+            dst: mac(1),
+            src: mac(2),
+            bssid: mac(0),
+            seq: 0x123,
+            duration_us: 44,
+            payload: (0..100u8).collect(),
+        };
+        let bytes = r.emit();
+        assert_eq!(bytes.len(), DataRepr::OVERHEAD + 100);
+        assert_eq!(DataRepr::parse(&bytes), Ok(r));
+    }
+
+    #[test]
+    fn data_empty_payload_roundtrip() {
+        let r = DataRepr {
+            dst: mac(1),
+            src: mac(2),
+            bssid: mac(0),
+            seq: 0,
+            duration_us: 0,
+            payload: vec![],
+        };
+        assert_eq!(DataRepr::parse(&r.emit()), Ok(r));
+    }
+
+    #[test]
+    fn beacon_roundtrip() {
+        let r = BeaconRepr {
+            src: mac(0),
+            bssid: mac(0),
+            seq: 0xABC,
+            timestamp_us: 1_234_567_890_123,
+            interval_tu: 100,
+        };
+        let bytes = r.emit();
+        assert_eq!(bytes.len(), BeaconRepr::LEN);
+        assert_eq!(BeaconRepr::parse(&bytes), Ok(r));
+    }
+
+    #[test]
+    fn fcs_detects_any_corruption() {
+        let r = DataRepr {
+            dst: mac(1),
+            src: mac(2),
+            bssid: mac(0),
+            seq: 7,
+            duration_us: 44,
+            payload: vec![0xAA; 16],
+        };
+        let good = r.emit();
+        for i in 0..good.len() - 4 {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            match DataRepr::parse(&bad) {
+                Err(WireError::BadFcs { .. }) | Err(WireError::WrongType) => {}
+                other => panic!("corruption at byte {i} not caught: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        assert_eq!(CtsRepr::parse(&[0u8; 5]), Err(WireError::Truncated));
+        assert_eq!(AckRepr::parse(&[]), Err(WireError::Truncated));
+        assert_eq!(DataRepr::parse(&[0u8; 20]), Err(WireError::Truncated));
+        assert_eq!(BeaconRepr::parse(&[0u8; 30]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let cts = CtsRepr {
+            ra: mac(1),
+            duration_us: 10,
+        }
+        .emit();
+        assert_eq!(AckRepr::parse(&cts), Err(WireError::WrongType));
+        let ack = AckRepr { ra: mac(1) }.emit();
+        assert_eq!(CtsRepr::parse(&ack), Err(WireError::WrongType));
+    }
+
+    #[test]
+    fn seq_is_12_bits() {
+        let r = DataRepr {
+            dst: mac(1),
+            src: mac(2),
+            bssid: mac(0),
+            seq: 0xFFFF, // overlong; truncated to 12 bits on emit
+            duration_us: 0,
+            payload: vec![],
+        };
+        let parsed = DataRepr::parse(&r.emit()).unwrap();
+        assert_eq!(parsed.seq, 0x0FFF);
+    }
+
+    #[test]
+    fn frame_type_decoding() {
+        assert_eq!(FrameType::from_fc(FrameType::Data as u8), Some(FrameType::Data));
+        assert_eq!(FrameType::from_fc(0xFF), None);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadFcs {
+            computed: 1,
+            received: 2
+        }
+        .to_string()
+        .contains("FCS"));
+    }
+}

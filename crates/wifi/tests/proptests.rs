@@ -1,0 +1,130 @@
+//! Property-based tests for the Wi-Fi substrate's invariants.
+
+use bs_wifi::frame::{airtime_us, FrameKind, WifiFrame, MAX_NAV_US};
+use bs_wifi::mac::{all_delivered, MacConfig, Medium, Station};
+use bs_wifi::rate_adapt::{best_rate, mac_efficiency, RateAdapter, RATE_TABLE};
+use bs_wifi::traffic;
+use bs_dsp::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    // ---- frames ----
+
+    #[test]
+    fn airtime_positive_and_monotone(
+        bytes in 1usize..3000,
+        extra in 1usize..1000,
+        rate_x10 in 60u32..540,
+    ) {
+        let rate = f64::from(rate_x10) / 10.0;
+        let a = airtime_us(bytes, rate);
+        let b = airtime_us(bytes + extra, rate);
+        prop_assert!(a > 0);
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn nav_is_always_clamped(nav in any::<u64>()) {
+        let f = WifiFrame {
+            kind: FrameKind::CtsToSelf { nav_us: nav },
+            src: 0,
+            timestamp_us: 0,
+            duration_us: 30,
+        };
+        prop_assert!(f.nav_us() <= MAX_NAV_US);
+    }
+
+    // ---- MAC ----
+
+    #[test]
+    fn mac_frames_never_overlap(
+        seed in any::<u64>(),
+        pps1 in 50.0f64..1500.0,
+        pps2 in 50.0f64..1500.0,
+    ) {
+        let rng = SimRng::new(seed);
+        let s1 = Station::data(
+            traffic::poisson(pps1, 200_000, &mut rng.stream("s1")),
+            800,
+            54.0,
+        );
+        let s2 = Station::data(
+            traffic::poisson(pps2, 200_000, &mut rng.stream("s2")),
+            800,
+            54.0,
+        );
+        let mut medium = Medium::new(MacConfig::default(), rng.stream("m"));
+        let (timeline, stats) = medium.simulate(&[s1, s2], 200_000);
+        // Non-collided frames never overlap in time.
+        let ok = all_delivered(&timeline);
+        for w in ok.windows(2) {
+            prop_assert!(
+                w[1].timestamp_us >= w[0].end_us(),
+                "{} < {}", w[1].timestamp_us, w[0].end_us()
+            );
+        }
+        // Accounting adds up.
+        prop_assert_eq!(
+            stats.delivered + stats.collisions,
+            timeline.len() as u64
+        );
+    }
+
+    #[test]
+    fn mac_delivers_at_most_offered(seed in any::<u64>(), pps in 10.0f64..3000.0) {
+        let rng = SimRng::new(seed);
+        let arrivals = traffic::poisson(pps, 500_000, &mut rng.stream("a"));
+        let offered = arrivals.len();
+        let st = Station::data(arrivals, 1000, 54.0);
+        let mut medium = Medium::new(MacConfig::default(), rng.stream("m"));
+        let (timeline, _) = medium.simulate(&[st], 500_000);
+        prop_assert!(timeline.len() <= offered);
+    }
+
+    // ---- traffic ----
+
+    #[test]
+    fn generators_sorted_and_bounded(
+        seed in any::<u64>(),
+        pps in 1.0f64..5000.0,
+    ) {
+        let mut rng = SimRng::new(seed);
+        for arr in [
+            traffic::cbr(pps, 300_000, &mut rng),
+            traffic::poisson(pps, 300_000, &mut rng),
+            traffic::bursty_onoff(pps.max(100.0), 20_000.0, 40_000.0, 300_000, &mut rng),
+        ] {
+            prop_assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(arr.iter().all(|&t| t < 300_000));
+        }
+    }
+
+    #[test]
+    fn office_profile_bounded(h in 0.0f64..24.0) {
+        let p = traffic::OfficeLoadProfile.load_pps(h);
+        prop_assert!((100.0..=1200.0).contains(&p), "{p}");
+    }
+
+    // ---- rate adaptation ----
+
+    #[test]
+    fn best_rate_monotone_in_snr(a in -10.0f64..45.0, b in -10.0f64..45.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(best_rate(lo).rate_mbps <= best_rate(hi).rate_mbps);
+    }
+
+    #[test]
+    fn adapter_always_in_table(snrs in proptest::collection::vec(-20.0f64..50.0, 1..100)) {
+        let mut ad = RateAdapter::default();
+        for s in snrs {
+            let r = ad.observe(s);
+            prop_assert!(RATE_TABLE.iter().any(|m| m.rate_mbps == r.rate_mbps));
+        }
+    }
+
+    #[test]
+    fn mac_efficiency_in_unit_interval(rate_x10 in 60u32..540) {
+        let e = mac_efficiency(f64::from(rate_x10) / 10.0);
+        prop_assert!(e > 0.0 && e < 1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! A battery-free sensor reporting through the building Wi-Fi.
+//!
+//! Models the paper's motivating deployment: a tag embedded in an everyday
+//! object is polled over an afternoon. The network load varies with the
+//! time of day, so before each poll the reader measures the helper's
+//! packet rate and commands the tag's uplink bit rate with the §5 rule
+//! `rate = margin · N / M`.
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use bs_wifi::traffic::OfficeLoadProfile;
+use wifi_backscatter::link::{run_uplink, LinkConfig};
+use wifi_backscatter::protocol::{expected_pkts_per_bit, select_bit_rate};
+
+fn main() {
+    println!("=== battery-free sensor over an office afternoon ===\n");
+    println!("hour   load(pps)  chosen_rate  pkts/bit  result");
+
+    let profile = OfficeLoadProfile;
+    let pkts_per_bit_needed = 4;
+    let mut successes = 0;
+    let mut polls = 0;
+
+    for slot in 0..9 {
+        let hour = 12.0 + slot as f64;
+        let load = profile.load_pps(hour);
+
+        // §5: conservative rate selection from the measured load.
+        let rate = select_bit_rate(load, pkts_per_bit_needed, 0.9);
+
+        // One poll: 24-bit reading at 10 cm, using ambient traffic only.
+        let reading: u32 = 0x00A1_B200 | slot;
+        let payload: Vec<bool> = (0..24).map(|i| (reading >> (23 - i)) & 1 == 1).collect();
+        let mut cfg = LinkConfig::fig10(0.10, rate, 1, 9000 + slot as u64);
+        cfg.helper_pps = load;
+        cfg.use_all_traffic = true;
+        cfg.payload = payload;
+        let run = run_uplink(&cfg);
+
+        polls += 1;
+        let ok = run.perfect();
+        if ok {
+            successes += 1;
+        }
+        println!(
+            "{:>4.0}   {:>8.0}  {:>10}  {:>7.1}  {}",
+            hour,
+            load,
+            rate,
+            expected_pkts_per_bit(load, rate),
+            if ok { "reading ok" } else { "retry needed" }
+        );
+    }
+
+    println!(
+        "\n{successes}/{polls} polls succeeded first try — the rest would be covered by the \
+         query-retransmission rule (§4.1)"
+    );
+}

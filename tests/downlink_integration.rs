@@ -1,0 +1,89 @@
+//! Cross-crate downlink integration: encoder → envelope → analog chain →
+//! MCU decoder, across rates, distances and payloads.
+
+use bs_dsp::bits::BerCounter;
+use bs_tag::frame::DownlinkFrame;
+use wifi_backscatter::link::{run_downlink_ber, run_downlink_frame, DownlinkConfig};
+
+/// Frames of several sizes round-trip at the paper's three rates at 1 m.
+#[test]
+fn frames_roundtrip_at_all_rates() {
+    for &rate in &[20_000u64, 10_000, 5_000] {
+        // Largest payload: 12 bytes → 128 on-air bits → 25.6 ms at the
+        // slowest rate, still inside one 32 ms CTS_to_SELF reservation.
+        for (i, payload) in [vec![0xFFu8], vec![0x00, 0xFF, 0xA5], (0u8..12).collect()]
+            .into_iter()
+            .enumerate()
+        {
+            let frame = DownlinkFrame::new(payload);
+            let cfg = DownlinkConfig::fig17(1.0, rate, 5000 + rate + i as u64);
+            let got = run_downlink_frame(&cfg, &frame);
+            assert_eq!(got, Some(frame), "rate {rate}, payload {i}");
+        }
+    }
+}
+
+/// Fig. 17's distance shape: monotone-ish BER growth through the
+/// transition zone, averaged over placements.
+#[test]
+fn ber_grows_through_transition_zone() {
+    let ber_at = |d_m: f64| {
+        let mut ber = BerCounter::new();
+        for seed in 0..6 {
+            let cfg = DownlinkConfig::fig17(d_m, 20_000, 6000 + seed * 17);
+            ber.merge(&run_downlink_ber(&cfg, 1_500).ber);
+        }
+        ber.raw_ber()
+    };
+    let near = ber_at(1.0);
+    let mid = ber_at(2.6);
+    let far = ber_at(3.4);
+    assert!(near < 1e-2, "near {near}");
+    assert!(mid > near, "mid {mid} near {near}");
+    assert!(far > 5e-2, "far {far}");
+}
+
+/// The receiver never fabricates a frame: at any distance, every frame the
+/// decoder returns must be the one sent (CRC protects against garbage).
+#[test]
+fn crc_prevents_fabricated_frames() {
+    let frame = DownlinkFrame::new(vec![0xDE, 0xAD, 0xBE, 0xEF]);
+    for d_cm in (50..=400).step_by(50) {
+        let cfg = DownlinkConfig::fig17(d_cm as f64 / 100.0, 20_000, 7000 + d_cm as u64);
+        if let Some(got) = run_downlink_frame(&cfg, &frame) {
+            assert_eq!(got, frame, "fabricated frame at {d_cm} cm");
+        }
+    }
+}
+
+/// §4.1: the paper's example message (64-bit payload + preamble) fits in
+/// one CTS_to_SELF reservation and decodes.
+#[test]
+fn paper_example_message_roundtrips() {
+    let frame = DownlinkFrame::new(vec![0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0]);
+    let cfg = DownlinkConfig::fig17(0.5, 20_000, 8001);
+    assert_eq!(run_downlink_frame(&cfg, &frame), Some(frame));
+}
+
+/// Raw BER at very short range is essentially error-free for all rates.
+#[test]
+fn short_range_is_clean() {
+    for &rate in &[20_000u64, 10_000, 5_000] {
+        let cfg = DownlinkConfig::fig17(0.3, rate, 9000 + rate);
+        let run = run_downlink_ber(&cfg, 2_000);
+        assert!(
+            run.ber.raw_ber() < 5e-3,
+            "rate {rate}: ber {}",
+            run.ber.raw_ber()
+        );
+    }
+}
+
+/// Deterministic downlink given the seed.
+#[test]
+fn downlink_is_deterministic() {
+    let cfg = DownlinkConfig::fig17(2.0, 20_000, 4242);
+    let a = run_downlink_ber(&cfg, 1_000);
+    let b = run_downlink_ber(&cfg, 1_000);
+    assert_eq!(a.ber.errors(), b.ber.errors());
+}
