@@ -3,9 +3,9 @@
 //! majority slicing, the full MRC decoder on a synthetic bundle, the
 //! analog receiver circuit, and the DCF MAC.
 
+use bs_bench::microbench::Group;
 use bs_dsp::codes::BARKER13;
 use bs_dsp::SimRng;
-use criterion::{criterion_group, criterion_main, Criterion};
 use wifi_backscatter::uplink::{UplinkDecoder, UplinkDecoderConfig};
 use wifi_backscatter::SeriesBundle;
 
@@ -17,8 +17,7 @@ fn synth_bundle(seed: u64) -> SeriesBundle {
     let series: Vec<Vec<f64>> = (0..90)
         .map(|c| {
             let good = c < 12;
-            t_us
-                .iter()
+            t_us.iter()
                 .map(|&t| {
                     let slot = (t / 10_000) as usize;
                     let level = if good {
@@ -38,66 +37,58 @@ fn synth_bundle(seed: u64) -> SeriesBundle {
     SeriesBundle { t_us, series }
 }
 
-fn bench_conditioning(c: &mut Criterion) {
-    let bundle = synth_bundle(1);
-    c.bench_function("condition_3000_samples", |b| {
-        b.iter(|| std::hint::black_box(bs_dsp::filter::condition(&bundle.series[0], 600)))
-    });
-}
+fn main() {
+    let g = Group::new("decoder_micro");
 
-fn bench_correlation(c: &mut Criterion) {
+    let bundle = synth_bundle(1);
+    g.bench("condition_3000_samples", 20, 10, || {
+        bs_dsp::filter::condition(&bundle.series[0], 600)
+    });
+
     let mut rng = SimRng::new(2).stream("bench-corr");
     let signal: Vec<f64> = (0..3000).map(|_| rng.gaussian(0.0, 1.0)).collect();
-    c.bench_function("sliding_correlation_barker13", |b| {
-        b.iter(|| std::hint::black_box(bs_dsp::correlate::sliding(&signal, &BARKER13)))
+    g.bench("sliding_correlation_barker13", 20, 10, || {
+        bs_dsp::correlate::sliding(&signal, &BARKER13)
     });
-}
 
-fn bench_mrc_decode(c: &mut Criterion) {
     let bundle = synth_bundle(3);
     let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, 90));
-    c.bench_function("mrc_decode_90ch_3000pkt", |b| {
-        b.iter(|| std::hint::black_box(dec.decode(&bundle, 0)))
-    });
-}
+    g.bench("mrc_decode_90ch_3000pkt", 10, 2, || dec.decode(&bundle, 0));
 
-fn bench_receiver_circuit(c: &mut Criterion) {
-    use bs_tag::envelope::{EnvelopeConfig, EnvelopeModel};
-    use bs_tag::receiver::{CircuitConfig, ReceiverCircuit};
-    let cfg = EnvelopeConfig::default();
-    let mut env = EnvelopeModel::new(cfg, SimRng::new(4).stream("bench-env"));
-    let trace = env.trace(100_000, |i| if (i / 50) % 2 == 0 { cfg.noise_mw * 50.0 } else { 0.0 });
-    c.bench_function("receiver_circuit_100k_samples", |b| {
-        b.iter(|| {
+    {
+        use bs_tag::envelope::{EnvelopeConfig, EnvelopeModel};
+        use bs_tag::receiver::{CircuitConfig, ReceiverCircuit};
+        let cfg = EnvelopeConfig::default();
+        let mut env = EnvelopeModel::new(cfg, SimRng::new(4).stream("bench-env"));
+        let trace = env.trace(100_000, |i| {
+            if (i / 50) % 2 == 0 {
+                cfg.noise_mw * 50.0
+            } else {
+                0.0
+            }
+        });
+        g.bench("receiver_circuit_100k_samples", 10, 2, || {
             let mut circuit = ReceiverCircuit::new(CircuitConfig::default());
-            std::hint::black_box(circuit.run(&trace))
-        })
-    });
-}
+            circuit.run(&trace)
+        });
+    }
 
-fn bench_mac(c: &mut Criterion) {
-    use bs_wifi::mac::{Medium, Station};
-    c.bench_function("dcf_mac_1s_3_stations", |b| {
-        b.iter(|| {
+    {
+        use bs_wifi::mac::{Medium, Station};
+        g.bench("dcf_mac_1s_3_stations", 10, 1, || {
             let rng = SimRng::new(5);
             let stations: Vec<Station> = (0..3)
                 .map(|i| {
                     let mut r = rng.stream("bench-mac").substream(i);
-                    Station::data(bs_wifi::traffic::poisson(800.0, 1_000_000, &mut r), 1000, 54.0)
+                    Station::data(
+                        bs_wifi::traffic::poisson(800.0, 1_000_000, &mut r),
+                        1000,
+                        54.0,
+                    )
                 })
                 .collect();
             let mut medium = Medium::with_seed(6);
-            std::hint::black_box(medium.simulate(&stations, 1_000_000))
-        })
-    });
+            medium.simulate(&stations, 1_000_000)
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_conditioning,
-    bench_correlation,
-    bench_mrc_decode,
-    bench_receiver_circuit,
-    bench_mac
-);
-criterion_main!(benches);

@@ -1,31 +1,24 @@
-//! Criterion bench over the Fig. 10 uplink pipeline: one full end-to-end
-//! uplink exchange (MAC + channel + CSI/RSSI + decode) per iteration, at
-//! the paper's near / boundary operating points.
+//! Bench over the Fig. 10 uplink pipeline: one full end-to-end uplink
+//! exchange (MAC + channel + CSI/RSSI + decode) per iteration, at the
+//! paper's near / boundary operating points.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bs_bench::microbench::Group;
 use wifi_backscatter::link::{run_uplink, LinkConfig, Measurement};
 
-fn bench_uplink(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_uplink");
-    group.sample_size(10);
+fn main() {
+    let g = Group::new("fig10_uplink");
     for &(label, d_cm, m) in &[
         ("csi_5cm", 5u32, Measurement::Csi),
         ("csi_65cm", 65, Measurement::Csi),
         ("rssi_30cm", 30, Measurement::Rssi),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &d_cm, |b, &d_cm| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut cfg = LinkConfig::fig10(d_cm as f64 / 100.0, 100, 30, seed);
-                cfg.measurement = m;
-                cfg.payload = (0..90).map(|i| (i * 13) % 7 < 3).collect();
-                std::hint::black_box(run_uplink(&cfg).ber.raw_ber())
-            });
+        let mut seed = 0u64;
+        g.bench(label, 10, 1, || {
+            seed += 1;
+            let mut cfg = LinkConfig::fig10(d_cm as f64 / 100.0, 100, 30, seed);
+            cfg.measurement = m;
+            cfg.payload = (0..90).map(|i| (i * 13) % 7 < 3).collect();
+            run_uplink(&cfg).ber.raw_ber()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_uplink);
-criterion_main!(benches);

@@ -1,25 +1,18 @@
-//! Criterion bench over the Fig. 17 downlink pipeline: 2 000 raw bits
-//! through the envelope model + receiver circuit + mid-bit slicer per
-//! iteration, at each of the paper's three rates.
+//! Bench over the Fig. 17 downlink pipeline: 2 000 raw bits through the
+//! envelope model + receiver circuit + mid-bit slicer per iteration, at
+//! each of the paper's three rates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bs_bench::microbench::Group;
 use wifi_backscatter::link::{run_downlink_ber, DownlinkConfig};
 
-fn bench_downlink(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig17_downlink");
-    group.sample_size(10);
+fn main() {
+    let g = Group::new("fig17_downlink");
     for &rate in &[20_000u64, 10_000, 5_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, &rate| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let cfg = DownlinkConfig::fig17(2.0, rate, seed);
-                std::hint::black_box(run_downlink_ber(&cfg, 2_000).ber.raw_ber())
-            });
+        let mut seed = 0u64;
+        g.bench(&format!("{rate}bps"), 10, 1, || {
+            seed += 1;
+            let cfg = DownlinkConfig::fig17(2.0, rate, seed);
+            run_downlink_ber(&cfg, 2_000).ber.raw_ber()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_downlink);
-criterion_main!(benches);

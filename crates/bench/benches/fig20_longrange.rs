@@ -1,25 +1,18 @@
-//! Criterion bench of the Fig. 20 long-range pipeline: one coded uplink
-//! exchange (L = 20 at 1.6 m — the paper's headline operating point) per
+//! Bench of the Fig. 20 long-range pipeline: one coded uplink exchange
+//! (L = 20 at 1.6 m — the paper's headline operating point) per
 //! iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bs_bench::microbench::Group;
 use wifi_backscatter::link::{run_uplink, LinkConfig};
 
-fn bench_longrange(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig20_longrange");
-    group.sample_size(10);
-    group.bench_function("coded_l20_160cm", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut cfg = LinkConfig::fig10(1.6, 100, 10, seed);
-            cfg.payload = (0..16).map(|i| i % 3 == 0).collect();
-            cfg.code_length = 20;
-            std::hint::black_box(run_uplink(&cfg).ber.raw_ber())
-        });
+fn main() {
+    let g = Group::new("fig20_longrange");
+    let mut seed = 0u64;
+    g.bench("coded_l20_160cm", 10, 1, || {
+        seed += 1;
+        let mut cfg = LinkConfig::fig10(1.6, 100, 10, seed);
+        cfg.payload = (0..16).map(|i| i % 3 == 0).collect();
+        cfg.code_length = 20;
+        run_uplink(&cfg).ber.raw_ber()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_longrange);
-criterion_main!(benches);

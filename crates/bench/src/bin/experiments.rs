@@ -1,310 +1,130 @@
-//! Regenerates every figure of the paper's evaluation.
+//! Regenerates every figure of the paper's evaluation, in parallel.
 //!
 //! ```text
-//! experiments all            # every figure (slow: tens of minutes)
-//! experiments quick          # every figure at reduced run counts
-//! experiments fig3 [seed]    # one figure
+//! experiments all                    # every figure, paper-faithful effort
+//! experiments quick                  # every figure at reduced run counts
+//! experiments fig10 [seed]           # one figure (positional, back-compat)
+//! experiments --figs fig10,fig17     # a subset
+//! experiments --jobs 8               # worker count (default: all cores)
+//! experiments --seed 42              # master seed (default 20140817)
+//! experiments --json out/            # also write out/records.jsonl
 //! ```
 //!
 //! Output is gnuplot-style whitespace-separated tables on stdout, one
-//! section per figure, with `#` comment headers. EXPERIMENTS.md records a
-//! captured run against the paper's numbers.
+//! section per figure, with `#` comment headers — byte-identical for any
+//! `--jobs` value (the harness guarantee; see `bs_bench::harness`).
+//! EXPERIMENTS.md records a captured run against the paper's numbers and
+//! documents the JSON-lines schema behind `--json`.
 
-use bs_bench::experiments::{ablation, ambient, coexistence, downlink, power, uplink};
-use wifi_backscatter::link::Measurement;
+use bs_bench::harness::{plan, render, run_jobs, Effort, ALL_FIGURES};
 
-struct Effort {
-    runs: u64,
-    dl_kbits: usize,
-    fig19_s: f64,
-    fp_hours: Vec<f64>,
-    office_step_h: f64,
-}
-
-impl Effort {
-    fn full() -> Self {
-        Effort {
-            runs: 20,
-            dl_kbits: 200,
-            fig19_s: 120.0,
-            fp_hours: vec![10.0, 12.0, 14.0, 16.0, 18.0],
-            office_step_h: 0.5,
-        }
-    }
-    fn quick() -> Self {
-        Effort {
-            runs: 4,
-            dl_kbits: 24,
-            fig19_s: 20.0,
-            fp_hours: vec![14.0],
-            office_step_h: 2.0,
-        }
-    }
+/// Parsed command line.
+struct Cli {
+    figs: Vec<String>,
+    effort: Effort,
+    seed: u64,
+    jobs: usize,
+    json_dir: Option<String>,
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let which = args.get(1).map(String::as_str).unwrap_or("quick");
-    let seed: u64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20140817); // SIGCOMM'14 began August 17, 2014
-
-    let effort = if which == "all" {
-        Effort::full()
-    } else {
-        Effort::quick()
+    let cli = match parse(std::env::args().skip(1).collect()) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: experiments [all|quick|<fig>] [seed] \
+                       [--figs a,b] [--jobs N] [--seed S] [--json DIR]");
+            std::process::exit(2);
+        }
     };
 
-    let run_all = matches!(which, "all" | "quick");
-    let want = |name: &str| run_all || which == name;
+    let plan = match plan(&cli.figs, &cli.effort, cli.seed) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let sections = plan.sections;
+    let records = run_jobs(plan.jobs, cli.jobs);
+    print!("{}", render(&sections, &records));
 
-    if want("fig3") {
-        fig3(seed);
-    }
-    if want("fig4") {
-        fig4(seed);
-    }
-    if want("fig5") {
-        fig5(seed);
-    }
-    if want("fig6") {
-        fig6(seed);
-    }
-    if want("fig10") {
-        fig10(seed, &effort);
-    }
-    if want("fig11") {
-        fig11(seed, &effort);
-    }
-    if want("fig12") {
-        fig12(seed, &effort);
-    }
-    if want("fig14") {
-        fig14(seed, &effort);
-    }
-    if want("fig15") {
-        fig15(seed, &effort);
-    }
-    if want("fig16") {
-        fig16(seed, &effort);
-    }
-    if want("fig17") {
-        fig17(seed, &effort);
-    }
-    if want("fig18") {
-        fig18(seed, &effort);
-    }
-    if want("fig19") {
-        fig19(seed, &effort);
-    }
-    if want("fig20") {
-        fig20(seed, &effort);
-    }
-    if want("power") {
-        power_exp();
-    }
-    if want("ablation") {
-        ablation_exp(seed, &effort);
+    if let Some(dir) = cli.json_dir {
+        let path = std::path::Path::new(&dir).join("records.jsonl");
+        let mut body = String::new();
+        for r in &records {
+            body.push_str(&r.to_json_line());
+            body.push('\n');
+        }
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("# wrote {} records to {}", records.len(), path.display());
     }
 }
 
-fn ablation_exp(seed: u64, e: &Effort) {
-    let runs = e.runs.min(6);
-    println!("\n# === Ablations: what each design choice buys ===");
-    println!("# variant  ber");
-    println!("# -- combining at 55 cm --");
-    for r in ablation::combining_ablation(0.55, runs, seed) {
-        println!("{}  {:.2e}", r.variant.replace(' ', "_"), r.ber);
-    }
-    println!("# -- slicer at 45 cm --");
-    for r in ablation::hysteresis_ablation(runs, seed) {
-        println!("{}  {:.2e}", r.variant.replace(' ', "_"), r.ber);
-    }
-    println!("# -- measurement artifacts at 65 cm --");
-    for r in ablation::artifact_ablation(0.65, runs, seed) {
-        println!("{}  {:.2e}", r.variant.replace(' ', "_"), r.ber);
-    }
-    println!("# -- conditioning window under strong fading, 35 cm --");
-    for r in ablation::conditioning_ablation(runs, seed) {
-        println!("{}  {:.2e}", r.variant.replace(' ', "_"), r.ber);
-    }
-}
+/// Parses flags plus the legacy positional `[mode] [seed]` form.
+fn parse(args: Vec<String>) -> Result<Cli, String> {
+    let mut figs: Option<Vec<String>> = None;
+    let mut effort: Option<Effort> = None;
+    let mut seed: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut json_dir = None;
+    let mut positional = Vec::new();
 
-fn fig3(seed: u64) {
-    println!("\n# === Fig 3: raw CSI, tag at 5 cm (two distinct levels expected) ===");
-    let t = uplink::raw_csi_trace(0.05, 3000, seed);
-    println!("# sub-channel {} | separation (gap/std) = {:.2}", t.subchannel, t.separation);
-    println!("# packet  csi_amplitude");
-    for (i, a) in t.amplitude.iter().enumerate().step_by(10) {
-        println!("{i}  {a:.3}");
-    }
-}
-
-fn fig4(seed: u64) {
-    for (label, d_m) in [("5 cm (paper's setup)", 0.05), ("10 cm", 0.10)] {
-        println!("\n# === Fig 4 @ {label}: PDFs of normalised channel values, 30 sub-channels ===");
-        let pdfs = uplink::normalized_pdfs(d_m, 42_000, seed);
-        let bimodal = pdfs.iter().filter(|p| p.bimodal).count();
-        println!(
-            "# {bimodal}/30 sub-channels bimodal (paper: 'about 30 percent' show two Gaussians at +/-1; \
-             see EXPERIMENTS.md for the close-range deviation)"
-        );
-        println!("# subchannel  bin_center  density");
-        for p in &pdfs {
-            for &(c, d) in p.pdf.iter().step_by(4) {
-                println!("{}  {c:.2}  {d:.4}", p.subchannel);
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--figs" => {
+                figs = Some(flag_value("--figs")?.split(',').map(str::to_string).collect());
             }
+            "--jobs" => {
+                let v = flag_value("--jobs")?;
+                jobs = Some(v.parse().map_err(|_| format!("bad --jobs value '{v}'"))?);
+            }
+            "--seed" => {
+                let v = flag_value("--seed")?;
+                seed = Some(v.parse().map_err(|_| format!("bad --seed value '{v}'"))?);
+            }
+            "--json" => json_dir = Some(flag_value("--json")?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            _ => positional.push(arg),
         }
     }
-}
 
-fn fig5(seed: u64) {
-    println!("\n# === Fig 5: sub-channels with BER < 1e-2 vs distance ===");
-    println!("# distance_cm  n_good  good_subchannels");
-    for (d, good) in uplink::good_subchannels_vs_distance(&[5, 15, 25, 35, 45, 55, 65], seed) {
-        let list: Vec<String> = good.iter().map(|g| g.to_string()).collect();
-        println!("{d}  {}  {}", good.len(), list.join(","));
-    }
-}
-
-fn fig6(seed: u64) {
-    println!("\n# === Fig 6: raw CSI, tag at 1 m (levels merge into noise) ===");
-    let t = uplink::raw_csi_trace(1.0, 3000, seed);
-    println!("# sub-channel {} | separation (gap/std) = {:.2}", t.subchannel, t.separation);
-    println!("# packet  csi_amplitude");
-    for (i, a) in t.amplitude.iter().enumerate().step_by(10) {
-        println!("{i}  {a:.3}");
-    }
-}
-
-fn fig10(seed: u64, e: &Effort) {
-    let distances = [5, 15, 25, 35, 45, 55, 65];
-    for (label, m) in [("a: CSI", Measurement::Csi), ("b: RSSI", Measurement::Rssi)] {
-        println!("\n# === Fig 10{label}: uplink BER vs distance ===");
-        println!("# distance_cm  pkts_per_bit  ber");
-        for p in uplink::uplink_ber_vs_distance(m, &distances, &[3, 6, 30], e.runs, seed) {
-            println!("{}  {}  {:.2e}", p.distance_cm, p.pkts_per_bit, p.ber);
+    // Legacy positional form: `experiments [all|quick|<fig>] [seed]`.
+    match positional.first().map(String::as_str) {
+        None => {}
+        Some("all") => effort = Some(Effort::full()),
+        Some("quick") => effort = Some(Effort::quick()),
+        Some(fig) => {
+            if figs.is_some() {
+                return Err("give either a positional figure or --figs, not both".into());
+            }
+            figs = Some(vec![fig.to_string()]);
         }
     }
-}
-
-fn fig11(seed: u64, e: &Effort) {
-    println!("\n# === Fig 11: frequency diversity (our algorithm vs random sub-channel) ===");
-    println!("# distance_cm  ber_ours  ber_random");
-    for (d, ours, random) in
-        uplink::frequency_diversity(&[5, 15, 25, 35, 45, 55, 65], e.runs, seed)
-    {
-        println!("{d}  {ours:.2e}  {random:.2e}");
-    }
-}
-
-fn fig12(seed: u64, e: &Effort) {
-    println!("\n# === Fig 12: achievable bit rate vs helper transmission rate ===");
-    println!("# helper_pps  achievable_bps");
-    for (pps, bps) in uplink::bitrate_vs_helper_rate(
-        &[240, 500, 1000, 1500, 2000, 2500, 3070],
-        e.runs.min(5),
-        seed,
-    ) {
-        println!("{pps}  {bps}");
-    }
-}
-
-fn fig14(seed: u64, e: &Effort) {
-    println!("\n# === Fig 14: packet delivery probability vs helper location ===");
-    println!("# location  delivery_probability");
-    for (loc, p) in uplink::delivery_vs_helper_location(e.runs, seed) {
-        println!("{loc}  {p:.2}");
-    }
-}
-
-fn fig15(seed: u64, e: &Effort) {
-    println!("\n# === Fig 15: achievable bit rate from ambient office traffic ===");
-    println!("# hour  load_pps  achievable_bps");
-    for s in ambient::ambient_office(e.office_step_h, e.runs.min(3), seed) {
-        println!("{:.1}  {:.0}  {}", s.hour, s.load_pps, s.achievable_bps);
-    }
-}
-
-fn fig16(seed: u64, e: &Effort) {
-    println!("\n# === Fig 16: achievable bit rate from beacons only (RSSI) ===");
-    println!("# beacons_per_s  achievable_bps");
-    for (b, r) in ambient::beacons_only(&[10, 20, 30, 40, 50, 60, 70], e.runs.min(3), seed) {
-        println!("{b}  {r}");
-    }
-}
-
-fn fig17(seed: u64, e: &Effort) {
-    println!("\n# === Fig 17: downlink BER vs distance ===");
-    println!("# distance_cm  rate_bps  ber");
-    let distances = [50, 100, 150, 200, 213, 250, 290, 320, 350];
-    for p in downlink::downlink_ber_vs_distance(
-        &distances,
-        &[20_000, 10_000, 5_000],
-        e.dl_kbits,
-        e.runs,
-        seed,
-    ) {
-        println!("{}  {}  {:.2e}", p.distance_cm, p.bit_rate_bps, p.ber);
-    }
-}
-
-fn fig18(seed: u64, e: &Effort) {
-    println!("\n# === Fig 18: downlink false positives per hour ===");
-    println!("# hour  false_positives_per_hour");
-    for s in downlink::downlink_false_positives(&e.fp_hours, seed) {
-        println!("{:.0}  {:.0}", s.hour, s.per_hour);
-    }
-}
-
-fn fig19(seed: u64, e: &Effort) {
-    for d_cm in [5u32, 30] {
-        println!("\n# === Fig 19 ({d_cm} cm): Wi-Fi goodput with/without the tag ===");
-        println!("# location  activity  goodput_MBps");
-        let points =
-            coexistence::throughput_with_tag(d_cm, &coexistence::fig19_activities(), e.fig19_s, seed);
-        for p in &points {
-            let label = match p.activity {
-                coexistence::TagActivity::Absent => "none".to_string(),
-                coexistence::TagActivity::Modulating { bit_rate_bps } => {
-                    format!("{bit_rate_bps}bps")
-                }
-            };
-            println!("{}  {}  {:.2}", p.location, label, p.goodput_mbytes);
+    if let Some(s) = positional.get(1) {
+        if seed.is_some() {
+            return Err("give either a positional seed or --seed, not both".into());
         }
-        let (per_loc, mean) = coexistence::relative_impact(&points);
-        println!("# per-location max impact: {per_loc:?}");
-        println!("# mean relative impact of tag: {:.1}%", mean * 100.0);
+        seed = Some(s.parse().map_err(|_| format!("bad seed '{s}'"))?);
     }
-}
+    if positional.len() > 2 {
+        return Err(format!("unexpected argument '{}'", positional[2]));
+    }
 
-fn fig20(seed: u64, e: &Effort) {
-    println!("\n# === Fig 20: correlation length needed vs distance ===");
-    println!("# distance_cm  correlation_length");
-    for (d, l) in uplink::correlation_length_vs_distance(
-        &[80, 100, 120, 140, 160, 180, 200, 210, 220],
-        &[1, 2, 4, 10, 20, 40, 80, 150],
-        e.runs.min(3),
-        seed,
-    ) {
-        match l {
-            Some(l) => println!("{d}  {l}"),
-            None => println!("{d}  >150"),
-        }
-    }
-}
-
-fn power_exp() {
-    println!("\n# === Section 6 power & harvesting ===");
-    println!("# scenario | harvested_uW | load_uW | duty");
-    for r in power::power_table() {
-        println!(
-            "{}  {:.2}  {:.2}  {:.2}",
-            r.scenario.replace(' ', "_"),
-            r.harvested_uw,
-            r.load_uw,
-            r.duty
-        );
-    }
+    Ok(Cli {
+        figs: figs.unwrap_or_else(|| ALL_FIGURES.iter().map(|f| f.to_string()).collect()),
+        effort: effort.unwrap_or_else(Effort::quick),
+        seed: seed.unwrap_or(20140817), // SIGCOMM'14 began August 17, 2014
+        jobs: jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }),
+        json_dir,
+    })
 }

@@ -19,39 +19,54 @@ pub struct OfficeSlot {
     pub achievable_bps: u64,
 }
 
+/// Fig. 15, one time slot: the achievable bit rate from the ambient
+/// office load at `hour`. Seeds depend only on `(r, hour)`, so per-slot
+/// jobs reproduce the [`ambient_office`] sweep exactly.
+pub fn office_slot(hour: f64, runs: u64, seed: u64) -> OfficeSlot {
+    let profile = bs_wifi::traffic::OfficeLoadProfile;
+    let load = profile.load_pps(hour);
+    let achievable = super::achievable_rate(&[100, 200, 500, 1000], 1e-2, |bps| {
+        let mut ber = BerCounter::new();
+        for r in 0..runs {
+            let mut cfg = LinkConfig::fig10(0.05, bps, 1, seed + r * 41 + (hour * 10.0) as u64);
+            // Ambient Poisson traffic at the profiled load instead of
+            // controlled injection.
+            cfg.helper_pps = load;
+            cfg.payload = eval_payload();
+            // The office load is bursty Poisson, not CBR — rebuild the
+            // run with ambient arrivals by marking all traffic usable.
+            cfg.use_all_traffic = true;
+            ber.merge(&run_uplink(&cfg).ber);
+        }
+        ber.raw_ber()
+    });
+    OfficeSlot {
+        hour,
+        load_pps: load,
+        achievable_bps: achievable,
+    }
+}
+
+/// The Fig. 15 sampling grid: every `step_h` hours from 12:00 to 20:00.
+pub fn office_hours(step_h: f64) -> Vec<f64> {
+    let mut hours = Vec::new();
+    let mut hour = 12.0;
+    while hour <= 20.0 + 1e-9 {
+        hours.push(hour);
+        hour += step_h;
+    }
+    hours
+}
+
 /// Fig. 15: achievable uplink bit rate using only the ambient office
 /// traffic, sampled every `step_h` hours from 12:00 to 20:00. No traffic
 /// is injected — the "helper" is the building AP carrying the diurnal
 /// office load, and the reader passively captures everything it sends.
 pub fn ambient_office(step_h: f64, runs: u64, seed: u64) -> Vec<OfficeSlot> {
-    let profile = bs_wifi::traffic::OfficeLoadProfile;
-    let mut out = Vec::new();
-    let mut hour = 12.0;
-    while hour <= 20.0 + 1e-9 {
-        let load = profile.load_pps(hour);
-        let achievable = super::achievable_rate(&[100, 200, 500, 1000], 1e-2, |bps| {
-            let mut ber = BerCounter::new();
-            for r in 0..runs {
-                let mut cfg = LinkConfig::fig10(0.05, bps, 1, seed + r * 41 + (hour * 10.0) as u64);
-                // Ambient Poisson traffic at the profiled load instead of
-                // controlled injection.
-                cfg.helper_pps = load;
-                cfg.payload = eval_payload();
-                // The office load is bursty Poisson, not CBR — rebuild the
-                // run with ambient arrivals by marking all traffic usable.
-                cfg.use_all_traffic = true;
-                ber.merge(&run_uplink(&cfg).ber);
-            }
-            ber.raw_ber()
-        });
-        out.push(OfficeSlot {
-            hour,
-            load_pps: load,
-            achievable_bps: achievable,
-        });
-        hour += step_h;
-    }
-    out
+    office_hours(step_h)
+        .into_iter()
+        .map(|hour| office_slot(hour, runs, seed))
+        .collect()
 }
 
 /// Fig. 16: achievable uplink bit rate using only the AP's periodic
@@ -60,30 +75,34 @@ pub fn ambient_office(step_h: f64, runs: u64, seed: u64) -> Vec<OfficeSlot> {
 pub fn beacons_only(beacon_rates: &[u32], runs: u64, seed: u64) -> Vec<(u32, u64)> {
     beacon_rates
         .iter()
-        .map(|&bps_beacons| {
-            // Candidate tag rates: a few beacons per bit down to ~1.4.
-            let candidates: Vec<u64> = [8u64, 5, 4, 3, 2]
-                .iter()
-                .map(|div| u64::from(bps_beacons) / div)
-                .filter(|&r| r >= 1)
-                .collect();
-            let rate = super::achievable_rate(&candidates, 1e-2, |bps| {
-                let mut ber = BerCounter::new();
-                for r in 0..runs {
-                    let mut cfg =
-                        LinkConfig::fig10(0.05, bps, 1, seed + r * 59 + u64::from(bps_beacons));
-                    cfg.measurement = Measurement::Rssi;
-                    cfg.payload = (0..45).map(|i| (i * 13) % 7 < 3).collect();
-                    // Beacon traffic has no randomness in arrival times;
-                    // the MAC adds only small backoff jitter.
-                    cfg.helper_pps = f64::from(bps_beacons);
-                    ber.merge(&run_uplink_with_beacons(&cfg, bps_beacons).ber);
-                }
-                ber.raw_ber()
-            });
-            (bps_beacons, rate)
-        })
+        .map(|&bps_beacons| beacons_only_at(bps_beacons, runs, seed))
         .collect()
+}
+
+/// Fig. 16, one beacon rate: the achievable tag bit rate from
+/// `bps_beacons` beacons per second. Seeds depend only on
+/// `(r, bps_beacons)`.
+pub fn beacons_only_at(bps_beacons: u32, runs: u64, seed: u64) -> (u32, u64) {
+    // Candidate tag rates: a few beacons per bit down to ~1.4.
+    let candidates: Vec<u64> = [8u64, 5, 4, 3, 2]
+        .iter()
+        .map(|div| u64::from(bps_beacons) / div)
+        .filter(|&r| r >= 1)
+        .collect();
+    let rate = super::achievable_rate(&candidates, 1e-2, |bps| {
+        let mut ber = BerCounter::new();
+        for r in 0..runs {
+            let mut cfg = LinkConfig::fig10(0.05, bps, 1, seed + r * 59 + u64::from(bps_beacons));
+            cfg.measurement = Measurement::Rssi;
+            cfg.payload = (0..45).map(|i| (i * 13) % 7 < 3).collect();
+            // Beacon traffic has no randomness in arrival times;
+            // the MAC adds only small backoff jitter.
+            cfg.helper_pps = f64::from(bps_beacons);
+            ber.merge(&run_uplink_with_beacons(&cfg, bps_beacons).ber);
+        }
+        ber.raw_ber()
+    });
+    (bps_beacons, rate)
 }
 
 /// Like [`run_uplink`] but with the helper sending periodic beacons

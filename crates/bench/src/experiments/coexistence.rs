@@ -51,10 +51,27 @@ pub fn throughput_with_tag(
     duration_s: f64,
     seed: u64,
 ) -> Vec<ThroughputPoint> {
+    (0..TestbedLocation::HELPER_LOCATIONS.len())
+        .flat_map(|i| throughput_at_location(tag_distance_cm, i, activities, duration_s, seed))
+        .collect()
+}
+
+/// Fig. 19, one transmitter location: the goodput points for every tag
+/// activity with the Wi-Fi transmitter at location `index + 2`. The scene
+/// seed depends only on `(seed, index)`, so per-location jobs reproduce
+/// the [`throughput_with_tag`] sweep exactly.
+pub fn throughput_at_location(
+    tag_distance_cm: u32,
+    index: usize,
+    activities: &[TagActivity],
+    duration_s: f64,
+    seed: u64,
+) -> Vec<ThroughputPoint> {
     let tb = Testbed::new();
     let offsets = csi_subchannel_offsets();
     let mut out = Vec::new();
-    for (i, &loc) in TestbedLocation::HELPER_LOCATIONS.iter().enumerate() {
+    {
+        let (i, loc) = (index, TestbedLocation::HELPER_LOCATIONS[index]);
         for &activity in activities {
             // Receiver at location 1, transmitter at `loc`, tag next to
             // the receiver. The transmitter is a laptop (≈7 dBm effective

@@ -28,31 +28,43 @@ pub fn downlink_ber_vs_distance(
     runs: u64,
     seed: u64,
 ) -> Vec<DownlinkBerPoint> {
-    let bits_per_run = (kbits_per_point * 1000) / runs as usize;
     let mut out = Vec::new();
     for &rate in rates_bps {
         for &d_cm in distances_cm {
-            let mut ber = BerCounter::new();
-            for r in 0..runs {
-                // The seed intentionally excludes the rate, so every rate
-                // sees the same multipath fade at a given placement —
-                // paired comparison, as moving a real tag between rate
-                // runs would not happen either.
-                let cfg = DownlinkConfig::fig17(
-                    d_cm as f64 / 100.0,
-                    rate,
-                    seed + r * 101 + u64::from(d_cm) * 3,
-                );
-                ber.merge(&run_downlink_ber(&cfg, bits_per_run).ber);
-            }
-            out.push(DownlinkBerPoint {
-                distance_cm: d_cm,
-                bit_rate_bps: rate,
-                ber: ber.ber(),
-            });
+            out.push(downlink_ber_point(d_cm, rate, kbits_per_point, runs, seed));
         }
     }
     out
+}
+
+/// Fig. 17, one point: downlink BER at one `(distance, rate)` cell. The
+/// per-run seed depends only on `(r, d_cm)` — intentionally excluding the
+/// rate, so every rate sees the same multipath fade at a given placement
+/// (paired comparison, as moving a real tag between rate runs would not
+/// happen either). Computing a point in isolation is therefore
+/// bit-identical to the same point inside [`downlink_ber_vs_distance`].
+pub fn downlink_ber_point(
+    d_cm: u32,
+    rate: u64,
+    kbits_per_point: usize,
+    runs: u64,
+    seed: u64,
+) -> DownlinkBerPoint {
+    let bits_per_run = (kbits_per_point * 1000) / runs as usize;
+    let mut ber = BerCounter::new();
+    for r in 0..runs {
+        let cfg = DownlinkConfig::fig17(
+            d_cm as f64 / 100.0,
+            rate,
+            seed + r * 101 + u64::from(d_cm) * 3,
+        );
+        ber.merge(&run_downlink_ber(&cfg, bits_per_run).ber);
+    }
+    DownlinkBerPoint {
+        distance_cm: d_cm,
+        bit_rate_bps: rate,
+        ber: ber.ber(),
+    }
 }
 
 /// One Fig. 18 time slot.
@@ -70,46 +82,50 @@ pub struct FalsePositiveSlot {
 /// the tag's comparator transitions (the signal is far above the detector
 /// floor at 30 cm).
 pub fn downlink_false_positives(hours: &[f64], seed: u64) -> Vec<FalsePositiveSlot> {
-    let root = SimRng::new(seed);
     hours
         .iter()
-        .map(|&hour| {
-            let duration_us = 3_600_000_000; // one hour
-            let mut stream_rng = root.stream("fp-stream").substream((hour * 10.0) as u64);
-            let stream =
-                bs_wifi::traffic::streaming(128.0, 500, 100_000, duration_us, &mut stream_rng);
-            let mut office_rng = root.stream("fp-office").substream((hour * 10.0) as u64);
-            let office =
-                bs_wifi::traffic::OfficeLoadProfile.arrivals(hour, duration_us, &mut office_rng);
-
-            // A realistic mix of frame sizes and PHY rates: short VoIP-ish
-            // frames, the music stream, bulk data, and legacy-rate
-            // traffic — diversity in burst durations is what could
-            // accidentally imitate the preamble's run signature.
-            let mut office_short = office.clone();
-            office_short.retain(|t| t % 3 == 0);
-            let mut office_bulk = office;
-            office_bulk.retain(|t| t % 3 != 0);
-            let stations = vec![
-                Station::data(stream, 500, 24.0),
-                Station::data(office_short, 120, 6.0),
-                Station::data(office_bulk, 1500, 54.0),
-            ];
-            let mut medium = Medium::new(
-                Default::default(),
-                root.stream("fp-mac").substream((hour * 10.0) as u64),
-            );
-            let (timeline, _) = medium.simulate(&stations, duration_us);
-            let transitions = timeline_to_transitions(&timeline, 4);
-
-            let mut dec = DownlinkDecoder::new(50.0, 1.0); // 50 µs bits
-            let matches = dec.count_preamble_matches_in_transitions(&transitions);
-            FalsePositiveSlot {
-                hour,
-                per_hour: matches as f64,
-            }
-        })
+        .map(|&hour| false_positive_slot(hour, seed))
         .collect()
+}
+
+/// Fig. 18, one time slot: false preamble matches in one simulated hour.
+/// All randomness is drawn from named substreams of `SimRng::new(seed)`
+/// keyed by the hour, so per-slot jobs reproduce the
+/// [`downlink_false_positives`] sweep exactly.
+pub fn false_positive_slot(hour: f64, seed: u64) -> FalsePositiveSlot {
+    let root = SimRng::new(seed);
+    let duration_us = 3_600_000_000; // one hour
+    let mut stream_rng = root.stream("fp-stream").substream((hour * 10.0) as u64);
+    let stream = bs_wifi::traffic::streaming(128.0, 500, 100_000, duration_us, &mut stream_rng);
+    let mut office_rng = root.stream("fp-office").substream((hour * 10.0) as u64);
+    let office = bs_wifi::traffic::OfficeLoadProfile.arrivals(hour, duration_us, &mut office_rng);
+
+    // A realistic mix of frame sizes and PHY rates: short VoIP-ish
+    // frames, the music stream, bulk data, and legacy-rate
+    // traffic — diversity in burst durations is what could
+    // accidentally imitate the preamble's run signature.
+    let mut office_short = office.clone();
+    office_short.retain(|t| t % 3 == 0);
+    let mut office_bulk = office;
+    office_bulk.retain(|t| t % 3 != 0);
+    let stations = vec![
+        Station::data(stream, 500, 24.0),
+        Station::data(office_short, 120, 6.0),
+        Station::data(office_bulk, 1500, 54.0),
+    ];
+    let mut medium = Medium::new(
+        Default::default(),
+        root.stream("fp-mac").substream((hour * 10.0) as u64),
+    );
+    let (timeline, _) = medium.simulate(&stations, duration_us);
+    let transitions = timeline_to_transitions(&timeline, 4);
+
+    let mut dec = DownlinkDecoder::new(50.0, 1.0); // 50 µs bits
+    let matches = dec.count_preamble_matches_in_transitions(&transitions);
+    FalsePositiveSlot {
+        hour,
+        per_hour: matches as f64,
+    }
 }
 
 #[cfg(test)]

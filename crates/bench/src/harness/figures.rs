@@ -1,0 +1,727 @@
+//! Figure catalogue: turns a figure selection into a [`Plan`] of
+//! independent jobs plus the section headers/footers needed to render the
+//! classic gnuplot tables from the collected records.
+//!
+//! Job granularity is one *point* of each figure's sweep — one
+//! `(distance, packets-per-bit)` cell of Fig. 10, one `(distance, rate)`
+//! cell of Fig. 17, one transmitter location of Fig. 19, one time slot of
+//! Figs 15/18 — because the per-point experiment functions in
+//! [`crate::experiments`] derive their seeds from the point coordinates
+//! alone. That seed-partitioning contract (documented in DESIGN.md
+//! §"Determinism under parallelism") is what lets the scheduler run
+//! points in any order on any number of workers and still reproduce the
+//! serial sweep bit for bit.
+
+use wifi_backscatter::link::Measurement;
+
+use super::record::{JobOutput, RunRecord};
+use super::scheduler::Job;
+use crate::experiments::{ablation, ambient, coexistence, downlink, power, uplink};
+
+/// How much work each figure does — the knobs the old `all`/`quick`
+/// modes tuned, now a first-class value so tests can shrink it further.
+#[derive(Debug, Clone)]
+pub struct Effort {
+    /// Repetitions per measured point (the paper uses 20).
+    pub runs: u64,
+    /// Kilobits per Fig. 17 point (the paper transmits 200 kbit).
+    pub dl_kbits: usize,
+    /// Seconds of simulated traffic per Fig. 19 location/activity.
+    pub fig19_s: f64,
+    /// Hours of day sampled for Fig. 18's false-positive count.
+    pub fp_hours: Vec<f64>,
+    /// Sampling step (hours) for Fig. 15's office-day sweep.
+    pub office_step_h: f64,
+}
+
+impl Effort {
+    /// Paper-faithful effort (`experiments all`): tens of minutes serial.
+    pub fn full() -> Self {
+        Effort {
+            runs: 20,
+            dl_kbits: 200,
+            fig19_s: 120.0,
+            fp_hours: vec![10.0, 12.0, 14.0, 16.0, 18.0],
+            office_step_h: 0.5,
+        }
+    }
+
+    /// Reduced effort (`experiments quick`): every figure in a few
+    /// minutes serial, seconds parallel.
+    pub fn quick() -> Self {
+        Effort {
+            runs: 4,
+            dl_kbits: 24,
+            fig19_s: 20.0,
+            fp_hours: vec![14.0],
+            office_step_h: 2.0,
+        }
+    }
+}
+
+/// Every figure id the harness knows, in canonical output order.
+pub const ALL_FIGURES: &[&str] = &[
+    "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19", "fig20", "power", "ablation",
+];
+
+/// Lines computed from a section's finished records (Fig. 19's impact
+/// summary); most sections have none.
+pub type SectionFooter = Box<dyn Fn(&[&RunRecord]) -> Vec<String> + Send + Sync>;
+
+/// One output section: a `# === ... ===` block of the rendered report.
+/// Most figures are one section; Figs 4, 10 and 19 have two each.
+pub struct Section {
+    /// Figure id this section belongs to.
+    pub fig: String,
+    /// Comment lines printed before the section's job lines (title and
+    /// column names).
+    pub header: Vec<String>,
+    /// Optional summary lines computed from the section's records.
+    pub footer: Option<SectionFooter>,
+}
+
+/// A scheduled experiment campaign: the jobs to run and the section
+/// structure to render their results into.
+pub struct Plan {
+    /// Output sections in render order.
+    pub sections: Vec<Section>,
+    /// Jobs in serial order (the order that defines the rendered tables).
+    pub jobs: Vec<Job>,
+}
+
+impl Plan {
+    fn new() -> Self {
+        Plan {
+            sections: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Opens a new section and returns its index for the jobs in it.
+    fn section(&mut self, fig: &str, header: Vec<String>) -> usize {
+        self.sections.push(Section {
+            fig: fig.to_string(),
+            header,
+            footer: None,
+        });
+        self.sections.len() - 1
+    }
+
+    fn job(
+        &mut self,
+        section: usize,
+        label: impl Into<String>,
+        seed: u64,
+        work: impl FnOnce() -> JobOutput + Send + 'static,
+    ) {
+        self.jobs.push(Job {
+            fig: self.sections[section].fig.clone(),
+            section,
+            label: label.into(),
+            seed,
+            work: Box::new(work),
+        });
+    }
+}
+
+/// Builds the job plan for `figs` (ids from [`ALL_FIGURES`], rendered in
+/// the order given) at the requested effort and master seed. Returns an
+/// error naming the first unknown figure id.
+pub fn plan(figs: &[String], effort: &Effort, seed: u64) -> Result<Plan, String> {
+    let mut p = Plan::new();
+    for fig in figs {
+        match fig.as_str() {
+            "fig3" => fig3(&mut p, seed),
+            "fig4" => fig4(&mut p, seed),
+            "fig5" => fig5(&mut p, seed),
+            "fig6" => fig6(&mut p, seed),
+            "fig10" => fig10(&mut p, seed, effort),
+            "fig11" => fig11(&mut p, seed, effort),
+            "fig12" => fig12(&mut p, seed, effort),
+            "fig14" => fig14(&mut p, seed, effort),
+            "fig15" => fig15(&mut p, seed, effort),
+            "fig16" => fig16(&mut p, seed, effort),
+            "fig17" => fig17(&mut p, seed, effort),
+            "fig18" => fig18(&mut p, seed, effort),
+            "fig19" => fig19(&mut p, seed, effort),
+            "fig20" => fig20(&mut p, seed, effort),
+            "power" => power_section(&mut p),
+            "ablation" => ablation_section(&mut p, seed, effort),
+            other => {
+                return Err(format!(
+                    "unknown figure '{other}' (known: {})",
+                    ALL_FIGURES.join(", ")
+                ))
+            }
+        }
+    }
+    Ok(p)
+}
+
+/// Renders the classic report from a plan's sections and its finished
+/// records. Records must be in job order (as [`super::run_jobs`]
+/// returns them); the output is then independent of how many workers
+/// produced them, since no scheduling metadata is printed.
+pub fn render(sections: &[Section], records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for (si, sec) in sections.iter().enumerate() {
+        out.push('\n');
+        for line in &sec.header {
+            out.push_str(line);
+            out.push('\n');
+        }
+        let recs: Vec<&RunRecord> = records.iter().filter(|r| r.section == si).collect();
+        for r in &recs {
+            for line in &r.lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        if let Some(footer) = &sec.footer {
+            for line in footer(&recs) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Shared Figs 3/6 body: the raw CSI trace for one tag distance.
+fn raw_trace_job(p: &mut Plan, section: usize, d_m: f64, seed: u64) {
+    p.job(section, format!("raw-trace d={}cm", (d_m * 100.0) as u32), seed, move || {
+        let t = uplink::raw_csi_trace(d_m, 3000, seed);
+        let mut lines = vec![
+            format!(
+                "# sub-channel {} | separation (gap/std) = {:.2}",
+                t.subchannel, t.separation
+            ),
+            "# packet  csi_amplitude".to_string(),
+        ];
+        for (i, a) in t.amplitude.iter().enumerate().step_by(10) {
+            lines.push(format!("{i}  {a:.3}"));
+        }
+        JobOutput {
+            lines,
+            metrics: vec![
+                ("separation".into(), t.separation),
+                ("subchannel".into(), t.subchannel as f64),
+            ],
+            work_items: 3000,
+        }
+    });
+}
+
+fn fig3(p: &mut Plan, seed: u64) {
+    let s = p.section(
+        "fig3",
+        vec!["# === Fig 3: raw CSI, tag at 5 cm (two distinct levels expected) ===".into()],
+    );
+    raw_trace_job(p, s, 0.05, seed);
+}
+
+fn fig6(p: &mut Plan, seed: u64) {
+    let s = p.section(
+        "fig6",
+        vec!["# === Fig 6: raw CSI, tag at 1 m (levels merge into noise) ===".into()],
+    );
+    raw_trace_job(p, s, 1.0, seed);
+}
+
+fn fig4(p: &mut Plan, seed: u64) {
+    for (label, d_m) in [("5 cm (paper's setup)", 0.05), ("10 cm", 0.10)] {
+        let s = p.section(
+            "fig4",
+            vec![format!(
+                "# === Fig 4 @ {label}: PDFs of normalised channel values, 30 sub-channels ==="
+            )],
+        );
+        p.job(s, format!("pdfs d={}cm", (d_m * 100.0) as u32), seed, move || {
+            let pdfs = uplink::normalized_pdfs(d_m, 42_000, seed);
+            let bimodal = pdfs.iter().filter(|q| q.bimodal).count();
+            let mut lines = vec![
+                format!(
+                    "# {bimodal}/30 sub-channels bimodal (paper: 'about 30 percent' show two Gaussians at +/-1; \
+                     see EXPERIMENTS.md for the close-range deviation)"
+                ),
+                "# subchannel  bin_center  density".to_string(),
+            ];
+            for q in &pdfs {
+                for &(c, d) in q.pdf.iter().step_by(4) {
+                    lines.push(format!("{}  {c:.2}  {d:.4}", q.subchannel));
+                }
+            }
+            JobOutput {
+                lines,
+                metrics: vec![("bimodal_subchannels".into(), bimodal as f64)],
+                work_items: 42_000,
+            }
+        });
+    }
+}
+
+fn fig5(p: &mut Plan, seed: u64) {
+    let s = p.section(
+        "fig5",
+        vec![
+            "# === Fig 5: sub-channels with BER < 1e-2 vs distance ===".into(),
+            "# distance_cm  n_good  good_subchannels".into(),
+        ],
+    );
+    for d_cm in [5u32, 15, 25, 35, 45, 55, 65] {
+        p.job(s, format!("good-subchannels d={d_cm}cm"), seed, move || {
+            let (d, good) = uplink::good_subchannels_at(d_cm, seed);
+            let list: Vec<String> = good.iter().map(|g| g.to_string()).collect();
+            JobOutput {
+                lines: vec![format!("{d}  {}  {}", good.len(), list.join(","))],
+                metrics: vec![("n_good".into(), good.len() as f64)],
+                work_items: 2700, // 90-bit payload × 30 packets/bit
+            }
+        });
+    }
+}
+
+fn fig10(p: &mut Plan, seed: u64, e: &Effort) {
+    let distances = [5u32, 15, 25, 35, 45, 55, 65];
+    let runs = e.runs;
+    for (label, m) in [("a: CSI", Measurement::Csi), ("b: RSSI", Measurement::Rssi)] {
+        let s = p.section(
+            "fig10",
+            vec![
+                format!("# === Fig 10{label}: uplink BER vs distance ==="),
+                "# distance_cm  pkts_per_bit  ber".into(),
+            ],
+        );
+        let kind = if m == Measurement::Csi { "csi" } else { "rssi" };
+        for ppb in [3u32, 6, 30] {
+            for d_cm in distances {
+                p.job(s, format!("{kind} d={d_cm}cm ppb={ppb}"), seed, move || {
+                    let pt = uplink::uplink_ber_point(m, d_cm, ppb, runs, seed);
+                    JobOutput {
+                        lines: vec![format!(
+                            "{}  {}  {:.2e}",
+                            pt.distance_cm, pt.pkts_per_bit, pt.ber
+                        )],
+                        metrics: vec![("ber".into(), pt.ber)],
+                        work_items: runs * 90 * u64::from(ppb),
+                    }
+                });
+            }
+        }
+    }
+}
+
+fn fig11(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "fig11",
+        vec![
+            "# === Fig 11: frequency diversity (our algorithm vs random sub-channel) ===".into(),
+            "# distance_cm  ber_ours  ber_random".into(),
+        ],
+    );
+    let runs = e.runs;
+    for d_cm in [5u32, 15, 25, 35, 45, 55, 65] {
+        p.job(s, format!("diversity d={d_cm}cm"), seed, move || {
+            let (d, ours, random) = uplink::frequency_diversity_at(d_cm, runs, seed);
+            JobOutput {
+                lines: vec![format!("{d}  {ours:.2e}  {random:.2e}")],
+                metrics: vec![("ber_ours".into(), ours), ("ber_random".into(), random)],
+                work_items: runs * 2 * 2700, // full + single-channel capture
+            }
+        });
+    }
+}
+
+fn fig12(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "fig12",
+        vec![
+            "# === Fig 12: achievable bit rate vs helper transmission rate ===".into(),
+            "# helper_pps  achievable_bps".into(),
+        ],
+    );
+    let runs = e.runs.min(5);
+    for pps in [240u32, 500, 1000, 1500, 2000, 2500, 3070] {
+        p.job(s, format!("helper-rate {pps}pps"), seed, move || {
+            let (q, bps) = uplink::bitrate_at_helper_rate(pps, runs, seed);
+            JobOutput {
+                lines: vec![format!("{q}  {bps}")],
+                metrics: vec![("achievable_bps".into(), bps as f64)],
+                work_items: runs * 4 * 90, // 4 candidate rates × 90-bit payload
+            }
+        });
+    }
+}
+
+fn fig14(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "fig14",
+        vec![
+            "# === Fig 14: packet delivery probability vs helper location ===".into(),
+            "# location  delivery_probability".into(),
+        ],
+    );
+    let frames = e.runs;
+    for i in 0..4usize {
+        p.job(s, format!("helper-location {}", i + 2), seed, move || {
+            let (loc, prob) = uplink::delivery_at_location(i, frames, seed);
+            JobOutput {
+                lines: vec![format!("{loc}  {prob:.2}")],
+                metrics: vec![("delivery_probability".into(), prob)],
+                work_items: frames * 20 * 30, // 20-bit frames × 30 packets/bit
+            }
+        });
+    }
+}
+
+fn fig15(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "fig15",
+        vec![
+            "# === Fig 15: achievable bit rate from ambient office traffic ===".into(),
+            "# hour  load_pps  achievable_bps".into(),
+        ],
+    );
+    let runs = e.runs.min(3);
+    for hour in ambient::office_hours(e.office_step_h) {
+        p.job(s, format!("office {hour:.1}h"), seed, move || {
+            let slot = ambient::office_slot(hour, runs, seed);
+            JobOutput {
+                lines: vec![format!(
+                    "{:.1}  {:.0}  {}",
+                    slot.hour, slot.load_pps, slot.achievable_bps
+                )],
+                metrics: vec![
+                    ("load_pps".into(), slot.load_pps),
+                    ("achievable_bps".into(), slot.achievable_bps as f64),
+                ],
+                work_items: runs * 4 * 90,
+            }
+        });
+    }
+}
+
+fn fig16(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "fig16",
+        vec![
+            "# === Fig 16: achievable bit rate from beacons only (RSSI) ===".into(),
+            "# beacons_per_s  achievable_bps".into(),
+        ],
+    );
+    let runs = e.runs.min(3);
+    for b in [10u32, 20, 30, 40, 50, 60, 70] {
+        p.job(s, format!("beacons {b}/s"), seed, move || {
+            let (q, bps) = ambient::beacons_only_at(b, runs, seed);
+            JobOutput {
+                lines: vec![format!("{q}  {bps}")],
+                metrics: vec![("achievable_bps".into(), bps as f64)],
+                work_items: runs * 5 * 45, // ≤5 candidate rates × 45-bit payload
+            }
+        });
+    }
+}
+
+fn fig17(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "fig17",
+        vec![
+            "# === Fig 17: downlink BER vs distance ===".into(),
+            "# distance_cm  rate_bps  ber".into(),
+        ],
+    );
+    let (kbits, runs) = (e.dl_kbits, e.runs);
+    for rate in [20_000u64, 10_000, 5_000] {
+        for d_cm in [50u32, 100, 150, 200, 213, 250, 290, 320, 350] {
+            p.job(s, format!("downlink d={d_cm}cm rate={rate}bps"), seed, move || {
+                let pt = downlink::downlink_ber_point(d_cm, rate, kbits, runs, seed);
+                JobOutput {
+                    lines: vec![format!(
+                        "{}  {}  {:.2e}",
+                        pt.distance_cm, pt.bit_rate_bps, pt.ber
+                    )],
+                    metrics: vec![("ber".into(), pt.ber)],
+                    work_items: (kbits as u64) * 1000,
+                }
+            });
+        }
+    }
+}
+
+fn fig18(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "fig18",
+        vec![
+            "# === Fig 18: downlink false positives per hour ===".into(),
+            "# hour  false_positives_per_hour".into(),
+        ],
+    );
+    for hour in e.fp_hours.clone() {
+        p.job(s, format!("false-positives {hour:.0}h"), seed, move || {
+            let slot = downlink::false_positive_slot(hour, seed);
+            JobOutput {
+                lines: vec![format!("{:.0}  {:.0}", slot.hour, slot.per_hour)],
+                metrics: vec![("false_positives_per_hour".into(), slot.per_hour)],
+                work_items: 0, // one simulated hour; burst count is load-dependent
+            }
+        });
+    }
+}
+
+fn fig19(p: &mut Plan, seed: u64, e: &Effort) {
+    let duration_s = e.fig19_s;
+    for d_cm in [5u32, 30] {
+        let s = p.section(
+            "fig19",
+            vec![
+                format!("# === Fig 19 ({d_cm} cm): Wi-Fi goodput with/without the tag ==="),
+                "# location  activity  goodput_MBps".into(),
+            ],
+        );
+        for i in 0..4usize {
+            p.job(s, format!("coexistence d={d_cm}cm loc={}", i + 2), seed, move || {
+                let points = coexistence::throughput_at_location(
+                    d_cm,
+                    i,
+                    &coexistence::fig19_activities(),
+                    duration_s,
+                    seed,
+                );
+                let mut lines = Vec::new();
+                let mut metrics = vec![("location".into(), (i + 2) as f64)];
+                for pt in &points {
+                    let label = match pt.activity {
+                        coexistence::TagActivity::Absent => "none".to_string(),
+                        coexistence::TagActivity::Modulating { bit_rate_bps } => {
+                            format!("{bit_rate_bps}bps")
+                        }
+                    };
+                    lines.push(format!("{}  {}  {:.2}", pt.location, label, pt.goodput_mbytes));
+                    metrics.push((format!("goodput:{label}"), pt.goodput_mbytes));
+                }
+                JobOutput {
+                    lines,
+                    metrics,
+                    work_items: (duration_s * 500.0) as u64 * 3, // SNR snapshots
+                }
+            });
+        }
+        // The impact summary needs every location of this section, so it
+        // is a section footer over the collected records, not job output.
+        self::attach_fig19_footer(p, s);
+    }
+}
+
+/// Recomputes the Fig. 19 relative-impact footer from a section's
+/// records, reproducing `coexistence::relative_impact` over the metric
+/// values the jobs reported.
+fn attach_fig19_footer(p: &mut Plan, section: usize) {
+    p.sections[section].footer = Some(Box::new(|recs: &[&RunRecord]| {
+        let mut per_loc: Vec<(u32, f64)> = Vec::new();
+        for r in recs {
+            let get = |name: &str| {
+                r.metrics
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|&(_, v)| v)
+            };
+            let (Some(loc), Some(base)) = (get("location"), get("goodput:none")) else {
+                continue;
+            };
+            let mut worst: f64 = 0.0;
+            for (k, v) in &r.metrics {
+                if k.starts_with("goodput:") && base > 0.0 {
+                    worst = worst.max((v - base).abs() / base);
+                }
+            }
+            per_loc.push((loc as u32, worst));
+        }
+        let mean = if per_loc.is_empty() {
+            0.0
+        } else {
+            per_loc.iter().map(|&(_, v)| v).sum::<f64>() / per_loc.len() as f64
+        };
+        vec![
+            format!("# per-location max impact: {per_loc:?}"),
+            format!("# mean relative impact of tag: {:.1}%", mean * 100.0),
+        ]
+    }));
+}
+
+fn fig20(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "fig20",
+        vec![
+            "# === Fig 20: correlation length needed vs distance ===".into(),
+            "# distance_cm  correlation_length".into(),
+        ],
+    );
+    let runs = e.runs.min(3);
+    for d_cm in [80u32, 100, 120, 140, 160, 180, 200, 210, 220] {
+        p.job(s, format!("correlation d={d_cm}cm"), seed, move || {
+            let lengths = [1usize, 2, 4, 10, 20, 40, 80, 150];
+            let (d, l) = uplink::correlation_length_at(d_cm, &lengths, runs, seed);
+            JobOutput {
+                lines: vec![match l {
+                    Some(l) => format!("{d}  {l}"),
+                    None => format!("{d}  >150"),
+                }],
+                // -1 encodes "even L=150 failed" (JSON has no None).
+                metrics: vec![(
+                    "correlation_length".into(),
+                    l.map_or(-1.0, |l| l as f64),
+                )],
+                work_items: 0, // early-exits once a length passes
+            }
+        });
+    }
+}
+
+fn power_section(p: &mut Plan) {
+    let s = p.section(
+        "power",
+        vec![
+            "# === Section 6 power & harvesting ===".into(),
+            "# scenario | harvested_uW | load_uW | duty".into(),
+        ],
+    );
+    p.job(s, "power-table", 0, move || {
+        let rows = power::power_table();
+        let mut lines = Vec::new();
+        let mut metrics = Vec::new();
+        for r in &rows {
+            lines.push(format!(
+                "{}  {:.2}  {:.2}  {:.2}",
+                r.scenario.replace(' ', "_"),
+                r.harvested_uw,
+                r.load_uw,
+                r.duty
+            ));
+            metrics.push((format!("duty:{}", r.scenario.replace(' ', "_")), r.duty));
+        }
+        JobOutput {
+            lines,
+            metrics,
+            work_items: 0, // closed-form link-budget table
+        }
+    });
+}
+
+fn ablation_section(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "ablation",
+        vec![
+            "# === Ablations: what each design choice buys ===".into(),
+            "# variant  ber".into(),
+        ],
+    );
+    let runs = e.runs.min(6);
+    type AblationFn = fn(u64, u64) -> Vec<ablation::AblationRow>;
+    let parts: [(&str, &str, AblationFn); 4] = [
+        ("combining", "# -- combining at 55 cm --", |r, s| {
+            ablation::combining_ablation(0.55, r, s)
+        }),
+        ("slicer", "# -- slicer at 45 cm --", ablation::hysteresis_ablation),
+        ("artifacts", "# -- measurement artifacts at 65 cm --", |r, s| {
+            ablation::artifact_ablation(0.65, r, s)
+        }),
+        (
+            "conditioning",
+            "# -- conditioning window under strong fading, 35 cm --",
+            ablation::conditioning_ablation,
+        ),
+    ];
+    for (name, sub_header, run_fn) in parts {
+        p.job(s, format!("ablation {name}"), seed, move || {
+            let rows = run_fn(runs, seed);
+            let mut lines = vec![sub_header.to_string()];
+            let mut metrics = Vec::new();
+            for r in &rows {
+                let variant = r.variant.replace(' ', "_");
+                lines.push(format!("{variant}  {:.2e}", r.ber));
+                metrics.push((format!("ber:{variant}"), r.ber));
+            }
+            JobOutput {
+                lines,
+                metrics,
+                work_items: 0, // mixed workloads per variant
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_effort() -> Effort {
+        Effort {
+            runs: 1,
+            dl_kbits: 1,
+            fig19_s: 0.1,
+            fp_hours: vec![14.0],
+            office_step_h: 8.0,
+        }
+    }
+
+    #[test]
+    fn plan_covers_all_figures() {
+        let figs: Vec<String> = ALL_FIGURES.iter().map(|f| f.to_string()).collect();
+        let p = plan(&figs, &tiny_effort(), 1).unwrap();
+        // One section per fig, except figs 4/10/19 which have two each.
+        assert_eq!(p.sections.len(), ALL_FIGURES.len() + 3);
+        for fig in ALL_FIGURES {
+            assert!(
+                p.jobs.iter().any(|j| j.fig == *fig),
+                "no jobs planned for {fig}"
+            );
+        }
+        // Fig. 10 decomposes into 2 measurements × 3 ppb × 7 distances.
+        assert_eq!(p.jobs.iter().filter(|j| j.fig == "fig10").count(), 42);
+        // Fig. 17 into 3 rates × 9 distances.
+        assert_eq!(p.jobs.iter().filter(|j| j.fig == "fig17").count(), 27);
+    }
+
+    #[test]
+    fn plan_rejects_unknown_figure() {
+        match plan(&["fig99".to_string()], &tiny_effort(), 1) {
+            Err(err) => assert!(err.contains("fig99"), "{err}"),
+            Ok(_) => panic!("fig99 should be rejected"),
+        }
+    }
+
+    #[test]
+    fn render_groups_lines_by_section_in_job_order() {
+        let sections = vec![
+            Section {
+                fig: "a".into(),
+                header: vec!["# === A ===".into()],
+                footer: None,
+            },
+            Section {
+                fig: "b".into(),
+                header: vec!["# === B ===".into()],
+                footer: Some(Box::new(|recs| {
+                    vec![format!("# {} rows", recs.len())]
+                })),
+            },
+        ];
+        let rec = |section: usize, job_index: usize, line: &str| RunRecord {
+            fig: String::new(),
+            section,
+            label: String::new(),
+            seed: 0,
+            job_index,
+            wall_s: 0.0,
+            work_items: 0,
+            metrics: Vec::new(),
+            lines: vec![line.to_string()],
+        };
+        let records = vec![rec(0, 0, "a0"), rec(1, 1, "b0"), rec(0, 2, "a1")];
+        assert_eq!(
+            render(&sections, &records),
+            "\n# === A ===\na0\na1\n\n# === B ===\nb0\n# 1 rows\n"
+        );
+    }
+}

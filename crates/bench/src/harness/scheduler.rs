@@ -1,0 +1,146 @@
+//! The work-stealing job scheduler.
+//!
+//! [`run_jobs`] executes a list of independent [`Job`]s on `workers`
+//! OS threads. Scheduling is a shared atomic cursor over the job list:
+//! each worker claims the next unclaimed index, runs it, and stores the
+//! result in that index's slot. Workers that finish early keep claiming
+//! until the cursor passes the end, so a slow job on one thread never
+//! idles the others — the same load-balancing property a work-stealing
+//! deque gives, without needing one for this fan-out-only workload.
+//!
+//! **Determinism contract.** A job must be a pure function of its
+//! captured configuration and seed: it derives every random number from
+//! its own `SimRng` substreams and touches no shared state. Under that
+//! contract the *values* computed are independent of the worker count and
+//! of completion order; only [`RunRecord::wall_s`] varies between runs,
+//! and the renderer never prints it. Results are returned sorted by
+//! `job_index` (serial order), so assembling tables from them is
+//! byte-identical for `--jobs 1` and `--jobs 8`. A regression test pins
+//! this (`crates/bench/tests/determinism.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use super::record::{JobOutput, RunRecord};
+
+/// One schedulable unit of work: a closure plus the metadata the record
+/// will carry.
+pub struct Job {
+    /// Figure id, e.g. `"fig10"`.
+    pub fig: String,
+    /// Index of the output section this job's lines belong to.
+    pub section: usize,
+    /// Human-readable point configuration, e.g. `"csi d=5cm ppb=3"`.
+    pub label: String,
+    /// Master seed the closure derives its per-run seeds from.
+    pub seed: u64,
+    /// The work itself. Must be pure given its captures (see the module
+    /// docs for the determinism contract).
+    pub work: Box<dyn FnOnce() -> JobOutput + Send>,
+}
+
+/// Runs `jobs` on `workers` threads and returns one [`RunRecord`] per
+/// job, sorted by job index (serial order). `workers` is clamped to
+/// `1..=jobs.len()`.
+pub fn run_jobs(jobs: Vec<Job>, workers: usize) -> Vec<RunRecord> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+
+    // Each slot holds its pending job going in and its record coming out;
+    // the atomic cursor hands every index to exactly one worker.
+    let slots: Vec<Mutex<Option<Job>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<RunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                let start = Instant::now();
+                let out = (job.work)();
+                let wall_s = start.elapsed().as_secs_f64();
+                *results[i].lock().expect("result slot poisoned") = Some(RunRecord {
+                    fig: job.fig,
+                    section: job.section,
+                    label: job.label,
+                    seed: job.seed,
+                    job_index: i,
+                    wall_s,
+                    work_items: out.work_items,
+                    metrics: out.metrics,
+                    lines: out.lines,
+                });
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_jobs(n: usize) -> Vec<Job> {
+        (0..n)
+            .map(|i| Job {
+                fig: "test".into(),
+                section: 0,
+                label: format!("job {i}"),
+                seed: i as u64,
+                work: Box::new(move || JobOutput {
+                    lines: vec![format!("{i}  {}", i * i)],
+                    metrics: vec![("square".into(), (i * i) as f64)],
+                    work_items: 1,
+                }),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for workers in [1, 2, 8, 64] {
+            let records = run_jobs(counting_jobs(17), workers);
+            assert_eq!(records.len(), 17);
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(r.job_index, i);
+                assert_eq!(r.lines, vec![format!("{i}  {}", i * i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn values_are_worker_count_invariant() {
+        let serial = run_jobs(counting_jobs(9), 1);
+        let parallel = run_jobs(counting_jobs(9), 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.lines, b.lines);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert!(run_jobs(Vec::new(), 8).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Regression test for the harness determinism contract: the rendered
+//! tables and the per-job metrics must be byte-identical whether the jobs
+//! run on one worker or eight. See `bs_bench::harness` and DESIGN.md
+//! §"Determinism under parallelism".
+//!
+//! Runs fig10 + fig17 as the ISSUE's acceptance pair, at a reduced effort
+//! (1 run per point, 1 kbit per downlink point, fig10's 30-packets-per-bit
+//! jobs dropped) so the test stays fast in the debug profile; the
+//! contract being exercised — per-point seed derivation, work-stealing
+//! scheduling, in-order reassembly — is identical at any effort.
+
+use bs_bench::harness::{plan, render, run_jobs, Effort};
+
+fn test_effort() -> Effort {
+    Effort {
+        runs: 1,
+        dl_kbits: 1,
+        fig19_s: 0.1,
+        fp_hours: Vec::new(),
+        office_step_h: 8.0,
+    }
+}
+
+/// Builds the fig10+fig17 plan and drops the slow 30-packets-per-bit
+/// cells. `plan()` is pure, so both worker counts get identical job lists.
+fn build() -> (Vec<bs_bench::harness::Section>, Vec<bs_bench::harness::Job>) {
+    let figs = vec!["fig10".to_string(), "fig17".to_string()];
+    let p = plan(&figs, &test_effort(), 7).expect("known figures");
+    let mut jobs = p.jobs;
+    jobs.retain(|j| !j.label.contains("ppb=30"));
+    (p.sections, jobs)
+}
+
+#[test]
+fn parallel_run_is_byte_identical_to_serial() {
+    let (sections_a, jobs_a) = build();
+    let (sections_b, jobs_b) = build();
+    assert_eq!(jobs_a.len(), jobs_b.len());
+    assert!(jobs_a.len() > 40, "expected a real fan-out, got {}", jobs_a.len());
+
+    let serial = run_jobs(jobs_a, 1);
+    let parallel = run_jobs(jobs_b, 8);
+
+    // Every computed value matches job-for-job...
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.job_index, p.job_index);
+        assert_eq!(s.label, p.label, "job order diverged");
+        assert_eq!(s.metrics, p.metrics, "metrics diverged at {}", s.label);
+        assert_eq!(s.lines, p.lines, "table lines diverged at {}", s.label);
+    }
+
+    // ...and so does the fully rendered report, byte for byte.
+    let table_serial = render(&sections_a, &serial);
+    let table_parallel = render(&sections_b, &parallel);
+    assert_eq!(table_serial, table_parallel);
+    assert!(table_serial.contains("# === Fig 10a: CSI"));
+    assert!(table_serial.contains("# === Fig 17"));
+}
+
+#[test]
+fn json_records_differ_only_in_wall_time() {
+    let (_, jobs_a) = build();
+    let (_, jobs_b) = build();
+    // Keep this variant tiny: the two cheapest fig17 points.
+    let keep = |j: &bs_bench::harness::Job| j.label.contains("d=50cm");
+    let mut jobs_a = jobs_a;
+    let mut jobs_b = jobs_b;
+    jobs_a.retain(|j| keep(j) && j.fig == "fig17");
+    jobs_b.retain(|j| keep(j) && j.fig == "fig17");
+
+    let serial = run_jobs(jobs_a, 1);
+    let parallel = run_jobs(jobs_b, 8);
+    for (s, p) in serial.iter().zip(&parallel) {
+        // Zero out the one legitimately non-deterministic field; the
+        // serialized records must then match exactly.
+        let mut s = s.clone();
+        let mut p = p.clone();
+        s.wall_s = 0.0;
+        p.wall_s = 0.0;
+        assert_eq!(s.to_json_line(), p.to_json_line());
+    }
+}

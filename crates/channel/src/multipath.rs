@@ -208,12 +208,17 @@ mod tests {
     #[test]
     fn narrow_band_is_flat() {
         // Over 100 kHz the channel must be essentially flat (coherence
-        // bandwidth ≫ 100 kHz for 50 ns spread).
-        let mut r = rng();
-        let mp = Multipath::generate(&MultipathConfig::default(), &mut r);
-        let h0 = mp.response(0.0);
-        let h1 = mp.response(100e3);
-        assert!((h0 - h1).abs() / h0.abs() < 0.05);
+        // bandwidth ≫ 100 kHz for 50 ns spread). Measured against the
+        // profile's unit total power, not |H(0)| — a realisation can fade
+        // at DC, which would inflate a relative-to-|H(0)| metric without
+        // the channel being any less flat.
+        let r = rng();
+        for i in 0..8 {
+            let mp = Multipath::generate(&MultipathConfig::default(), &mut r.substream(i));
+            let h0 = mp.response(0.0);
+            let h1 = mp.response(100e3);
+            assert!((h0 - h1).abs() < 0.05, "substream {i}: {}", (h0 - h1).abs());
+        }
     }
 
     #[test]

@@ -364,13 +364,10 @@ mod tests {
         let a = s.snapshot(0.0, TagState::Reflect, &f);
         let b = s.snapshot(0.0, TagState::Absorb, &f);
         let d = s.differential(&f);
-        for ant in 0..3 {
-            for k in 0..f.len() {
-                let measured = a.h[ant][k] - b.h[ant][k];
-                assert!(
-                    (measured - d[ant][k]).abs() < 1e-12,
-                    "ant {ant} sc {k}"
-                );
+        for (ant, (ha, (hb, da))) in a.h.iter().zip(b.h.iter().zip(&d)).enumerate() {
+            for (k, ((&va, &vb), &vd)) in ha.iter().zip(hb).zip(da).enumerate() {
+                let measured = va - vb;
+                assert!((measured - vd).abs() < 1e-12, "ant {ant} sc {k}");
                 assert!(measured.abs() > 0.0);
             }
         }

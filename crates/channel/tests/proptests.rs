@@ -1,4 +1,5 @@
-//! Property-based tests for the RF substrate's physical invariants.
+//! Property-based tests for the RF substrate's physical invariants,
+//! driven by the deterministic in-repo [`bs_dsp::testkit`] generator.
 
 use bs_channel::backscatter::{RadarCrossSection, TagState};
 use bs_channel::fading::{FadingConfig, SlowFading};
@@ -6,102 +7,121 @@ use bs_channel::geometry::{line_of_sight, path_wall_loss_db, Point, Wall};
 use bs_channel::multipath::{Multipath, MultipathConfig};
 use bs_channel::pathloss::{db_to_linear, linear_to_db, LogDistance, WIFI_CH6_HZ};
 use bs_channel::scene::{Scene, SceneConfig};
+use bs_dsp::testkit::check;
 use bs_dsp::SimRng;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn db_linear_inverse(db in -150.0f64..60.0) {
+#[test]
+fn db_linear_inverse() {
+    check("db-linear-inverse", 256, |g| {
+        let db = g.f64_in(-150.0, 60.0);
         let lin = db_to_linear(db);
-        prop_assert!(lin > 0.0);
-        prop_assert!((linear_to_db(lin) - db).abs() < 1e-9);
-    }
+        assert!(lin > 0.0);
+        assert!((linear_to_db(lin) - db).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn pathloss_monotone(
-        d1 in 0.02f64..50.0,
-        d2 in 0.02f64..50.0,
-        exp in 2.0f64..4.0,
-    ) {
-        let m = LogDistance { exponent: exp, freq_hz: WIFI_CH6_HZ };
+#[test]
+fn pathloss_monotone() {
+    check("pathloss-monotone", 256, |g| {
+        let d1 = g.f64_in(0.02, 50.0);
+        let d2 = g.f64_in(0.02, 50.0);
+        let exp = g.f64_in(2.0, 4.0);
+        let m = LogDistance {
+            exponent: exp,
+            freq_hz: WIFI_CH6_HZ,
+        };
         let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
-        prop_assert!(m.loss_db(lo) <= m.loss_db(hi) + 1e-9);
-        prop_assert!(m.power_gain(lo) + 1e-15 >= m.power_gain(hi));
-    }
+        assert!(m.loss_db(lo) <= m.loss_db(hi) + 1e-9);
+        assert!(m.power_gain(lo) + 1e-15 >= m.power_gain(hi));
+    });
+}
 
-    #[test]
-    fn pathloss_gain_in_unit_interval(d in 1.0f64..100.0) {
+#[test]
+fn pathloss_gain_in_unit_interval() {
+    check("pathloss-gain-unit", 256, |g| {
+        let d = g.f64_in(1.0, 100.0);
         let m = LogDistance::default();
-        let g = m.power_gain(d);
-        prop_assert!(g > 0.0 && g < 1.0);
-    }
+        let gain = m.power_gain(d);
+        assert!(gain > 0.0 && gain < 1.0);
+    });
+}
 
-    #[test]
-    fn multipath_power_always_normalized(
-        seed in any::<u64>(),
-        taps in 1usize..16,
-        spread_ns in 10.0f64..200.0,
-        k in 0.0f64..10.0,
-    ) {
+#[test]
+fn multipath_power_always_normalized() {
+    check("multipath-normalized", 128, |g| {
+        let seed = g.case();
+        let taps = g.usize_in(1, 16);
+        let spread_ns = g.f64_in(10.0, 200.0);
+        let k = g.f64_in(0.0, 10.0);
         let cfg = MultipathConfig {
             scattered_taps: taps,
             delay_spread_s: spread_ns * 1e-9,
             k_factor: k,
         };
         let mp = Multipath::generate(&cfg, &mut SimRng::new(seed));
-        prop_assert!((mp.total_power() - 1.0).abs() < 1e-9);
-    }
+        assert!((mp.total_power() - 1.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn multipath_response_bounded_by_tap_amplitudes(
-        seed in any::<u64>(),
-        f_mhz in -10.0f64..10.0,
-    ) {
+#[test]
+fn multipath_response_bounded_by_tap_amplitudes() {
+    check("multipath-response-bounded", 128, |g| {
+        let seed = g.case().wrapping_mul(0x9e37_79b9) ^ 0x5bd1;
+        let f_mhz = g.f64_in(-10.0, 10.0);
         let mp = Multipath::generate(&MultipathConfig::default(), &mut SimRng::new(seed));
         let bound: f64 = mp.taps().iter().map(|t| t.gain.abs()).sum();
-        prop_assert!(mp.response(f_mhz * 1e6).abs() <= bound + 1e-9);
-    }
+        assert!(mp.response(f_mhz * 1e6).abs() <= bound + 1e-9);
+    });
+}
 
-    #[test]
-    fn rcs_differential_nonnegative_when_reflect_dominates(
-        reflect in 0.001f64..0.5,
-        frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn rcs_differential_nonnegative_when_reflect_dominates() {
+    check("rcs-differential", 256, |g| {
+        let reflect = g.f64_in(0.001, 0.5);
+        let frac = g.f64_in(0.0, 1.0);
         let rcs = RadarCrossSection {
             reflect_m2: reflect,
             absorb_m2: reflect * frac,
         };
-        prop_assert!(rcs.differential_amplitude(WIFI_CH6_HZ) >= -1e-12);
-    }
+        assert!(rcs.differential_amplitude(WIFI_CH6_HZ) >= -1e-12);
+    });
+}
 
-    #[test]
-    fn wall_loss_symmetric(
-        ax in -5.0f64..5.0, ay in -5.0f64..5.0,
-        bx in -5.0f64..5.0, by in -5.0f64..5.0,
-    ) {
+#[test]
+fn wall_loss_symmetric() {
+    check("wall-loss-symmetric", 256, |g| {
         let walls = vec![
             Wall::new(Point::new(0.0, -10.0), Point::new(0.0, 10.0), 7.0),
             Wall::new(Point::new(2.0, -10.0), Point::new(2.0, 10.0), 3.0),
         ];
-        let p = Point::new(ax, ay);
-        let q = Point::new(bx, by);
-        prop_assert_eq!(path_wall_loss_db(&walls, p, q), path_wall_loss_db(&walls, q, p));
-        prop_assert_eq!(line_of_sight(&walls, p, q), line_of_sight(&walls, q, p));
-    }
+        let p = Point::new(g.f64_in(-5.0, 5.0), g.f64_in(-5.0, 5.0));
+        let q = Point::new(g.f64_in(-5.0, 5.0), g.f64_in(-5.0, 5.0));
+        assert_eq!(path_wall_loss_db(&walls, p, q), path_wall_loss_db(&walls, q, p));
+        assert_eq!(line_of_sight(&walls, p, q), line_of_sight(&walls, q, p));
+    });
+}
 
-    #[test]
-    fn fading_gain_stays_near_one(seed in any::<u64>()) {
-        let cfg = FadingConfig { sigma: 0.05, tau_s: 1.0 };
+#[test]
+fn fading_gain_stays_near_one() {
+    check("fading-near-one", 64, |g| {
+        let seed = g.case() ^ 0xfad176;
+        let cfg = FadingConfig {
+            sigma: 0.05,
+            tau_s: 1.0,
+        };
         let mut f = SlowFading::new(cfg, SimRng::new(seed));
         for i in 0..50 {
-            let g = f.gain_at(i as f64 * 0.1);
+            let gain = f.gain_at(i as f64 * 0.1);
             // 0.05 sigma: |g - 1| beyond 0.5 would be a >10-sigma event.
-            prop_assert!((g - bs_dsp::Complex::ONE).abs() < 0.5);
+            assert!((gain - bs_dsp::Complex::ONE).abs() < 0.5);
         }
-    }
+    });
+}
 
-    #[test]
-    fn scene_differential_scales_down_with_distance(seed in 0u64..500) {
+#[test]
+fn scene_differential_scales_down_with_distance() {
+    check("scene-differential-distance", 32, |g| {
+        let seed = g.usize_in(0, 500) as u64;
         let f: Vec<f64> = (0..8).map(|i| (i as f64 - 3.5) * 2.5e6).collect();
         let diff_at = |d: f64| -> f64 {
             let mut cfg = SceneConfig::uplink(d);
@@ -113,11 +133,15 @@ proptest! {
                 .sum()
         };
         // Same multipath seed, 20x distance: differential must shrink.
-        prop_assert!(diff_at(0.1) > diff_at(2.0));
-    }
+        assert!(diff_at(0.1) > diff_at(2.0));
+    });
+}
 
-    #[test]
-    fn scene_snapshot_deterministic(seed in any::<u64>(), d_cm in 5u32..200) {
+#[test]
+fn scene_snapshot_deterministic() {
+    check("scene-snapshot-deterministic", 64, |g| {
+        let seed = g.case().wrapping_mul(0x517c_c1b7_2722_0a95);
+        let d_cm = g.usize_in(5, 200) as u32;
         let f: Vec<f64> = (0..4).map(|i| i as f64 * 5e6 - 7.5e6).collect();
         let mut cfg = SceneConfig::uplink(d_cm as f64 / 100.0);
         cfg.fading = FadingConfig::static_channel();
@@ -126,7 +150,7 @@ proptest! {
         let sa = a.snapshot(0.0, TagState::Reflect, &f);
         let sb = b.snapshot(0.0, TagState::Reflect, &f);
         for ant in 0..sa.h.len() {
-            prop_assert_eq!(&sa.h[ant], &sb.h[ant]);
+            assert_eq!(&sa.h[ant], &sb.h[ant]);
         }
-    }
+    });
 }

@@ -26,7 +26,6 @@
 //! and the uplink decoder's preamble threshold.
 
 use bs_dsp::SimRng;
-use rand::RngCore;
 
 /// A tag participating in inventory.
 #[derive(Debug, Clone, Copy, PartialEq)]

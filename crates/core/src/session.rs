@@ -249,7 +249,6 @@ trait NextSeed {
 
 impl NextSeed for SimRng {
     fn next_u64_seed(&mut self) -> u64 {
-        use rand::RngCore;
         self.next_u64()
     }
 }

@@ -355,9 +355,11 @@ mod tests {
     use super::*;
     use bs_dsp::SimRng;
 
-    /// Builds a synthetic bundle: `n_channels` series over the frame's
+    /// Builds a synthetic bundle (all knobs spelled out on purpose —
+    /// each test names exactly the physics it perturbs): `n_channels` series over the frame's
     /// bits, `good` of them carrying the modulation at `amp` (with random
     /// polarity), the rest pure noise. Packets arrive every `gap_us`.
+    #[allow(clippy::too_many_arguments)]
     fn synth_bundle(
         payload: &[bool],
         n_channels: usize,

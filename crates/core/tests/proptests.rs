@@ -1,7 +1,8 @@
-//! Property-based tests for the core decoders and protocol.
+//! Property-based tests for the core decoders and protocol,
+//! driven by the deterministic in-repo [`bs_dsp::testkit`] generator.
 
+use bs_dsp::testkit::check;
 use bs_tag::frame::UplinkFrame;
-use proptest::prelude::*;
 use wifi_backscatter::multitag::{run_inventory, InventoryConfig, InventoryTag};
 use wifi_backscatter::protocol::{select_bit_rate, Query, SUPPORTED_RATES_BPS};
 use wifi_backscatter::series::SeriesBundle;
@@ -37,93 +38,95 @@ fn clean_bundle(payload: &[bool], channels: usize, amp: f64) -> SeriesBundle {
     SeriesBundle { t_us, series }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any payload decodes from a clean bundle — the decoder pipeline is
-    /// payload-agnostic.
-    #[test]
-    fn decoder_recovers_arbitrary_payloads(
-        payload in proptest::collection::vec(any::<bool>(), 4..48),
-    ) {
+/// Any payload decodes from a clean bundle — the decoder pipeline is
+/// payload-agnostic.
+#[test]
+fn decoder_recovers_arbitrary_payloads() {
+    check("decoder-recovers-payloads", 24, |g| {
+        let payload = g.vec_bool(4, 48);
         let bundle = clean_bundle(&payload, 8, 0.5);
         let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, payload.len()));
         let out = dec.decode(&bundle, 0).expect("clean bundle must decode");
         let got: Option<Vec<bool>> = out.bits.into_iter().collect();
-        prop_assert_eq!(got, Some(payload));
-    }
+        assert_eq!(got, Some(payload));
+    });
+}
 
-    /// Decoding is a pure function of the bundle.
-    #[test]
-    fn decode_is_deterministic(
-        payload in proptest::collection::vec(any::<bool>(), 4..32),
-    ) {
+/// Decoding is a pure function of the bundle.
+#[test]
+fn decode_is_deterministic() {
+    check("decode-deterministic", 24, |g| {
+        let payload = g.vec_bool(4, 32);
         let bundle = clean_bundle(&payload, 6, 0.4);
         let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, payload.len()));
         let a = dec.decode(&bundle, 0);
         let b = dec.decode(&bundle, 0);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Trace round-trips preserve the bundle exactly.
-    #[test]
-    fn trace_roundtrip_exact(
-        payload in proptest::collection::vec(any::<bool>(), 1..16),
-        channels in 1usize..6,
-    ) {
+/// Trace round-trips preserve the bundle exactly.
+#[test]
+fn trace_roundtrip_exact() {
+    check("trace-roundtrip", 24, |g| {
+        let payload = g.vec_bool(1, 16);
+        let channels = g.usize_in(1, 6);
         let bundle = clean_bundle(&payload, channels, 0.3);
         let text = trace::to_text(&bundle);
         let back = trace::from_text(&text).unwrap();
-        prop_assert_eq!(back, bundle);
-    }
+        assert_eq!(back, bundle);
+    });
+}
 
-    /// Queries round-trip for any field values (within supported rates).
-    #[test]
-    fn query_roundtrip(
-        addr in any::<u8>(),
-        bits in 1u16..1024,
-        rate_idx in 0usize..4,
-        code in 1u16..512,
-    ) {
+/// Queries round-trip for any field values (within supported rates).
+#[test]
+fn query_roundtrip() {
+    check("query-roundtrip", 256, |g| {
         let q = Query {
-            tag_address: addr,
-            payload_bits: bits,
-            bit_rate_bps: SUPPORTED_RATES_BPS[rate_idx],
-            code_length: code,
+            tag_address: g.u8(),
+            payload_bits: g.usize_in(1, 1024) as u16,
+            bit_rate_bps: SUPPORTED_RATES_BPS[g.usize_in(0, 4)],
+            code_length: g.usize_in(1, 512) as u16,
         };
-        prop_assert_eq!(Query::from_frame(&q.to_frame()), Some(q));
-    }
+        assert_eq!(Query::from_frame(&q.to_frame()), Some(q));
+    });
+}
 
-    /// Rate selection is monotone in load and always supported.
-    #[test]
-    fn rate_selection_monotone(
-        load1 in 10.0f64..10_000.0,
-        load2 in 10.0f64..10_000.0,
-        m in 1u32..40,
-    ) {
-        let (lo, hi) = if load1 <= load2 { (load1, load2) } else { (load2, load1) };
+/// Rate selection is monotone in load and always supported.
+#[test]
+fn rate_selection_monotone() {
+    check("rate-selection-monotone", 256, |g| {
+        let load1 = g.f64_in(10.0, 10_000.0);
+        let load2 = g.f64_in(10.0, 10_000.0);
+        let m = g.usize_in(1, 40) as u32;
+        let (lo, hi) = if load1 <= load2 {
+            (load1, load2)
+        } else {
+            (load2, load1)
+        };
         let r_lo = select_bit_rate(lo, m, 0.8);
         let r_hi = select_bit_rate(hi, m, 0.8);
-        prop_assert!(r_lo <= r_hi);
-        prop_assert!(SUPPORTED_RATES_BPS.contains(&r_lo));
-        prop_assert!(SUPPORTED_RATES_BPS.contains(&r_hi));
-    }
+        assert!(r_lo <= r_hi);
+        assert!(SUPPORTED_RATES_BPS.contains(&r_lo));
+        assert!(SUPPORTED_RATES_BPS.contains(&r_hi));
+    });
+}
 
-    /// Inventory always identifies every tag (distinct addresses, default
-    /// config) and never reports duplicates or ghosts.
-    #[test]
-    fn inventory_is_complete_and_sound(
-        n in 1usize..40,
-        seed in any::<u64>(),
-    ) {
+/// Inventory always identifies every tag (distinct addresses, default
+/// config) and never reports duplicates or ghosts.
+#[test]
+fn inventory_is_complete_and_sound() {
+    check("inventory-complete-sound", 24, |g| {
+        let n = g.usize_in(1, 40);
+        let seed = g.case() ^ 0x1171;
         let tags: Vec<InventoryTag> = (0..n).map(|i| InventoryTag::new(i as u8)).collect();
         let mut rng = bs_dsp::SimRng::new(seed).stream("prop-inventory");
         let r = run_inventory(&tags, InventoryConfig::default(), &mut rng);
-        prop_assert!(r.complete(&tags), "missed tags (n={n})");
+        assert!(r.complete(&tags), "missed tags (n={n})");
         let mut ids = r.identified.clone();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), n, "duplicates reported");
-        prop_assert!(r.identified.iter().all(|a| (*a as usize) < n), "ghost tag");
-    }
+        assert_eq!(ids.len(), n, "duplicates reported");
+        assert!(r.identified.iter().all(|a| (*a as usize) < n), "ghost tag");
+    });
 }

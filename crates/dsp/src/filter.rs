@@ -140,11 +140,11 @@ mod tests {
         let xs: Vec<f64> = (0..50).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
         let half = 3;
         let fast = moving_average(&xs, half);
-        for i in 0..xs.len() {
+        for (i, &f) in fast.iter().enumerate() {
             let lo = i.saturating_sub(half);
             let hi = (i + half + 1).min(xs.len());
             let naive: f64 = xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
-            assert!((fast[i] - naive).abs() < 1e-12, "at {i}");
+            assert!((f - naive).abs() < 1e-12, "at {i}");
         }
     }
 

@@ -22,6 +22,8 @@
 //!   majority voting over the channel measurements of one bit.
 //! * [`bits`] — bit/byte packing, CRC-8 framing checks and bit-error-rate
 //!   accounting used throughout the evaluation.
+//! * [`testkit`] — a deterministic property-testing driver used by every
+//!   crate's invariant tests (no external `proptest` dependency).
 //!
 //! Everything here is plain, allocation-conscious synchronous Rust: the
 //! whole reproduction is a deterministic discrete-event simulation, so there
@@ -39,6 +41,7 @@ pub mod filter;
 pub mod rng;
 pub mod slicer;
 pub mod stats;
+pub mod testkit;
 
 pub use complex::Complex;
 pub use rng::SimRng;

@@ -178,9 +178,9 @@ mod tests {
         let mut on_mean = 0.0;
         let mut off_mean = 0.0;
         let mut n = 0.0;
-        for bit in 4..40 {
+        for (bit, &b) in bits.iter().enumerate().take(40).skip(4) {
             let mid = bit * 50 + 25;
-            if bits[bit] {
+            if b {
                 on_mean += trace[mid];
             } else {
                 off_mean += trace[mid];

@@ -304,9 +304,9 @@ mod tests {
         let n = 2000;
         for i in 0..n {
             let m = ex.measure(&snap, i);
-            for ant in 0..3 {
-                let mean: f64 = m.amplitude[ant].iter().sum::<f64>() / 30.0;
-                if (mean - base_mean[ant]).abs() > 0.25 * base_mean[ant] {
+            for (amps, base) in m.amplitude.iter().zip(&base_mean) {
+                let mean: f64 = amps.iter().sum::<f64>() / 30.0;
+                if (mean - base).abs() > 0.25 * base {
                     glitched += 1;
                     break;
                 }

@@ -88,6 +88,8 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// layout: `subtype << 4 | type << 2 | version`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
+// Digit groups mirror the subtype/type/version field boundaries, not bytes.
+#[allow(clippy::unusual_byte_groupings)]
 pub enum FrameType {
     /// Management / beacon (type 00, subtype 1000).
     Beacon = 0b1000_00_00,

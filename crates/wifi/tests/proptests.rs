@@ -1,47 +1,50 @@
-//! Property-based tests for the Wi-Fi substrate's invariants.
+//! Property-based tests for the Wi-Fi substrate's invariants,
+//! driven by the deterministic in-repo [`bs_dsp::testkit`] generator.
 
+use bs_dsp::testkit::check;
+use bs_dsp::SimRng;
 use bs_wifi::frame::{airtime_us, FrameKind, WifiFrame, MAX_NAV_US};
 use bs_wifi::mac::{all_delivered, MacConfig, Medium, Station};
 use bs_wifi::rate_adapt::{best_rate, mac_efficiency, RateAdapter, RATE_TABLE};
 use bs_wifi::traffic;
-use bs_dsp::SimRng;
-use proptest::prelude::*;
 
-proptest! {
-    // ---- frames ----
+// ---- frames ----
 
-    #[test]
-    fn airtime_positive_and_monotone(
-        bytes in 1usize..3000,
-        extra in 1usize..1000,
-        rate_x10 in 60u32..540,
-    ) {
-        let rate = f64::from(rate_x10) / 10.0;
+#[test]
+fn airtime_positive_and_monotone() {
+    check("airtime-monotone", 256, |g| {
+        let bytes = g.usize_in(1, 3000);
+        let extra = g.usize_in(1, 1000);
+        let rate = g.usize_in(60, 540) as f64 / 10.0;
         let a = airtime_us(bytes, rate);
         let b = airtime_us(bytes + extra, rate);
-        prop_assert!(a > 0);
-        prop_assert!(b >= a);
-    }
+        assert!(a > 0);
+        assert!(b >= a);
+    });
+}
 
-    #[test]
-    fn nav_is_always_clamped(nav in any::<u64>()) {
+#[test]
+fn nav_is_always_clamped() {
+    check("nav-clamped", 256, |g| {
+        let nav = g.case().wrapping_mul(0x2545_f491_4f6c_dd1d);
         let f = WifiFrame {
             kind: FrameKind::CtsToSelf { nav_us: nav },
             src: 0,
             timestamp_us: 0,
             duration_us: 30,
         };
-        prop_assert!(f.nav_us() <= MAX_NAV_US);
-    }
+        assert!(f.nav_us() <= MAX_NAV_US);
+    });
+}
 
-    // ---- MAC ----
+// ---- MAC ----
 
-    #[test]
-    fn mac_frames_never_overlap(
-        seed in any::<u64>(),
-        pps1 in 50.0f64..1500.0,
-        pps2 in 50.0f64..1500.0,
-    ) {
+#[test]
+fn mac_frames_never_overlap() {
+    check("mac-no-overlap", 24, |g| {
+        let seed = g.case() ^ 0x3ac011;
+        let pps1 = g.f64_in(50.0, 1500.0);
+        let pps2 = g.f64_in(50.0, 1500.0);
         let rng = SimRng::new(seed);
         let s1 = Station::data(
             traffic::poisson(pps1, 200_000, &mut rng.stream("s1")),
@@ -58,73 +61,89 @@ proptest! {
         // Non-collided frames never overlap in time.
         let ok = all_delivered(&timeline);
         for w in ok.windows(2) {
-            prop_assert!(
+            assert!(
                 w[1].timestamp_us >= w[0].end_us(),
-                "{} < {}", w[1].timestamp_us, w[0].end_us()
+                "{} < {}",
+                w[1].timestamp_us,
+                w[0].end_us()
             );
         }
         // Accounting adds up.
-        prop_assert_eq!(
-            stats.delivered + stats.collisions,
-            timeline.len() as u64
-        );
-    }
+        assert_eq!(stats.delivered + stats.collisions, timeline.len() as u64);
+    });
+}
 
-    #[test]
-    fn mac_delivers_at_most_offered(seed in any::<u64>(), pps in 10.0f64..3000.0) {
+#[test]
+fn mac_delivers_at_most_offered() {
+    check("mac-at-most-offered", 24, |g| {
+        let seed = g.case() ^ 0x0ff312;
+        let pps = g.f64_in(10.0, 3000.0);
         let rng = SimRng::new(seed);
         let arrivals = traffic::poisson(pps, 500_000, &mut rng.stream("a"));
         let offered = arrivals.len();
         let st = Station::data(arrivals, 1000, 54.0);
         let mut medium = Medium::new(MacConfig::default(), rng.stream("m"));
         let (timeline, _) = medium.simulate(&[st], 500_000);
-        prop_assert!(timeline.len() <= offered);
-    }
+        assert!(timeline.len() <= offered);
+    });
+}
 
-    // ---- traffic ----
+// ---- traffic ----
 
-    #[test]
-    fn generators_sorted_and_bounded(
-        seed in any::<u64>(),
-        pps in 1.0f64..5000.0,
-    ) {
+#[test]
+fn generators_sorted_and_bounded() {
+    check("traffic-sorted-bounded", 48, |g| {
+        let seed = g.case() ^ 0x7aff1c;
+        let pps = g.f64_in(1.0, 5000.0);
         let mut rng = SimRng::new(seed);
         for arr in [
             traffic::cbr(pps, 300_000, &mut rng),
             traffic::poisson(pps, 300_000, &mut rng),
             traffic::bursty_onoff(pps.max(100.0), 20_000.0, 40_000.0, 300_000, &mut rng),
         ] {
-            prop_assert!(arr.windows(2).all(|w| w[0] <= w[1]));
-            prop_assert!(arr.iter().all(|&t| t < 300_000));
+            assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+            assert!(arr.iter().all(|&t| t < 300_000));
         }
-    }
+    });
+}
 
-    #[test]
-    fn office_profile_bounded(h in 0.0f64..24.0) {
+#[test]
+fn office_profile_bounded() {
+    check("office-profile-bounded", 256, |g| {
+        let h = g.f64_in(0.0, 24.0);
         let p = traffic::OfficeLoadProfile.load_pps(h);
-        prop_assert!((100.0..=1200.0).contains(&p), "{p}");
-    }
+        assert!((100.0..=1200.0).contains(&p), "{p}");
+    });
+}
 
-    // ---- rate adaptation ----
+// ---- rate adaptation ----
 
-    #[test]
-    fn best_rate_monotone_in_snr(a in -10.0f64..45.0, b in -10.0f64..45.0) {
+#[test]
+fn best_rate_monotone_in_snr() {
+    check("best-rate-monotone", 256, |g| {
+        let a = g.f64_in(-10.0, 45.0);
+        let b = g.f64_in(-10.0, 45.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(best_rate(lo).rate_mbps <= best_rate(hi).rate_mbps);
-    }
+        assert!(best_rate(lo).rate_mbps <= best_rate(hi).rate_mbps);
+    });
+}
 
-    #[test]
-    fn adapter_always_in_table(snrs in proptest::collection::vec(-20.0f64..50.0, 1..100)) {
+#[test]
+fn adapter_always_in_table() {
+    check("adapter-in-table", 128, |g| {
+        let snrs = g.vec_f64(-20.0, 50.0, 1, 100);
         let mut ad = RateAdapter::default();
         for s in snrs {
             let r = ad.observe(s);
-            prop_assert!(RATE_TABLE.iter().any(|m| m.rate_mbps == r.rate_mbps));
+            assert!(RATE_TABLE.iter().any(|m| m.rate_mbps == r.rate_mbps));
         }
-    }
+    });
+}
 
-    #[test]
-    fn mac_efficiency_in_unit_interval(rate_x10 in 60u32..540) {
-        let e = mac_efficiency(f64::from(rate_x10) / 10.0);
-        prop_assert!(e > 0.0 && e < 1.0);
-    }
+#[test]
+fn mac_efficiency_in_unit_interval() {
+    check("mac-efficiency-unit", 256, |g| {
+        let e = mac_efficiency(g.usize_in(60, 540) as f64 / 10.0);
+        assert!(e > 0.0 && e < 1.0);
+    });
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would require, in dependency order.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release (all targets) =="
+cargo build --release --all-targets
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo doc --no-deps (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+echo "== all checks passed =="

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bs_dsp-34686a0d821fc751.d: crates/dsp/src/lib.rs crates/dsp/src/bits.rs crates/dsp/src/codes.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/rng.rs crates/dsp/src/slicer.rs crates/dsp/src/stats.rs crates/dsp/src/testkit.rs
+
+/root/repo/target/debug/deps/bs_dsp-34686a0d821fc751: crates/dsp/src/lib.rs crates/dsp/src/bits.rs crates/dsp/src/codes.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/rng.rs crates/dsp/src/slicer.rs crates/dsp/src/stats.rs crates/dsp/src/testkit.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/bits.rs:
+crates/dsp/src/codes.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/correlate.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/rng.rs:
+crates/dsp/src/slicer.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/testkit.rs:

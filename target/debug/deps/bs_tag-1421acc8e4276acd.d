@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bs_tag-1421acc8e4276acd.d: crates/tag/src/lib.rs crates/tag/src/envelope.rs crates/tag/src/firmware.rs crates/tag/src/frame.rs crates/tag/src/harvester.rs crates/tag/src/modulator.rs crates/tag/src/power.rs crates/tag/src/receiver.rs
+
+/root/repo/target/debug/deps/libbs_tag-1421acc8e4276acd.rmeta: crates/tag/src/lib.rs crates/tag/src/envelope.rs crates/tag/src/firmware.rs crates/tag/src/frame.rs crates/tag/src/harvester.rs crates/tag/src/modulator.rs crates/tag/src/power.rs crates/tag/src/receiver.rs
+
+crates/tag/src/lib.rs:
+crates/tag/src/envelope.rs:
+crates/tag/src/firmware.rs:
+crates/tag/src/frame.rs:
+crates/tag/src/harvester.rs:
+crates/tag/src/modulator.rs:
+crates/tag/src/power.rs:
+crates/tag/src/receiver.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bs_tag-90391d15fa3b3328.d: crates/tag/src/lib.rs crates/tag/src/envelope.rs crates/tag/src/firmware.rs crates/tag/src/frame.rs crates/tag/src/harvester.rs crates/tag/src/modulator.rs crates/tag/src/power.rs crates/tag/src/receiver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbs_tag-90391d15fa3b3328.rmeta: crates/tag/src/lib.rs crates/tag/src/envelope.rs crates/tag/src/firmware.rs crates/tag/src/frame.rs crates/tag/src/harvester.rs crates/tag/src/modulator.rs crates/tag/src/power.rs crates/tag/src/receiver.rs Cargo.toml
+
+crates/tag/src/lib.rs:
+crates/tag/src/envelope.rs:
+crates/tag/src/firmware.rs:
+crates/tag/src/frame.rs:
+crates/tag/src/harvester.rs:
+crates/tag/src/modulator.rs:
+crates/tag/src/power.rs:
+crates/tag/src/receiver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

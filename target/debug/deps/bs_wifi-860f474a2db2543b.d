@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/bs_wifi-860f474a2db2543b.d: crates/wifi/src/lib.rs crates/wifi/src/csi.rs crates/wifi/src/frame.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/rate_adapt.rs crates/wifi/src/rssi.rs crates/wifi/src/traffic.rs crates/wifi/src/waveform.rs crates/wifi/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbs_wifi-860f474a2db2543b.rmeta: crates/wifi/src/lib.rs crates/wifi/src/csi.rs crates/wifi/src/frame.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/rate_adapt.rs crates/wifi/src/rssi.rs crates/wifi/src/traffic.rs crates/wifi/src/waveform.rs crates/wifi/src/wire.rs Cargo.toml
+
+crates/wifi/src/lib.rs:
+crates/wifi/src/csi.rs:
+crates/wifi/src/frame.rs:
+crates/wifi/src/mac.rs:
+crates/wifi/src/ofdm.rs:
+crates/wifi/src/rate_adapt.rs:
+crates/wifi/src/rssi.rs:
+crates/wifi/src/traffic.rs:
+crates/wifi/src/waveform.rs:
+crates/wifi/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

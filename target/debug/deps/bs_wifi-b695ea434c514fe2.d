@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bs_wifi-b695ea434c514fe2.d: crates/wifi/src/lib.rs crates/wifi/src/csi.rs crates/wifi/src/frame.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/rate_adapt.rs crates/wifi/src/rssi.rs crates/wifi/src/traffic.rs crates/wifi/src/waveform.rs crates/wifi/src/wire.rs
+
+/root/repo/target/debug/deps/libbs_wifi-b695ea434c514fe2.rmeta: crates/wifi/src/lib.rs crates/wifi/src/csi.rs crates/wifi/src/frame.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/rate_adapt.rs crates/wifi/src/rssi.rs crates/wifi/src/traffic.rs crates/wifi/src/waveform.rs crates/wifi/src/wire.rs
+
+crates/wifi/src/lib.rs:
+crates/wifi/src/csi.rs:
+crates/wifi/src/frame.rs:
+crates/wifi/src/mac.rs:
+crates/wifi/src/ofdm.rs:
+crates/wifi/src/rate_adapt.rs:
+crates/wifi/src/rssi.rs:
+crates/wifi/src/traffic.rs:
+crates/wifi/src/waveform.rs:
+crates/wifi/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-4dbe9ba609e17d78.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-4dbe9ba609e17d78: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-d9c8ffbab9da67ba.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-d9c8ffbab9da67ba: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coexistence_integration-d2aaffee1ba3165d.d: crates/core/../../tests/coexistence_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoexistence_integration-d2aaffee1ba3165d.rmeta: crates/core/../../tests/coexistence_integration.rs Cargo.toml
+
+crates/core/../../tests/coexistence_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coexistence_integration-e504f7ba00161af2.d: crates/core/../../tests/coexistence_integration.rs
+
+/root/repo/target/debug/deps/coexistence_integration-e504f7ba00161af2: crates/core/../../tests/coexistence_integration.rs
+
+crates/core/../../tests/coexistence_integration.rs:

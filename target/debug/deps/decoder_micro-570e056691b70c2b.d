@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decoder_micro-570e056691b70c2b.d: crates/bench/benches/decoder_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecoder_micro-570e056691b70c2b.rmeta: crates/bench/benches/decoder_micro.rs Cargo.toml
+
+crates/bench/benches/decoder_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

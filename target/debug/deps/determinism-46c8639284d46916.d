@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-46c8639284d46916.d: crates/bench/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-46c8639284d46916: crates/bench/tests/determinism.rs
+
+crates/bench/tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-ff5e8cd98aae4d50.d: crates/bench/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-ff5e8cd98aae4d50.rmeta: crates/bench/tests/determinism.rs Cargo.toml
+
+crates/bench/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/downlink_integration-6795ca7ecfb30035.d: crates/core/../../tests/downlink_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlink_integration-6795ca7ecfb30035.rmeta: crates/core/../../tests/downlink_integration.rs Cargo.toml
+
+crates/core/../../tests/downlink_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

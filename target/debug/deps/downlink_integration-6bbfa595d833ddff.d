@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlink_integration-6bbfa595d833ddff.d: crates/core/../../tests/downlink_integration.rs
+
+/root/repo/target/debug/deps/downlink_integration-6bbfa595d833ddff: crates/core/../../tests/downlink_integration.rs
+
+crates/core/../../tests/downlink_integration.rs:

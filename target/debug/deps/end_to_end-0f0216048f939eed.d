@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0f0216048f939eed.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0f0216048f939eed: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

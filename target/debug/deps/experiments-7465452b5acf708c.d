@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7465452b5acf708c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-7465452b5acf708c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-de00833b9224e3a7.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-de00833b9224e3a7: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_uplink_ber-060d2feabfaa5126.d: crates/bench/benches/fig10_uplink_ber.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_uplink_ber-060d2feabfaa5126.rmeta: crates/bench/benches/fig10_uplink_ber.rs Cargo.toml
+
+crates/bench/benches/fig10_uplink_ber.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

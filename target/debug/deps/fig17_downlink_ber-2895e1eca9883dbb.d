@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_downlink_ber-2895e1eca9883dbb.d: crates/bench/benches/fig17_downlink_ber.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_downlink_ber-2895e1eca9883dbb.rmeta: crates/bench/benches/fig17_downlink_ber.rs Cargo.toml
+
+crates/bench/benches/fig17_downlink_ber.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20_longrange-b419a5054fe88824.d: crates/bench/benches/fig20_longrange.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20_longrange-b419a5054fe88824.rmeta: crates/bench/benches/fig20_longrange.rs Cargo.toml
+
+crates/bench/benches/fig20_longrange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

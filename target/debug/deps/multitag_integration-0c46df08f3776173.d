@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multitag_integration-0c46df08f3776173.d: crates/core/../../tests/multitag_integration.rs
+
+/root/repo/target/debug/deps/multitag_integration-0c46df08f3776173: crates/core/../../tests/multitag_integration.rs
+
+crates/core/../../tests/multitag_integration.rs:

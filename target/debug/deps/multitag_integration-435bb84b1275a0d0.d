@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multitag_integration-435bb84b1275a0d0.d: crates/core/../../tests/multitag_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultitag_integration-435bb84b1275a0d0.rmeta: crates/core/../../tests/multitag_integration.rs Cargo.toml
+
+crates/core/../../tests/multitag_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

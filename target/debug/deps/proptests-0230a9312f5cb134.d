@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0230a9312f5cb134.d: crates/dsp/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0230a9312f5cb134.rmeta: crates/dsp/tests/proptests.rs Cargo.toml
+
+crates/dsp/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0f2dc0bea96cd815.d: crates/tag/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0f2dc0bea96cd815.rmeta: crates/tag/tests/proptests.rs Cargo.toml
+
+crates/tag/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

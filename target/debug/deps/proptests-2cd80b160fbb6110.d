@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2cd80b160fbb6110.d: crates/channel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2cd80b160fbb6110.rmeta: crates/channel/tests/proptests.rs Cargo.toml
+
+crates/channel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-79af3bc2ddef71ba.d: crates/wifi/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-79af3bc2ddef71ba: crates/wifi/tests/proptests.rs
+
+crates/wifi/tests/proptests.rs:

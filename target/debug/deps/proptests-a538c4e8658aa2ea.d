@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a538c4e8658aa2ea.d: crates/wifi/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a538c4e8658aa2ea.rmeta: crates/wifi/tests/proptests.rs Cargo.toml
+
+crates/wifi/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

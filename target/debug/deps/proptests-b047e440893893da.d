@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b047e440893893da.d: crates/channel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b047e440893893da: crates/channel/tests/proptests.rs
+
+crates/channel/tests/proptests.rs:

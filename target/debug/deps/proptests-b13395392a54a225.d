@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b13395392a54a225.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b13395392a54a225: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

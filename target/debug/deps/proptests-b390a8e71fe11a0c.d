@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b390a8e71fe11a0c.d: crates/dsp/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b390a8e71fe11a0c: crates/dsp/tests/proptests.rs
+
+crates/dsp/tests/proptests.rs:

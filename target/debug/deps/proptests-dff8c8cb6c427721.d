@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-dff8c8cb6c427721.d: crates/tag/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-dff8c8cb6c427721: crates/tag/tests/proptests.rs
+
+crates/tag/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_integration-7d482e9cfd00aa1e.d: crates/core/../../tests/protocol_integration.rs
+
+/root/repo/target/debug/deps/protocol_integration-7d482e9cfd00aa1e: crates/core/../../tests/protocol_integration.rs
+
+crates/core/../../tests/protocol_integration.rs:

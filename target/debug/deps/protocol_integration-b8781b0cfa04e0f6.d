@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_integration-b8781b0cfa04e0f6.d: crates/core/../../tests/protocol_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_integration-b8781b0cfa04e0f6.rmeta: crates/core/../../tests/protocol_integration.rs Cargo.toml
+
+crates/core/../../tests/protocol_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

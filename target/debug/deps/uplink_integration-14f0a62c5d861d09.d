@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uplink_integration-14f0a62c5d861d09.d: crates/core/../../tests/uplink_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuplink_integration-14f0a62c5d861d09.rmeta: crates/core/../../tests/uplink_integration.rs Cargo.toml
+
+crates/core/../../tests/uplink_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uplink_integration-fae1ede87c735da8.d: crates/core/../../tests/uplink_integration.rs
+
+/root/repo/target/debug/deps/uplink_integration-fae1ede87c735da8: crates/core/../../tests/uplink_integration.rs
+
+crates/core/../../tests/uplink_integration.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/wifi_backscatter-858831f9b29f1b1e.d: crates/core/src/lib.rs crates/core/src/downlink.rs crates/core/src/link.rs crates/core/src/longrange.rs crates/core/src/multitag.rs crates/core/src/protocol.rs crates/core/src/series.rs crates/core/src/session.rs crates/core/src/trace.rs crates/core/src/uplink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwifi_backscatter-858831f9b29f1b1e.rmeta: crates/core/src/lib.rs crates/core/src/downlink.rs crates/core/src/link.rs crates/core/src/longrange.rs crates/core/src/multitag.rs crates/core/src/protocol.rs crates/core/src/series.rs crates/core/src/session.rs crates/core/src/trace.rs crates/core/src/uplink.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/downlink.rs:
+crates/core/src/link.rs:
+crates/core/src/longrange.rs:
+crates/core/src/multitag.rs:
+crates/core/src/protocol.rs:
+crates/core/src/series.rs:
+crates/core/src/session.rs:
+crates/core/src/trace.rs:
+crates/core/src/uplink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/wifi_backscatter-b65b2d15de511c2e.d: crates/core/src/lib.rs crates/core/src/downlink.rs crates/core/src/link.rs crates/core/src/longrange.rs crates/core/src/multitag.rs crates/core/src/protocol.rs crates/core/src/series.rs crates/core/src/session.rs crates/core/src/trace.rs crates/core/src/uplink.rs
+
+/root/repo/target/debug/deps/libwifi_backscatter-b65b2d15de511c2e.rlib: crates/core/src/lib.rs crates/core/src/downlink.rs crates/core/src/link.rs crates/core/src/longrange.rs crates/core/src/multitag.rs crates/core/src/protocol.rs crates/core/src/series.rs crates/core/src/session.rs crates/core/src/trace.rs crates/core/src/uplink.rs
+
+/root/repo/target/debug/deps/libwifi_backscatter-b65b2d15de511c2e.rmeta: crates/core/src/lib.rs crates/core/src/downlink.rs crates/core/src/link.rs crates/core/src/longrange.rs crates/core/src/multitag.rs crates/core/src/protocol.rs crates/core/src/series.rs crates/core/src/session.rs crates/core/src/trace.rs crates/core/src/uplink.rs
+
+crates/core/src/lib.rs:
+crates/core/src/downlink.rs:
+crates/core/src/link.rs:
+crates/core/src/longrange.rs:
+crates/core/src/multitag.rs:
+crates/core/src/protocol.rs:
+crates/core/src/series.rs:
+crates/core/src/session.rs:
+crates/core/src/trace.rs:
+crates/core/src/uplink.rs:

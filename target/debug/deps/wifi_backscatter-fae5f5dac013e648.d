@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wifi_backscatter-fae5f5dac013e648.d: crates/core/src/lib.rs crates/core/src/downlink.rs crates/core/src/link.rs crates/core/src/longrange.rs crates/core/src/multitag.rs crates/core/src/protocol.rs crates/core/src/series.rs crates/core/src/session.rs crates/core/src/trace.rs crates/core/src/uplink.rs
+
+/root/repo/target/debug/deps/wifi_backscatter-fae5f5dac013e648: crates/core/src/lib.rs crates/core/src/downlink.rs crates/core/src/link.rs crates/core/src/longrange.rs crates/core/src/multitag.rs crates/core/src/protocol.rs crates/core/src/series.rs crates/core/src/session.rs crates/core/src/trace.rs crates/core/src/uplink.rs
+
+crates/core/src/lib.rs:
+crates/core/src/downlink.rs:
+crates/core/src/link.rs:
+crates/core/src/longrange.rs:
+crates/core/src/multitag.rs:
+crates/core/src/protocol.rs:
+crates/core/src/series.rs:
+crates/core/src/session.rs:
+crates/core/src/trace.rs:
+crates/core/src/uplink.rs:

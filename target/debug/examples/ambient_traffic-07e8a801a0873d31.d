@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ambient_traffic-07e8a801a0873d31.d: crates/core/../../examples/ambient_traffic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libambient_traffic-07e8a801a0873d31.rmeta: crates/core/../../examples/ambient_traffic.rs Cargo.toml
+
+crates/core/../../examples/ambient_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

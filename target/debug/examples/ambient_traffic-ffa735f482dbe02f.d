@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ambient_traffic-ffa735f482dbe02f.d: crates/core/../../examples/ambient_traffic.rs
+
+/root/repo/target/debug/examples/ambient_traffic-ffa735f482dbe02f: crates/core/../../examples/ambient_traffic.rs
+
+crates/core/../../examples/ambient_traffic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/energy_budget-17fb13c55d6a08ca.d: crates/core/../../examples/energy_budget.rs Cargo.toml
+
+/root/repo/target/debug/examples/libenergy_budget-17fb13c55d6a08ca.rmeta: crates/core/../../examples/energy_budget.rs Cargo.toml
+
+crates/core/../../examples/energy_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energy_budget-c9063f719a668bc9.d: crates/core/../../examples/energy_budget.rs
+
+/root/repo/target/debug/examples/energy_budget-c9063f719a668bc9: crates/core/../../examples/energy_budget.rs
+
+crates/core/../../examples/energy_budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inventory-c1a6138b9eb0916d.d: crates/core/../../examples/inventory.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinventory-c1a6138b9eb0916d.rmeta: crates/core/../../examples/inventory.rs Cargo.toml
+
+crates/core/../../examples/inventory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inventory-c685f89a0eccd2fc.d: crates/core/../../examples/inventory.rs
+
+/root/repo/target/debug/examples/inventory-c685f89a0eccd2fc: crates/core/../../examples/inventory.rs
+
+crates/core/../../examples/inventory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/long_range-663924692c9ca25e.d: crates/core/../../examples/long_range.rs
+
+/root/repo/target/debug/examples/long_range-663924692c9ca25e: crates/core/../../examples/long_range.rs
+
+crates/core/../../examples/long_range.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/long_range-ce62e52f520a03c1.d: crates/core/../../examples/long_range.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblong_range-ce62e52f520a03c1.rmeta: crates/core/../../examples/long_range.rs Cargo.toml
+
+crates/core/../../examples/long_range.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

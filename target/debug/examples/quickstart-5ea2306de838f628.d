@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5ea2306de838f628.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5ea2306de838f628: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_network-3a7d4727d4e12f44.d: crates/core/../../examples/sensor_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_network-3a7d4727d4e12f44.rmeta: crates/core/../../examples/sensor_network.rs Cargo.toml
+
+crates/core/../../examples/sensor_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_network-668b779e6c63c91d.d: crates/core/../../examples/sensor_network.rs
+
+/root/repo/target/debug/examples/sensor_network-668b779e6c63c91d: crates/core/../../examples/sensor_network.rs
+
+crates/core/../../examples/sensor_network.rs:

@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["bs_bench","bs_channel","bs_dsp","bs_tag","bs_wifi","calibrate","experiments","wifi_backscatter"];
+//{"start":21,"fragment_lengths":[10,13,9,9,10,12,14,19]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["bs_channel",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"enum\" href=\"bs_channel/backscatter/enum.TagState.html\" title=\"enum bs_channel::backscatter::TagState\">TagState</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"enum\" href=\"bs_channel/geometry/enum.TestbedLocation.html\" title=\"enum bs_channel::geometry::TestbedLocation\">TestbedLocation</a>",0]]],["bs_wifi",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"enum\" href=\"bs_wifi/frame/enum.FrameKind.html\" title=\"enum bs_wifi::frame::FrameKind\">FrameKind</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"struct\" href=\"bs_wifi/wire/struct.MacAddr.html\" title=\"struct bs_wifi::wire::MacAddr\">MacAddr</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[581,532]}

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/bs_dsp-45c70d3c10cd07ac.d: crates/dsp/src/lib.rs crates/dsp/src/bits.rs crates/dsp/src/codes.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/rng.rs crates/dsp/src/slicer.rs crates/dsp/src/stats.rs crates/dsp/src/testkit.rs Cargo.toml
+
+/root/repo/target/release/deps/libbs_dsp-45c70d3c10cd07ac.rmeta: crates/dsp/src/lib.rs crates/dsp/src/bits.rs crates/dsp/src/codes.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/rng.rs crates/dsp/src/slicer.rs crates/dsp/src/stats.rs crates/dsp/src/testkit.rs Cargo.toml
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/bits.rs:
+crates/dsp/src/codes.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/correlate.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/rng.rs:
+crates/dsp/src/slicer.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/testkit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/bs_tag-10e9794aa0c3eb46.d: crates/tag/src/lib.rs crates/tag/src/envelope.rs crates/tag/src/firmware.rs crates/tag/src/frame.rs crates/tag/src/harvester.rs crates/tag/src/modulator.rs crates/tag/src/power.rs crates/tag/src/receiver.rs Cargo.toml
+
+/root/repo/target/release/deps/libbs_tag-10e9794aa0c3eb46.rmeta: crates/tag/src/lib.rs crates/tag/src/envelope.rs crates/tag/src/firmware.rs crates/tag/src/frame.rs crates/tag/src/harvester.rs crates/tag/src/modulator.rs crates/tag/src/power.rs crates/tag/src/receiver.rs Cargo.toml
+
+crates/tag/src/lib.rs:
+crates/tag/src/envelope.rs:
+crates/tag/src/firmware.rs:
+crates/tag/src/frame.rs:
+crates/tag/src/harvester.rs:
+crates/tag/src/modulator.rs:
+crates/tag/src/power.rs:
+crates/tag/src/receiver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

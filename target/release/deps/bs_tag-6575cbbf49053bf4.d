@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bs_tag-6575cbbf49053bf4.d: crates/tag/src/lib.rs crates/tag/src/envelope.rs crates/tag/src/firmware.rs crates/tag/src/frame.rs crates/tag/src/harvester.rs crates/tag/src/modulator.rs crates/tag/src/power.rs crates/tag/src/receiver.rs
+
+/root/repo/target/release/deps/bs_tag-6575cbbf49053bf4: crates/tag/src/lib.rs crates/tag/src/envelope.rs crates/tag/src/firmware.rs crates/tag/src/frame.rs crates/tag/src/harvester.rs crates/tag/src/modulator.rs crates/tag/src/power.rs crates/tag/src/receiver.rs
+
+crates/tag/src/lib.rs:
+crates/tag/src/envelope.rs:
+crates/tag/src/firmware.rs:
+crates/tag/src/frame.rs:
+crates/tag/src/harvester.rs:
+crates/tag/src/modulator.rs:
+crates/tag/src/power.rs:
+crates/tag/src/receiver.rs:

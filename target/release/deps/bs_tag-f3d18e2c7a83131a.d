@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bs_tag-f3d18e2c7a83131a.d: crates/tag/src/lib.rs crates/tag/src/envelope.rs crates/tag/src/firmware.rs crates/tag/src/frame.rs crates/tag/src/harvester.rs crates/tag/src/modulator.rs crates/tag/src/power.rs crates/tag/src/receiver.rs
+
+/root/repo/target/release/deps/libbs_tag-f3d18e2c7a83131a.rlib: crates/tag/src/lib.rs crates/tag/src/envelope.rs crates/tag/src/firmware.rs crates/tag/src/frame.rs crates/tag/src/harvester.rs crates/tag/src/modulator.rs crates/tag/src/power.rs crates/tag/src/receiver.rs
+
+/root/repo/target/release/deps/libbs_tag-f3d18e2c7a83131a.rmeta: crates/tag/src/lib.rs crates/tag/src/envelope.rs crates/tag/src/firmware.rs crates/tag/src/frame.rs crates/tag/src/harvester.rs crates/tag/src/modulator.rs crates/tag/src/power.rs crates/tag/src/receiver.rs
+
+crates/tag/src/lib.rs:
+crates/tag/src/envelope.rs:
+crates/tag/src/firmware.rs:
+crates/tag/src/frame.rs:
+crates/tag/src/harvester.rs:
+crates/tag/src/modulator.rs:
+crates/tag/src/power.rs:
+crates/tag/src/receiver.rs:

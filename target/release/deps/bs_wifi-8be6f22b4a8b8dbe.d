@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bs_wifi-8be6f22b4a8b8dbe.d: crates/wifi/src/lib.rs crates/wifi/src/csi.rs crates/wifi/src/frame.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/rate_adapt.rs crates/wifi/src/rssi.rs crates/wifi/src/traffic.rs crates/wifi/src/waveform.rs crates/wifi/src/wire.rs
+
+/root/repo/target/release/deps/bs_wifi-8be6f22b4a8b8dbe: crates/wifi/src/lib.rs crates/wifi/src/csi.rs crates/wifi/src/frame.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/rate_adapt.rs crates/wifi/src/rssi.rs crates/wifi/src/traffic.rs crates/wifi/src/waveform.rs crates/wifi/src/wire.rs
+
+crates/wifi/src/lib.rs:
+crates/wifi/src/csi.rs:
+crates/wifi/src/frame.rs:
+crates/wifi/src/mac.rs:
+crates/wifi/src/ofdm.rs:
+crates/wifi/src/rate_adapt.rs:
+crates/wifi/src/rssi.rs:
+crates/wifi/src/traffic.rs:
+crates/wifi/src/waveform.rs:
+crates/wifi/src/wire.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/bs_wifi-a9e56960b37c9381.d: crates/wifi/src/lib.rs crates/wifi/src/csi.rs crates/wifi/src/frame.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/rate_adapt.rs crates/wifi/src/rssi.rs crates/wifi/src/traffic.rs crates/wifi/src/waveform.rs crates/wifi/src/wire.rs Cargo.toml
+
+/root/repo/target/release/deps/libbs_wifi-a9e56960b37c9381.rmeta: crates/wifi/src/lib.rs crates/wifi/src/csi.rs crates/wifi/src/frame.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/rate_adapt.rs crates/wifi/src/rssi.rs crates/wifi/src/traffic.rs crates/wifi/src/waveform.rs crates/wifi/src/wire.rs Cargo.toml
+
+crates/wifi/src/lib.rs:
+crates/wifi/src/csi.rs:
+crates/wifi/src/frame.rs:
+crates/wifi/src/mac.rs:
+crates/wifi/src/ofdm.rs:
+crates/wifi/src/rate_adapt.rs:
+crates/wifi/src/rssi.rs:
+crates/wifi/src/traffic.rs:
+crates/wifi/src/waveform.rs:
+crates/wifi/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

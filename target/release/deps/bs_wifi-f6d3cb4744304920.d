@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/bs_wifi-f6d3cb4744304920.d: crates/wifi/src/lib.rs crates/wifi/src/csi.rs crates/wifi/src/frame.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/rate_adapt.rs crates/wifi/src/rssi.rs crates/wifi/src/traffic.rs crates/wifi/src/waveform.rs crates/wifi/src/wire.rs
+
+/root/repo/target/release/deps/libbs_wifi-f6d3cb4744304920.rlib: crates/wifi/src/lib.rs crates/wifi/src/csi.rs crates/wifi/src/frame.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/rate_adapt.rs crates/wifi/src/rssi.rs crates/wifi/src/traffic.rs crates/wifi/src/waveform.rs crates/wifi/src/wire.rs
+
+/root/repo/target/release/deps/libbs_wifi-f6d3cb4744304920.rmeta: crates/wifi/src/lib.rs crates/wifi/src/csi.rs crates/wifi/src/frame.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/rate_adapt.rs crates/wifi/src/rssi.rs crates/wifi/src/traffic.rs crates/wifi/src/waveform.rs crates/wifi/src/wire.rs
+
+crates/wifi/src/lib.rs:
+crates/wifi/src/csi.rs:
+crates/wifi/src/frame.rs:
+crates/wifi/src/mac.rs:
+crates/wifi/src/ofdm.rs:
+crates/wifi/src/rate_adapt.rs:
+crates/wifi/src/rssi.rs:
+crates/wifi/src/traffic.rs:
+crates/wifi/src/waveform.rs:
+crates/wifi/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-2ab49e694a8be259.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-2ab49e694a8be259: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibrate-77398c87b69ce8d2.d: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibrate-77398c87b69ce8d2.rmeta: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+crates/bench/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

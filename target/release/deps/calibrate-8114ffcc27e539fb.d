@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-8114ffcc27e539fb.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-8114ffcc27e539fb: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coexistence_integration-927407239c190d1b.d: crates/core/../../tests/coexistence_integration.rs
+
+/root/repo/target/release/deps/coexistence_integration-927407239c190d1b: crates/core/../../tests/coexistence_integration.rs
+
+crates/core/../../tests/coexistence_integration.rs:

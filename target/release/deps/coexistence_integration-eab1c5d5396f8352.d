@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/coexistence_integration-eab1c5d5396f8352.d: crates/core/../../tests/coexistence_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libcoexistence_integration-eab1c5d5396f8352.rmeta: crates/core/../../tests/coexistence_integration.rs Cargo.toml
+
+crates/core/../../tests/coexistence_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decoder_micro-09b5356fa8aed221.d: crates/bench/benches/decoder_micro.rs
+
+/root/repo/target/release/deps/decoder_micro-09b5356fa8aed221: crates/bench/benches/decoder_micro.rs
+
+crates/bench/benches/decoder_micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/decoder_micro-3bfddab33821e009.d: crates/bench/benches/decoder_micro.rs Cargo.toml
+
+/root/repo/target/release/deps/libdecoder_micro-3bfddab33821e009.rmeta: crates/bench/benches/decoder_micro.rs Cargo.toml
+
+crates/bench/benches/decoder_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

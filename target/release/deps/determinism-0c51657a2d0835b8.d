@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-0c51657a2d0835b8.d: crates/bench/tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-0c51657a2d0835b8: crates/bench/tests/determinism.rs
+
+crates/bench/tests/determinism.rs:

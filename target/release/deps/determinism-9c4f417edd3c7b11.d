@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-9c4f417edd3c7b11.d: crates/bench/tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-9c4f417edd3c7b11.rmeta: crates/bench/tests/determinism.rs Cargo.toml
+
+crates/bench/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dl_probe-c97bac5f777a086a.d: crates/core/tests/dl_probe.rs
+
+/root/repo/target/release/deps/dl_probe-c97bac5f777a086a: crates/core/tests/dl_probe.rs
+
+crates/core/tests/dl_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/downlink_integration-321c2e093b0da6d7.d: crates/core/../../tests/downlink_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libdownlink_integration-321c2e093b0da6d7.rmeta: crates/core/../../tests/downlink_integration.rs Cargo.toml
+
+crates/core/../../tests/downlink_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/downlink_integration-f7c287e94a28d3a3.d: crates/core/../../tests/downlink_integration.rs
+
+/root/repo/target/release/deps/downlink_integration-f7c287e94a28d3a3: crates/core/../../tests/downlink_integration.rs
+
+crates/core/../../tests/downlink_integration.rs:

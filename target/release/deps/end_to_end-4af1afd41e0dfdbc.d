@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end-4af1afd41e0dfdbc.d: crates/core/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end-4af1afd41e0dfdbc.rmeta: crates/core/../../tests/end_to_end.rs Cargo.toml
+
+crates/core/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-4f5ce8d6f5fff566.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-4f5ce8d6f5fff566: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

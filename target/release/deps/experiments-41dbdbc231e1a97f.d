@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments-41dbdbc231e1a97f.d: crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments-41dbdbc231e1a97f.rmeta: crates/bench/src/bin/experiments.rs Cargo.toml
+
+crates/bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-a5da52f28969952b.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-a5da52f28969952b: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

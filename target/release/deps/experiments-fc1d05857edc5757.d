@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-fc1d05857edc5757.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-fc1d05857edc5757: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

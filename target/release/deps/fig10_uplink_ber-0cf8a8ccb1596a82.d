@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_uplink_ber-0cf8a8ccb1596a82.d: crates/bench/benches/fig10_uplink_ber.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_uplink_ber-0cf8a8ccb1596a82.rmeta: crates/bench/benches/fig10_uplink_ber.rs Cargo.toml
+
+crates/bench/benches/fig10_uplink_ber.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_uplink_ber-bc91f1f1aa027553.d: crates/bench/benches/fig10_uplink_ber.rs
+
+/root/repo/target/release/deps/fig10_uplink_ber-bc91f1f1aa027553: crates/bench/benches/fig10_uplink_ber.rs
+
+crates/bench/benches/fig10_uplink_ber.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig17_downlink_ber-99a606563a69b0d5.d: crates/bench/benches/fig17_downlink_ber.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig17_downlink_ber-99a606563a69b0d5.rmeta: crates/bench/benches/fig17_downlink_ber.rs Cargo.toml
+
+crates/bench/benches/fig17_downlink_ber.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

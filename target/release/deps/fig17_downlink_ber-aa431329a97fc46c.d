@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_downlink_ber-aa431329a97fc46c.d: crates/bench/benches/fig17_downlink_ber.rs
+
+/root/repo/target/release/deps/fig17_downlink_ber-aa431329a97fc46c: crates/bench/benches/fig17_downlink_ber.rs
+
+crates/bench/benches/fig17_downlink_ber.rs:

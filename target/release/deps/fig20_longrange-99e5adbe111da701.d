@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig20_longrange-99e5adbe111da701.d: crates/bench/benches/fig20_longrange.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig20_longrange-99e5adbe111da701.rmeta: crates/bench/benches/fig20_longrange.rs Cargo.toml
+
+crates/bench/benches/fig20_longrange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

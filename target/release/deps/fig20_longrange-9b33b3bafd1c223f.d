@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_longrange-9b33b3bafd1c223f.d: crates/bench/benches/fig20_longrange.rs
+
+/root/repo/target/release/deps/fig20_longrange-9b33b3bafd1c223f: crates/bench/benches/fig20_longrange.rs
+
+crates/bench/benches/fig20_longrange.rs:

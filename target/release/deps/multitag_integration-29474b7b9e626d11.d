@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multitag_integration-29474b7b9e626d11.d: crates/core/../../tests/multitag_integration.rs
+
+/root/repo/target/release/deps/multitag_integration-29474b7b9e626d11: crates/core/../../tests/multitag_integration.rs
+
+crates/core/../../tests/multitag_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/multitag_integration-80016e5ad5dcd927.d: crates/core/../../tests/multitag_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libmultitag_integration-80016e5ad5dcd927.rmeta: crates/core/../../tests/multitag_integration.rs Cargo.toml
+
+crates/core/../../tests/multitag_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nb_probe-968eb47709b3b588.d: crates/channel/tests/nb_probe.rs
+
+/root/repo/target/release/deps/nb_probe-968eb47709b3b588: crates/channel/tests/nb_probe.rs
+
+crates/channel/tests/nb_probe.rs:

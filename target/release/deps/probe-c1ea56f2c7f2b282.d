@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-c1ea56f2c7f2b282.d: crates/bench/tests/probe.rs
+
+/root/repo/target/release/deps/probe-c1ea56f2c7f2b282: crates/bench/tests/probe.rs
+
+crates/bench/tests/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-11653f2c93b3dd1b.d: crates/dsp/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-11653f2c93b3dd1b: crates/dsp/tests/proptests.rs
+
+crates/dsp/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-51fabbacf92be0bc.d: crates/dsp/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-51fabbacf92be0bc.rmeta: crates/dsp/tests/proptests.rs Cargo.toml
+
+crates/dsp/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-5adc10755aa875cc.d: crates/wifi/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-5adc10755aa875cc.rmeta: crates/wifi/tests/proptests.rs Cargo.toml
+
+crates/wifi/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-860d4f83502668b9.d: crates/channel/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-860d4f83502668b9: crates/channel/tests/proptests.rs
+
+crates/channel/tests/proptests.rs:

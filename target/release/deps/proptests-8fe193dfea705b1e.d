@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-8fe193dfea705b1e.d: crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-8fe193dfea705b1e.rmeta: crates/core/tests/proptests.rs Cargo.toml
+
+crates/core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

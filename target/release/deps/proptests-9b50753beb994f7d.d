@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-9b50753beb994f7d.d: crates/tag/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-9b50753beb994f7d: crates/tag/tests/proptests.rs
+
+crates/tag/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-a493fb21aab64ec6.d: crates/tag/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-a493fb21aab64ec6.rmeta: crates/tag/tests/proptests.rs Cargo.toml
+
+crates/tag/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

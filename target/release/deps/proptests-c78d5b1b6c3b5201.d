@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-c78d5b1b6c3b5201.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-c78d5b1b6c3b5201: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

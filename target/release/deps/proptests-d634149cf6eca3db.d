@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-d634149cf6eca3db.d: crates/channel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-d634149cf6eca3db.rmeta: crates/channel/tests/proptests.rs Cargo.toml
+
+crates/channel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f8c66dfe3fe01ebb.d: crates/wifi/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f8c66dfe3fe01ebb: crates/wifi/tests/proptests.rs
+
+crates/wifi/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_integration-ac5e55968825fae1.d: crates/core/../../tests/protocol_integration.rs
+
+/root/repo/target/release/deps/protocol_integration-ac5e55968825fae1: crates/core/../../tests/protocol_integration.rs
+
+crates/core/../../tests/protocol_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/protocol_integration-cf0b095019545714.d: crates/core/../../tests/protocol_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libprotocol_integration-cf0b095019545714.rmeta: crates/core/../../tests/protocol_integration.rs Cargo.toml
+
+crates/core/../../tests/protocol_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uplink_integration-57f8c19923500694.d: crates/core/../../tests/uplink_integration.rs
+
+/root/repo/target/release/deps/uplink_integration-57f8c19923500694: crates/core/../../tests/uplink_integration.rs
+
+crates/core/../../tests/uplink_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/uplink_integration-9ca7f28d613ef972.d: crates/core/../../tests/uplink_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libuplink_integration-9ca7f28d613ef972.rmeta: crates/core/../../tests/uplink_integration.rs Cargo.toml
+
+crates/core/../../tests/uplink_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

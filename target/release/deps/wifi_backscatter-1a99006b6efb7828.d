@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/wifi_backscatter-1a99006b6efb7828.d: crates/core/src/lib.rs crates/core/src/downlink.rs crates/core/src/link.rs crates/core/src/longrange.rs crates/core/src/multitag.rs crates/core/src/protocol.rs crates/core/src/series.rs crates/core/src/session.rs crates/core/src/trace.rs crates/core/src/uplink.rs Cargo.toml
+
+/root/repo/target/release/deps/libwifi_backscatter-1a99006b6efb7828.rmeta: crates/core/src/lib.rs crates/core/src/downlink.rs crates/core/src/link.rs crates/core/src/longrange.rs crates/core/src/multitag.rs crates/core/src/protocol.rs crates/core/src/series.rs crates/core/src/session.rs crates/core/src/trace.rs crates/core/src/uplink.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/downlink.rs:
+crates/core/src/link.rs:
+crates/core/src/longrange.rs:
+crates/core/src/multitag.rs:
+crates/core/src/protocol.rs:
+crates/core/src/series.rs:
+crates/core/src/session.rs:
+crates/core/src/trace.rs:
+crates/core/src/uplink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/ambient_traffic-b39d1299bf8720e0.d: crates/core/../../examples/ambient_traffic.rs Cargo.toml
+
+/root/repo/target/release/examples/libambient_traffic-b39d1299bf8720e0.rmeta: crates/core/../../examples/ambient_traffic.rs Cargo.toml
+
+crates/core/../../examples/ambient_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ambient_traffic-c9a335bf402cccbd.d: crates/core/../../examples/ambient_traffic.rs
+
+/root/repo/target/release/examples/ambient_traffic-c9a335bf402cccbd: crates/core/../../examples/ambient_traffic.rs
+
+crates/core/../../examples/ambient_traffic.rs:

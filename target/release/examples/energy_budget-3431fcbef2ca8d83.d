@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/energy_budget-3431fcbef2ca8d83.d: crates/core/../../examples/energy_budget.rs Cargo.toml
+
+/root/repo/target/release/examples/libenergy_budget-3431fcbef2ca8d83.rmeta: crates/core/../../examples/energy_budget.rs Cargo.toml
+
+crates/core/../../examples/energy_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/energy_budget-464b3d49ef8cbe89.d: crates/core/../../examples/energy_budget.rs
+
+/root/repo/target/release/examples/energy_budget-464b3d49ef8cbe89: crates/core/../../examples/energy_budget.rs
+
+crates/core/../../examples/energy_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/inventory-0c53bbf530a37743.d: crates/core/../../examples/inventory.rs
+
+/root/repo/target/release/examples/inventory-0c53bbf530a37743: crates/core/../../examples/inventory.rs
+
+crates/core/../../examples/inventory.rs:

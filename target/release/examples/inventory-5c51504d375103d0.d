@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/inventory-5c51504d375103d0.d: crates/core/../../examples/inventory.rs Cargo.toml
+
+/root/repo/target/release/examples/libinventory-5c51504d375103d0.rmeta: crates/core/../../examples/inventory.rs Cargo.toml
+
+crates/core/../../examples/inventory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

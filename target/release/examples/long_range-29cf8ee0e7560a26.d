@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/long_range-29cf8ee0e7560a26.d: crates/core/../../examples/long_range.rs Cargo.toml
+
+/root/repo/target/release/examples/liblong_range-29cf8ee0e7560a26.rmeta: crates/core/../../examples/long_range.rs Cargo.toml
+
+crates/core/../../examples/long_range.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

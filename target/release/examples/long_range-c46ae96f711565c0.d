@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/long_range-c46ae96f711565c0.d: crates/core/../../examples/long_range.rs
+
+/root/repo/target/release/examples/long_range-c46ae96f711565c0: crates/core/../../examples/long_range.rs
+
+crates/core/../../examples/long_range.rs:

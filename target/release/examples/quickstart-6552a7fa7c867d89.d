@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-6552a7fa7c867d89.d: crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-6552a7fa7c867d89.rmeta: crates/core/../../examples/quickstart.rs Cargo.toml
+
+crates/core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

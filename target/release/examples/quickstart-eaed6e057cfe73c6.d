@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-eaed6e057cfe73c6.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-eaed6e057cfe73c6: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

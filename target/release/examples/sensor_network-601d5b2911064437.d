@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sensor_network-601d5b2911064437.d: crates/core/../../examples/sensor_network.rs
+
+/root/repo/target/release/examples/sensor_network-601d5b2911064437: crates/core/../../examples/sensor_network.rs
+
+crates/core/../../examples/sensor_network.rs:

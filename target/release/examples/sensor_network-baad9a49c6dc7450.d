@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sensor_network-baad9a49c6dc7450.d: crates/core/../../examples/sensor_network.rs Cargo.toml
+
+/root/repo/target/release/examples/libsensor_network-baad9a49c6dc7450.rmeta: crates/core/../../examples/sensor_network.rs Cargo.toml
+
+crates/core/../../examples/sensor_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR
