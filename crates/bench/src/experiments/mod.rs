@@ -8,11 +8,13 @@
 //! | [`coexistence`] | 19 |
 //! | [`power`] | §6 power/harvesting claims |
 //! | [`ablation`] | design-choice ablations (combining, hysteresis, artifacts, conditioning) |
+//! | [`faults`] | fault-injection sweep: degradation with mitigations off vs on |
 
 pub mod ablation;
 pub mod ambient;
 pub mod coexistence;
 pub mod downlink;
+pub mod faults;
 pub mod power;
 pub mod uplink;
 

@@ -16,7 +16,7 @@ use wifi_backscatter::link::Measurement;
 
 use super::record::{JobOutput, RunRecord};
 use super::scheduler::Job;
-use crate::experiments::{ablation, ambient, coexistence, downlink, power, uplink};
+use crate::experiments::{ablation, ambient, coexistence, downlink, faults, power, uplink};
 
 /// How much work each figure does — the knobs the old `all`/`quick`
 /// modes tuned, now a first-class value so tests can shrink it further.
@@ -62,7 +62,7 @@ impl Effort {
 /// Every figure id the harness knows, in canonical output order.
 pub const ALL_FIGURES: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "fig20", "power", "ablation",
+    "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults",
 ];
 
 /// Lines computed from a section's finished records (Fig. 19's impact
@@ -148,6 +148,7 @@ pub fn plan(figs: &[String], effort: &Effort, seed: u64) -> Result<Plan, String>
             "fig20" => fig20(&mut p, seed, effort),
             "power" => power_section(&mut p),
             "ablation" => ablation_section(&mut p, seed, effort),
+            "faults" => faults_section(&mut p, seed, effort),
             other => {
                 return Err(format!(
                     "unknown figure '{other}' (known: {})",
@@ -209,6 +210,7 @@ fn raw_trace_job(p: &mut Plan, section: usize, d_m: f64, seed: u64) {
                 ("subchannel".into(), t.subchannel as f64),
             ],
             work_items: 3000,
+            degradation: None,
         }
     });
 }
@@ -256,6 +258,7 @@ fn fig4(p: &mut Plan, seed: u64) {
                 lines,
                 metrics: vec![("bimodal_subchannels".into(), bimodal as f64)],
                 work_items: 42_000,
+                degradation: None,
             }
         });
     }
@@ -277,6 +280,7 @@ fn fig5(p: &mut Plan, seed: u64) {
                 lines: vec![format!("{d}  {}  {}", good.len(), list.join(","))],
                 metrics: vec![("n_good".into(), good.len() as f64)],
                 work_items: 2700, // 90-bit payload × 30 packets/bit
+                degradation: None,
             }
         });
     }
@@ -305,6 +309,7 @@ fn fig10(p: &mut Plan, seed: u64, e: &Effort) {
                         )],
                         metrics: vec![("ber".into(), pt.ber)],
                         work_items: runs * 90 * u64::from(ppb),
+                        degradation: None,
                     }
                 });
             }
@@ -328,6 +333,7 @@ fn fig11(p: &mut Plan, seed: u64, e: &Effort) {
                 lines: vec![format!("{d}  {ours:.2e}  {random:.2e}")],
                 metrics: vec![("ber_ours".into(), ours), ("ber_random".into(), random)],
                 work_items: runs * 2 * 2700, // full + single-channel capture
+                degradation: None,
             }
         });
     }
@@ -349,6 +355,7 @@ fn fig12(p: &mut Plan, seed: u64, e: &Effort) {
                 lines: vec![format!("{q}  {bps}")],
                 metrics: vec![("achievable_bps".into(), bps as f64)],
                 work_items: runs * 4 * 90, // 4 candidate rates × 90-bit payload
+                degradation: None,
             }
         });
     }
@@ -370,6 +377,7 @@ fn fig14(p: &mut Plan, seed: u64, e: &Effort) {
                 lines: vec![format!("{loc}  {prob:.2}")],
                 metrics: vec![("delivery_probability".into(), prob)],
                 work_items: frames * 20 * 30, // 20-bit frames × 30 packets/bit
+                degradation: None,
             }
         });
     }
@@ -397,6 +405,7 @@ fn fig15(p: &mut Plan, seed: u64, e: &Effort) {
                     ("achievable_bps".into(), slot.achievable_bps as f64),
                 ],
                 work_items: runs * 4 * 90,
+                degradation: None,
             }
         });
     }
@@ -418,6 +427,7 @@ fn fig16(p: &mut Plan, seed: u64, e: &Effort) {
                 lines: vec![format!("{q}  {bps}")],
                 metrics: vec![("achievable_bps".into(), bps as f64)],
                 work_items: runs * 5 * 45, // ≤5 candidate rates × 45-bit payload
+                degradation: None,
             }
         });
     }
@@ -443,6 +453,7 @@ fn fig17(p: &mut Plan, seed: u64, e: &Effort) {
                     )],
                     metrics: vec![("ber".into(), pt.ber)],
                     work_items: (kbits as u64) * 1000,
+                    degradation: None,
                 }
             });
         }
@@ -464,6 +475,7 @@ fn fig18(p: &mut Plan, seed: u64, e: &Effort) {
                 lines: vec![format!("{:.0}  {:.0}", slot.hour, slot.per_hour)],
                 metrics: vec![("false_positives_per_hour".into(), slot.per_hour)],
                 work_items: 0, // one simulated hour; burst count is load-dependent
+                degradation: None,
             }
         });
     }
@@ -504,6 +516,7 @@ fn fig19(p: &mut Plan, seed: u64, e: &Effort) {
                     lines,
                     metrics,
                     work_items: (duration_s * 500.0) as u64 * 3, // SNR snapshots
+                    degradation: None,
                 }
             });
         }
@@ -573,6 +586,7 @@ fn fig20(p: &mut Plan, seed: u64, e: &Effort) {
                     l.map_or(-1.0, |l| l as f64),
                 )],
                 work_items: 0, // early-exits once a length passes
+                degradation: None,
             }
         });
     }
@@ -604,6 +618,7 @@ fn power_section(p: &mut Plan) {
             lines,
             metrics,
             work_items: 0, // closed-form link-budget table
+            degradation: None,
         }
     });
 }
@@ -646,8 +661,42 @@ fn ablation_section(p: &mut Plan, seed: u64, e: &Effort) {
                 lines,
                 metrics,
                 work_items: 0, // mixed workloads per variant
+                degradation: None,
             }
         });
+    }
+}
+
+fn faults_section(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "faults",
+        vec![
+            "# === Fault injection: uplink BER per scenario, mitigations off vs on ===".into(),
+            "# scenario  severity  mitigations  ber  detected_runs".into(),
+        ],
+    );
+    let runs = e.runs.min(2);
+    for scenario in bs_channel::faults::PRESET_SCENARIOS {
+        for severity in [0.5f64, 1.0] {
+            for mitigated in [false, true] {
+                let mit = if mitigated { "on" } else { "off" };
+                p.job(s, format!("{scenario} s={severity:.2} {mit}"), seed, move || {
+                    let pt = faults::fault_point(scenario, severity, mitigated, runs, seed);
+                    JobOutput {
+                        lines: vec![format!(
+                            "{scenario}  {severity:.2}  {mit}  {:.2e}  {}",
+                            pt.ber, pt.detected_runs
+                        )],
+                        metrics: vec![
+                            ("ber".into(), pt.ber),
+                            ("detected_runs".into(), pt.detected_runs as f64),
+                        ],
+                        work_items: runs * 30 * 10, // 30-bit payload × 10 packets/bit
+                        degradation: Some(pt.report.to_json()),
+                    }
+                });
+            }
+        }
     }
 }
 
@@ -715,6 +764,7 @@ mod tests {
             job_index,
             wall_s: 0.0,
             work_items: 0,
+            degradation: None,
             metrics: Vec::new(),
             lines: vec![line.to_string()],
         };

@@ -26,6 +26,10 @@ pub struct JobOutput {
     /// uplink figures, bits for downlink BER, MAC bursts for Fig. 18,
     /// SNR snapshots for Fig. 19). Zero when no meaningful count exists.
     pub work_items: u64,
+    /// Pre-serialised `DegradationReport` JSON from fault-aware runs
+    /// (`wifi_backscatter::link::DegradationReport::to_json`); `None` for
+    /// figures that inject no faults, keeping their records byte-stable.
+    pub degradation: Option<String>,
 }
 
 /// One completed experiment run: a [`JobOutput`] plus the scheduling
@@ -53,6 +57,8 @@ pub struct RunRecord {
     pub metrics: Vec<(String, f64)>,
     /// Rendered table lines for this point.
     pub lines: Vec<String>,
+    /// Degradation-report JSON (see [`JobOutput::degradation`]).
+    pub degradation: Option<String>,
 }
 
 impl RunRecord {
@@ -69,9 +75,16 @@ impl RunRecord {
             metrics.push_str(&format!("{}:{}", json_string(k), json_number(*v)));
         }
         metrics.push('}');
+        // The degradation report is already JSON (built by the link
+        // layer); splice it in verbatim, and only when present so
+        // fault-free figures' records stay byte-identical to before.
+        let degradation = match &self.degradation {
+            Some(d) => format!(",\"degradation\":{d}"),
+            None => String::new(),
+        };
         format!(
             "{{\"fig\":{},\"label\":{},\"seed\":{},\"job_index\":{},\
-             \"wall_s\":{},\"work_items\":{},\"metrics\":{}}}",
+             \"wall_s\":{},\"work_items\":{},\"metrics\":{}{}}}",
             json_string(&self.fig),
             json_string(&self.label),
             self.seed,
@@ -79,6 +92,7 @@ impl RunRecord {
             json_number(self.wall_s),
             self.work_items,
             metrics,
+            degradation,
         )
     }
 }
@@ -130,6 +144,7 @@ mod tests {
             work_items: 2700,
             metrics: vec![("ber".into(), 1.5e-3)],
             lines: vec!["5  3  1.50e-3".into()],
+            degradation: None,
         }
     }
 
@@ -147,6 +162,19 @@ mod tests {
         ] {
             assert!(line.contains(needle), "{needle} missing from {line}");
         }
+    }
+
+    #[test]
+    fn degradation_json_is_spliced_only_when_present() {
+        let mut r = record();
+        assert!(!r.to_json_line().contains("degradation"));
+        r.degradation = Some("{\"faults_fired\":[\"packet-loss\"]}".to_string());
+        let line = r.to_json_line();
+        assert!(
+            line.contains(",\"degradation\":{\"faults_fired\":[\"packet-loss\"]}}"),
+            "{line}"
+        );
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize) -> Vec<RunRecord> {
                     work_items: out.work_items,
                     metrics: out.metrics,
                     lines: out.lines,
+                    degradation: out.degradation,
                 });
             });
         }
@@ -111,6 +112,7 @@ mod tests {
                     lines: vec![format!("{i}  {}", i * i)],
                     metrics: vec![("square".into(), (i * i) as f64)],
                     work_items: 1,
+                    ..Default::default()
                 }),
             })
             .collect()

@@ -3,11 +3,14 @@
 //! run on one worker or eight. See `bs_bench::harness` and DESIGN.md
 //! §"Determinism under parallelism".
 //!
-//! Runs fig10 + fig17 as the ISSUE's acceptance pair, at a reduced effort
-//! (1 run per point, 1 kbit per downlink point, fig10's 30-packets-per-bit
-//! jobs dropped) so the test stays fast in the debug profile; the
-//! contract being exercised — per-point seed derivation, work-stealing
-//! scheduling, in-order reassembly — is identical at any effort.
+//! Runs fig10 + fig17 as the ISSUE's acceptance pair plus the
+//! fault-injection figure (the determinism contract explicitly extends to
+//! faulted runs: fault streams derive from the plan seed alone), at a
+//! reduced effort (1 run per point, 1 kbit per downlink point, fig10's
+//! 30-packets-per-bit jobs and the half-severity fault cells dropped) so
+//! the test stays fast in the debug profile; the contract being exercised
+//! — per-point seed derivation, work-stealing scheduling, in-order
+//! reassembly — is identical at any effort.
 
 use bs_bench::harness::{plan, render, run_jobs, Effort};
 
@@ -21,13 +24,15 @@ fn test_effort() -> Effort {
     }
 }
 
-/// Builds the fig10+fig17 plan and drops the slow 30-packets-per-bit
-/// cells. `plan()` is pure, so both worker counts get identical job lists.
+/// Builds the fig10+fig17+faults plan and drops the slow cells (fig10's
+/// 30-packets-per-bit sweep, the faults figure's half-severity points).
+/// `plan()` is pure, so both worker counts get identical job lists.
 fn build() -> (Vec<bs_bench::harness::Section>, Vec<bs_bench::harness::Job>) {
-    let figs = vec!["fig10".to_string(), "fig17".to_string()];
+    let figs = vec!["fig10".to_string(), "fig17".to_string(), "faults".to_string()];
     let p = plan(&figs, &test_effort(), 7).expect("known figures");
     let mut jobs = p.jobs;
     jobs.retain(|j| !j.label.contains("ppb=30"));
+    jobs.retain(|j| j.fig != "faults" || j.label.contains("s=1.00"));
     (p.sections, jobs)
 }
 
@@ -56,6 +61,14 @@ fn parallel_run_is_byte_identical_to_serial() {
     assert_eq!(table_serial, table_parallel);
     assert!(table_serial.contains("# === Fig 10a: CSI"));
     assert!(table_serial.contains("# === Fig 17"));
+    assert!(table_serial.contains("# === Fault injection"));
+
+    // Fault-enabled records carry identical degradation reports too.
+    let faulted: Vec<_> = serial.iter().filter(|r| r.fig == "faults").collect();
+    assert!(!faulted.is_empty(), "no fault jobs ran");
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.degradation, p.degradation, "degradation diverged at {}", s.label);
+    }
 }
 
 #[test]

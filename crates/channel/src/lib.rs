@@ -27,6 +27,9 @@
 //!   per-packet [`scene::ChannelSnapshot`]s.
 //! * [`multiscene`] — the N-tag superposition variant backing the
 //!   multi-tag inventory extension.
+//! * [`faults`] — deterministic seeded fault injection (outages, loss,
+//!   sensor degradation, clock drift, interference bursts) layered as
+//!   decorators over the traffic and scene generators.
 //! * [`calib`] — the documented physical constants that anchor the
 //!   simulation to the paper's operating points.
 
@@ -36,6 +39,7 @@
 pub mod backscatter;
 pub mod calib;
 pub mod fading;
+pub mod faults;
 pub mod geometry;
 pub mod multipath;
 pub mod multiscene;
@@ -44,5 +48,6 @@ pub mod pathloss;
 pub mod scene;
 
 pub use backscatter::TagState;
+pub use faults::{Fault, FaultEvents, FaultPlan};
 pub use geometry::Point;
 pub use scene::{ChannelSnapshot, InterferenceConfig, Scene, SceneConfig};

@@ -19,6 +19,7 @@ use crate::downlink::{DownlinkEncoder, DownlinkEncoderConfig};
 use crate::longrange::{LongRangeConfig, LongRangeDecoder};
 use crate::series::SeriesBundle;
 use crate::uplink::{UplinkDecoder, UplinkDecoderConfig};
+use bs_channel::faults::{FaultEvents, FaultPlan};
 use bs_channel::scene::{Scene, SceneConfig};
 use bs_dsp::bits::BerCounter;
 use bs_dsp::codes::OrthogonalPair;
@@ -38,6 +39,168 @@ pub enum Measurement {
     Csi,
     /// Per-antenna RSSI only (§3.3).
     Rssi,
+}
+
+/// Which of the link layer's fault mitigations are armed.
+///
+/// The mitigations compose; each engages only when its trigger condition
+/// is observed, and every engagement is recorded in the run's
+/// [`DegradationReport`]. With every flag off (the default) the link
+/// behaves exactly as it did before fault injection existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MitigationPolicy {
+    /// Switch the reader to the §3.3 RSSI pipeline when the CSI feed is
+    /// degraded (the Intel tool's wedge-and-repeat failure leaves RSSI
+    /// flowing).
+    pub csi_fallback: bool,
+    /// Re-adapt the commanded packets-per-bit rate: proactively when the
+    /// measured packet cadence collapses below what §5 rate selection
+    /// assumed, and reactively (rate step-down retries) when decoded bits
+    /// come back starved.
+    pub rate_readapt: bool,
+    /// Re-scan the decode with candidate chip-clock stretch factors to
+    /// compensate tag oscillator drift.
+    pub drift_rescan: bool,
+}
+
+impl MitigationPolicy {
+    /// Every mitigation armed — what a robust production reader runs.
+    pub fn all() -> Self {
+        MitigationPolicy {
+            csi_fallback: true,
+            rate_readapt: true,
+            drift_rescan: true,
+        }
+    }
+
+    /// No mitigations (the pre-fault-injection behaviour).
+    pub fn none() -> Self {
+        MitigationPolicy::default()
+    }
+}
+
+/// What went wrong during a run and what the link layer did about it.
+///
+/// Attached to every [`UplinkRun`] and [`DownlinkRun`]; the bench harness
+/// serialises it into each `RunRecord` JSON line. Fault names come from
+/// `bs_channel::faults::Fault::name`; mitigation names are
+/// `"csi-fallback"`, `"rate-readapt"` and `"drift-rescan"`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationReport {
+    /// Faults that observably fired, in first-fired order.
+    pub faults_fired: Vec<String>,
+    /// Mitigations that engaged, in first-engaged order.
+    pub mitigations_engaged: Vec<String>,
+    /// Packets removed by outage/collapse/loss, across all captures.
+    pub packets_dropped: u64,
+    /// Packets injected by duplication, across all captures.
+    pub packets_duplicated: u64,
+    /// Scheduled helper-outage time over the affected span (µs).
+    pub outage_us: u64,
+    /// CSI measurements replaced by stale repeats.
+    pub frozen_packets: u64,
+    /// Fractional tag clock drift the channel applied.
+    pub drift_applied: f64,
+    /// Stretch factor the drift re-scan settled on (0 = none needed).
+    pub drift_compensation: f64,
+    /// The re-adapted chip rate, if rate re-adaptation engaged (bps).
+    pub readapted_rate_bps: Option<u64>,
+    /// Rate step-down retries the reactive mitigation spent.
+    pub retries_used: u32,
+}
+
+impl DegradationReport {
+    /// True if `name` appears in [`DegradationReport::faults_fired`].
+    pub fn fired(&self, name: &str) -> bool {
+        self.faults_fired.iter().any(|f| f == name)
+    }
+
+    /// True if `name` appears in [`DegradationReport::mitigations_engaged`].
+    pub fn engaged(&self, name: &str) -> bool {
+        self.mitigations_engaged.iter().any(|m| m == name)
+    }
+
+    /// Records a mitigation engagement (idempotent).
+    pub fn engage(&mut self, name: &str) {
+        if !self.engaged(name) {
+            self.mitigations_engaged.push(name.to_string());
+        }
+    }
+
+    /// Folds one capture's fault events into the report.
+    pub fn absorb(&mut self, events: &FaultEvents) {
+        for name in &events.fired {
+            if !self.fired(name) {
+                self.faults_fired.push(name.clone());
+            }
+        }
+        self.packets_dropped += events.packets_dropped;
+        self.packets_duplicated += events.packets_duplicated;
+        self.outage_us += events.outage_us;
+        self.frozen_packets += events.frozen_packets;
+        if events.drift_fraction.abs() > self.drift_applied.abs() {
+            self.drift_applied = events.drift_fraction;
+        }
+    }
+
+    /// Folds another report into this one (names union, counters add) —
+    /// used by the session to aggregate over its attempts.
+    pub fn merge(&mut self, other: &DegradationReport) {
+        for name in &other.faults_fired {
+            if !self.fired(name) {
+                self.faults_fired.push(name.clone());
+            }
+        }
+        for name in &other.mitigations_engaged {
+            self.engage(name);
+        }
+        self.packets_dropped += other.packets_dropped;
+        self.packets_duplicated += other.packets_duplicated;
+        self.outage_us += other.outage_us;
+        self.frozen_packets += other.frozen_packets;
+        if other.drift_applied.abs() > self.drift_applied.abs() {
+            self.drift_applied = other.drift_applied;
+        }
+        if other.drift_compensation.abs() > self.drift_compensation.abs() {
+            self.drift_compensation = other.drift_compensation;
+        }
+        if other.readapted_rate_bps.is_some() {
+            self.readapted_rate_bps = other.readapted_rate_bps;
+        }
+        self.retries_used += other.retries_used;
+    }
+
+    /// True if nothing fired and nothing engaged.
+    pub fn is_clean(&self) -> bool {
+        self.faults_fired.is_empty() && self.mitigations_engaged.is_empty()
+    }
+
+    /// Serialises the report as a JSON object (one line, no trailing
+    /// newline) for the bench `RunRecord` stream. Names are fixed
+    /// kebab-case identifiers, so no string escaping is needed.
+    pub fn to_json(&self) -> String {
+        let names = |v: &[String]| {
+            let quoted: Vec<String> = v.iter().map(|n| format!("\"{n}\"")).collect();
+            format!("[{}]", quoted.join(","))
+        };
+        format!(
+            "{{\"faults_fired\":{},\"mitigations_engaged\":{},\"packets_dropped\":{},\
+             \"packets_duplicated\":{},\"outage_us\":{},\"frozen_packets\":{},\
+             \"drift_applied\":{:?},\"drift_compensation\":{:?},\
+             \"readapted_rate_bps\":{},\"retries_used\":{}}}",
+            names(&self.faults_fired),
+            names(&self.mitigations_engaged),
+            self.packets_dropped,
+            self.packets_duplicated,
+            self.outage_us,
+            self.frozen_packets,
+            self.drift_applied,
+            self.drift_compensation,
+            self.readapted_rate_bps
+                .map_or("null".to_string(), |r| r.to_string()),
+            self.retries_used,
+        )
+    }
 }
 
 /// Configuration of an end-to-end uplink run.
@@ -71,6 +234,10 @@ pub struct LinkConfig {
     /// calibrated rate) — the hysteresis ablation raises this to make the
     /// glitch-rejection benefit measurable in short runs.
     pub csi_spurious_boost: f64,
+    /// Injected faults; [`FaultPlan::none`] leaves the run untouched.
+    pub faults: FaultPlan,
+    /// Which mitigations the reader arms against those faults.
+    pub mitigations: MitigationPolicy,
 }
 
 impl LinkConfig {
@@ -90,6 +257,8 @@ impl LinkConfig {
             use_all_traffic: false,
             ideal_csi: false,
             csi_spurious_boost: 1.0,
+            faults: FaultPlan::none(),
+            mitigations: MitigationPolicy::none(),
         }
     }
 }
@@ -109,6 +278,8 @@ pub struct UplinkRun {
     pub packets_used: usize,
     /// Mean packets per bit actually observed.
     pub pkts_per_bit: f64,
+    /// Which faults fired and which mitigations engaged.
+    pub degradation: DegradationReport,
 }
 
 impl UplinkRun {
@@ -134,6 +305,8 @@ pub struct UplinkCapture {
     pub chip_us: u64,
     /// Mean packets per chip actually delivered during the frame.
     pub pkts_per_chip: f64,
+    /// What the configured [`FaultPlan`] did during this capture.
+    pub fault_events: FaultEvents,
 }
 
 /// Runs the simulation pipeline up to (but not including) decoding.
@@ -149,17 +322,32 @@ pub fn capture_uplink(cfg: &LinkConfig) -> UplinkCapture {
     let frame_span_us = total_chips as u64 * chip_us;
     let duration_us = lead_us + frame_span_us + lead_us;
 
-    // 1. Traffic + MAC.
+    let plan = &cfg.faults;
+    let mut events = FaultEvents::default();
+
+    // 1. Traffic + MAC. Fault decorators thin (or thicken) the offered
+    // arrival streams before DCF contention, exactly as a stalled or
+    // congested sender would.
     let mut traffic_rng = root.stream("helper-traffic");
     let mut stations = vec![Station::data(
-        bs_wifi::traffic::cbr(cfg.helper_pps, duration_us, &mut traffic_rng),
+        bs_wifi::traffic::apply_faults(
+            bs_wifi::traffic::cbr(cfg.helper_pps, duration_us, &mut traffic_rng),
+            plan,
+            "helper",
+            &mut events,
+        ),
         1000,
         54.0,
     )];
     for (i, &(pps, bytes)) in cfg.background.iter().enumerate() {
         let mut rng = root.stream("background").substream(i as u64);
         stations.push(Station::data(
-            bs_wifi::traffic::poisson(pps, duration_us, &mut rng),
+            bs_wifi::traffic::apply_faults(
+                bs_wifi::traffic::poisson(pps, duration_us, &mut rng),
+                plan,
+                &format!("background-{i}"),
+                &mut events,
+            ),
             bytes,
             54.0,
         ));
@@ -180,7 +368,30 @@ pub fn capture_uplink(cfg: &LinkConfig) -> UplinkCapture {
     };
     let modulator = Modulator::from_chip_rate(&frame, cfg.chip_rate_cps, mode, lead_us);
 
-    let mut scene = Scene::new(cfg.scene.clone(), &root.stream("scene"));
+    // The tag's chip clock runs fast by the drift fraction: sampling its
+    // state at a *stretched* time makes its whole frame run short relative
+    // to the reader's clock.
+    let drift = plan.clock_drift();
+    if drift != 0.0 {
+        events.fire("clock-drift");
+        events.drift_fraction = drift;
+    }
+    let tag_clock = move |t_us: u64| -> u64 {
+        if drift == 0.0 {
+            t_us
+        } else {
+            ((t_us as f64) * (1.0 + drift)).round().max(0.0) as u64
+        }
+    };
+
+    let mut scene_cfg = cfg.scene.clone();
+    if let Some(intf) = plan.interference() {
+        if scene_cfg.interference.is_none() {
+            scene_cfg.interference = Some(intf);
+        }
+        events.fire("interference-burst");
+    }
+    let mut scene = Scene::new(scene_cfg, &root.stream("scene"));
     let offsets = csi_subchannel_offsets();
     let bundle = match cfg.measurement {
         Measurement::Csi => {
@@ -192,22 +403,41 @@ pub fn capture_uplink(cfg: &LinkConfig) -> UplinkCapture {
                 c
             };
             let mut ex = CsiExtractor::new(csi_cfg, root.stream("csi"));
+            let degrade = plan.degrades_sensor();
+            let mut last: Option<bs_wifi::csi::CsiMeasurement> = None;
             let ms: Vec<_> = packets
                 .iter()
                 .map(|p| {
-                    let state = modulator.state_at(p.timestamp_us);
+                    let state = modulator.state_at(tag_clock(p.timestamp_us));
                     let snap = scene.snapshot(p.timestamp_us as f64 / 1e6, state, &offsets);
-                    ex.measure(&snap, p.timestamp_us)
+                    let fresh = ex.measure(&snap, p.timestamp_us);
+                    if degrade && plan.sensor_frozen_at(p.timestamp_us) {
+                        if let Some(prev) = &last {
+                            events.fire("sensor-degradation");
+                            events.frozen_packets += 1;
+                            let mut stale = prev.clone();
+                            stale.timestamp_us = p.timestamp_us;
+                            return stale;
+                        }
+                    }
+                    last = Some(fresh.clone());
+                    fresh
                 })
                 .collect();
             SeriesBundle::from_csi(&ms)
         }
         Measurement::Rssi => {
+            // The wedge hits the CSI tool; RSSI keeps flowing. Still
+            // record that the fault is active so a fallback run's report
+            // names the fault it side-stepped.
+            if plan.degrades_sensor() {
+                events.fire("sensor-degradation");
+            }
             let mut ex = RssiExtractor::new(root.stream("rssi"));
             let ms: Vec<_> = packets
                 .iter()
                 .map(|p| {
-                    let state = modulator.state_at(p.timestamp_us);
+                    let state = modulator.state_at(tag_clock(p.timestamp_us));
                     let snap = scene.snapshot(p.timestamp_us as f64 / 1e6, state, &offsets);
                     ex.measure(&snap, p.timestamp_us)
                 })
@@ -226,49 +456,172 @@ pub fn capture_uplink(cfg: &LinkConfig) -> UplinkCapture {
         start_us: lead_us,
         chip_us,
         pkts_per_chip: frame_packets as f64 / total_chips as f64,
+        fault_events: events,
     }
 }
 
-/// Runs one end-to-end uplink frame exchange.
-pub fn run_uplink(cfg: &LinkConfig) -> UplinkRun {
-    let capture = capture_uplink(cfg);
-    let bundle = &capture.bundle;
-    let lead_us = capture.start_us;
-    let chip_us = capture.chip_us;
+/// One decode of a capture, compared against alternatives purely by
+/// receiver-observable criteria (detection, erasure count, preamble
+/// score) — the mitigations must never peek at the true payload.
+struct DecodeAttempt {
+    decoded: Vec<Option<bool>>,
+    detected: bool,
+    erasures: usize,
+    score: f64,
+    stretch: f64,
+}
 
-    // 5. Decode.
-    let (decoded, detected) = if cfg.code_length == 1 {
-        let dcfg = match cfg.measurement {
+impl DecodeAttempt {
+    fn better_than(&self, other: &DecodeAttempt) -> bool {
+        if self.detected != other.detected {
+            return self.detected;
+        }
+        if self.erasures != other.erasures {
+            return self.erasures < other.erasures;
+        }
+        self.score > other.score + 1e-12
+    }
+}
+
+/// Decodes `capture` once, optionally compensating a candidate clock
+/// stretch: a tag running fast by fraction `stretch` produces bits shorter
+/// by the same fraction on the reader's clock.
+fn decode_capture(cfg: &LinkConfig, capture: &UplinkCapture, stretch: f64) -> DecodeAttempt {
+    let (decoded, detected, score) = if cfg.code_length == 1 {
+        let mut dcfg = match cfg.measurement {
             Measurement::Csi => UplinkDecoderConfig::csi(cfg.chip_rate_cps, cfg.payload.len()),
             Measurement::Rssi => UplinkDecoderConfig::rssi(cfg.chip_rate_cps, cfg.payload.len()),
         };
-        match UplinkDecoder::new(dcfg).decode(bundle, lead_us) {
-            Some(out) => (out.bits, true),
-            None => (vec![None; cfg.payload.len()], false),
+        if stretch != 0.0 {
+            let stretched = (dcfg.bit_duration_us as f64 / (1.0 + stretch)).round();
+            dcfg.bit_duration_us = stretched.max(1.0) as u64;
+        }
+        match UplinkDecoder::new(dcfg).decode(&capture.bundle, capture.start_us) {
+            // Both timing anchors count: the preamble alone cannot tell a
+            // right bit clock from a wrong one (error accumulates over
+            // the frame; the front anchor sees none of it), so a stretch
+            // candidate must also keep the postamble aligned to win.
+            Some(out) => (out.bits, true, out.preamble_score + out.postamble_score),
+            None => (vec![None; cfg.payload.len()], false, 0.0),
         }
     } else {
         let lcfg = LongRangeConfig {
-            chip_duration_us: chip_us,
+            chip_duration_us: capture.chip_us,
             code: OrthogonalPair::new(cfg.code_length),
             payload_bits: cfg.payload.len(),
             conditioning_window_us: 400_000,
             top_channels: 10,
         };
-        match LongRangeDecoder::new(lcfg).decode(bundle, lead_us) {
-            Some(out) => (out.bits, true),
-            None => (vec![None; cfg.payload.len()], false),
+        match LongRangeDecoder::new(lcfg).decode(&capture.bundle, capture.start_us) {
+            Some(out) => (out.bits, true, 1.0),
+            None => (vec![None; cfg.payload.len()], false, 0.0),
         }
     };
+    let erasures = decoded.iter().filter(|b| b.is_none()).count();
+    DecodeAttempt {
+        decoded,
+        detected,
+        erasures,
+        score,
+        stretch,
+    }
+}
+
+/// Candidate clock-stretch factors the drift re-scan tries, nominal first
+/// so an undrifted capture keeps its baseline decode on ties.
+const DRIFT_CANDIDATES: [f64; 7] = [0.0, 0.005, -0.005, 0.01, -0.01, 0.02, -0.02];
+
+/// Runs one end-to-end uplink frame exchange, engaging whatever armed
+/// mitigations the observed degradation calls for.
+pub fn run_uplink(cfg: &LinkConfig) -> UplinkRun {
+    let mut report = DegradationReport::default();
+    let mut eff = cfg.clone();
+
+    // CSI→RSSI fallback: the reader knows its CSI tool is wedging (the
+    // feed repeats stale reports), so it switches to the §3.3 RSSI
+    // pipeline before capturing.
+    if eff.mitigations.csi_fallback
+        && eff.measurement == Measurement::Csi
+        && eff.faults.degrades_sensor()
+    {
+        eff.measurement = Measurement::Rssi;
+        report.engage("csi-fallback");
+    }
+
+    let mut capture = capture_uplink(&eff);
+    report.absorb(&capture.fault_events);
+
+    // Proactive re-adaptation: the delivered cadence is observable before
+    // decoding; if it collapsed below what §5 rate selection assumed,
+    // re-run the exchange at a chip rate the surviving cadence supports.
+    if eff.mitigations.rate_readapt && eff.code_length == 1 && eff.chip_rate_cps > 0 {
+        let target_ppb = eff.helper_pps / eff.chip_rate_cps as f64;
+        let measured_pps = capture.pkts_per_chip * eff.chip_rate_cps as f64;
+        if let Some(new_rate) =
+            bs_wifi::rate_adapt::readapt_chip_rate(eff.chip_rate_cps, measured_pps, target_ppb)
+        {
+            eff.chip_rate_cps = new_rate;
+            report.engage("rate-readapt");
+            report.readapted_rate_bps = Some(new_rate);
+            capture = capture_uplink(&eff);
+            report.absorb(&capture.fault_events);
+        }
+    }
+
+    // Drift re-scan: with a drift fault armed, decode under candidate
+    // stretch factors and keep the best by observable criteria.
+    let stretches: &[f64] =
+        if eff.mitigations.drift_rescan && eff.code_length == 1 && eff.faults.clock_drift() != 0.0 {
+            report.engage("drift-rescan");
+            &DRIFT_CANDIDATES
+        } else {
+            &DRIFT_CANDIDATES[..1]
+        };
+    let decode_best = |cfg_eff: &LinkConfig, capture: &UplinkCapture| -> DecodeAttempt {
+        let mut best: Option<DecodeAttempt> = None;
+        for &s in stretches {
+            let attempt = decode_capture(cfg_eff, capture, s);
+            best = match best {
+                Some(b) if !attempt.better_than(&b) => Some(b),
+                _ => Some(attempt),
+            };
+        }
+        best.expect("at least one stretch candidate")
+    };
+
+    let mut best = decode_best(&eff, &capture);
+
+    // Reactive rate step-down: undetected or erasure-ridden decodes mean
+    // the bits were starved of measurements; retry at half rate (bounded
+    // attempts, floored) and keep the retry only if observably better.
+    if eff.mitigations.rate_readapt && eff.code_length == 1 {
+        let mut retries = 0u32;
+        while retries < 2 && (!best.detected || best.erasures > 0) && eff.chip_rate_cps > 25 {
+            retries += 1;
+            eff.chip_rate_cps = (eff.chip_rate_cps / 2).max(25);
+            report.engage("rate-readapt");
+            report.retries_used += 1;
+            capture = capture_uplink(&eff);
+            report.absorb(&capture.fault_events);
+            let attempt = decode_best(&eff, &capture);
+            if attempt.better_than(&best) {
+                report.readapted_rate_bps = Some(eff.chip_rate_cps);
+                best = attempt;
+            }
+        }
+    }
+    report.drift_compensation = best.stretch;
 
     let mut ber = BerCounter::new();
-    ber.compare_with_erasures(&cfg.payload, &decoded);
+    ber.compare_with_erasures(&cfg.payload, &best.decoded);
     UplinkRun {
         transmitted: cfg.payload.clone(),
-        decoded,
+        decoded: best.decoded,
         ber,
-        detected,
+        detected: best.detected,
         packets_used: capture.bundle.packets(),
         pkts_per_bit: capture.pkts_per_chip * cfg.code_length as f64,
+        degradation: report,
     }
 }
 
@@ -283,6 +636,8 @@ pub struct DownlinkConfig {
     pub tx_dbm: f64,
     /// Master seed.
     pub seed: u64,
+    /// Injected faults; [`FaultPlan::none`] leaves the run untouched.
+    pub faults: FaultPlan,
 }
 
 impl DownlinkConfig {
@@ -293,6 +648,7 @@ impl DownlinkConfig {
             bit_rate_bps,
             tx_dbm: bs_channel::calib::READER_TX_DBM,
             seed,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -328,6 +684,8 @@ pub struct DownlinkRun {
     pub ber: BerCounter,
     /// Bits transmitted.
     pub bits_sent: usize,
+    /// Which faults fired during the run.
+    pub degradation: DegradationReport,
 }
 
 /// Measures raw downlink BER over `n_bits` random bits at the configured
@@ -338,13 +696,26 @@ pub fn run_downlink_ber(cfg: &DownlinkConfig, n_bits: usize) -> DownlinkRun {
     let bits: Vec<bool> = (0..n_bits).map(|_| bit_rng.chance(0.5)).collect();
     let bit_us = 1_000_000 / cfg.bit_rate_bps.max(1);
 
+    let mut report = DegradationReport::default();
+    let intf = cfg.faults.interference();
+    let intf_mw = intf.map_or(0.0, |i| bs_channel::pathloss::dbm_to_mw(i.power_dbm));
+    if intf.is_some() {
+        report.faults_fired.push("interference-burst".to_string());
+    }
+
     let env_cfg = EnvelopeConfig::default();
     let mut env = EnvelopeModel::new(env_cfg, root.stream("dl-envelope"));
     let signal_mw = cfg.rx_mw();
     let bit_samples = bit_us as usize; // 1 µs samples
     let schedule = bs_tag::envelope::bit_schedule(&bits, bit_samples, signal_mw);
     let n_samples = bits.len() * bit_samples + 100;
-    let trace = env.trace(n_samples, schedule);
+    let trace = env.trace(n_samples, |i| {
+        let base = schedule(i);
+        match &intf {
+            Some(ic) if ic.active_at(i as f64 / 1e6) => base + intf_mw,
+            _ => base,
+        }
+    });
 
     let mut circuit = ReceiverCircuit::new(CircuitConfig::default());
     let comparator = circuit.run(&trace);
@@ -356,6 +727,7 @@ pub fn run_downlink_ber(cfg: &DownlinkConfig, n_bits: usize) -> DownlinkRun {
     DownlinkRun {
         ber,
         bits_sent: bits.len(),
+        degradation: report,
     }
 }
 
@@ -363,28 +735,63 @@ pub fn run_downlink_ber(cfg: &DownlinkConfig, n_bits: usize) -> DownlinkRun {
 /// tag's full pipeline (preamble match + mid-bit slicing + CRC) recovered
 /// it.
 pub fn run_downlink_frame(cfg: &DownlinkConfig, frame: &DownlinkFrame) -> Option<DownlinkFrame> {
+    run_downlink_frame_with_report(cfg, frame).0
+}
+
+/// [`run_downlink_frame`] plus a [`DegradationReport`] naming the faults
+/// that hit the exchange. An armed [`Fault::PacketLoss`] can swallow the
+/// whole short query burst (the frame-level loss the session layer
+/// retries around); an armed interference burst raises the envelope floor
+/// under the frame.
+///
+/// [`Fault::PacketLoss`]: bs_channel::faults::Fault::PacketLoss
+pub fn run_downlink_frame_with_report(
+    cfg: &DownlinkConfig,
+    frame: &DownlinkFrame,
+) -> (Option<DownlinkFrame>, DegradationReport) {
+    let mut report = DegradationReport::default();
+    let loss = cfg.faults.frame_loss_prob();
+    if loss > 0.0 {
+        let mut rng = SimRng::new(cfg.seed ^ cfg.faults.seed).stream("dl-frame-loss");
+        if rng.chance(loss) {
+            report.faults_fired.push("packet-loss".to_string());
+            report.packets_dropped += 1;
+            return (None, report);
+        }
+    }
+    let intf = cfg.faults.interference();
+    let intf_mw = intf.map_or(0.0, |i| bs_channel::pathloss::dbm_to_mw(i.power_dbm));
+    if intf.is_some() {
+        report.faults_fired.push("interference-burst".to_string());
+    }
+
     let root = SimRng::new(cfg.seed);
     let encoder = DownlinkEncoder::new(DownlinkEncoderConfig::at_rate(cfg.bit_rate_bps, 0));
-    let tx = encoder.encode(frame, 2_000).ok()?;
+    let tx = match encoder.encode(frame, 2_000) {
+        Ok(tx) => tx,
+        Err(_) => return (None, report),
+    };
 
     let env_cfg = EnvelopeConfig::default();
     let mut env = EnvelopeModel::new(env_cfg, root.stream("dl-frame-env"));
     let signal_mw = cfg.rx_mw();
     let n_samples = (tx.end_us + 2_000) as usize;
     let trace = env.trace(n_samples, |i| {
-        if tx.on_air(i as u64) {
-            signal_mw
-        } else {
-            0.0
+        let base = if tx.on_air(i as u64) { signal_mw } else { 0.0 };
+        match &intf {
+            Some(ic) if ic.active_at(i as f64 / 1e6) => base + intf_mw,
+            _ => base,
         }
     });
     let mut circuit = ReceiverCircuit::new(CircuitConfig::default());
     let comparator = circuit.run(&trace);
     let bit_us = 1_000_000 / cfg.bit_rate_bps.max(1);
     let mut dec = DownlinkDecoder::new(bit_us as f64, 1.0);
-    dec.decode_stream(&comparator, frame.payload.len())
+    let got = dec
+        .decode_stream(&comparator, frame.payload.len())
         .into_iter()
-        .next()
+        .next();
+    (got, report)
 }
 
 /// Merges a MAC timeline into on-air energy intervals and returns the

@@ -104,6 +104,56 @@ impl Ack {
     }
 }
 
+/// Frame-level retry schedule: exponential backoff between attempts plus
+/// a per-session time budget. §4.1 says the reader "re-transmits its
+/// packet until it gets a response"; unbounded retransmission is how real
+/// deployments melt down under a persistent fault, so the session bounds
+/// it twice — per-stage attempt caps (in `ReaderConfig`) and this overall
+/// budget on accumulated airtime + backoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Wait before the first retry (µs).
+    pub base_backoff_us: u64,
+    /// Multiplier applied to the backoff per subsequent retry.
+    pub backoff_factor: f64,
+    /// Cap on any single backoff (µs).
+    pub max_backoff_us: u64,
+    /// Total per-query budget (µs) across backoffs and estimated airtime;
+    /// once exceeded, no further attempts are started.
+    pub budget_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_backoff_us: 2_000,
+            backoff_factor: 2.0,
+            max_backoff_us: 64_000,
+            budget_us: 60_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before attempt number `attempt` (0-based; the initial
+    /// transmission waits nothing, retry `n` waits
+    /// `base · factor^(n-1)`, capped).
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let exp = self.backoff_factor.max(1.0).powi(attempt as i32 - 1);
+        let backoff = (self.base_backoff_us as f64 * exp).min(self.max_backoff_us as f64);
+        backoff as u64
+    }
+
+    /// True if a session that has spent `waited_us` may start another
+    /// attempt.
+    pub fn within_budget(&self, waited_us: u64) -> bool {
+        waited_us < self.budget_us
+    }
+}
+
 /// The §5 rate-selection rule: with the helper delivering `helper_pps`
 /// packets/s and the decoder wanting `pkts_per_bit` measurements per bit,
 /// pick the fastest supported rate not exceeding
@@ -241,6 +291,30 @@ mod tests {
             prev = r;
         }
         assert_eq!(prev, 1000);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_us(0), 0);
+        assert_eq!(p.backoff_us(1), 2_000);
+        assert_eq!(p.backoff_us(2), 4_000);
+        assert_eq!(p.backoff_us(3), 8_000);
+        // Far attempts hit the cap instead of overflowing.
+        assert_eq!(p.backoff_us(20), p.max_backoff_us);
+        assert_eq!(p.backoff_us(63), p.max_backoff_us);
+    }
+
+    #[test]
+    fn budget_gates_attempts() {
+        let p = RetryPolicy {
+            budget_us: 10_000,
+            ..Default::default()
+        };
+        assert!(p.within_budget(0));
+        assert!(p.within_budget(9_999));
+        assert!(!p.within_budget(10_000));
+        assert!(!p.within_budget(1_000_000));
     }
 
     #[test]

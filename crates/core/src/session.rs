@@ -20,9 +20,11 @@
 //! that would change.
 
 use crate::link::{
-    run_downlink_frame, run_uplink, DownlinkConfig, LinkConfig, Measurement, UplinkRun,
+    run_downlink_frame_with_report, run_uplink, DegradationReport, DownlinkConfig, LinkConfig,
+    Measurement, MitigationPolicy, UplinkRun,
 };
-use crate::protocol::{select_bit_rate, Ack, Query};
+use crate::protocol::{select_bit_rate, Ack, Query, RetryPolicy};
+use bs_channel::faults::FaultPlan;
 use bs_dsp::SimRng;
 
 /// Errors a session can surface to the application.
@@ -77,6 +79,13 @@ pub struct ReaderConfig {
     pub max_response_attempts: u32,
     /// Code length for the long-range fallback (1 disables the fallback).
     pub fallback_code_length: usize,
+    /// Injected faults; [`FaultPlan::none`] leaves the session untouched.
+    pub faults: FaultPlan,
+    /// Link-layer mitigations the reader arms (a production reader runs
+    /// them all; conformance tests switch them off to measure the gap).
+    pub mitigations: MitigationPolicy,
+    /// Backoff schedule and time budget bounding the retry loops.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ReaderConfig {
@@ -91,6 +100,9 @@ impl Default for ReaderConfig {
             max_query_attempts: 5,
             max_response_attempts: 3,
             fallback_code_length: 20,
+            faults: FaultPlan::none(),
+            mitigations: MitigationPolicy::all(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -108,6 +120,11 @@ pub struct QueryOutcome {
     pub response_attempts: u32,
     /// True if the long-range coded fallback was needed.
     pub used_fallback: bool,
+    /// Faults and mitigations aggregated over every attempt.
+    pub degradation: DegradationReport,
+    /// Estimated time the session spent (airtime + backoff, µs) — what
+    /// the [`RetryPolicy`] budget is charged against.
+    pub waited_us: u64,
 }
 
 /// A reader session.
@@ -142,24 +159,42 @@ impl Reader {
         // §5: pick the uplink rate from the network conditions.
         let bit_rate = select_bit_rate(self.cfg.helper_pps, self.cfg.pkts_per_bit, self.cfg.rate_margin);
 
-        // §4.1: retransmit the query until the tag decodes it.
+        // §4.1: retransmit the query until the tag decodes it — with
+        // exponential backoff between attempts and a hard time budget so
+        // a persistent fault degrades the session instead of hanging it.
+        let retry = self.cfg.retry;
+        let mut report = DegradationReport::default();
+        let mut waited_us: u64 = 0;
         let query = Query {
             tag_address,
             payload_bits: tag_payload.len() as u16,
             bit_rate_bps: bit_rate,
             code_length: 1,
         };
+        let query_frame = query.to_frame();
+        let query_air_us =
+            query_frame.to_bits().len() as u64 * 1_000_000 / self.cfg.downlink_bps.max(1);
         let mut query_attempts = 0;
         let mut delivered = false;
         while query_attempts < self.cfg.max_query_attempts {
+            if query_attempts > 0 {
+                waited_us += retry.backoff_us(query_attempts);
+                if !retry.within_budget(waited_us) {
+                    break;
+                }
+            }
             query_attempts += 1;
+            waited_us += query_air_us;
             let dl = DownlinkConfig {
                 distance_m: self.cfg.tag_distance_m,
                 bit_rate_bps: self.cfg.downlink_bps,
                 tx_dbm: bs_channel::calib::READER_TX_DBM,
                 seed: self.rng.next_u64_seed(),
+                faults: self.cfg.faults.clone(),
             };
-            if let Some(frame) = run_downlink_frame(&dl, &query.to_frame()) {
+            let (got, dl_report) = run_downlink_frame_with_report(&dl, &query_frame);
+            report.merge(&dl_report);
+            if let Some(frame) = got {
                 if Query::from_frame(&frame).as_ref() == Some(&query) {
                     delivered = true;
                     break;
@@ -172,38 +207,56 @@ impl Reader {
             });
         }
 
-        // Decode the response; retry, then fall back to the coded mode.
+        // Decode the response; retry (backed off, budget-gated), then fall
+        // back to the coded mode.
         let mut best_errors = u64::MAX;
         let mut response_attempts = 0;
         for attempt in 0..self.cfg.max_response_attempts {
+            if attempt > 0 {
+                waited_us += retry.backoff_us(attempt);
+                if !retry.within_budget(waited_us) {
+                    break;
+                }
+            }
             response_attempts += 1;
+            waited_us += response_air_us(tag_payload.len(), bit_rate, 1);
             let run = self.run_response(tag_payload, bit_rate, 1);
+            report.merge(&run.degradation);
             if run.perfect() {
-                self.ack(tag_address);
+                report.merge(&self.ack(tag_address));
                 return Ok(QueryOutcome {
                     payload: tag_payload.to_vec(),
                     bit_rate_bps: bit_rate,
                     query_attempts,
                     response_attempts,
                     used_fallback: false,
+                    degradation: report,
+                    waited_us,
                 });
             }
             best_errors = best_errors.min(run.ber.errors());
-            let _ = attempt;
         }
 
-        // Long-range fallback (§3.4), if enabled.
-        if self.cfg.fallback_code_length > 1 {
+        // Long-range fallback (§3.4), if enabled and affordable.
+        if self.cfg.fallback_code_length > 1 && retry.within_budget(waited_us) {
             response_attempts += 1;
+            waited_us += response_air_us(
+                tag_payload.len(),
+                bit_rate,
+                self.cfg.fallback_code_length,
+            );
             let run = self.run_response(tag_payload, bit_rate, self.cfg.fallback_code_length);
+            report.merge(&run.degradation);
             if run.perfect() {
-                self.ack(tag_address);
+                report.merge(&self.ack(tag_address));
                 return Ok(QueryOutcome {
                     payload: tag_payload.to_vec(),
                     bit_rate_bps: bit_rate,
                     query_attempts,
                     response_attempts,
                     used_fallback: true,
+                    degradation: report,
+                    waited_us,
                 });
             }
             best_errors = best_errors.min(run.ber.errors());
@@ -226,20 +279,32 @@ impl Reader {
         cfg.measurement = self.cfg.measurement;
         cfg.payload = payload.to_vec();
         cfg.code_length = code_length;
+        cfg.faults = self.cfg.faults.clone();
+        cfg.mitigations = self.cfg.mitigations;
         run_uplink(&cfg)
     }
 
     /// Sends the ACK (best effort; §4.1 notes it is a single short
-    /// message).
-    fn ack(&mut self, tag_address: u8) {
+    /// message) and reports what faults hit it.
+    fn ack(&mut self, tag_address: u8) -> DegradationReport {
         let dl = DownlinkConfig {
             distance_m: self.cfg.tag_distance_m,
             bit_rate_bps: self.cfg.downlink_bps,
             tx_dbm: bs_channel::calib::READER_TX_DBM,
             seed: self.rng.next_u64_seed(),
+            faults: self.cfg.faults.clone(),
         };
-        let _ = run_downlink_frame(&dl, &Ack { tag_address }.to_frame());
+        let (_, report) = run_downlink_frame_with_report(&dl, &Ack { tag_address }.to_frame());
+        report
     }
+}
+
+/// Rough airtime of one uplink response (µs): lead-in/out the capture
+/// needs for conditioning plus the frame's chips at the commanded rate.
+/// Used only for budget bookkeeping, so approximate is fine.
+fn response_air_us(payload_bits: usize, bit_rate_bps: u64, code_length: usize) -> u64 {
+    let frame_bits = (payload_bits + 13) as u64 * code_length as u64;
+    1_200_000 + frame_bits * 1_000_000 / bit_rate_bps.max(1)
 }
 
 /// Small extension so the session can mint per-attempt seeds.

@@ -112,6 +112,12 @@ pub struct DecodeOutput {
     pub channels: Vec<SelectedChannel>,
     /// The best candidate's preamble score (mean of the kept channels).
     pub preamble_score: f64,
+    /// Normalised correlation of the combined series against the
+    /// postamble (§6: the frame's second timing anchor). Near 1 when the
+    /// recovered bit clock still lines up at the *end* of the frame;
+    /// collapses when it has drifted — the front-anchored preamble score
+    /// cannot see that. 0 if any postamble slot held no packets.
+    pub postamble_score: f64,
 }
 
 /// The uplink decoder; see the module docs for the pipeline.
@@ -217,12 +223,23 @@ impl UplinkDecoder {
             None
         };
 
+        // Postamble check on the combined series: the anchor sits where
+        // clock error has had the whole frame to accumulate, so it
+        // discriminates bit-clock candidates the preamble cannot.
+        let postamble: Vec<i8> = preamble.iter().rev().copied().collect();
+        let post_start = start_us + (pre_len + self.cfg.payload_bits) as u64 * bit;
+        let postamble_score = self
+            .slot_means(bundle, &combined, post_start, postamble.len())
+            .map(|means| bs_dsp::correlate::normalized(&means, &postamble))
+            .unwrap_or(0.0);
+
         Some(DecodeOutput {
             bits,
             frame,
             start_us,
             channels,
             preamble_score,
+            postamble_score,
         })
     }
 

@@ -54,6 +54,37 @@ pub fn saturation_goodput_mbytes(snr_db: f64) -> f64 {
     mcs.rate_mbps * mac_efficiency(mcs.rate_mbps) / 8.0
 }
 
+/// Fraction of the expected packet cadence below which the reader treats
+/// the helper as *collapsed* rather than merely bursty. The §5 margin
+/// already absorbs ordinary DCF shortfall (delivered ≈ 0.4–1.0 × offered
+/// under contention), so the trigger sits well below that band.
+pub const CADENCE_COLLAPSE_FRACTION: f64 = 0.35;
+
+/// True if the measured packet cadence has collapsed relative to the
+/// cadence the §5 rate selection assumed.
+pub fn cadence_collapsed(measured_pps: f64, expected_pps: f64) -> bool {
+    expected_pps > 0.0 && measured_pps < CADENCE_COLLAPSE_FRACTION * expected_pps
+}
+
+/// The backscatter-side re-adaptation rule: when the measured helper
+/// cadence (`measured_pps`) has collapsed below what the commanded chip
+/// rate assumed, pick the fastest halving of `current_cps` that restores
+/// at least `target_ppb` measurements per chip at the measured cadence.
+/// Returns `None` when the cadence is healthy or no slower rate helps;
+/// the floor is 25 chips/s (16× below the slowest §7.2 rate — past that
+/// the session should fail loudly instead of crawling).
+pub fn readapt_chip_rate(current_cps: u64, measured_pps: f64, target_ppb: f64) -> Option<u64> {
+    let expected_pps = current_cps as f64 * target_ppb;
+    if !cadence_collapsed(measured_pps, expected_pps) {
+        return None;
+    }
+    let mut rate = current_cps;
+    while rate > 25 && measured_pps / (rate as f64) < target_ppb {
+        rate = (rate / 2).max(25);
+    }
+    (rate < current_cps).then_some(rate)
+}
+
 /// A rate adapter with hysteresis: the rate only moves up when the SNR
 /// clears the next threshold by `up_margin_db`, and only moves down when it
 /// falls `down_margin_db` below the current threshold. This is what absorbs
@@ -182,6 +213,29 @@ mod tests {
             let r = a.observe(24.8 + wiggle);
             assert_eq!(r.rate_mbps, settled, "rate flapped at i={i}");
         }
+    }
+
+    #[test]
+    fn healthy_cadence_never_readapts() {
+        // Delivered ≈ offered: nothing to do.
+        assert_eq!(readapt_chip_rate(100, 1000.0, 10.0), None);
+        // Ordinary DCF shortfall (43 % delivered) stays above the trigger.
+        assert_eq!(readapt_chip_rate(1000, 2_600.0, 6.0), None);
+    }
+
+    #[test]
+    fn collapsed_cadence_steps_down_until_ppb_restored() {
+        // keep=0.25 collapse at 100 cps × 10 ppb: 250 pps delivered needs
+        // 25 cps to see 10 packets per chip again.
+        assert_eq!(readapt_chip_rate(100, 250.0, 10.0), Some(25));
+        // A milder collapse stops as soon as the target ppb is restored.
+        assert_eq!(readapt_chip_rate(1000, 2_000.0, 6.0), Some(250));
+    }
+
+    #[test]
+    fn readapt_floors_at_25_cps() {
+        let r = readapt_chip_rate(100, 1.0, 10.0);
+        assert_eq!(r, Some(25));
     }
 
     #[test]

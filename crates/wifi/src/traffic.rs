@@ -15,7 +15,13 @@
 //! * [`streaming`] — a Pandora-like audio stream (Fig. 18's background
 //!   traffic).
 //! * [`beacons`] — the AP's fixed beacon schedule (Fig. 16).
+//!
+//! Any generator's output can be wrapped in a `bs_channel::FaultPlan`
+//! via [`apply_faults`] to model helper outages, rate collapse, loss and
+//! duplication; the decorated stream keeps the generator contract
+//! (sorted, within the horizon, seed-reproducible).
 
+use bs_channel::faults::{FaultEvents, FaultPlan};
 use bs_dsp::SimRng;
 
 /// Constant-bit-rate arrivals: `rate_pps` packets per second with ±10 %
@@ -146,6 +152,24 @@ pub fn streaming(
     }
     out.sort_unstable();
     out
+}
+
+/// Decorates a generator's arrival stream with a [`FaultPlan`]: outage
+/// windows silence it, collapse/loss thin it, duplication thickens it.
+/// `stream` names the stream (distinct stations must use distinct names
+/// so their fault randomness is independent); what fired is recorded in
+/// `events`. With an empty plan this is the identity.
+pub fn apply_faults(
+    arrivals: Vec<u64>,
+    plan: &FaultPlan,
+    stream: &str,
+    events: &mut FaultEvents,
+) -> Vec<u64> {
+    if plan.is_empty() {
+        arrivals
+    } else {
+        plan.apply_arrivals(&arrivals, stream, events)
+    }
 }
 
 /// Beacon schedule: one beacon every `interval_us` (the 802.11 default TBTT

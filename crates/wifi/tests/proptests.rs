@@ -108,6 +108,82 @@ fn generators_sorted_and_bounded() {
 }
 
 #[test]
+fn generators_are_seed_reproducible() {
+    check("traffic-seed-reproducible", 32, |g| {
+        let seed = g.case() ^ 0x5eed;
+        let pps = g.f64_in(10.0, 2000.0);
+        let gen_all = |seed: u64| -> Vec<Vec<u64>> {
+            let rng = SimRng::new(seed);
+            vec![
+                traffic::cbr(pps, 250_000, &mut rng.stream("cbr")),
+                traffic::poisson(pps, 250_000, &mut rng.stream("poisson")),
+                traffic::bursty_onoff(pps.max(100.0), 15_000.0, 30_000.0, 250_000, &mut rng.stream("bursty")),
+                traffic::streaming(128.0, 800, 60_000, 250_000, &mut rng.stream("stream")),
+                traffic::beacons(102_400, 250_000),
+            ]
+        };
+        assert_eq!(gen_all(seed), gen_all(seed));
+    });
+}
+
+#[test]
+fn streaming_and_beacons_sorted_and_bounded() {
+    check("stream-beacon-sorted-bounded", 64, |g| {
+        let seed = g.case() ^ 0xbea0c;
+        let kbps = g.f64_in(32.0, 512.0);
+        let mut rng = SimRng::new(seed);
+        for arr in [
+            traffic::streaming(kbps, 800, 60_000, 300_000, &mut rng),
+            traffic::beacons(g.usize_in(10_000, 200_000) as u64, 300_000),
+        ] {
+            assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+            assert!(arr.iter().all(|&t| t < 300_000));
+        }
+    });
+}
+
+// ---- fault-wrapped traffic ----
+
+#[test]
+fn fault_wrapped_generators_keep_the_contract() {
+    use bs_channel::faults::{FaultEvents, FaultPlan};
+    // Whatever a plan does to a stream, the decorated output must still
+    // honour the generator contract: sorted, within `until_us`, and
+    // byte-reproducible from (plan seed, stream name) alone.
+    check("traffic-fault-wrapped", 24, |g| {
+        let seed = g.case() ^ 0xfa017;
+        let pps = g.f64_in(100.0, 2000.0);
+        let severity = g.f64_in(0.0, 1.0);
+        let scenario = ["outage", "collapse", "loss", "dup", "all"][g.usize_in(0, 4)];
+        let plan = FaultPlan::preset(scenario, severity, seed).unwrap();
+        let base = traffic::cbr(pps, 300_000, &mut SimRng::new(seed).stream("base"));
+
+        let mut e1 = FaultEvents::default();
+        let out = traffic::apply_faults(base.clone(), &plan, "helper", &mut e1);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]), "unsorted after faults");
+        assert!(out.iter().all(|&t| t < 300_000), "arrival past until_us");
+
+        let mut e2 = FaultEvents::default();
+        let again = traffic::apply_faults(base.clone(), &plan, "helper", &mut e2);
+        assert_eq!(out, again, "fault decoration not reproducible");
+        assert_eq!(e1, e2, "fault events not reproducible");
+
+        // The books balance: output size = input - dropped + duplicated.
+        assert_eq!(
+            out.len() as i64,
+            base.len() as i64 - e1.packets_dropped as i64 + e1.packets_duplicated as i64,
+            "fault accounting does not balance"
+        );
+
+        // A zero-severity or empty plan is the identity, with no events.
+        let mut e3 = FaultEvents::default();
+        let inert = plan.clone().with_severity(0.0);
+        assert_eq!(traffic::apply_faults(base.clone(), &inert, "helper", &mut e3), base);
+        assert_eq!(e3, FaultEvents::default());
+    });
+}
+
+#[test]
 fn office_profile_bounded() {
     check("office-profile-bounded", 256, |g| {
         let h = g.f64_in(0.0, 24.0);

@@ -4,11 +4,26 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== no bare #[ignore] (every ignored test must say why) =="
+# #[ignore] without a reason string hides work with no paper trail;
+# require #[ignore = "reason"] so the suite documents its own gaps.
+if grep -rn --include='*.rs' -E '#\[ignore\]|#\[ignore[[:space:]]*\(' crates tests examples; then
+    echo "error: bare #[ignore] found — use #[ignore = \"reason\"]" >&2
+    exit 1
+fi
+
 echo "== cargo build --release (all targets) =="
 cargo build --release --all-targets
 
 echo "== cargo test -q =="
 cargo test -q
+
+echo "== fault-injection conformance + harness determinism =="
+# One release-mode pass over the two contracts the fault layer must keep:
+# mitigations/degradation conformance, and byte-identical bench output
+# under any --jobs count with a fault-enabled figure in the plan.
+cargo test --release -q -p wifi-backscatter --test fault_injection
+cargo test --release -q -p bs-bench --test determinism
 
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --all-targets -- -D warnings

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/bs_bench-47267147cfa4cb7c.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/ambient.rs crates/bench/src/experiments/coexistence.rs crates/bench/src/experiments/downlink.rs crates/bench/src/experiments/power.rs crates/bench/src/experiments/uplink.rs crates/bench/src/harness/mod.rs crates/bench/src/harness/figures.rs crates/bench/src/harness/record.rs crates/bench/src/harness/scheduler.rs crates/bench/src/microbench.rs Cargo.toml
+/root/repo/target/debug/deps/bs_bench-47267147cfa4cb7c.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/ambient.rs crates/bench/src/experiments/coexistence.rs crates/bench/src/experiments/downlink.rs crates/bench/src/experiments/faults.rs crates/bench/src/experiments/power.rs crates/bench/src/experiments/uplink.rs crates/bench/src/harness/mod.rs crates/bench/src/harness/figures.rs crates/bench/src/harness/record.rs crates/bench/src/harness/scheduler.rs crates/bench/src/microbench.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbs_bench-47267147cfa4cb7c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/ambient.rs crates/bench/src/experiments/coexistence.rs crates/bench/src/experiments/downlink.rs crates/bench/src/experiments/power.rs crates/bench/src/experiments/uplink.rs crates/bench/src/harness/mod.rs crates/bench/src/harness/figures.rs crates/bench/src/harness/record.rs crates/bench/src/harness/scheduler.rs crates/bench/src/microbench.rs Cargo.toml
+/root/repo/target/debug/deps/libbs_bench-47267147cfa4cb7c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/ambient.rs crates/bench/src/experiments/coexistence.rs crates/bench/src/experiments/downlink.rs crates/bench/src/experiments/faults.rs crates/bench/src/experiments/power.rs crates/bench/src/experiments/uplink.rs crates/bench/src/harness/mod.rs crates/bench/src/harness/figures.rs crates/bench/src/harness/record.rs crates/bench/src/harness/scheduler.rs crates/bench/src/microbench.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/experiments/mod.rs:
@@ -8,6 +8,7 @@ crates/bench/src/experiments/ablation.rs:
 crates/bench/src/experiments/ambient.rs:
 crates/bench/src/experiments/coexistence.rs:
 crates/bench/src/experiments/downlink.rs:
+crates/bench/src/experiments/faults.rs:
 crates/bench/src/experiments/power.rs:
 crates/bench/src/experiments/uplink.rs:
 crates/bench/src/harness/mod.rs:

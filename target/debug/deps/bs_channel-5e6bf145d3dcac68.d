@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/bs_channel-5e6bf145d3dcac68.d: crates/channel/src/lib.rs crates/channel/src/backscatter.rs crates/channel/src/calib.rs crates/channel/src/fading.rs crates/channel/src/geometry.rs crates/channel/src/multipath.rs crates/channel/src/multiscene.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/scene.rs
+/root/repo/target/debug/deps/bs_channel-5e6bf145d3dcac68.d: crates/channel/src/lib.rs crates/channel/src/backscatter.rs crates/channel/src/calib.rs crates/channel/src/fading.rs crates/channel/src/faults.rs crates/channel/src/geometry.rs crates/channel/src/multipath.rs crates/channel/src/multiscene.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/scene.rs
 
-/root/repo/target/debug/deps/libbs_channel-5e6bf145d3dcac68.rmeta: crates/channel/src/lib.rs crates/channel/src/backscatter.rs crates/channel/src/calib.rs crates/channel/src/fading.rs crates/channel/src/geometry.rs crates/channel/src/multipath.rs crates/channel/src/multiscene.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/scene.rs
+/root/repo/target/debug/deps/libbs_channel-5e6bf145d3dcac68.rmeta: crates/channel/src/lib.rs crates/channel/src/backscatter.rs crates/channel/src/calib.rs crates/channel/src/fading.rs crates/channel/src/faults.rs crates/channel/src/geometry.rs crates/channel/src/multipath.rs crates/channel/src/multiscene.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/scene.rs
 
 crates/channel/src/lib.rs:
 crates/channel/src/backscatter.rs:
 crates/channel/src/calib.rs:
 crates/channel/src/fading.rs:
+crates/channel/src/faults.rs:
 crates/channel/src/geometry.rs:
 crates/channel/src/multipath.rs:
 crates/channel/src/multiscene.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-0110a614234b17d4.d: crates/core/../../tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-0110a614234b17d4: crates/core/../../tests/fault_injection.rs
+
+crates/core/../../tests/fault_injection.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/golden_decode-42f9b863179d5f1d.d: crates/core/../../tests/golden_decode.rs crates/core/../../tests/golden/slicer.txt crates/core/../../tests/golden/correlate.txt crates/core/../../tests/golden/uplink_chain.txt Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_decode-42f9b863179d5f1d.rmeta: crates/core/../../tests/golden_decode.rs crates/core/../../tests/golden/slicer.txt crates/core/../../tests/golden/correlate.txt crates/core/../../tests/golden/uplink_chain.txt Cargo.toml
+
+crates/core/../../tests/golden_decode.rs:
+crates/core/../../tests/golden/slicer.txt:
+crates/core/../../tests/golden/correlate.txt:
+crates/core/../../tests/golden/uplink_chain.txt:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

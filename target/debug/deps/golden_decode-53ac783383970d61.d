@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_decode-53ac783383970d61.d: crates/core/../../tests/golden_decode.rs crates/core/../../tests/golden/slicer.txt crates/core/../../tests/golden/correlate.txt crates/core/../../tests/golden/uplink_chain.txt
+
+/root/repo/target/debug/deps/golden_decode-53ac783383970d61: crates/core/../../tests/golden_decode.rs crates/core/../../tests/golden/slicer.txt crates/core/../../tests/golden/correlate.txt crates/core/../../tests/golden/uplink_chain.txt
+
+crates/core/../../tests/golden_decode.rs:
+crates/core/../../tests/golden/slicer.txt:
+crates/core/../../tests/golden/correlate.txt:
+crates/core/../../tests/golden/uplink_chain.txt:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

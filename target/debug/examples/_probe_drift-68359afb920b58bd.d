@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_probe_drift-68359afb920b58bd.d: crates/core/../../examples/_probe_drift.rs
+
+/root/repo/target/debug/examples/_probe_drift-68359afb920b58bd: crates/core/../../examples/_probe_drift.rs
+
+crates/core/../../examples/_probe_drift.rs:

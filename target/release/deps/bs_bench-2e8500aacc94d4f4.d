@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/bs_bench-2e8500aacc94d4f4.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/ambient.rs crates/bench/src/experiments/coexistence.rs crates/bench/src/experiments/downlink.rs crates/bench/src/experiments/power.rs crates/bench/src/experiments/uplink.rs crates/bench/src/harness/mod.rs crates/bench/src/harness/figures.rs crates/bench/src/harness/record.rs crates/bench/src/harness/scheduler.rs crates/bench/src/microbench.rs
+/root/repo/target/release/deps/bs_bench-2e8500aacc94d4f4.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/ambient.rs crates/bench/src/experiments/coexistence.rs crates/bench/src/experiments/downlink.rs crates/bench/src/experiments/faults.rs crates/bench/src/experiments/power.rs crates/bench/src/experiments/uplink.rs crates/bench/src/harness/mod.rs crates/bench/src/harness/figures.rs crates/bench/src/harness/record.rs crates/bench/src/harness/scheduler.rs crates/bench/src/microbench.rs
 
-/root/repo/target/release/deps/libbs_bench-2e8500aacc94d4f4.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/ambient.rs crates/bench/src/experiments/coexistence.rs crates/bench/src/experiments/downlink.rs crates/bench/src/experiments/power.rs crates/bench/src/experiments/uplink.rs crates/bench/src/harness/mod.rs crates/bench/src/harness/figures.rs crates/bench/src/harness/record.rs crates/bench/src/harness/scheduler.rs crates/bench/src/microbench.rs
+/root/repo/target/release/deps/libbs_bench-2e8500aacc94d4f4.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/ambient.rs crates/bench/src/experiments/coexistence.rs crates/bench/src/experiments/downlink.rs crates/bench/src/experiments/faults.rs crates/bench/src/experiments/power.rs crates/bench/src/experiments/uplink.rs crates/bench/src/harness/mod.rs crates/bench/src/harness/figures.rs crates/bench/src/harness/record.rs crates/bench/src/harness/scheduler.rs crates/bench/src/microbench.rs
 
-/root/repo/target/release/deps/libbs_bench-2e8500aacc94d4f4.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/ambient.rs crates/bench/src/experiments/coexistence.rs crates/bench/src/experiments/downlink.rs crates/bench/src/experiments/power.rs crates/bench/src/experiments/uplink.rs crates/bench/src/harness/mod.rs crates/bench/src/harness/figures.rs crates/bench/src/harness/record.rs crates/bench/src/harness/scheduler.rs crates/bench/src/microbench.rs
+/root/repo/target/release/deps/libbs_bench-2e8500aacc94d4f4.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/ambient.rs crates/bench/src/experiments/coexistence.rs crates/bench/src/experiments/downlink.rs crates/bench/src/experiments/faults.rs crates/bench/src/experiments/power.rs crates/bench/src/experiments/uplink.rs crates/bench/src/harness/mod.rs crates/bench/src/harness/figures.rs crates/bench/src/harness/record.rs crates/bench/src/harness/scheduler.rs crates/bench/src/microbench.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/experiments/mod.rs:
@@ -10,6 +10,7 @@ crates/bench/src/experiments/ablation.rs:
 crates/bench/src/experiments/ambient.rs:
 crates/bench/src/experiments/coexistence.rs:
 crates/bench/src/experiments/downlink.rs:
+crates/bench/src/experiments/faults.rs:
 crates/bench/src/experiments/power.rs:
 crates/bench/src/experiments/uplink.rs:
 crates/bench/src/harness/mod.rs:

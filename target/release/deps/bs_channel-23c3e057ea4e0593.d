@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/bs_channel-23c3e057ea4e0593.d: crates/channel/src/lib.rs crates/channel/src/backscatter.rs crates/channel/src/calib.rs crates/channel/src/fading.rs crates/channel/src/geometry.rs crates/channel/src/multipath.rs crates/channel/src/multiscene.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/scene.rs
+/root/repo/target/release/deps/bs_channel-23c3e057ea4e0593.d: crates/channel/src/lib.rs crates/channel/src/backscatter.rs crates/channel/src/calib.rs crates/channel/src/fading.rs crates/channel/src/faults.rs crates/channel/src/geometry.rs crates/channel/src/multipath.rs crates/channel/src/multiscene.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/scene.rs
 
-/root/repo/target/release/deps/libbs_channel-23c3e057ea4e0593.rlib: crates/channel/src/lib.rs crates/channel/src/backscatter.rs crates/channel/src/calib.rs crates/channel/src/fading.rs crates/channel/src/geometry.rs crates/channel/src/multipath.rs crates/channel/src/multiscene.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/scene.rs
+/root/repo/target/release/deps/libbs_channel-23c3e057ea4e0593.rlib: crates/channel/src/lib.rs crates/channel/src/backscatter.rs crates/channel/src/calib.rs crates/channel/src/fading.rs crates/channel/src/faults.rs crates/channel/src/geometry.rs crates/channel/src/multipath.rs crates/channel/src/multiscene.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/scene.rs
 
-/root/repo/target/release/deps/libbs_channel-23c3e057ea4e0593.rmeta: crates/channel/src/lib.rs crates/channel/src/backscatter.rs crates/channel/src/calib.rs crates/channel/src/fading.rs crates/channel/src/geometry.rs crates/channel/src/multipath.rs crates/channel/src/multiscene.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/scene.rs
+/root/repo/target/release/deps/libbs_channel-23c3e057ea4e0593.rmeta: crates/channel/src/lib.rs crates/channel/src/backscatter.rs crates/channel/src/calib.rs crates/channel/src/fading.rs crates/channel/src/faults.rs crates/channel/src/geometry.rs crates/channel/src/multipath.rs crates/channel/src/multiscene.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/scene.rs
 
 crates/channel/src/lib.rs:
 crates/channel/src/backscatter.rs:
 crates/channel/src/calib.rs:
 crates/channel/src/fading.rs:
+crates/channel/src/faults.rs:
 crates/channel/src/geometry.rs:
 crates/channel/src/multipath.rs:
 crates/channel/src/multiscene.rs:

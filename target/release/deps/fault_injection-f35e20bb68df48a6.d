@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-f35e20bb68df48a6.d: crates/core/../../tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-f35e20bb68df48a6: crates/core/../../tests/fault_injection.rs
+
+crates/core/../../tests/fault_injection.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/golden_decode-c7926719bdd99cd3.d: crates/core/../../tests/golden_decode.rs crates/core/../../tests/golden/slicer.txt crates/core/../../tests/golden/correlate.txt crates/core/../../tests/golden/uplink_chain.txt
+
+/root/repo/target/release/deps/golden_decode-c7926719bdd99cd3: crates/core/../../tests/golden_decode.rs crates/core/../../tests/golden/slicer.txt crates/core/../../tests/golden/correlate.txt crates/core/../../tests/golden/uplink_chain.txt
+
+crates/core/../../tests/golden_decode.rs:
+crates/core/../../tests/golden/slicer.txt:
+crates/core/../../tests/golden/correlate.txt:
+crates/core/../../tests/golden/uplink_chain.txt:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -148,3 +148,39 @@ fn uplink_survives_microwave_interference_at_close_range() {
         "interference should not help: {edge_noisy} vs {edge_clean}"
     );
 }
+
+/// Extension (§7.5 + fault model): a tag living off beacons alone — the
+/// sparsest ambient traffic the paper evaluates — while the access point
+/// periodically goes silent (driver resets / roaming scans). The slow
+/// link must ride through the outages, and the run must say what hit it.
+#[test]
+fn beacon_only_uplink_survives_helper_outages() {
+    use bs_channel::faults::FaultPlan;
+    use wifi_backscatter::link::{Measurement, MitigationPolicy};
+
+    let mut ber = BerCounter::new();
+    let mut fired = false;
+    for seed in 0..2 {
+        // ~60 beacons/s (a busy multi-AP band), RSSI only — the Intel
+        // tool reports no CSI for beacons — and a rate slow enough for a
+        // few beacons per bit.
+        let mut cfg = LinkConfig::fig10(0.05, 10, 6, 870 + seed);
+        cfg.measurement = Measurement::Rssi;
+        cfg.helper_pps = 60.0;
+        cfg.payload = (0..16).map(|i| (i * 3) % 5 < 2).collect();
+        cfg.faults = FaultPlan::preset("outage", 1.0, 870 + seed).unwrap();
+        cfg.mitigations = MitigationPolicy::all();
+        let run = run_uplink(&cfg);
+        assert!(run.detected, "seed {seed}: beacon-only link lost the frame");
+        let d = &run.degradation;
+        assert!(d.outage_us > 0, "seed {seed}: no outage time accounted");
+        fired |= d.fired("helper-outage");
+        ber.merge(&run.ber);
+    }
+    assert!(fired, "outage never observed in any run's report");
+    assert!(
+        ber.raw_ber() < 5e-2,
+        "outages broke the beacon-only link: {}",
+        ber.raw_ber()
+    );
+}
