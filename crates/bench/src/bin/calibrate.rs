@@ -64,7 +64,7 @@ fn uplink_jobs() -> Vec<Job> {
                         ("ber_rssi".into(), ber_rssi.raw_ber()),
                     ],
                     work_items: runs * 45 * 30 * 2,
-                    degradation: None,
+                    ..JobOutput::default()
                 }
             }),
         })
@@ -96,7 +96,7 @@ fn downlink_jobs() -> Vec<Job> {
                     lines: vec![row],
                     metrics,
                     work_items: 3 * 10 * 2000,
-                    degradation: None,
+                    ..JobOutput::default()
                 }
             }),
         })

@@ -9,12 +9,14 @@
 //! | [`power`] | §6 power/harvesting claims |
 //! | [`ablation`] | design-choice ablations (combining, hysteresis, artifacts, conditioning) |
 //! | [`faults`] | fault-injection sweep: degradation with mitigations off vs on |
+//! | [`obs`] | stage profiling: per-stage spans/counters from armed-recorder runs |
 
 pub mod ablation;
 pub mod ambient;
 pub mod coexistence;
 pub mod downlink;
 pub mod faults;
+pub mod obs;
 pub mod power;
 pub mod uplink;
 

@@ -16,7 +16,7 @@ use wifi_backscatter::link::Measurement;
 
 use super::record::{JobOutput, RunRecord};
 use super::scheduler::Job;
-use crate::experiments::{ablation, ambient, coexistence, downlink, faults, power, uplink};
+use crate::experiments::{ablation, ambient, coexistence, downlink, faults, obs, power, uplink};
 
 /// How much work each figure does — the knobs the old `all`/`quick`
 /// modes tuned, now a first-class value so tests can shrink it further.
@@ -62,7 +62,7 @@ impl Effort {
 /// Every figure id the harness knows, in canonical output order.
 pub const ALL_FIGURES: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults",
+    "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults", "obs",
 ];
 
 /// Lines computed from a section's finished records (Fig. 19's impact
@@ -149,6 +149,7 @@ pub fn plan(figs: &[String], effort: &Effort, seed: u64) -> Result<Plan, String>
             "power" => power_section(&mut p),
             "ablation" => ablation_section(&mut p, seed, effort),
             "faults" => faults_section(&mut p, seed, effort),
+            "obs" => obs_section(&mut p, seed, effort),
             other => {
                 return Err(format!(
                     "unknown figure '{other}' (known: {})",
@@ -210,7 +211,7 @@ fn raw_trace_job(p: &mut Plan, section: usize, d_m: f64, seed: u64) {
                 ("subchannel".into(), t.subchannel as f64),
             ],
             work_items: 3000,
-            degradation: None,
+            ..JobOutput::default()
         }
     });
 }
@@ -258,7 +259,7 @@ fn fig4(p: &mut Plan, seed: u64) {
                 lines,
                 metrics: vec![("bimodal_subchannels".into(), bimodal as f64)],
                 work_items: 42_000,
-                degradation: None,
+                ..JobOutput::default()
             }
         });
     }
@@ -280,7 +281,7 @@ fn fig5(p: &mut Plan, seed: u64) {
                 lines: vec![format!("{d}  {}  {}", good.len(), list.join(","))],
                 metrics: vec![("n_good".into(), good.len() as f64)],
                 work_items: 2700, // 90-bit payload × 30 packets/bit
-                degradation: None,
+                ..JobOutput::default()
             }
         });
     }
@@ -309,7 +310,7 @@ fn fig10(p: &mut Plan, seed: u64, e: &Effort) {
                         )],
                         metrics: vec![("ber".into(), pt.ber)],
                         work_items: runs * 90 * u64::from(ppb),
-                        degradation: None,
+                        ..JobOutput::default()
                     }
                 });
             }
@@ -333,7 +334,7 @@ fn fig11(p: &mut Plan, seed: u64, e: &Effort) {
                 lines: vec![format!("{d}  {ours:.2e}  {random:.2e}")],
                 metrics: vec![("ber_ours".into(), ours), ("ber_random".into(), random)],
                 work_items: runs * 2 * 2700, // full + single-channel capture
-                degradation: None,
+                ..JobOutput::default()
             }
         });
     }
@@ -355,7 +356,7 @@ fn fig12(p: &mut Plan, seed: u64, e: &Effort) {
                 lines: vec![format!("{q}  {bps}")],
                 metrics: vec![("achievable_bps".into(), bps as f64)],
                 work_items: runs * 4 * 90, // 4 candidate rates × 90-bit payload
-                degradation: None,
+                ..JobOutput::default()
             }
         });
     }
@@ -377,7 +378,7 @@ fn fig14(p: &mut Plan, seed: u64, e: &Effort) {
                 lines: vec![format!("{loc}  {prob:.2}")],
                 metrics: vec![("delivery_probability".into(), prob)],
                 work_items: frames * 20 * 30, // 20-bit frames × 30 packets/bit
-                degradation: None,
+                ..JobOutput::default()
             }
         });
     }
@@ -405,7 +406,7 @@ fn fig15(p: &mut Plan, seed: u64, e: &Effort) {
                     ("achievable_bps".into(), slot.achievable_bps as f64),
                 ],
                 work_items: runs * 4 * 90,
-                degradation: None,
+                ..JobOutput::default()
             }
         });
     }
@@ -427,7 +428,7 @@ fn fig16(p: &mut Plan, seed: u64, e: &Effort) {
                 lines: vec![format!("{q}  {bps}")],
                 metrics: vec![("achievable_bps".into(), bps as f64)],
                 work_items: runs * 5 * 45, // ≤5 candidate rates × 45-bit payload
-                degradation: None,
+                ..JobOutput::default()
             }
         });
     }
@@ -453,7 +454,7 @@ fn fig17(p: &mut Plan, seed: u64, e: &Effort) {
                     )],
                     metrics: vec![("ber".into(), pt.ber)],
                     work_items: (kbits as u64) * 1000,
-                    degradation: None,
+                    ..JobOutput::default()
                 }
             });
         }
@@ -475,7 +476,7 @@ fn fig18(p: &mut Plan, seed: u64, e: &Effort) {
                 lines: vec![format!("{:.0}  {:.0}", slot.hour, slot.per_hour)],
                 metrics: vec![("false_positives_per_hour".into(), slot.per_hour)],
                 work_items: 0, // one simulated hour; burst count is load-dependent
-                degradation: None,
+                ..JobOutput::default()
             }
         });
     }
@@ -516,7 +517,7 @@ fn fig19(p: &mut Plan, seed: u64, e: &Effort) {
                     lines,
                     metrics,
                     work_items: (duration_s * 500.0) as u64 * 3, // SNR snapshots
-                    degradation: None,
+                    ..JobOutput::default()
                 }
             });
         }
@@ -586,7 +587,7 @@ fn fig20(p: &mut Plan, seed: u64, e: &Effort) {
                     l.map_or(-1.0, |l| l as f64),
                 )],
                 work_items: 0, // early-exits once a length passes
-                degradation: None,
+                ..JobOutput::default()
             }
         });
     }
@@ -618,7 +619,7 @@ fn power_section(p: &mut Plan) {
             lines,
             metrics,
             work_items: 0, // closed-form link-budget table
-            degradation: None,
+            ..JobOutput::default()
         }
     });
 }
@@ -661,7 +662,7 @@ fn ablation_section(p: &mut Plan, seed: u64, e: &Effort) {
                 lines,
                 metrics,
                 work_items: 0, // mixed workloads per variant
-                degradation: None,
+                ..JobOutput::default()
             }
         });
     }
@@ -693,10 +694,58 @@ fn faults_section(p: &mut Plan, seed: u64, e: &Effort) {
                         ],
                         work_items: runs * 30 * 10, // 30-bit payload × 10 packets/bit
                         degradation: Some(pt.report.to_json()),
+                        ..JobOutput::default()
                     }
                 });
             }
         }
+    }
+}
+
+fn obs_section(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "obs",
+        vec![
+            "# === Stage profiles: simulated time and work per pipeline stage ===".into(),
+            "# profile: stage  spans  items  sim_us".into(),
+        ],
+    );
+    let runs = e.runs.min(3);
+    type ProfileFn = Box<dyn FnOnce() -> obs::ObsPoint + Send>;
+    let profiles: Vec<(&str, ProfileFn)> = vec![
+        (
+            "uplink d=10cm",
+            Box::new(move || obs::uplink_profile(0.1, runs, seed)),
+        ),
+        (
+            "downlink d=50cm 20kbps",
+            Box::new(move || obs::downlink_profile(0.5, 20_000, 2_000, runs, seed)),
+        ),
+        (
+            "session close-range",
+            Box::new(move || obs::session_profile(runs, seed)),
+        ),
+    ];
+    for (name, profile) in profiles {
+        p.job(s, format!("profile {name}"), seed, move || {
+            let pt = profile();
+            let mut lines = vec![format!("# -- {name} ({} runs) --", pt.runs)];
+            for l in pt.stage_lines() {
+                lines.push(format!("{name}: {l}"));
+            }
+            let work_items: u64 = pt.report.spans.iter().map(|s| s.items).sum();
+            JobOutput {
+                lines,
+                metrics: vec![
+                    ("distinct_stages".into(), pt.report.distinct_stages() as f64),
+                    ("counters".into(), pt.report.counters.len() as f64),
+                    ("ber".into(), pt.ber),
+                ],
+                work_items,
+                obs: Some(pt.report.to_json()),
+                ..JobOutput::default()
+            }
+        });
     }
 }
 
@@ -765,6 +814,7 @@ mod tests {
             wall_s: 0.0,
             work_items: 0,
             degradation: None,
+            obs: None,
             metrics: Vec::new(),
             lines: vec![line.to_string()],
         };

@@ -30,6 +30,10 @@ pub struct JobOutput {
     /// (`wifi_backscatter::link::DegradationReport::to_json`); `None` for
     /// figures that inject no faults, keeping their records byte-stable.
     pub degradation: Option<String>,
+    /// Pre-serialised `ObsReport` JSON (`bs_dsp::obs::ObsReport::to_json`)
+    /// from jobs that ran with an armed recorder; `None` everywhere else,
+    /// so records from unprofiled figures stay byte-stable.
+    pub obs: Option<String>,
 }
 
 /// One completed experiment run: a [`JobOutput`] plus the scheduling
@@ -59,6 +63,8 @@ pub struct RunRecord {
     pub lines: Vec<String>,
     /// Degradation-report JSON (see [`JobOutput::degradation`]).
     pub degradation: Option<String>,
+    /// Observability-report JSON (see [`JobOutput::obs`]).
+    pub obs: Option<String>,
 }
 
 impl RunRecord {
@@ -82,9 +88,16 @@ impl RunRecord {
             Some(d) => format!(",\"degradation\":{d}"),
             None => String::new(),
         };
+        // Same deal for the observability report: it is deterministic JSON
+        // built by `ObsReport::to_json`, present only when the job armed a
+        // recorder.
+        let obs = match &self.obs {
+            Some(o) => format!(",\"obs\":{o}"),
+            None => String::new(),
+        };
         format!(
             "{{\"fig\":{},\"label\":{},\"seed\":{},\"job_index\":{},\
-             \"wall_s\":{},\"work_items\":{},\"metrics\":{}{}}}",
+             \"wall_s\":{},\"work_items\":{},\"metrics\":{}{}{}}}",
             json_string(&self.fig),
             json_string(&self.label),
             self.seed,
@@ -93,6 +106,7 @@ impl RunRecord {
             self.work_items,
             metrics,
             degradation,
+            obs,
         )
     }
 }
@@ -145,6 +159,7 @@ mod tests {
             metrics: vec![("ber".into(), 1.5e-3)],
             lines: vec!["5  3  1.50e-3".into()],
             degradation: None,
+            obs: None,
         }
     }
 
@@ -172,6 +187,19 @@ mod tests {
         let line = r.to_json_line();
         assert!(
             line.contains(",\"degradation\":{\"faults_fired\":[\"packet-loss\"]}}"),
+            "{line}"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn obs_json_is_spliced_only_when_present() {
+        let mut r = record();
+        assert!(!r.to_json_line().contains("\"obs\""));
+        r.obs = Some("{\"spans\":[],\"counters\":{\"uplink.decode-attempts\":1}}".to_string());
+        let line = r.to_json_line();
+        assert!(
+            line.contains(",\"obs\":{\"spans\":[],\"counters\":{\"uplink.decode-attempts\":1}}}"),
             "{line}"
         );
         assert!(!line.contains('\n'));

@@ -82,6 +82,7 @@ pub fn run_jobs(jobs: Vec<Job>, workers: usize) -> Vec<RunRecord> {
                     metrics: out.metrics,
                     lines: out.lines,
                     degradation: out.degradation,
+                    obs: out.obs,
                 });
             });
         }

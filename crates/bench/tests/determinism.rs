@@ -5,12 +5,15 @@
 //!
 //! Runs fig10 + fig17 as the ISSUE's acceptance pair plus the
 //! fault-injection figure (the determinism contract explicitly extends to
-//! faulted runs: fault streams derive from the plan seed alone), at a
-//! reduced effort (1 run per point, 1 kbit per downlink point, fig10's
+//! faulted runs: fault streams derive from the plan seed alone) and the
+//! armed-recorder `obs` figure (the contract extends to observability:
+//! spans are simulated time, counters are discrete work, so the `"obs"`
+//! JSON must be byte-identical under any `--jobs`), at a reduced effort
+//! (1 run per point, 1 kbit per downlink point, fig10's
 //! 30-packets-per-bit jobs and the half-severity fault cells dropped) so
-//! the test stays fast in the debug profile; the contract being exercised
-//! — per-point seed derivation, work-stealing scheduling, in-order
-//! reassembly — is identical at any effort.
+//! the test stays fast in the debug profile; the
+//! contract being exercised — per-point seed derivation, work-stealing
+//! scheduling, in-order reassembly — is identical at any effort.
 
 use bs_bench::harness::{plan, render, run_jobs, Effort};
 
@@ -28,7 +31,12 @@ fn test_effort() -> Effort {
 /// 30-packets-per-bit sweep, the faults figure's half-severity points).
 /// `plan()` is pure, so both worker counts get identical job lists.
 fn build() -> (Vec<bs_bench::harness::Section>, Vec<bs_bench::harness::Job>) {
-    let figs = vec!["fig10".to_string(), "fig17".to_string(), "faults".to_string()];
+    let figs = vec![
+        "fig10".to_string(),
+        "fig17".to_string(),
+        "faults".to_string(),
+        "obs".to_string(),
+    ];
     let p = plan(&figs, &test_effort(), 7).expect("known figures");
     let mut jobs = p.jobs;
     jobs.retain(|j| !j.label.contains("ppb=30"));
@@ -68,6 +76,21 @@ fn parallel_run_is_byte_identical_to_serial() {
     assert!(!faulted.is_empty(), "no fault jobs ran");
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(s.degradation, p.degradation, "degradation diverged at {}", s.label);
+    }
+
+    // Armed-recorder records carry byte-identical observability JSON: the
+    // spans are simulated time and the counters discrete work, so worker
+    // count cannot leak in.
+    let observed: Vec<_> = serial.iter().filter(|r| r.fig == "obs").collect();
+    assert!(!observed.is_empty(), "no obs jobs ran");
+    for r in &observed {
+        assert!(r.obs.is_some(), "obs record without a report at {}", r.label);
+    }
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.obs, p.obs, "obs report diverged at {}", s.label);
+        if s.fig != "obs" {
+            assert!(s.obs.is_none(), "unprofiled figure {} grew an obs report", s.fig);
+        }
     }
 }
 

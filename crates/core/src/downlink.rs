@@ -8,8 +8,16 @@
 //! 32 ms; messages that don't fit are split across multiple reservations,
 //! one complete frame per reservation.
 
+use crate::error as err;
 use bs_tag::frame::DownlinkFrame;
 use bs_wifi::frame::{FrameKind, StationId, WifiFrame, MAX_NAV_US};
+
+/// Former home of the encode error type.
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to wifi_backscatter::error::EncodeError as part of the unified error hierarchy"
+)]
+pub use crate::error::EncodeError;
 
 /// Downlink encoder configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,32 +91,6 @@ impl DownlinkTransmission {
     }
 }
 
-/// Errors from encoding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EncodeError {
-    /// The frame's on-air length exceeds one CTS_to_SELF reservation; use
-    /// [`DownlinkEncoder::encode_multi`] with smaller frames.
-    TooLongForReservation {
-        /// Bits needed.
-        needed: usize,
-        /// Bits available in one reservation.
-        available: usize,
-    },
-}
-
-impl std::fmt::Display for EncodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            EncodeError::TooLongForReservation { needed, available } => write!(
-                f,
-                "frame needs {needed} bits but one 32 ms reservation fits {available}"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for EncodeError {}
-
 /// The downlink encoder.
 #[derive(Debug, Clone, Copy)]
 pub struct DownlinkEncoder {
@@ -133,11 +115,11 @@ impl DownlinkEncoder {
         &self,
         frame: &DownlinkFrame,
         start_us: u64,
-    ) -> Result<DownlinkTransmission, EncodeError> {
+    ) -> Result<DownlinkTransmission, err::EncodeError> {
         let bits = frame.to_bits();
         let capacity = self.cfg.bits_per_reservation();
         if bits.len() > capacity {
-            return Err(EncodeError::TooLongForReservation {
+            return Err(err::EncodeError::TooLongForReservation {
                 needed: bits.len(),
                 available: capacity,
             });
@@ -182,7 +164,7 @@ impl DownlinkEncoder {
         frames: &[DownlinkFrame],
         start_us: u64,
         gap_us: u64,
-    ) -> Result<Vec<DownlinkTransmission>, EncodeError> {
+    ) -> Result<Vec<DownlinkTransmission>, err::EncodeError> {
         let mut out = Vec::with_capacity(frames.len());
         let mut t = start_us;
         for f in frames {
@@ -196,7 +178,10 @@ impl DownlinkEncoder {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::{DownlinkEncoder, DownlinkEncoderConfig};
+    use crate::error::EncodeError;
+    use bs_tag::frame::DownlinkFrame;
+    use bs_wifi::frame::{FrameKind, MAX_NAV_US};
 
     fn encoder(rate: u64) -> DownlinkEncoder {
         DownlinkEncoder::new(DownlinkEncoderConfig::at_rate(rate, 0))

@@ -1,0 +1,216 @@
+//! The unified error hierarchy for the crate.
+//!
+//! Earlier releases scattered error enums across modules
+//! (`trace::TraceError`, `session::SessionError`, `downlink::EncodeError`).
+//! They are now defined here, wrapped by one top-level [`Error`] with
+//! `From` impls, so applications can hold a single error type:
+//!
+//! ```
+//! use wifi_backscatter::error::Error;
+//!
+//! fn load(text: &str) -> Result<wifi_backscatter::SeriesBundle, Error> {
+//!     Ok(wifi_backscatter::trace::from_text(text)?) // TraceError → Error
+//! }
+//! assert!(load("not a capture").is_err());
+//! ```
+//!
+//! The old module paths still re-export these types, marked
+//! `#[deprecated]`, for one release.
+
+/// Errors from parsing a capture trace (see [`crate::trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The header line is missing or wrong.
+    BadHeader,
+    /// A data line has the wrong number of fields or an unparsable value.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Timestamps are not non-decreasing.
+    UnsortedTimestamps {
+        /// 1-based line number where order broke.
+        line: usize,
+    },
+    /// A v2 `#obs` sidecar line is malformed.
+    BadObsLine {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadHeader => write!(f, "missing or invalid capture header"),
+            TraceError::BadLine { line } => write!(f, "malformed data on line {line}"),
+            TraceError::UnsortedTimestamps { line } => {
+                write!(f, "timestamps go backwards at line {line}")
+            }
+            TraceError::BadObsLine { line } => {
+                write!(f, "malformed #obs sidecar on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Errors a reader session can surface to the application (see
+/// [`crate::session`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The downlink query was never acknowledged by a decodable response,
+    /// even after all retries (tag out of range, unpowered, or absent).
+    TagUnresponsive {
+        /// Query transmissions attempted.
+        attempts: u32,
+    },
+    /// A response was detected but never decoded cleanly.
+    ResponseGarbled {
+        /// Bit errors in the best attempt.
+        best_bit_errors: u64,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::TagUnresponsive { attempts } => {
+                write!(f, "tag unresponsive after {attempts} query attempts")
+            }
+            SessionError::ResponseGarbled { best_bit_errors } => {
+                write!(f, "response garbled ({best_bit_errors} bit errors at best)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Errors from downlink encoding (see [`crate::downlink`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The frame's on-air length exceeds one CTS_to_SELF reservation; use
+    /// [`crate::downlink::DownlinkEncoder::encode_multi`] with smaller
+    /// frames.
+    TooLongForReservation {
+        /// Bits needed.
+        needed: usize,
+        /// Bits available in one reservation.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::TooLongForReservation { needed, available } => write!(
+                f,
+                "frame needs {needed} bits but one 32 ms reservation fits {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// The crate-wide error type: every fallible public API converts into it
+/// via `?`.
+///
+/// Marked `#[non_exhaustive]`: future releases may add variants without a
+/// breaking change, so downstream matches need a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Capture trace parsing failed.
+    Trace(TraceError),
+    /// A reader session gave up.
+    Session(SessionError),
+    /// Downlink encoding failed.
+    Encode(EncodeError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Trace(e) => write!(f, "trace: {e}"),
+            Error::Session(e) => write!(f, "session: {e}"),
+            Error::Encode(e) => write!(f, "encode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Trace(e) => Some(e),
+            Error::Session(e) => Some(e),
+            Error::Encode(e) => Some(e),
+        }
+    }
+}
+
+impl From<TraceError> for Error {
+    fn from(e: TraceError) -> Self {
+        Error::Trace(e)
+    }
+}
+
+impl From<SessionError> for Error {
+    fn from(e: SessionError) -> Self {
+        Error::Session(e)
+    }
+}
+
+impl From<EncodeError> for Error {
+    fn from(e: EncodeError) -> Self {
+        Error::Encode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_wrap_each_leaf() {
+        let t: Error = TraceError::BadHeader.into();
+        assert_eq!(t, Error::Trace(TraceError::BadHeader));
+        let s: Error = SessionError::TagUnresponsive { attempts: 2 }.into();
+        assert!(matches!(s, Error::Session(_)));
+        let e: Error = EncodeError::TooLongForReservation {
+            needed: 10,
+            available: 5,
+        }
+        .into();
+        assert!(matches!(e, Error::Encode(_)));
+    }
+
+    #[test]
+    fn display_prefixes_the_domain() {
+        let e = Error::from(TraceError::BadLine { line: 3 });
+        let s = e.to_string();
+        assert!(s.starts_with("trace:"), "{s}");
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn source_exposes_the_leaf() {
+        use std::error::Error as _;
+        let e = Error::from(SessionError::ResponseGarbled { best_bit_errors: 1 });
+        assert!(e.source().unwrap().to_string().contains("garbled"));
+    }
+
+    #[test]
+    fn question_mark_converts() {
+        fn inner() -> Result<(), TraceError> {
+            Err(TraceError::BadHeader)
+        }
+        fn outer() -> Result<(), Error> {
+            inner()?;
+            Ok(())
+        }
+        assert_eq!(outer(), Err(Error::Trace(TraceError::BadHeader)));
+    }
+}

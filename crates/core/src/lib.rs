@@ -5,6 +5,17 @@
 //! SIGCOMM 2014), running on the simulated substrates in `bs-channel`,
 //! `bs-wifi` and `bs-tag`. See DESIGN.md for the substitution map.
 //!
+//! Most applications should start from the [`prelude`]:
+//!
+//! ```
+//! use wifi_backscatter::prelude::*;
+//!
+//! let cfg = LinkConfig::fig10(0.1, 100, 5, 42)
+//!     .with_payload((0..16).map(|i| i % 3 == 0).collect());
+//! let run = run_uplink(&cfg);
+//! assert!(run.detected);
+//! ```
+//!
 //! The paper's contribution — implemented unchanged on top of the
 //! simulated hardware — lives here:
 //!
@@ -28,25 +39,47 @@
 //!
 //! * [`multitag`] — EPC-Gen-2-style framed-slotted-ALOHA inventory for
 //!   identifying multiple tags before querying them individually (§2).
-//! * [`trace`] — capture save/load, splitting capture from offline
-//!   decoding the way the Intel CSI tool workflow does.
+//! * [`trace`] — capture save/load (v1 and the v2 format carrying
+//!   observability sidecars), splitting capture from offline decoding the
+//!   way the Intel CSI tool workflow does.
 //! * [`session`] — the high-level [`session::Reader`] API: rate
 //!   selection, query retransmission and the long-range fallback composed
 //!   into one call.
+//!
+//! Cross-cutting layers added by the API consolidation:
+//!
+//! * [`obs`] (re-exported from `bs-dsp`) — the deterministic observability
+//!   layer: per-stage spans in simulated time, counters and gauges behind
+//!   the zero-cost [`obs::Recorder`] trait. Every `run_*` entry point has a
+//!   `*_with` variant taking a recorder and an `*_observed` convenience
+//!   returning the report attached to the run.
+//! * [`error`] — the unified [`Error`] hierarchy; the old per-module error
+//!   names are deprecated re-exports.
+//! * [`report`] — the [`report::RunReport`] trait unifying
+//!   [`UplinkRun`], [`DownlinkRun`] and [`session::QueryOutcome`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod downlink;
+pub mod error;
 pub mod link;
 pub mod longrange;
 pub mod multitag;
+pub mod prelude;
 pub mod protocol;
+pub mod report;
 pub mod series;
 pub mod session;
 pub mod trace;
 pub mod uplink;
 
+/// The deterministic observability layer (spans, counters, gauges),
+/// re-exported from `bs-dsp` so `wifi_backscatter::obs::Recorder` is the
+/// one canonical path.
+pub use bs_dsp::obs;
+
+pub use error::Error;
 pub use link::{DownlinkRun, LinkConfig, UplinkRun};
 pub use session::{Reader, ReaderConfig};
 pub use series::SeriesBundle;

@@ -23,6 +23,7 @@ use bs_channel::faults::{FaultEvents, FaultPlan};
 use bs_channel::scene::{Scene, SceneConfig};
 use bs_dsp::bits::BerCounter;
 use bs_dsp::codes::OrthogonalPair;
+use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder};
 use bs_dsp::SimRng;
 use bs_tag::envelope::{EnvelopeConfig, EnvelopeModel};
 use bs_tag::frame::{DownlinkFrame, UplinkFrame};
@@ -76,6 +77,24 @@ impl MitigationPolicy {
     /// No mitigations (the pre-fault-injection behaviour).
     pub fn none() -> Self {
         MitigationPolicy::default()
+    }
+
+    /// Arms or disarms the CSI→RSSI fallback (default: off).
+    pub fn with_csi_fallback(mut self, on: bool) -> Self {
+        self.csi_fallback = on;
+        self
+    }
+
+    /// Arms or disarms rate re-adaptation (default: off).
+    pub fn with_rate_readapt(mut self, on: bool) -> Self {
+        self.rate_readapt = on;
+        self
+    }
+
+    /// Arms or disarms the drift re-scan (default: off).
+    pub fn with_drift_rescan(mut self, on: bool) -> Self {
+        self.drift_rescan = on;
+        self
     }
 }
 
@@ -261,6 +280,51 @@ impl LinkConfig {
             mitigations: MitigationPolicy::none(),
         }
     }
+
+    /// Sets the uplink payload (default: the canonical 90-bit Fig. 10
+    /// pattern).
+    pub fn with_payload(mut self, payload: Vec<bool>) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Sets the reader measurement (default: [`Measurement::Csi`]).
+    pub fn with_measurement(mut self, measurement: Measurement) -> Self {
+        self.measurement = measurement;
+        self
+    }
+
+    /// Sets the orthogonal code length (default: 1 = plain mode).
+    pub fn with_code_length(mut self, code_length: usize) -> Self {
+        self.code_length = code_length;
+        self
+    }
+
+    /// Adds contending background stations `(offered_pps, payload_bytes)`
+    /// (default: none).
+    pub fn with_background(mut self, background: Vec<(f64, usize)>) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Lets the reader use every delivered packet regardless of sender
+    /// (default: helper-only).
+    pub fn with_all_traffic(mut self, on: bool) -> Self {
+        self.use_all_traffic = on;
+        self
+    }
+
+    /// Sets the injected fault plan (default: [`FaultPlan::none`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the armed mitigations (default: [`MitigationPolicy::none`]).
+    pub fn with_mitigations(mut self, mitigations: MitigationPolicy) -> Self {
+        self.mitigations = mitigations;
+        self
+    }
 }
 
 /// Result of an uplink run.
@@ -280,6 +344,9 @@ pub struct UplinkRun {
     pub pkts_per_bit: f64,
     /// Which faults fired and which mitigations engaged.
     pub degradation: DegradationReport,
+    /// Observability report, populated only by [`run_uplink_observed`];
+    /// `None` everywhere else so existing records stay byte-stable.
+    pub obs: Option<ObsReport>,
 }
 
 impl UplinkRun {
@@ -311,6 +378,18 @@ pub struct UplinkCapture {
 
 /// Runs the simulation pipeline up to (but not including) decoding.
 pub fn capture_uplink(cfg: &LinkConfig) -> UplinkCapture {
+    capture_uplink_with(cfg, &mut NullRecorder)
+}
+
+/// [`capture_uplink`] plus observability: spans `uplink.mac` (the DCF
+/// simulation over the run's simulated span, items = transmissions) and
+/// `uplink.capture` (the measurement sweep, items = packets measured),
+/// the traffic/fault counters from
+/// [`bs_wifi::traffic::apply_faults_with`], the per-measurement counters
+/// from the CSI/RSSI extractors, and `uplink.packets-delivered`. The
+/// capture itself — every RNG draw included — is bit-identical to
+/// [`capture_uplink`].
+pub fn capture_uplink_with(cfg: &LinkConfig, rec: &mut dyn Recorder) -> UplinkCapture {
     assert!(cfg.code_length >= 1, "code length must be >= 1");
     let root = SimRng::new(cfg.seed);
     let frame = UplinkFrame::new(cfg.payload.clone());
@@ -330,11 +409,12 @@ pub fn capture_uplink(cfg: &LinkConfig) -> UplinkCapture {
     // congested sender would.
     let mut traffic_rng = root.stream("helper-traffic");
     let mut stations = vec![Station::data(
-        bs_wifi::traffic::apply_faults(
+        bs_wifi::traffic::apply_faults_with(
             bs_wifi::traffic::cbr(cfg.helper_pps, duration_us, &mut traffic_rng),
             plan,
             "helper",
             &mut events,
+            rec,
         ),
         1000,
         54.0,
@@ -342,11 +422,12 @@ pub fn capture_uplink(cfg: &LinkConfig) -> UplinkCapture {
     for (i, &(pps, bytes)) in cfg.background.iter().enumerate() {
         let mut rng = root.stream("background").substream(i as u64);
         stations.push(Station::data(
-            bs_wifi::traffic::apply_faults(
+            bs_wifi::traffic::apply_faults_with(
                 bs_wifi::traffic::poisson(pps, duration_us, &mut rng),
                 plan,
                 &format!("background-{i}"),
                 &mut events,
+                rec,
             ),
             bytes,
             54.0,
@@ -354,11 +435,13 @@ pub fn capture_uplink(cfg: &LinkConfig) -> UplinkCapture {
     }
     let mut medium = Medium::new(Default::default(), root.stream("mac"));
     let (timeline, _) = medium.simulate(&stations, duration_us);
+    rec.span("uplink.mac", 0, duration_us, timeline.len() as u64);
     let packets: Vec<_> = timeline
         .iter()
         .filter(|t| !t.collided && (cfg.use_all_traffic || t.frame.src == 0))
         .map(|t| t.frame)
         .collect();
+    rec.add("uplink.packets-delivered", packets.len() as u64);
 
     // 2-4. Tag modulation, channel, measurement.
     let mode = if cfg.code_length == 1 {
@@ -410,7 +493,7 @@ pub fn capture_uplink(cfg: &LinkConfig) -> UplinkCapture {
                 .map(|p| {
                     let state = modulator.state_at(tag_clock(p.timestamp_us));
                     let snap = scene.snapshot(p.timestamp_us as f64 / 1e6, state, &offsets);
-                    let fresh = ex.measure(&snap, p.timestamp_us);
+                    let fresh = ex.measure_with(&snap, p.timestamp_us, rec);
                     if degrade && plan.sensor_frozen_at(p.timestamp_us) {
                         if let Some(prev) = &last {
                             events.fire("sensor-degradation");
@@ -439,13 +522,14 @@ pub fn capture_uplink(cfg: &LinkConfig) -> UplinkCapture {
                 .map(|p| {
                     let state = modulator.state_at(tag_clock(p.timestamp_us));
                     let snap = scene.snapshot(p.timestamp_us as f64 / 1e6, state, &offsets);
-                    ex.measure(&snap, p.timestamp_us)
+                    ex.measure_with(&snap, p.timestamp_us, rec)
                 })
                 .collect();
             SeriesBundle::from_rssi(&ms)
         }
     };
 
+    rec.span("uplink.capture", 0, duration_us, packets.len() as u64);
     let frame_packets = packets
         .iter()
         .filter(|p| p.timestamp_us >= lead_us && p.timestamp_us < lead_us + frame_span_us)
@@ -486,7 +570,13 @@ impl DecodeAttempt {
 /// Decodes `capture` once, optionally compensating a candidate clock
 /// stretch: a tag running fast by fraction `stretch` produces bits shorter
 /// by the same fraction on the reader's clock.
-fn decode_capture(cfg: &LinkConfig, capture: &UplinkCapture, stretch: f64) -> DecodeAttempt {
+fn decode_capture(
+    cfg: &LinkConfig,
+    capture: &UplinkCapture,
+    stretch: f64,
+    rec: &mut dyn Recorder,
+) -> DecodeAttempt {
+    rec.add("uplink.decode-attempts", 1);
     let (decoded, detected, score) = if cfg.code_length == 1 {
         let mut dcfg = match cfg.measurement {
             Measurement::Csi => UplinkDecoderConfig::csi(cfg.chip_rate_cps, cfg.payload.len()),
@@ -496,7 +586,7 @@ fn decode_capture(cfg: &LinkConfig, capture: &UplinkCapture, stretch: f64) -> De
             let stretched = (dcfg.bit_duration_us as f64 / (1.0 + stretch)).round();
             dcfg.bit_duration_us = stretched.max(1.0) as u64;
         }
-        match UplinkDecoder::new(dcfg).decode(&capture.bundle, capture.start_us) {
+        match UplinkDecoder::new(dcfg).decode_with(&capture.bundle, capture.start_us, rec) {
             // Both timing anchors count: the preamble alone cannot tell a
             // right bit clock from a wrong one (error accumulates over
             // the frame; the front anchor sees none of it), so a stretch
@@ -512,7 +602,7 @@ fn decode_capture(cfg: &LinkConfig, capture: &UplinkCapture, stretch: f64) -> De
             conditioning_window_us: 400_000,
             top_channels: 10,
         };
-        match LongRangeDecoder::new(lcfg).decode(&capture.bundle, capture.start_us) {
+        match LongRangeDecoder::new(lcfg).decode_with(&capture.bundle, capture.start_us, rec) {
             Some(out) => (out.bits, true, 1.0),
             None => (vec![None; cfg.payload.len()], false, 0.0),
         }
@@ -534,6 +624,25 @@ const DRIFT_CANDIDATES: [f64; 7] = [0.0, 0.005, -0.005, 0.01, -0.01, 0.02, -0.02
 /// Runs one end-to-end uplink frame exchange, engaging whatever armed
 /// mitigations the observed degradation calls for.
 pub fn run_uplink(cfg: &LinkConfig) -> UplinkRun {
+    run_uplink_with(cfg, &mut NullRecorder)
+}
+
+/// [`run_uplink`] with an armed [`MemRecorder`]: the returned run carries
+/// `Some(ObsReport)` with the full span/counter/gauge profile of the
+/// exchange. The run itself (bits, BER, degradation) is bit-identical to
+/// [`run_uplink`].
+pub fn run_uplink_observed(cfg: &LinkConfig) -> UplinkRun {
+    let mut rec = MemRecorder::new();
+    let mut run = run_uplink_with(cfg, &mut rec);
+    run.obs = Some(rec.into_report());
+    run
+}
+
+/// [`run_uplink`] plus observability threading: all capture and decode
+/// instrumentation, plus the link-level counters `link.retries` and
+/// `link.mitigations-engaged`. Every RNG draw is identical whatever the
+/// recorder, so results match [`run_uplink`] bit for bit.
+pub fn run_uplink_with(cfg: &LinkConfig, rec: &mut dyn Recorder) -> UplinkRun {
     let mut report = DegradationReport::default();
     let mut eff = cfg.clone();
 
@@ -548,7 +657,7 @@ pub fn run_uplink(cfg: &LinkConfig) -> UplinkRun {
         report.engage("csi-fallback");
     }
 
-    let mut capture = capture_uplink(&eff);
+    let mut capture = capture_uplink_with(&eff, rec);
     report.absorb(&capture.fault_events);
 
     // Proactive re-adaptation: the delivered cadence is observable before
@@ -563,7 +672,7 @@ pub fn run_uplink(cfg: &LinkConfig) -> UplinkRun {
             eff.chip_rate_cps = new_rate;
             report.engage("rate-readapt");
             report.readapted_rate_bps = Some(new_rate);
-            capture = capture_uplink(&eff);
+            capture = capture_uplink_with(&eff, rec);
             report.absorb(&capture.fault_events);
         }
     }
@@ -577,19 +686,20 @@ pub fn run_uplink(cfg: &LinkConfig) -> UplinkRun {
         } else {
             &DRIFT_CANDIDATES[..1]
         };
-    let decode_best = |cfg_eff: &LinkConfig, capture: &UplinkCapture| -> DecodeAttempt {
-        let mut best: Option<DecodeAttempt> = None;
-        for &s in stretches {
-            let attempt = decode_capture(cfg_eff, capture, s);
-            best = match best {
-                Some(b) if !attempt.better_than(&b) => Some(b),
-                _ => Some(attempt),
-            };
-        }
-        best.expect("at least one stretch candidate")
-    };
+    let decode_best =
+        |cfg_eff: &LinkConfig, capture: &UplinkCapture, rec: &mut dyn Recorder| -> DecodeAttempt {
+            let mut best: Option<DecodeAttempt> = None;
+            for &s in stretches {
+                let attempt = decode_capture(cfg_eff, capture, s, rec);
+                best = match best {
+                    Some(b) if !attempt.better_than(&b) => Some(b),
+                    _ => Some(attempt),
+                };
+            }
+            best.expect("at least one stretch candidate")
+        };
 
-    let mut best = decode_best(&eff, &capture);
+    let mut best = decode_best(&eff, &capture, rec);
 
     // Reactive rate step-down: undetected or erasure-ridden decodes mean
     // the bits were starved of measurements; retry at half rate (bounded
@@ -601,9 +711,9 @@ pub fn run_uplink(cfg: &LinkConfig) -> UplinkRun {
             eff.chip_rate_cps = (eff.chip_rate_cps / 2).max(25);
             report.engage("rate-readapt");
             report.retries_used += 1;
-            capture = capture_uplink(&eff);
+            capture = capture_uplink_with(&eff, rec);
             report.absorb(&capture.fault_events);
-            let attempt = decode_best(&eff, &capture);
+            let attempt = decode_best(&eff, &capture, rec);
             if attempt.better_than(&best) {
                 report.readapted_rate_bps = Some(eff.chip_rate_cps);
                 best = attempt;
@@ -611,6 +721,11 @@ pub fn run_uplink(cfg: &LinkConfig) -> UplinkRun {
         }
     }
     report.drift_compensation = best.stretch;
+    rec.add("link.retries", u64::from(report.retries_used));
+    rec.add(
+        "link.mitigations-engaged",
+        report.mitigations_engaged.len() as u64,
+    );
 
     let mut ber = BerCounter::new();
     ber.compare_with_erasures(&cfg.payload, &best.decoded);
@@ -622,6 +737,7 @@ pub fn run_uplink(cfg: &LinkConfig) -> UplinkRun {
         packets_used: capture.bundle.packets(),
         pkts_per_bit: capture.pkts_per_chip * cfg.code_length as f64,
         degradation: report,
+        obs: None,
     }
 }
 
@@ -650,6 +766,18 @@ impl DownlinkConfig {
             seed,
             faults: FaultPlan::none(),
         }
+    }
+
+    /// Sets the reader transmit power (default: the paper's +16 dBm).
+    pub fn with_tx_dbm(mut self, tx_dbm: f64) -> Self {
+        self.tx_dbm = tx_dbm;
+        self
+    }
+
+    /// Sets the injected fault plan (default: [`FaultPlan::none`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Received signal power at the tag (mW): transmit power through the
@@ -686,11 +814,38 @@ pub struct DownlinkRun {
     pub bits_sent: usize,
     /// Which faults fired during the run.
     pub degradation: DegradationReport,
+    /// Observability report, populated only by
+    /// [`run_downlink_ber_observed`]; `None` everywhere else.
+    pub obs: Option<ObsReport>,
 }
 
 /// Measures raw downlink BER over `n_bits` random bits at the configured
 /// distance/rate (the Fig. 17 experiment).
 pub fn run_downlink_ber(cfg: &DownlinkConfig, n_bits: usize) -> DownlinkRun {
+    run_downlink_ber_with(cfg, n_bits, &mut NullRecorder)
+}
+
+/// [`run_downlink_ber`] with an armed [`MemRecorder`]: the returned run
+/// carries `Some(ObsReport)`. The BER itself is bit-identical to
+/// [`run_downlink_ber`].
+pub fn run_downlink_ber_observed(cfg: &DownlinkConfig, n_bits: usize) -> DownlinkRun {
+    let mut rec = MemRecorder::new();
+    let mut run = run_downlink_ber_with(cfg, n_bits, &mut rec);
+    run.obs = Some(rec.into_report());
+    run
+}
+
+/// [`run_downlink_ber`] plus observability: a `downlink.envelope` span
+/// over the simulated trace, the tag comparator span and transition
+/// counter from [`ReceiverCircuit::run_with`], counters
+/// `downlink.bits-sent` / `downlink.bit-errors`, and the tag's energy
+/// ledger gauges (`tag.energy-uj`, `tag.mean-uw`) for the receive window.
+/// Every RNG draw is identical whatever the recorder.
+pub fn run_downlink_ber_with(
+    cfg: &DownlinkConfig,
+    n_bits: usize,
+    rec: &mut dyn Recorder,
+) -> DownlinkRun {
     let root = SimRng::new(cfg.seed);
     let mut bit_rng = root.stream("dl-bits");
     let bits: Vec<bool> = (0..n_bits).map(|_| bit_rng.chance(0.5)).collect();
@@ -717,17 +872,32 @@ pub fn run_downlink_ber(cfg: &DownlinkConfig, n_bits: usize) -> DownlinkRun {
         }
     });
 
+    rec.span("downlink.envelope", 0, n_samples as u64, n_samples as u64);
+
     let mut circuit = ReceiverCircuit::new(CircuitConfig::default());
-    let comparator = circuit.run(&trace);
+    let comparator = circuit.run_with(&trace, rec);
     let mut dec = DownlinkDecoder::new(bit_us as f64, 1.0);
     let decoded = dec.slice_bits(&comparator, 0.0, bits.len());
 
     let mut ber = BerCounter::new();
     ber.compare(&bits, &decoded);
+    rec.add("downlink.bits-sent", bits.len() as u64);
+    rec.add("downlink.bit-errors", ber.errors());
+
+    // The tag-side energy story of this receive window: analog rx front
+    // end on for the whole trace, one mid-bit sample per sliced bit, MCU
+    // otherwise asleep (§4.2's duty-cycled firmware).
+    let mut ledger = bs_tag::power::EnergyLedger::new();
+    ledger.analog(n_samples as f64, true, false);
+    ledger.samples(bits.len() as u64);
+    ledger.mcu_sleep(n_samples as f64);
+    ledger.record(rec);
+
     DownlinkRun {
         ber,
         bits_sent: bits.len(),
         degradation: report,
+        obs: None,
     }
 }
 
@@ -749,13 +919,29 @@ pub fn run_downlink_frame_with_report(
     cfg: &DownlinkConfig,
     frame: &DownlinkFrame,
 ) -> (Option<DownlinkFrame>, DegradationReport) {
+    run_downlink_frame_with(cfg, frame, &mut NullRecorder)
+}
+
+/// [`run_downlink_frame_with_report`] plus observability: a
+/// `downlink.encode` span over the transmission's on-air extent, the tag
+/// comparator instrumentation from [`ReceiverCircuit::run_with`], and
+/// counters `downlink.frames-attempted` / `downlink.frames-recovered` /
+/// `downlink.frames-lost`. The exchange is bit-identical whatever the
+/// recorder.
+pub fn run_downlink_frame_with(
+    cfg: &DownlinkConfig,
+    frame: &DownlinkFrame,
+    rec: &mut dyn Recorder,
+) -> (Option<DownlinkFrame>, DegradationReport) {
     let mut report = DegradationReport::default();
+    rec.add("downlink.frames-attempted", 1);
     let loss = cfg.faults.frame_loss_prob();
     if loss > 0.0 {
         let mut rng = SimRng::new(cfg.seed ^ cfg.faults.seed).stream("dl-frame-loss");
         if rng.chance(loss) {
             report.faults_fired.push("packet-loss".to_string());
             report.packets_dropped += 1;
+            rec.add("downlink.frames-lost", 1);
             return (None, report);
         }
     }
@@ -771,6 +957,7 @@ pub fn run_downlink_frame_with_report(
         Ok(tx) => tx,
         Err(_) => return (None, report),
     };
+    rec.span("downlink.encode", 2_000, tx.end_us, frame.payload.len() as u64);
 
     let env_cfg = EnvelopeConfig::default();
     let mut env = EnvelopeModel::new(env_cfg, root.stream("dl-frame-env"));
@@ -784,13 +971,17 @@ pub fn run_downlink_frame_with_report(
         }
     });
     let mut circuit = ReceiverCircuit::new(CircuitConfig::default());
-    let comparator = circuit.run(&trace);
+    let comparator = circuit.run_with(&trace, rec);
     let bit_us = 1_000_000 / cfg.bit_rate_bps.max(1);
     let mut dec = DownlinkDecoder::new(bit_us as f64, 1.0);
     let got = dec
         .decode_stream(&comparator, frame.payload.len())
         .into_iter()
         .next();
+    dec.stats.record(rec);
+    if got.is_some() {
+        rec.add("downlink.frames-recovered", 1);
+    }
     (got, report)
 }
 

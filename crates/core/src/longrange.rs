@@ -12,6 +12,7 @@
 use crate::series::SeriesBundle;
 use bs_dsp::codes::OrthogonalPair;
 use bs_dsp::filter::condition;
+use bs_dsp::obs::{NullRecorder, Recorder};
 use bs_tag::frame::UplinkFrame;
 
 /// Long-range decoder configuration.
@@ -114,9 +115,25 @@ impl LongRangeDecoder {
     /// the query, and chip-level alignment is maintained by the tag's bit
     /// clock).
     pub fn decode(&self, bundle: &SeriesBundle, start_us: u64) -> Option<LongRangeOutput> {
+        self.decode_with(bundle, start_us, &mut NullRecorder)
+    }
+
+    /// [`Self::decode`] plus observability: a `uplink.correlate` span over
+    /// the bundle's simulated-time extent (items = channel × bit
+    /// correlations evaluated) and the selector counters
+    /// (`uplink.channels-kept`, `uplink.channels-dropped`). Decoding is
+    /// bit-identical to [`Self::decode`].
+    pub fn decode_with(
+        &self,
+        bundle: &SeriesBundle,
+        start_us: u64,
+        rec: &mut dyn Recorder,
+    ) -> Option<LongRangeOutput> {
         if bundle.packets() == 0 || bundle.channels() == 0 {
             return None;
         }
+        let t_lo = *bundle.t_us.first().unwrap_or(&0);
+        let t_hi = *bundle.t_us.last().unwrap_or(&0);
         let gap = bundle.median_gap_us().max(1);
         let half = ((self.cfg.conditioning_window_us / 2) / gap).max(2) as usize;
         let conditioned: Vec<Vec<f64>> = bundle
@@ -144,9 +161,17 @@ impl LongRangeDecoder {
         if ranked.is_empty() || ranked[0].1 == 0.0 {
             return None;
         }
+        rec.add("uplink.channels-kept", ranked.len() as u64);
+        rec.add(
+            "uplink.channels-dropped",
+            (bundle.channels() - ranked.len()) as u64,
+        );
 
         // Decode payload bits with the polarity-corrected combined margin.
         let pre_len = preamble.len();
+        let correlations =
+            (conditioned.len() * preamble.len() + ranked.len() * self.cfg.payload_bits) as u64;
+        rec.span("uplink.correlate", t_lo, t_hi, correlations);
         let mut bits = Vec::with_capacity(self.cfg.payload_bits);
         for b in 0..self.cfg.payload_bits {
             let bit_start = start_us + (pre_len + b) as u64 * bit_us;

@@ -25,6 +25,7 @@
 //! exercised by the channel-level tests in `tests/protocol_integration.rs`
 //! and the uplink decoder's preamble threshold.
 
+use bs_dsp::obs::{NullRecorder, Recorder};
 use bs_dsp::SimRng;
 
 /// A tag participating in inventory.
@@ -144,6 +145,19 @@ pub fn run_inventory(
     cfg: InventoryConfig,
     rng: &mut SimRng,
 ) -> InventoryResult {
+    run_inventory_with(tags, cfg, rng, &mut NullRecorder)
+}
+
+/// [`run_inventory`] plus observability: counters `multitag.slots`,
+/// `multitag.collisions` and `multitag.identified`. The inventory (slot
+/// choices, Q trajectory, RNG draws) is bit-identical to
+/// [`run_inventory`].
+pub fn run_inventory_with(
+    tags: &[InventoryTag],
+    cfg: InventoryConfig,
+    rng: &mut SimRng,
+    rec: &mut dyn Recorder,
+) -> InventoryResult {
     let mut pending: Vec<InventoryTag> = tags.to_vec();
     let mut identified = Vec::new();
     let mut q = cfg.initial_q.min(cfg.max_q);
@@ -188,6 +202,9 @@ pub fn run_inventory(
         }
     }
 
+    rec.add("multitag.slots", slots);
+    rec.add("multitag.collisions", collisions);
+    rec.add("multitag.identified", identified.len() as u64);
     InventoryResult {
         identified,
         rounds,

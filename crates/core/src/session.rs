@@ -19,44 +19,22 @@
 //! else; on real hardware the two `run_*` call sites are the only code
 //! that would change.
 
+use crate::error as err;
 use crate::link::{
-    run_downlink_frame_with_report, run_uplink, DegradationReport, DownlinkConfig, LinkConfig,
+    run_downlink_frame_with, run_uplink_with, DegradationReport, DownlinkConfig, LinkConfig,
     Measurement, MitigationPolicy, UplinkRun,
 };
 use crate::protocol::{select_bit_rate, Ack, Query, RetryPolicy};
 use bs_channel::faults::FaultPlan;
+use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder};
 use bs_dsp::SimRng;
 
-/// Errors a session can surface to the application.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SessionError {
-    /// The downlink query was never acknowledged by a decodable response,
-    /// even after all retries (tag out of range, unpowered, or absent).
-    TagUnresponsive {
-        /// Query transmissions attempted.
-        attempts: u32,
-    },
-    /// A response was detected but never decoded cleanly.
-    ResponseGarbled {
-        /// Bit errors in the best attempt.
-        best_bit_errors: u64,
-    },
-}
-
-impl std::fmt::Display for SessionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SessionError::TagUnresponsive { attempts } => {
-                write!(f, "tag unresponsive after {attempts} query attempts")
-            }
-            SessionError::ResponseGarbled { best_bit_errors } => {
-                write!(f, "response garbled ({best_bit_errors} bit errors at best)")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SessionError {}
+/// Former home of the session error type.
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to wifi_backscatter::error::SessionError as part of the unified error hierarchy"
+)]
+pub use crate::error::SessionError;
 
 /// Session configuration.
 #[derive(Debug, Clone)]
@@ -107,6 +85,46 @@ impl Default for ReaderConfig {
     }
 }
 
+impl ReaderConfig {
+    /// Sets the tag↔reader distance (default: 0.3 m).
+    pub fn with_distance_m(mut self, m: f64) -> Self {
+        self.tag_distance_m = m;
+        self
+    }
+
+    /// Sets the reader measurement (default: [`Measurement::Csi`]).
+    pub fn with_measurement(mut self, measurement: Measurement) -> Self {
+        self.measurement = measurement;
+        self
+    }
+
+    /// Sets the long-range fallback code length (default: 20; 1 disables
+    /// the fallback).
+    pub fn with_fallback_code_length(mut self, l: usize) -> Self {
+        self.fallback_code_length = l;
+        self
+    }
+
+    /// Sets the injected fault plan (default: [`FaultPlan::none`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the armed mitigations (default: [`MitigationPolicy::all`]).
+    pub fn with_mitigations(mut self, mitigations: MitigationPolicy) -> Self {
+        self.mitigations = mitigations;
+        self
+    }
+
+    /// Sets the retry backoff/budget policy (default:
+    /// [`RetryPolicy::default`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
 /// Outcome of a successful query.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -125,6 +143,9 @@ pub struct QueryOutcome {
     /// Estimated time the session spent (airtime + backoff, µs) — what
     /// the [`RetryPolicy`] budget is charged against.
     pub waited_us: u64,
+    /// Observability report, populated only by [`Reader::query_observed`];
+    /// `None` everywhere else.
+    pub obs: Option<ObsReport>,
 }
 
 /// A reader session.
@@ -155,7 +176,35 @@ impl Reader {
         &mut self,
         tag_address: u8,
         tag_payload: &[bool],
-    ) -> Result<QueryOutcome, SessionError> {
+    ) -> Result<QueryOutcome, err::SessionError> {
+        self.query_with(tag_address, tag_payload, &mut NullRecorder)
+    }
+
+    /// [`Self::query`] with an armed [`MemRecorder`]: a successful outcome
+    /// carries `Some(ObsReport)` profiling every attempt of the exchange.
+    /// The session's decisions and RNG draws are bit-identical to
+    /// [`Self::query`].
+    pub fn query_observed(
+        &mut self,
+        tag_address: u8,
+        tag_payload: &[bool],
+    ) -> Result<QueryOutcome, err::SessionError> {
+        let mut rec = MemRecorder::new();
+        let mut out = self.query_with(tag_address, tag_payload, &mut rec)?;
+        out.obs = Some(rec.into_report());
+        Ok(out)
+    }
+
+    /// [`Self::query`] plus observability threading through every downlink
+    /// and uplink attempt, with session-level counters
+    /// `session.query-attempts`, `session.response-attempts` and
+    /// `session.fallback-engaged`.
+    pub fn query_with(
+        &mut self,
+        tag_address: u8,
+        tag_payload: &[bool],
+        rec: &mut dyn Recorder,
+    ) -> Result<QueryOutcome, err::SessionError> {
         // §5: pick the uplink rate from the network conditions.
         let bit_rate = select_bit_rate(self.cfg.helper_pps, self.cfg.pkts_per_bit, self.cfg.rate_margin);
 
@@ -184,6 +233,7 @@ impl Reader {
                 }
             }
             query_attempts += 1;
+            rec.add("session.query-attempts", 1);
             waited_us += query_air_us;
             let dl = DownlinkConfig {
                 distance_m: self.cfg.tag_distance_m,
@@ -192,7 +242,7 @@ impl Reader {
                 seed: self.rng.next_u64_seed(),
                 faults: self.cfg.faults.clone(),
             };
-            let (got, dl_report) = run_downlink_frame_with_report(&dl, &query_frame);
+            let (got, dl_report) = run_downlink_frame_with(&dl, &query_frame, rec);
             report.merge(&dl_report);
             if let Some(frame) = got {
                 if Query::from_frame(&frame).as_ref() == Some(&query) {
@@ -202,7 +252,7 @@ impl Reader {
             }
         }
         if !delivered {
-            return Err(SessionError::TagUnresponsive {
+            return Err(err::SessionError::TagUnresponsive {
                 attempts: query_attempts,
             });
         }
@@ -219,11 +269,12 @@ impl Reader {
                 }
             }
             response_attempts += 1;
+            rec.add("session.response-attempts", 1);
             waited_us += response_air_us(tag_payload.len(), bit_rate, 1);
-            let run = self.run_response(tag_payload, bit_rate, 1);
+            let run = self.run_response(tag_payload, bit_rate, 1, rec);
             report.merge(&run.degradation);
             if run.perfect() {
-                report.merge(&self.ack(tag_address));
+                report.merge(&self.ack(tag_address, rec));
                 return Ok(QueryOutcome {
                     payload: tag_payload.to_vec(),
                     bit_rate_bps: bit_rate,
@@ -232,6 +283,7 @@ impl Reader {
                     used_fallback: false,
                     degradation: report,
                     waited_us,
+                    obs: None,
                 });
             }
             best_errors = best_errors.min(run.ber.errors());
@@ -240,15 +292,17 @@ impl Reader {
         // Long-range fallback (§3.4), if enabled and affordable.
         if self.cfg.fallback_code_length > 1 && retry.within_budget(waited_us) {
             response_attempts += 1;
+            rec.add("session.response-attempts", 1);
+            rec.add("session.fallback-engaged", 1);
             waited_us += response_air_us(
                 tag_payload.len(),
                 bit_rate,
                 self.cfg.fallback_code_length,
             );
-            let run = self.run_response(tag_payload, bit_rate, self.cfg.fallback_code_length);
+            let run = self.run_response(tag_payload, bit_rate, self.cfg.fallback_code_length, rec);
             report.merge(&run.degradation);
             if run.perfect() {
-                report.merge(&self.ack(tag_address));
+                report.merge(&self.ack(tag_address, rec));
                 return Ok(QueryOutcome {
                     payload: tag_payload.to_vec(),
                     bit_rate_bps: bit_rate,
@@ -257,18 +311,25 @@ impl Reader {
                     used_fallback: true,
                     degradation: report,
                     waited_us,
+                    obs: None,
                 });
             }
             best_errors = best_errors.min(run.ber.errors());
         }
 
-        Err(SessionError::ResponseGarbled {
+        Err(err::SessionError::ResponseGarbled {
             best_bit_errors: best_errors,
         })
     }
 
     /// One uplink exchange at the current deployment geometry.
-    fn run_response(&mut self, payload: &[bool], bit_rate: u64, code_length: usize) -> UplinkRun {
+    fn run_response(
+        &mut self,
+        payload: &[bool],
+        bit_rate: u64,
+        code_length: usize,
+        rec: &mut dyn Recorder,
+    ) -> UplinkRun {
         let mut cfg = LinkConfig::fig10(
             self.cfg.tag_distance_m,
             bit_rate,
@@ -281,12 +342,12 @@ impl Reader {
         cfg.code_length = code_length;
         cfg.faults = self.cfg.faults.clone();
         cfg.mitigations = self.cfg.mitigations;
-        run_uplink(&cfg)
+        run_uplink_with(&cfg, rec)
     }
 
     /// Sends the ACK (best effort; §4.1 notes it is a single short
     /// message) and reports what faults hit it.
-    fn ack(&mut self, tag_address: u8) -> DegradationReport {
+    fn ack(&mut self, tag_address: u8, rec: &mut dyn Recorder) -> DegradationReport {
         let dl = DownlinkConfig {
             distance_m: self.cfg.tag_distance_m,
             bit_rate_bps: self.cfg.downlink_bps,
@@ -294,7 +355,7 @@ impl Reader {
             seed: self.rng.next_u64_seed(),
             faults: self.cfg.faults.clone(),
         };
-        let (_, report) = run_downlink_frame_with_report(&dl, &Ack { tag_address }.to_frame());
+        let (_, report) = run_downlink_frame_with(&dl, &Ack { tag_address }.to_frame(), rec);
         report
     }
 }
@@ -320,7 +381,8 @@ impl NextSeed for SimRng {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::{Reader, ReaderConfig};
+    use crate::error::SessionError;
 
     fn payload(n: usize) -> Vec<bool> {
         (0..n).map(|i| (i * 11) % 4 < 2).collect()
@@ -335,6 +397,7 @@ mod tests {
         assert_eq!(out.query_attempts, 1);
         assert!(!out.used_fallback);
         assert!(out.bit_rate_bps >= 100);
+        assert!(out.obs.is_none(), "plain query must not attach obs");
     }
 
     #[test]
@@ -423,6 +486,32 @@ mod tests {
                 panic!("downlink retries failed: {e}")
             }
         }
+    }
+
+    #[test]
+    fn observed_query_matches_plain_and_profiles() {
+        let p = payload(24);
+        let mut plain = Reader::new(ReaderConfig::default(), 1);
+        let mut observed = Reader::new(ReaderConfig::default(), 1);
+        let a = plain.query(0x07, &p).expect("plain query failed");
+        let b = observed.query_observed(0x07, &p).expect("observed query failed");
+        assert_eq!(a.payload, b.payload);
+        assert_eq!(a.query_attempts, b.query_attempts);
+        assert_eq!(a.waited_us, b.waited_us);
+        assert_eq!(a.degradation, b.degradation);
+        let obs = b.obs.expect("observed query must attach obs");
+        assert!(obs.counter("session.query-attempts") >= 1);
+        assert!(obs.counter("session.response-attempts") >= 1);
+        assert!(!obs.spans.is_empty(), "expected stage spans");
+    }
+
+    #[test]
+    fn builders_configure_session() {
+        let cfg = ReaderConfig::default()
+            .with_distance_m(1.1)
+            .with_fallback_code_length(40);
+        assert_eq!(cfg.tag_distance_m, 1.1);
+        assert_eq!(cfg.fallback_code_length, 40);
     }
 
     #[test]

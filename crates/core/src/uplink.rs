@@ -22,6 +22,7 @@
 use crate::series::SeriesBundle;
 use bs_dsp::codes;
 use bs_dsp::filter::condition;
+use bs_dsp::obs::{NullRecorder, Recorder};
 use bs_dsp::slicer::{majority, Decision, HysteresisSlicer};
 use bs_tag::frame::UplinkFrame;
 
@@ -85,6 +86,46 @@ impl UplinkDecoderConfig {
             ..UplinkDecoderConfig::csi(bit_rate_bps, payload_bits)
         }
     }
+
+    /// Sets the conditioning moving-average window (default: 400 000 µs,
+    /// the paper's 400 ms).
+    pub fn with_conditioning_window_us(mut self, window_us: u64) -> Self {
+        self.conditioning_window_us = window_us;
+        self
+    }
+
+    /// Sets the number of channels the selector keeps (default: 10 for
+    /// CSI, 1 for RSSI).
+    pub fn with_top_channels(mut self, n: usize) -> Self {
+        self.top_channels = n;
+        self
+    }
+
+    /// Sets the alignment search span in bit durations (default: 2).
+    pub fn with_search_bits(mut self, bits: u32) -> Self {
+        self.search_bits = bits;
+        self
+    }
+
+    /// Sets the minimum normalised preamble correlation for a detection
+    /// (default: 0.5).
+    pub fn with_min_preamble_score(mut self, score: f64) -> Self {
+        self.min_preamble_score = score;
+        self
+    }
+
+    /// Sets the channel-combining mode (default: [`Combining::Mrc`] for
+    /// CSI, [`Combining::BestSingle`] for RSSI).
+    pub fn with_combining(mut self, combining: Combining) -> Self {
+        self.combining = combining;
+        self
+    }
+
+    /// Enables or disables the µ ± σ/2 hysteresis slicer (default: on).
+    pub fn with_hysteresis(mut self, on: bool) -> Self {
+        self.use_hysteresis = on;
+        self
+    }
 }
 
 /// One selected channel with its combining weight.
@@ -96,6 +137,23 @@ pub struct SelectedChannel {
     pub score: f64,
     /// Signed combining weight (`polarity / σ²`).
     pub weight: f64,
+}
+
+/// Shannon entropy (nats) of the normalised absolute combining weights —
+/// near `ln(G)` when MRC spreads its trust over all G kept channels, near
+/// 0 when a single channel dominates. Purely diagnostic (the
+/// `uplink.mrc-weight-entropy` gauge).
+fn weight_entropy(channels: &[SelectedChannel]) -> f64 {
+    let total: f64 = channels.iter().map(|c| c.weight.abs()).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    -channels
+        .iter()
+        .map(|c| c.weight.abs() / total)
+        .filter(|&p| p > 0.0)
+        .map(|p| p * p.ln())
+        .sum::<f64>()
 }
 
 /// Decoder output.
@@ -144,9 +202,28 @@ impl UplinkDecoder {
     /// knows within a bit or two); the decoder refines the alignment by
     /// preamble correlation within ±`search_bits`.
     pub fn decode(&self, bundle: &SeriesBundle, start_hint_us: u64) -> Option<DecodeOutput> {
+        self.decode_with(bundle, start_hint_us, &mut NullRecorder)
+    }
+
+    /// [`Self::decode`] plus observability: stage spans
+    /// (`uplink.condition`, `uplink.align`, `uplink.combine`,
+    /// `uplink.slice` — bounded by the bundle's simulated-time extent),
+    /// selector counters (`uplink.channels-kept`, `uplink.channels-dropped`,
+    /// `uplink.packets-binned`, `uplink.hysteresis-holds`,
+    /// `uplink.erasures`) and gauges (`uplink.preamble-score`,
+    /// `uplink.mrc-weight-entropy`). The decode itself is bit-identical to
+    /// [`Self::decode`]; the recorder only observes.
+    pub fn decode_with(
+        &self,
+        bundle: &SeriesBundle,
+        start_hint_us: u64,
+        rec: &mut dyn Recorder,
+    ) -> Option<DecodeOutput> {
         if bundle.packets() == 0 || bundle.channels() == 0 {
             return None;
         }
+        let t_lo = *bundle.t_us.first().unwrap_or(&0);
+        let t_hi = *bundle.t_us.last().unwrap_or(&0);
         let preamble: Vec<i8> = codes::BARKER13.to_vec();
         let total_bits = UplinkFrame::on_air_len(self.cfg.payload_bits);
 
@@ -157,18 +234,21 @@ impl UplinkDecoder {
             .iter()
             .map(|s| condition(s, half))
             .collect();
+        rec.span("uplink.condition", t_lo, t_hi, bundle.channels() as u64);
 
         // 2. Alignment search + channel selection.
         let bit = self.cfg.bit_duration_us;
         let step = (bit / 2).max(1);
         let span = self.cfg.search_bits as i64 * 2; // half-bit steps
         let mut best: Option<(u64, Vec<SelectedChannel>, f64)> = None;
+        let mut candidates_tried = 0u64;
         for k in -span..=span {
             let cand = start_hint_us as i64 + k * step as i64;
             if cand < 0 {
                 continue;
             }
             let cand = cand as u64;
+            candidates_tried += 1;
             let Some((channels, score)) = self.rank_channels(bundle, &conditioned, cand, &preamble)
             else {
                 continue;
@@ -177,15 +257,24 @@ impl UplinkDecoder {
                 best = Some((cand, channels, score));
             }
         }
+        rec.span("uplink.align", t_lo, t_hi, candidates_tried);
         let (start_us, channels, preamble_score) = best?;
         if preamble_score < self.cfg.min_preamble_score {
             return None;
         }
+        rec.add("uplink.channels-kept", channels.len() as u64);
+        rec.add(
+            "uplink.channels-dropped",
+            (bundle.channels() - channels.len()) as u64,
+        );
+        rec.gauge("uplink.preamble-score", preamble_score);
+        rec.gauge("uplink.mrc-weight-entropy", weight_entropy(&channels));
 
         // 3. Combining.
         let combined: Vec<f64> = (0..bundle.packets())
             .map(|p| channels.iter().map(|c| c.weight * conditioned[c.index][p]).sum())
             .collect();
+        rec.span("uplink.combine", t_lo, t_hi, bundle.packets() as u64);
 
         // 4. Hysteresis + timestamp-binned majority voting, over the
         // packets of the whole frame.
@@ -197,9 +286,11 @@ impl UplinkDecoder {
             .collect();
         let frame_values: Vec<f64> = frame_packets.iter().map(|&p| combined[p]).collect();
         let slicer = HysteresisSlicer::from_samples(&frame_values);
+        rec.add("uplink.packets-binned", frame_packets.len() as u64);
 
         let pre_len = preamble.len();
         let mut bits = Vec::with_capacity(self.cfg.payload_bits);
+        let mut holds = 0u64;
         for slot in pre_len..pre_len + self.cfg.payload_bits {
             let lo = start_us + slot as u64 * bit;
             let hi = lo + bit;
@@ -214,8 +305,23 @@ impl UplinkDecoder {
                     }
                 })
                 .collect();
+            holds += decisions
+                .iter()
+                .filter(|d| **d == Decision::Indeterminate)
+                .count() as u64;
             bits.push(majority(&decisions));
         }
+        rec.span(
+            "uplink.slice",
+            start_us,
+            start_us + total_bits as u64 * bit,
+            self.cfg.payload_bits as u64,
+        );
+        rec.add("uplink.hysteresis-holds", holds);
+        rec.add(
+            "uplink.erasures",
+            bits.iter().filter(|b| b.is_none()).count() as u64,
+        );
 
         let frame = if bits.iter().all(Option::is_some) {
             Some(UplinkFrame::new(bits.iter().map(|b| b.unwrap()).collect()))

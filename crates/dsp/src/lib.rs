@@ -22,6 +22,9 @@
 //!   majority voting over the channel measurements of one bit.
 //! * [`bits`] — bit/byte packing, CRC-8 framing checks and bit-error-rate
 //!   accounting used throughout the evaluation.
+//! * [`obs`] — the deterministic observability layer: stage spans in
+//!   simulated time, counters and gauges behind a zero-cost
+//!   [`obs::Recorder`] trait.
 //! * [`testkit`] — a deterministic property-testing driver used by every
 //!   crate's invariant tests (no external `proptest` dependency).
 //!
@@ -38,6 +41,7 @@ pub mod complex;
 pub mod correlate;
 pub mod fft;
 pub mod filter;
+pub mod obs;
 pub mod rng;
 pub mod slicer;
 pub mod stats;

@@ -304,6 +304,14 @@ impl TagFirmware {
     pub fn is_responding(&self) -> bool {
         matches!(self.state, FwState::Responding { .. })
     }
+
+    /// Emits the firmware's accumulated observability into `rec`: the
+    /// energy-ledger gauges (`tag.energy-uj`, `tag.mean-uw`) and the
+    /// preamble matcher's edge-wakeup counter (`tag.edge-wakeups`).
+    pub fn record_obs(&self, rec: &mut dyn bs_dsp::obs::Recorder) {
+        self.energy.record(rec);
+        rec.add("tag.edge-wakeups", self.matcher.wakeups);
+    }
 }
 
 /// Runs the firmware against an on-air bit schedule at a given received

@@ -86,6 +86,13 @@ impl EnergyLedger {
             self.total_uj / (self.elapsed_us / 1e6)
         }
     }
+
+    /// Emits the ledger as gauges into `rec` (`tag.energy-uj`,
+    /// `tag.mean-uw`).
+    pub fn record(&self, rec: &mut dyn bs_dsp::obs::Recorder) {
+        rec.gauge("tag.energy-uj", self.total_uj());
+        rec.gauge("tag.mean-uw", self.mean_uw());
+    }
 }
 
 #[cfg(test)]

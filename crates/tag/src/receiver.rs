@@ -17,6 +17,7 @@
 //!   framing + CRC.
 
 use crate::frame::{DownlinkFrame, DOWNLINK_PREAMBLE};
+use bs_dsp::obs::Recorder;
 
 /// Configuration of the analog receiver circuit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,6 +115,27 @@ impl ReceiverCircuit {
     /// Processes a whole envelope trace.
     pub fn run(&mut self, envelope_mw: &[f64]) -> Vec<bool> {
         envelope_mw.iter().map(|&p| self.step(p)).collect()
+    }
+
+    /// [`Self::run`] plus observability: emits a `tag.comparator` span over
+    /// the trace (simulated µs, one item per envelope sample) and counts
+    /// output transitions (`tag.comparator-transitions`) — each transition
+    /// is an MCU edge wakeup in the §4.2 duty-cycling scheme. The
+    /// comparator output is identical to [`Self::run`].
+    pub fn run_with(&mut self, envelope_mw: &[f64], rec: &mut dyn Recorder) -> Vec<bool> {
+        let out = self.run(envelope_mw);
+        let mut transitions = 0u64;
+        let mut level = false;
+        for &c in &out {
+            if c != level {
+                transitions += 1;
+                level = c;
+            }
+        }
+        let end_us = (envelope_mw.len() as f64 * self.cfg.sample_period_us) as u64;
+        rec.span("tag.comparator", 0, end_us, envelope_mw.len() as u64);
+        rec.add("tag.comparator-transitions", transitions);
+        out
     }
 
     /// The currently-held peak (mW).
@@ -296,6 +318,17 @@ pub struct DecodeStats {
     pub frames_ok: u64,
     /// Frames that failed framing or CRC.
     pub frames_bad: u64,
+}
+
+impl DecodeStats {
+    /// Emits the stats as counters into `rec` (`tag.edge-wakeups`,
+    /// `tag.sample-wakeups`, `tag.frames-ok`, `tag.frames-bad`).
+    pub fn record(&self, rec: &mut dyn Recorder) {
+        rec.add("tag.edge-wakeups", self.edge_wakeups);
+        rec.add("tag.sample-wakeups", self.sample_wakeups);
+        rec.add("tag.frames-ok", self.frames_ok);
+        rec.add("tag.frames-bad", self.frames_bad);
+    }
 }
 
 /// The MCU-side downlink decoder: preamble search + mid-bit slicing +

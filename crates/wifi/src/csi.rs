@@ -17,6 +17,7 @@
 //!   always reported significantly low CSI values" (§7.1).
 
 use bs_channel::scene::ChannelSnapshot;
+use bs_dsp::obs::{NullRecorder, Recorder};
 use bs_dsp::SimRng;
 
 /// Scaling from channel amplitude to "Intel CSI units". Calibrated so the
@@ -140,6 +141,19 @@ impl CsiExtractor {
 
     /// Measures the CSI a card would report for one received packet.
     pub fn measure(&mut self, snap: &ChannelSnapshot, timestamp_us: u64) -> CsiMeasurement {
+        self.measure_with(snap, timestamp_us, &mut NullRecorder)
+    }
+
+    /// [`Self::measure`] plus observability: counts each measurement
+    /// (`wifi.csi-measurements`) and each spurious Intel glitch
+    /// (`wifi.csi-spurious-jumps`) into `rec`. The measurement itself —
+    /// including every RNG draw — is identical to [`Self::measure`].
+    pub fn measure_with(
+        &mut self,
+        snap: &ChannelSnapshot,
+        timestamp_us: u64,
+        rec: &mut dyn Recorder,
+    ) -> CsiMeasurement {
         // Per-component noise std of the channel estimate:
         // Ĥ = H + n/√P, n per-component variance N/(2·G_est).
         let noise_std = (snap.noise_mw_per_subcarrier
@@ -152,6 +166,10 @@ impl CsiExtractor {
         } else {
             None
         };
+        rec.add("wifi.csi-measurements", 1);
+        if glitch_antenna.is_some() {
+            rec.add("wifi.csi-spurious-jumps", 1);
+        }
 
         let amplitude = snap
             .h

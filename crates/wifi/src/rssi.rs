@@ -9,6 +9,7 @@
 //! ~65 cm, Fig. 10).
 
 use bs_channel::scene::ChannelSnapshot;
+use bs_dsp::obs::{NullRecorder, Recorder};
 use bs_dsp::SimRng;
 
 /// RSSI quantisation step (dB) — commodity cards report integer dBm.
@@ -63,6 +64,19 @@ impl RssiExtractor {
 
     /// Measures per-antenna RSSI for one received packet.
     pub fn measure(&mut self, snap: &ChannelSnapshot, timestamp_us: u64) -> RssiMeasurement {
+        self.measure_with(snap, timestamp_us, &mut NullRecorder)
+    }
+
+    /// [`Self::measure`] plus observability: counts each measurement into
+    /// `rec` (`wifi.rssi-measurements`). The measurement itself is
+    /// identical to [`Self::measure`].
+    pub fn measure_with(
+        &mut self,
+        snap: &ChannelSnapshot,
+        timestamp_us: u64,
+        rec: &mut dyn Recorder,
+    ) -> RssiMeasurement {
+        rec.add("wifi.rssi-measurements", 1);
         let n_sc = snap.h.first().map_or(0, Vec::len) as f64;
         let rssi_dbm = (0..snap.h.len())
             .map(|ant| {

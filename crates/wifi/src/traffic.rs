@@ -22,6 +22,7 @@
 //! (sorted, within the horizon, seed-reproducible).
 
 use bs_channel::faults::{FaultEvents, FaultPlan};
+use bs_dsp::obs::Recorder;
 use bs_dsp::SimRng;
 
 /// Constant-bit-rate arrivals: `rate_pps` packets per second with ±10 %
@@ -170,6 +171,32 @@ pub fn apply_faults(
     } else {
         plan.apply_arrivals(&arrivals, stream, events)
     }
+}
+
+/// [`apply_faults`] plus observability: counts the offered and surviving
+/// arrivals and the per-stream drop/duplicate deltas into `rec`
+/// (`traffic.arrivals-offered`, `traffic.arrivals-delivered`,
+/// `traffic.packets-dropped`, `traffic.packets-duplicated`). The decorated
+/// stream is identical to [`apply_faults`]'s for the same inputs.
+pub fn apply_faults_with(
+    arrivals: Vec<u64>,
+    plan: &FaultPlan,
+    stream: &str,
+    events: &mut FaultEvents,
+    rec: &mut dyn Recorder,
+) -> Vec<u64> {
+    let offered = arrivals.len() as u64;
+    let dropped_before = events.packets_dropped;
+    let duplicated_before = events.packets_duplicated;
+    let out = apply_faults(arrivals, plan, stream, events);
+    rec.add("traffic.arrivals-offered", offered);
+    rec.add("traffic.arrivals-delivered", out.len() as u64);
+    rec.add("traffic.packets-dropped", events.packets_dropped - dropped_before);
+    rec.add(
+        "traffic.packets-duplicated",
+        events.packets_duplicated - duplicated_before,
+    );
+    out
 }
 
 /// Beacon schedule: one beacon every `interval_us` (the 802.11 default TBTT

@@ -7,8 +7,7 @@
 //!
 //! Run with: `cargo run --release --example ambient_traffic`
 
-use bs_dsp::bits::BerCounter;
-use wifi_backscatter::link::{run_uplink, LinkConfig, Measurement};
+use wifi_backscatter::prelude::*;
 
 fn ber_at(rate: u64, helper_pps: f64, measurement: Measurement, seed: u64) -> f64 {
     let mut ber = BerCounter::new();

@@ -8,10 +8,7 @@
 //!
 //! Run with: `cargo run --release --example inventory`
 
-use bs_dsp::SimRng;
-use wifi_backscatter::link::{run_downlink_frame, run_uplink, DownlinkConfig, LinkConfig};
-use wifi_backscatter::multitag::{run_inventory, InventoryConfig, InventoryTag};
-use wifi_backscatter::protocol::Query;
+use wifi_backscatter::prelude::*;
 
 fn main() {
     println!("=== inventory, then query each tag ===\n");
@@ -55,8 +52,7 @@ fn main() {
         // modulating tag, so the plain single-tag uplink applies.
         let reading = u16::from(addr) << 8 | 0x5A;
         let payload: Vec<bool> = (0..16).map(|b| (reading >> (15 - b)) & 1 == 1).collect();
-        let mut ul = LinkConfig::fig10(0.20, 100, 30, 5200 + i as u64);
-        ul.payload = payload;
+        let ul = LinkConfig::fig10(0.20, 100, 30, 5200 + i as u64).with_payload(payload);
         let run = run_uplink(&ul);
 
         println!(

@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example long_range`
 
-use wifi_backscatter::link::{run_uplink, LinkConfig};
+use wifi_backscatter::prelude::*;
 
 fn main() {
     println!("=== long-range uplink: orthogonal codes vs distance ===\n");
@@ -23,9 +23,9 @@ fn main() {
             let mut errors = 0u64;
             let mut bits = 0u64;
             for seed in 0..3u64 {
-                let mut cfg = LinkConfig::fig10(d_cm as f64 / 100.0, 100, 10, 7000 + seed);
-                cfg.payload = payload.clone();
-                cfg.code_length = l;
+                let cfg = LinkConfig::fig10(d_cm as f64 / 100.0, 100, 10, 7000 + seed)
+                    .with_payload(payload.clone())
+                    .with_code_length(l);
                 let run = run_uplink(&cfg);
                 errors += run.ber.errors();
                 bits += run.ber.bits();

@@ -12,10 +12,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use wifi_backscatter::link::{
-    run_downlink_frame, run_uplink, DownlinkConfig, LinkConfig,
-};
-use wifi_backscatter::protocol::Query;
+use wifi_backscatter::prelude::*;
 
 fn main() {
     println!("=== Wi-Fi Backscatter quickstart ===\n");
@@ -47,8 +44,8 @@ fn main() {
     let payload: Vec<bool> = (0..16).map(|i| (reading >> (15 - i)) & 1 == 1).collect();
     println!("tag:    backscattering reading 0x{reading:04X} by toggling its RF switch");
 
-    let mut ul = LinkConfig::fig10(0.20, decoded_query.bit_rate_bps, 30, 42);
-    ul.payload = payload.clone();
+    let ul = LinkConfig::fig10(0.20, decoded_query.bit_rate_bps, 30, 42)
+        .with_payload(payload.clone());
     let run = run_uplink(&ul);
 
     println!(

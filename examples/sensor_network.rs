@@ -9,8 +9,8 @@
 //! Run with: `cargo run --release --example sensor_network`
 
 use bs_wifi::traffic::OfficeLoadProfile;
-use wifi_backscatter::link::{run_uplink, LinkConfig};
-use wifi_backscatter::protocol::{expected_pkts_per_bit, select_bit_rate};
+use wifi_backscatter::prelude::*;
+use wifi_backscatter::protocol::expected_pkts_per_bit;
 
 fn main() {
     println!("=== battery-free sensor over an office afternoon ===\n");

@@ -25,6 +25,18 @@ echo "== fault-injection conformance + harness determinism =="
 cargo test --release -q -p wifi-backscatter --test fault_injection
 cargo test --release -q -p bs-bench --test determinism
 
+echo "== public-API drift gate + observability conformance =="
+# The prelude is the blessed API surface; its manifest is pinned against
+# tests/golden/prelude_api.txt. Observability must never perturb a run.
+cargo test --release -q -p wifi-backscatter --test api_snapshot
+cargo test --release -q -p wifi-backscatter --test obs_conformance
+
+echo "== examples run clean =="
+for ex in quickstart sensor_network ambient_traffic energy_budget long_range inventory observability; do
+    echo "-- example: $ex"
+    cargo run --release -q --example "$ex" > /dev/null
+done
+
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 

@@ -1,0 +1,57 @@
+//! Public-API drift gate for the prelude.
+//!
+//! `wifi_backscatter::prelude` is the blessed surface applications import;
+//! its contents are mirrored in `PRELUDE_MANIFEST` (a unit test in the
+//! prelude module keeps the two in lockstep at compile time). This test
+//! pins the manifest against a committed fixture, so any addition,
+//! removal, or rename of a prelude export shows up as a reviewable
+//! fixture diff in the same commit. Regenerate intentionally with
+//!
+//! ```sh
+//! GOLDEN_BLESS=1 cargo test -p wifi-backscatter --test api_snapshot
+//! ```
+//!
+//! `scripts/check.sh` runs this gate in release mode.
+
+use wifi_backscatter::prelude::PRELUDE_MANIFEST;
+
+/// Compares `actual` against the committed fixture, or rewrites the
+/// fixture when `GOLDEN_BLESS` is set (same convention as
+/// `golden_decode.rs`).
+fn assert_golden(rel_path: &str, committed: &str, actual: &str) {
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        let path = format!("{}/../../{rel_path}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("blessing {path}: {e}"));
+        return;
+    }
+    assert_eq!(
+        committed, actual,
+        "public API drift in {rel_path}: the prelude changed. If intentional, \
+         update PRELUDE_MANIFEST, re-bless with GOLDEN_BLESS=1, and review \
+         the fixture diff like any other API change"
+    );
+}
+
+#[test]
+fn prelude_api_matches_golden_snapshot() {
+    let mut actual = String::new();
+    for name in PRELUDE_MANIFEST {
+        actual.push_str(name);
+        actual.push('\n');
+    }
+    assert_golden(
+        "tests/golden/prelude_api.txt",
+        include_str!("golden/prelude_api.txt"),
+        &actual,
+    );
+}
+
+#[test]
+fn manifest_has_no_duplicates_or_blanks() {
+    let mut seen = std::collections::BTreeSet::new();
+    for name in PRELUDE_MANIFEST {
+        assert!(!name.is_empty());
+        assert!(!name.contains(char::is_whitespace), "{name:?}");
+        assert!(seen.insert(name), "duplicate manifest entry {name}");
+    }
+}

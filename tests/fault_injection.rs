@@ -20,8 +20,9 @@ use bs_dsp::bits::BerCounter;
 use wifi_backscatter::link::{
     run_uplink, DegradationReport, LinkConfig, Measurement, MitigationPolicy, UplinkRun,
 };
+use wifi_backscatter::error::SessionError;
 use wifi_backscatter::protocol::RetryPolicy;
-use wifi_backscatter::session::{Reader, ReaderConfig, SessionError};
+use wifi_backscatter::session::{Reader, ReaderConfig};
 
 /// The suite's shared operating point: close range and a modest rate, so
 /// the no-fault link is comfortably clean and any degradation measured is
