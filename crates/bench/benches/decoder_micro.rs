@@ -1,9 +1,17 @@
 //! Micro-benchmarks of the paper's core algorithms, isolated from the
 //! simulation substrate: signal conditioning, preamble correlation,
-//! majority slicing, the full MRC decoder on a synthetic bundle, the
-//! analog receiver circuit, and the DCF MAC.
+//! majority slicing, the full MRC decoder (slot-indexed vs the
+//! straight-line reference) on a synthetic bundle, the analog receiver
+//! circuit, and the DCF MAC.
+//!
+//! Run with `--json <path>` for the decode smoke bench instead: it
+//! builds a dense fig-10 workload, proves the slot-indexed decoder
+//! bit-identical to the reference, measures both, verifies the
+//! alignment search is O(packets) rather than O(candidates × packets),
+//! and writes the evidence to `<path>` (see `scripts/check.sh
+//! --bench-smoke`). Exits non-zero if an O() gate fails.
 
-use bs_bench::microbench::Group;
+use bs_bench::microbench::{measure_ns, Group};
 use bs_dsp::codes::BARKER13;
 use bs_dsp::SimRng;
 use wifi_backscatter::uplink::{UplinkDecoder, UplinkDecoderConfig};
@@ -37,7 +45,165 @@ fn synth_bundle(seed: u64) -> SeriesBundle {
     SeriesBundle { t_us, series }
 }
 
+/// The decode smoke bench behind `--json <path>` (satellite of the
+/// slot-index PR; wired into `scripts/check.sh --bench-smoke`).
+///
+/// Hard gates (exit non-zero on failure):
+/// 1. identity — `decode_reference` and the indexed `decode` agree
+///    bit for bit on the dense workload;
+/// 2. fewer passes — the indexed alignment search touches fewer
+///    packet-stream-equivalents than the reference's
+///    candidates × channels full scans;
+/// 3. flat in candidates — growing `search_bits` 2 → 8 (9 → 33
+///    candidates) must not grow the align-span work by ≥ 1.5×, which
+///    it would if the search still re-scanned per candidate.
+///
+/// Wall-clock speedup is recorded in the JSON as evidence but is not a
+/// hard gate: it is machine-dependent, the pass counts are not.
+fn smoke(json_path: &str) {
+    use bs_dsp::obs::MemRecorder;
+    use wifi_backscatter::link::{capture_uplink, LinkConfig, Measurement};
+
+    // Dense fig-10 point: 30 packets per bit at 100 bps makes the
+    // per-candidate stream scans of the reference decoder expensive
+    // enough that the asymptotics dominate constant factors.
+    let mut cfg = LinkConfig::fig10(0.5, 100, 30, 4242);
+    cfg.measurement = Measurement::Csi;
+    let capture = capture_uplink(&cfg);
+    let packets = capture.bundle.packets() as u64;
+    let channels = capture.bundle.channels() as u64;
+    let payload_bits = cfg.payload.len();
+    let mk = |sb: u32| {
+        UplinkDecoder::new(UplinkDecoderConfig::csi(100, payload_bits).with_search_bits(sb))
+    };
+
+    // Gate 1: identity. The whole point of the index is that it is an
+    // output-preserving optimisation.
+    let dec = mk(2);
+    let reference = dec.decode_reference(&capture.bundle, capture.start_us);
+    let indexed = dec.decode(&capture.bundle, capture.start_us);
+    assert!(
+        reference.is_some(),
+        "smoke workload must decode (reference path found no frame)"
+    );
+    if reference != indexed {
+        eprintln!("BENCH_decode: FAIL — indexed decode differs from reference");
+        std::process::exit(1);
+    }
+
+    // Time both paths at both ends of the candidate range. At
+    // search_bits = 2 the shared stages (conditioning, combining,
+    // slicing) dilute the search; search_bits = 8 is the
+    // alignment-search-dominated configuration the speedup target is
+    // about.
+    let time_pair = |sb: u32| {
+        let d = mk(sb);
+        let r = measure_ns(7, 1, || d.decode_reference(&capture.bundle, capture.start_us));
+        let i = measure_ns(7, 1, || d.decode(&capture.bundle, capture.start_us));
+        (r, i)
+    };
+    let (ref_ns_sb2, idx_ns_sb2) = time_pair(2);
+    let (ref_ns_sb8, idx_ns_sb8) = time_pair(8);
+    let speedup_sb2 = ref_ns_sb2 / idx_ns_sb2.max(1.0);
+    let speedup = ref_ns_sb8 / idx_ns_sb8.max(1.0);
+
+    // Align-span items = packets scanned into slot statistics + slots
+    // read back, straight from the decoder's own instrumentation.
+    let align_items = |sb: u32| -> u64 {
+        let mut rec = MemRecorder::new();
+        mk(sb).decode_with(&capture.bundle, capture.start_us, &mut rec);
+        rec.report().spans_for("uplink.align").map(|s| s.items).sum()
+    };
+    let candidates = |sb: u64| 4 * sb + 1; // ±2·search_bits half-bit steps
+    let items_sb2 = align_items(2);
+    let items_sb8 = align_items(8);
+    // Normalise to "full per-channel passes over the packet stream".
+    // The reference alignment search does one such pass per candidate
+    // per channel (its slot_means scans every packet); the indexed
+    // search builds each phase class's statistics once.
+    let indexed_passes_sb2 = items_sb2.div_ceil(packets);
+    let indexed_passes_sb8 = items_sb8.div_ceil(packets);
+    let reference_passes_sb2 = candidates(2) * channels;
+    let reference_passes_sb8 = candidates(8) * channels;
+
+    let gate_fewer = indexed_passes_sb2 < reference_passes_sb2
+        && indexed_passes_sb8 < reference_passes_sb8;
+    let gate_flat = (items_sb8 as f64) < 1.5 * (items_sb2 as f64);
+    let gate_speedup = speedup >= 3.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"decode_alignment_search\",\n  \"workload\": {{\n    \
+         \"figure\": \"fig10-dense\",\n    \"tag_reader_m\": 0.5,\n    \
+         \"bit_rate_bps\": 100,\n    \"pkts_per_bit\": 30,\n    \"seed\": 4242,\n    \
+         \"packets\": {packets},\n    \"channels\": {channels},\n    \
+         \"payload_bits\": {payload_bits}\n  }},\n  \
+         \"identity\": \"reference == indexed (bit-for-bit)\",\n  \
+         \"speedup\": {speedup:.2},\n  \"speedup_note\": \"reference/indexed at \
+         search_bits=8, the alignment-search-dominated configuration\",\n  \
+         \"align_search\": {{\n    \"search_bits_2\": {{\"candidates\": {c2}, \
+         \"reference_ns\": {ref_ns_sb2:.0}, \"indexed_ns\": {idx_ns_sb2:.0}, \
+         \"speedup\": {speedup_sb2:.2}, \
+         \"align_items\": {items_sb2}, \"indexed_stream_passes\": {indexed_passes_sb2}, \
+         \"reference_stream_passes\": {reference_passes_sb2}}},\n    \
+         \"search_bits_8\": {{\"candidates\": {c8}, \
+         \"reference_ns\": {ref_ns_sb8:.0}, \"indexed_ns\": {idx_ns_sb8:.0}, \
+         \"speedup\": {speedup:.2}, \
+         \"align_items\": {items_sb8}, \
+         \"indexed_stream_passes\": {indexed_passes_sb8}, \
+         \"reference_stream_passes\": {reference_passes_sb8}}}\n  }},\n  \
+         \"gates\": {{\n    \"indexed_fewer_passes_than_reference\": {gate_fewer},\n    \
+         \"align_work_flat_in_candidates\": {gate_flat},\n    \
+         \"speedup_ge_3x\": {gate_speedup}\n  }}\n}}\n",
+        c2 = candidates(2),
+        c8 = candidates(8),
+    );
+    std::fs::write(json_path, &json)
+        .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+    println!("BENCH_decode: wrote {json_path}");
+    println!(
+        "BENCH_decode: sb=2 reference {:.1} ms vs indexed {:.1} ms ({speedup_sb2:.1}x); \
+         sb=8 reference {:.1} ms vs indexed {:.1} ms ({speedup:.1}x)",
+        ref_ns_sb2 / 1e6,
+        idx_ns_sb2 / 1e6,
+        ref_ns_sb8 / 1e6,
+        idx_ns_sb8 / 1e6
+    );
+    println!(
+        "BENCH_decode: stream passes sb=2 {indexed_passes_sb2} vs {reference_passes_sb2} \
+         reference; sb=8 {indexed_passes_sb8} vs {reference_passes_sb8}"
+    );
+    if !gate_fewer {
+        eprintln!("BENCH_decode: FAIL — indexed path does not beat the reference pass count");
+        std::process::exit(1);
+    }
+    if !gate_flat {
+        eprintln!(
+            "BENCH_decode: FAIL — align work grew {:.2}x while candidates grew {c2} -> {c8} \
+             (search still scales with candidates)",
+            items_sb8 as f64 / items_sb2.max(1) as f64,
+            c2 = candidates(2),
+            c8 = candidates(8),
+        );
+        std::process::exit(1);
+    }
+    if !gate_speedup {
+        // Machine-dependent, so evidence only — recorded false in the
+        // JSON but not fatal.
+        eprintln!("BENCH_decode: note — speedup {speedup:.2}x below the 3x target on this host");
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_decode.json".to_string());
+        smoke(&path);
+        return;
+    }
+
     let g = Group::new("decoder_micro");
 
     let bundle = synth_bundle(1);
@@ -54,6 +220,9 @@ fn main() {
     let bundle = synth_bundle(3);
     let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, 90));
     g.bench("mrc_decode_90ch_3000pkt", 10, 2, || dec.decode(&bundle, 0));
+    g.bench("reference_decode_90ch_3000pkt", 10, 2, || {
+        dec.decode_reference(&bundle, 0)
+    });
 
     {
         use bs_tag::envelope::{EnvelopeConfig, EnvelopeModel};

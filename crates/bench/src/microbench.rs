@@ -30,20 +30,29 @@ impl Group {
         name: &str,
         samples: usize,
         iters_per_sample: u32,
-        mut f: impl FnMut() -> T,
+        f: impl FnMut() -> T,
     ) {
-        std::hint::black_box(f());
-        let mut per_iter_ns: Vec<f64> = (0..samples.max(1))
-            .map(|_| {
-                let start = Instant::now();
-                for _ in 0..iters_per_sample.max(1) {
-                    std::hint::black_box(f());
-                }
-                start.elapsed().as_nanos() as f64 / f64::from(iters_per_sample.max(1))
-            })
-            .collect();
-        per_iter_ns.sort_by(f64::total_cmp);
-        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let median = measure_ns(samples, iters_per_sample, f);
         println!("{}/{name}  {median:.0} ns/iter ({samples} samples)", self.name);
     }
+}
+
+/// Times `f` the same way [`Group::bench`] does — one untimed warm-up
+/// call, then `samples` timed batches of `iters_per_sample` calls — and
+/// returns the median ns/iter instead of printing. For benches that emit
+/// machine-readable output (e.g. the decode smoke bench's
+/// `BENCH_decode.json`).
+pub fn measure_ns<T>(samples: usize, iters_per_sample: u32, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut per_iter_ns: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample.max(1) {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / f64::from(iters_per_sample.max(1))
+        })
+        .collect();
+    per_iter_ns.sort_by(f64::total_cmp);
+    per_iter_ns[per_iter_ns.len() / 2]
 }

@@ -17,7 +17,7 @@
 
 use crate::downlink::{DownlinkEncoder, DownlinkEncoderConfig};
 use crate::longrange::{LongRangeConfig, LongRangeDecoder};
-use crate::series::SeriesBundle;
+use crate::series::{SeriesBundle, SlotIndex};
 use crate::uplink::{UplinkDecoder, UplinkDecoderConfig};
 use bs_channel::faults::{FaultEvents, FaultPlan};
 use bs_channel::scene::{Scene, SceneConfig};
@@ -567,12 +567,17 @@ impl DecodeAttempt {
     }
 }
 
-/// Decodes `capture` once, optionally compensating a candidate clock
-/// stretch: a tag running fast by fraction `stretch` produces bits shorter
-/// by the same fraction on the reader's clock.
+/// Decodes `capture` once against a shared per-capture [`SlotIndex`],
+/// optionally compensating a candidate clock stretch: a tag running fast
+/// by fraction `stretch` produces bits shorter by the same fraction on
+/// the reader's clock. All stretch candidates (and the long-range
+/// fallback) re-decode the *same* capture, so they share the index's
+/// conditioned series and slot statistics instead of re-scanning the
+/// packet stream per attempt.
 fn decode_capture(
     cfg: &LinkConfig,
     capture: &UplinkCapture,
+    index: &mut SlotIndex<'_>,
     stretch: f64,
     rec: &mut dyn Recorder,
 ) -> DecodeAttempt {
@@ -586,7 +591,7 @@ fn decode_capture(
             let stretched = (dcfg.bit_duration_us as f64 / (1.0 + stretch)).round();
             dcfg.bit_duration_us = stretched.max(1.0) as u64;
         }
-        match UplinkDecoder::new(dcfg).decode_with(&capture.bundle, capture.start_us, rec) {
+        match UplinkDecoder::new(dcfg).decode_indexed(index, capture.start_us, rec) {
             // Both timing anchors count: the preamble alone cannot tell a
             // right bit clock from a wrong one (error accumulates over
             // the frame; the front anchor sees none of it), so a stretch
@@ -602,7 +607,7 @@ fn decode_capture(
             conditioning_window_us: 400_000,
             top_channels: 10,
         };
-        match LongRangeDecoder::new(lcfg).decode_with(&capture.bundle, capture.start_us, rec) {
+        match LongRangeDecoder::new(lcfg).decode_indexed(index, capture.start_us, rec) {
             Some(out) => (out.bits, true, 1.0),
             None => (vec![None; cfg.payload.len()], false, 0.0),
         }
@@ -688,9 +693,14 @@ pub fn run_uplink_with(cfg: &LinkConfig, rec: &mut dyn Recorder) -> UplinkRun {
         };
     let decode_best =
         |cfg_eff: &LinkConfig, capture: &UplinkCapture, rec: &mut dyn Recorder| -> DecodeAttempt {
+            // One slot index per capture: the stretch candidates all
+            // re-decode the same bundle, so conditioning (which does not
+            // depend on the bit clock) and any shared slot statistics
+            // are computed once.
+            let mut index = SlotIndex::new(&capture.bundle);
             let mut best: Option<DecodeAttempt> = None;
             for &s in stretches {
-                let attempt = decode_capture(cfg_eff, capture, s, rec);
+                let attempt = decode_capture(cfg_eff, capture, &mut index, s, rec);
                 best = match best {
                     Some(b) if !attempt.better_than(&b) => Some(b),
                     _ => Some(attempt),

@@ -9,7 +9,7 @@
 //! L ≈ 150 (Fig. 20) without the tag doing anything more expensive than
 //! toggling its switch L× as often.
 
-use crate::series::SeriesBundle;
+use crate::series::{SeriesBundle, SlotIndex};
 use bs_dsp::codes::OrthogonalPair;
 use bs_dsp::filter::condition;
 use bs_dsp::obs::{NullRecorder, Recorder};
@@ -36,7 +36,9 @@ impl LongRangeConfig {
     /// chip still spans several Wi-Fi packets at `chip_rate_cps` chips/s.
     pub fn new(l: usize, chip_rate_cps: u64, payload_bits: usize) -> Self {
         LongRangeConfig {
-            chip_duration_us: 1_000_000 / chip_rate_cps.max(1),
+            // Clamped to ≥ 1 µs: above 1 Mchip/s the integer division
+            // would yield 0 and trip the constructor assert.
+            chip_duration_us: (1_000_000 / chip_rate_cps.max(1)).max(1),
             code: OrthogonalPair::new(l),
             payload_bits,
             conditioning_window_us: 400_000,
@@ -48,10 +50,11 @@ impl LongRangeConfig {
 /// Long-range decode output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LongRangeOutput {
-    /// Payload bit decisions (always `Some` — correlation never abstains —
-    /// kept as `Option` for interface parity with the plain decoder).
+    /// Payload bit decisions. `None` is an erasure: the bit's window held
+    /// no packets at all, so the correlator had nothing to correlate —
+    /// the same erasure semantics as the plain decoder's empty slots.
     pub bits: Vec<Option<bool>>,
-    /// The payload as a frame.
+    /// The payload as a frame; `None` if any bit was erased.
     pub frame: Option<UplinkFrame>,
     /// Channel indices used, best first.
     pub channels: Vec<usize>,
@@ -119,8 +122,9 @@ impl LongRangeDecoder {
     }
 
     /// [`Self::decode`] plus observability: a `uplink.correlate` span over
-    /// the bundle's simulated-time extent (items = channel × bit
-    /// correlations evaluated) and the selector counters
+    /// the bundle's simulated-time extent (items = packets visited by the
+    /// chip correlations — linear in the frame's packets, not in
+    /// channels × bits × packets) and the selector counters
     /// (`uplink.channels-kept`, `uplink.channels-dropped`). Decoding is
     /// bit-identical to [`Self::decode`].
     pub fn decode_with(
@@ -129,6 +133,25 @@ impl LongRangeDecoder {
         start_us: u64,
         rec: &mut dyn Recorder,
     ) -> Option<LongRangeOutput> {
+        let mut index = SlotIndex::new(bundle);
+        self.decode_indexed(&mut index, start_us, rec)
+    }
+
+    /// [`Self::decode_with`] against a caller-owned [`SlotIndex`], sharing
+    /// the conditioned series (and window lookups) with other decode
+    /// attempts on the same capture. Each bit window is a contiguous
+    /// packet range on the ascending timestamp axis, so the per-chip
+    /// correlations iterate exactly the window's packets — in packet
+    /// order, keeping the accumulation bit-exact against
+    /// [`Self::decode_reference`] — instead of scanning the whole stream
+    /// per (channel, bit, code).
+    pub fn decode_indexed(
+        &self,
+        index: &mut SlotIndex<'_>,
+        start_us: u64,
+        rec: &mut dyn Recorder,
+    ) -> Option<LongRangeOutput> {
+        let bundle = index.bundle();
         if bundle.packets() == 0 || bundle.channels() == 0 {
             return None;
         }
@@ -136,14 +159,19 @@ impl LongRangeDecoder {
         let t_hi = *bundle.t_us.last().unwrap_or(&0);
         let gap = bundle.median_gap_us().max(1);
         let half = ((self.cfg.conditioning_window_us / 2) / gap).max(2) as usize;
-        let conditioned: Vec<Vec<f64>> = bundle
-            .series
-            .iter()
-            .map(|s| condition(s, half))
-            .collect();
+        let conditioned = index.conditioned(half);
 
         let preamble = bs_tag::frame::uplink_preamble();
         let bit_us = self.cfg.code.len() as u64 * self.cfg.chip_duration_us;
+        let mut visited = 0u64;
+
+        // The bit windows are channel-independent: resolve each one to
+        // its packet range once, up front.
+        let window = |b: u64| {
+            let lo = start_us + b * bit_us;
+            index.packet_range(lo, lo.saturating_add(bit_us))
+        };
+        let pre_ranges: Vec<_> = (0..preamble.len() as u64).map(&window).collect();
 
         // Rank channels by how well the *known preamble* decodes on them,
         // capturing each channel's polarity at the same time.
@@ -151,12 +179,19 @@ impl LongRangeDecoder {
         for (i, ch) in conditioned.iter().enumerate() {
             let mut agree = 0.0;
             for (b, &bit) in preamble.iter().enumerate() {
-                let m = self.bit_margin(bundle, ch, start_us + b as u64 * bit_us);
+                let bit_start = start_us + b as u64 * bit_us;
+                let m = self.margin_in_range(bundle, ch, pre_ranges[b].clone(), bit_start);
+                visited += 2 * pre_ranges[b].len() as u64;
                 agree += if bit { m } else { -m };
+            }
+            // A NaN/∞ quality cannot be ranked meaningfully: skip the
+            // channel, as the plain decoder's selector does.
+            if !agree.is_finite() {
+                continue;
             }
             ranked.push((i, agree.abs(), agree.signum()));
         }
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranked.truncate(self.cfg.top_channels);
         if ranked.is_empty() || ranked[0].1 == 0.0 {
             return None;
@@ -168,27 +203,134 @@ impl LongRangeDecoder {
         );
 
         // Decode payload bits with the polarity-corrected combined margin.
+        // A window with zero packets is an erasure — correlating nothing
+        // must not pass for a confident bit.
         let pre_len = preamble.len();
-        let correlations =
-            (conditioned.len() * preamble.len() + ranked.len() * self.cfg.payload_bits) as u64;
-        rec.span("uplink.correlate", t_lo, t_hi, correlations);
         let mut bits = Vec::with_capacity(self.cfg.payload_bits);
         for b in 0..self.cfg.payload_bits {
             let bit_start = start_us + (pre_len + b) as u64 * bit_us;
+            let range = window((pre_len + b) as u64);
+            if range.is_empty() {
+                bits.push(None);
+                continue;
+            }
+            visited += 2 * (range.len() * ranked.len()) as u64;
+            let combined: f64 = ranked
+                .iter()
+                .map(|&(i, quality, pol)| {
+                    quality * pol * self.margin_in_range(bundle, &conditioned[i], range.clone(), bit_start)
+                })
+                .sum();
+            bits.push(Some(combined > 0.0));
+        }
+        rec.span("uplink.correlate", t_lo, t_hi, visited);
+        let frame = if bits.iter().all(Option::is_some) {
+            Some(UplinkFrame::new(
+                bits.iter().map(|b| b.unwrap()).collect(),
+            ))
+        } else {
+            None
+        };
+        Some(LongRangeOutput {
+            bits,
+            frame,
+            channels: ranked.iter().map(|&(i, _, _)| i).collect(),
+        })
+    }
+
+    /// The straight-line reference decoder: same pipeline and same
+    /// outputs as [`Self::decode`], but every chip correlation is a full
+    /// pass over the packet stream. Kept as the ground truth the indexed
+    /// path must match bit for bit.
+    pub fn decode_reference(&self, bundle: &SeriesBundle, start_us: u64) -> Option<LongRangeOutput> {
+        if bundle.packets() == 0 || bundle.channels() == 0 {
+            return None;
+        }
+        let gap = bundle.median_gap_us().max(1);
+        let half = ((self.cfg.conditioning_window_us / 2) / gap).max(2) as usize;
+        let conditioned: Vec<Vec<f64>> = bundle
+            .series
+            .iter()
+            .map(|s| condition(s, half))
+            .collect();
+
+        let preamble = bs_tag::frame::uplink_preamble();
+        let bit_us = self.cfg.code.len() as u64 * self.cfg.chip_duration_us;
+
+        let mut ranked: Vec<(usize, f64, f64)> = Vec::new(); // (idx, quality, polarity)
+        for (i, ch) in conditioned.iter().enumerate() {
+            let mut agree = 0.0;
+            for (b, &bit) in preamble.iter().enumerate() {
+                let m = self.bit_margin(bundle, ch, start_us + b as u64 * bit_us);
+                agree += if bit { m } else { -m };
+            }
+            if !agree.is_finite() {
+                continue;
+            }
+            ranked.push((i, agree.abs(), agree.signum()));
+        }
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        ranked.truncate(self.cfg.top_channels);
+        if ranked.is_empty() || ranked[0].1 == 0.0 {
+            return None;
+        }
+
+        let pre_len = preamble.len();
+        let mut bits = Vec::with_capacity(self.cfg.payload_bits);
+        for b in 0..self.cfg.payload_bits {
+            let bit_start = start_us + (pre_len + b) as u64 * bit_us;
+            let end = bit_start.saturating_add(bit_us);
+            let occupied = bundle
+                .t_us
+                .iter()
+                .any(|&t| t >= bit_start && t < end);
+            if !occupied {
+                bits.push(None);
+                continue;
+            }
             let combined: f64 = ranked
                 .iter()
                 .map(|&(i, quality, pol)| quality * pol * self.bit_margin(bundle, &conditioned[i], bit_start))
                 .sum();
             bits.push(Some(combined > 0.0));
         }
-        let frame = Some(UplinkFrame::new(
-            bits.iter().map(|b| b.unwrap()).collect(),
-        ));
+        let frame = if bits.iter().all(Option::is_some) {
+            Some(UplinkFrame::new(
+                bits.iter().map(|b| b.unwrap()).collect(),
+            ))
+        } else {
+            None
+        };
         Some(LongRangeOutput {
             bits,
             frame,
             channels: ranked.iter().map(|&(i, _, _)| i).collect(),
         })
+    }
+
+    /// [`Self::bit_margin`] restricted to the window's contiguous packet
+    /// range: the two code correlations accumulate over exactly the
+    /// packets of `range` in order, making the result bit-exact against
+    /// the full-scan version while doing only O(window) work.
+    fn margin_in_range(
+        &self,
+        bundle: &SeriesBundle,
+        channel: &[f64],
+        range: std::ops::Range<usize>,
+        bit_start_us: u64,
+    ) -> f64 {
+        let chip = self.cfg.chip_duration_us;
+        let mut c1 = 0.0;
+        for p in range.clone() {
+            let c = ((bundle.t_us[p] - bit_start_us) / chip) as usize;
+            c1 += channel[p] * f64::from(self.cfg.code.one[c]);
+        }
+        let mut c0 = 0.0;
+        for p in range {
+            let c = ((bundle.t_us[p] - bit_start_us) / chip) as usize;
+            c0 += channel[p] * f64::from(self.cfg.code.zero[c]);
+        }
+        c1 - c0
     }
 }
 
@@ -328,5 +470,56 @@ mod tests {
         let mut c = cfg(20, 1_000, 8);
         c.chip_duration_us = 0;
         LongRangeDecoder::new(c);
+    }
+
+    #[test]
+    fn config_clamps_chip_duration_above_1mcps() {
+        // 2 Mchip/s: 1_000_000 / 2_000_000 truncates to 0, which used to
+        // trip the constructor assert; the config must clamp to 1 µs.
+        let c = LongRangeConfig::new(8, 2_000_000, 4);
+        assert_eq!(c.chip_duration_us, 1);
+        LongRangeDecoder::new(c); // must not panic
+    }
+
+    #[test]
+    fn empty_bit_window_is_erasure_not_false() {
+        // Knock every packet out of payload bit 1's window: the decoder
+        // must emit an erasure there (not a confident `false`) and
+        // withhold the frame.
+        let payload = vec![true, true, true];
+        let bundle = synth(&payload, 4, 0.5, 0.1, 333, 1_000, 9);
+        let bit_us = 4 * 1_000u64;
+        let pre_len = bs_tag::frame::uplink_preamble().len();
+        let lo = (pre_len as u64 + 1) * bit_us;
+        let hi = lo + bit_us;
+        let keep: Vec<usize> = (0..bundle.packets())
+            .filter(|&p| bundle.t_us[p] < lo || bundle.t_us[p] >= hi)
+            .collect();
+        let gapped = SeriesBundle {
+            t_us: keep.iter().map(|&p| bundle.t_us[p]).collect(),
+            series: bundle
+                .series
+                .iter()
+                .map(|s| keep.iter().map(|&p| s[p]).collect())
+                .collect(),
+        };
+        let dec = LongRangeDecoder::new(cfg(4, 1_000, 3));
+        let out = dec.decode(&gapped, 0).expect("no detection");
+        assert_eq!(out.bits[1], None, "empty window must erase");
+        assert!(out.bits[0].is_some() && out.bits[2].is_some());
+        assert!(out.frame.is_none(), "frame must wait for all bits");
+        assert_eq!(dec.decode_reference(&gapped, 0), Some(out));
+    }
+
+    #[test]
+    fn indexed_decode_matches_reference_bit_for_bit() {
+        let payload: Vec<bool> = (0..10).map(|i| i % 3 != 0).collect();
+        for (l, gap, seed) in [(20usize, 333u64, 31u64), (60, 1_100, 32), (8, 4_500, 33)] {
+            let bundle = synth(&payload, l, 0.2, 0.8, gap, 1_000, seed);
+            let dec = LongRangeDecoder::new(cfg(l, 1_000, 10));
+            let a = dec.decode_reference(&bundle, 0);
+            let b = dec.decode(&bundle, 0);
+            assert_eq!(a, b, "l {l} gap {gap} seed {seed}");
+        }
     }
 }

@@ -221,8 +221,12 @@ fn judge_slot(in_slot: &[InventoryTag], capture_ratio: f64) -> SlotOutcome {
         [t] => SlotOutcome::Success { address: t.address },
         many => {
             // Capture: the strongest tag wins if it dominates all others.
+            // total_cmp keeps the sort total even if a caller feeds a
+            // NaN strength (a ratio against NaN then compares false, so
+            // such a slot degrades to a plain collision instead of a
+            // panic).
             let mut sorted: Vec<&InventoryTag> = many.iter().collect();
-            sorted.sort_by(|a, b| b.relative_strength.partial_cmp(&a.relative_strength).unwrap());
+            sorted.sort_by(|a, b| b.relative_strength.total_cmp(&a.relative_strength));
             let strongest = sorted[0];
             let runner_up = sorted[1];
             if runner_up.relative_strength > 0.0
@@ -394,5 +398,30 @@ mod tests {
             judge_slot(&[InventoryTag::new(1), InventoryTag::new(2)], 2.0),
             SlotOutcome::Collision
         );
+    }
+
+    #[test]
+    fn nan_strength_degrades_to_collision_without_panic() {
+        // A NaN relative strength used to crash the capture sort's
+        // partial_cmp().unwrap(); with a total order it must simply never
+        // win a capture.
+        let mut a = InventoryTag::new(1);
+        a.relative_strength = f64::NAN;
+        let mut b = InventoryTag::new(2);
+        b.relative_strength = 0.5;
+        assert_eq!(judge_slot(&[a, b], 2.0), SlotOutcome::Collision);
+        assert_eq!(judge_slot(&[b, a], 2.0), SlotOutcome::Collision);
+        // And a whole inventory run over NaN-strength tags still resolves
+        // by retry alone.
+        let mut ts = tags(3);
+        for t in &mut ts {
+            t.relative_strength = f64::NAN;
+        }
+        let cfg = InventoryConfig {
+            capture_ratio: 2.0,
+            ..Default::default()
+        };
+        let r = run_inventory(&ts, cfg, &mut rng(7));
+        assert!(r.complete(&ts), "identified {:?}", r.identified);
     }
 }

@@ -7,7 +7,11 @@
 //! × 3 antennas — the paper treats antennas as extra sub-channels, §3.2),
 //! RSSI yields one series per antenna (§3.3).
 
+use bs_dsp::filter::condition;
+use bs_dsp::slotstats::{SlotPartition, SlotStats};
 use bs_wifi::{CsiMeasurement, RssiMeasurement};
+use std::ops::Range;
+use std::rc::Rc;
 
 /// A bundle of synchronized per-packet series.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +89,254 @@ impl SeriesBundle {
         let mut gaps: Vec<u64> = self.t_us.windows(2).map(|w| w[1] - w[0]).collect();
         gaps.sort_unstable();
         gaps[gaps.len() / 2]
+    }
+}
+
+/// A per-bundle slot-statistics index: caches the conditioned channel
+/// series and per-(bit-duration, phase) slot partitions with per-channel
+/// binned statistics, so that the decoders' repeated window queries —
+/// slot means for preamble/postamble correlation, within-slot variances
+/// for MRC weights, majority-vote packet ranges — cost O(slots) after a
+/// single O(packets) pass instead of one full scan each.
+///
+/// One index serves *all* decode attempts over the same capture: the
+/// alignment search's candidates (which share at most two slot phases per
+/// bit duration), the drift re-scan's stretched re-decodes (which share
+/// the conditioned series — conditioning depends only on the window and
+/// packet cadence, not the bit clock), and the long-range fallback.
+///
+/// Everything served from the index is **bit-exact** against the naive
+/// full-scan formulations (see [`bs_dsp::slotstats`] for the contract):
+/// the decoders' `decode_reference` paths exist to keep that honest.
+#[derive(Debug)]
+pub struct SlotIndex<'a> {
+    bundle: &'a SeriesBundle,
+    /// Conditioned series keyed by the conditioning half-window (packets).
+    cond: Vec<(usize, Rc<Vec<Vec<f64>>>)>,
+    grids: Vec<Grid>,
+    visits: u64,
+}
+
+/// One slot grid: a fixed bit duration and slot phase (`base % width`)
+/// over the bundle's timestamp axis, with lazily built per-channel stats.
+#[derive(Debug)]
+struct Grid {
+    width_us: u64,
+    residue_us: u64,
+    partition: SlotPartition,
+    stats: Vec<StatsEntry>,
+}
+
+/// Per-channel statistics for one conditioning half-window over a grid.
+#[derive(Debug)]
+struct StatsEntry {
+    half: usize,
+    per_channel: Vec<Option<SlotStats>>,
+}
+
+impl<'a> SlotIndex<'a> {
+    /// Creates an (empty) index over a bundle; everything is built lazily
+    /// on first use and cached for the bundle's lifetime.
+    pub fn new(bundle: &'a SeriesBundle) -> Self {
+        SlotIndex {
+            bundle,
+            cond: Vec::new(),
+            grids: Vec::new(),
+            visits: 0,
+        }
+    }
+
+    /// The underlying bundle.
+    pub fn bundle(&self) -> &'a SeriesBundle {
+        self.bundle
+    }
+
+    /// Work meter: packets scanned building caches plus slots read
+    /// answering queries. The decoders report the per-stage delta as obs
+    /// span items, which is how the benches verify the alignment search
+    /// stays O(packets + candidates·slots) instead of O(candidates·packets).
+    pub fn visits(&self) -> u64 {
+        self.visits
+    }
+
+    /// The conditioned series for a given conditioning half-window
+    /// (packets), built once per distinct half-window and shared by every
+    /// decode attempt on this capture.
+    pub fn conditioned(&mut self, half: usize) -> Rc<Vec<Vec<f64>>> {
+        if let Some((_, c)) = self.cond.iter().find(|(h, _)| *h == half) {
+            return Rc::clone(c);
+        }
+        let cond: Vec<Vec<f64>> = self
+            .bundle
+            .series
+            .iter()
+            .map(|s| condition(s, half))
+            .collect();
+        self.visits += (self.bundle.channels() * self.bundle.packets()) as u64;
+        let rc = Rc::new(cond);
+        self.cond.push((half, Rc::clone(&rc)));
+        rc
+    }
+
+    /// The contiguous packet-index range with `start_us ≤ t < end_us`
+    /// (binary search on the ascending timestamp axis).
+    pub fn packet_range(&self, start_us: u64, end_us: u64) -> Range<usize> {
+        let lo = self.bundle.t_us.partition_point(|&t| t < start_us);
+        let hi = self.bundle.t_us.partition_point(|&t| t < end_us);
+        lo..hi.max(lo)
+    }
+
+    /// Pre-sizes the grid for slot width `width_us` and the phase of
+    /// `start_us` to cover `[start_us, end_us)`. Callers that know their
+    /// full query span up front (e.g. the alignment search, which asks
+    /// about every candidate of a phase class) should call this once so
+    /// the per-channel statistics are built over the union coverage
+    /// instead of being rebuilt as the coverage grows.
+    pub fn ensure_grid(&mut self, width_us: u64, start_us: u64, end_us: u64) {
+        self.grid_idx(width_us, start_us, end_us);
+    }
+
+    /// Per-slot means of one conditioned channel over
+    /// `[start_us, start_us + n_slots·width_us)`; `None` if any slot is
+    /// empty — the same contract as the reference decoder's full-scan
+    /// binning, and bit-exact against it.
+    pub fn slot_means(
+        &mut self,
+        half: usize,
+        channel: usize,
+        start_us: u64,
+        width_us: u64,
+        n_slots: usize,
+    ) -> Option<Vec<f64>> {
+        let (gi, k0) = self.stats_at(half, channel, start_us, width_us, n_slots);
+        let stats = self.grids[gi].stats_for(half, channel);
+        self.visits += n_slots as u64;
+        let mut means = Vec::with_capacity(n_slots);
+        for k in k0..k0 + n_slots {
+            means.push(stats.mean(k)?);
+        }
+        Some(means)
+    }
+
+    /// Mean within-slot variance of one conditioned channel over the
+    /// window — the σ² of the paper's MRC weights; slots with < 2 packets
+    /// are excluded, 1.0 if none qualify (matching the reference path).
+    pub fn residual_variance(
+        &mut self,
+        half: usize,
+        channel: usize,
+        start_us: u64,
+        width_us: u64,
+        n_slots: usize,
+    ) -> f64 {
+        let (gi, k0) = self.stats_at(half, channel, start_us, width_us, n_slots);
+        let stats = self.grids[gi].stats_for(half, channel);
+        self.visits += n_slots as u64;
+        let mut var_sum = 0.0;
+        let mut n = 0usize;
+        for k in k0..k0 + n_slots {
+            if stats.count(k) >= 2 {
+                var_sum += stats.variance(k);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            1.0
+        } else {
+            var_sum / n as f64
+        }
+    }
+
+    /// Ensures grid + per-channel stats exist for the query window and
+    /// returns `(grid index, first slot index of start_us)`.
+    fn stats_at(
+        &mut self,
+        half: usize,
+        channel: usize,
+        start_us: u64,
+        width_us: u64,
+        n_slots: usize,
+    ) -> (usize, usize) {
+        // Materialise the conditioned series first (separate Rc, so the
+        // grid borrow below cannot alias it).
+        let cond = self.conditioned(half);
+        let end = start_us.saturating_add((n_slots as u64).saturating_mul(width_us));
+        let gi = self.grid_idx(width_us, start_us, end);
+        let channels = self.bundle.channels();
+        let grid = &mut self.grids[gi];
+        let coverage = grid.partition.coverage_len() as u64;
+        let ei = match grid.stats.iter().position(|e| e.half == half) {
+            Some(i) => i,
+            None => {
+                grid.stats.push(StatsEntry {
+                    half,
+                    per_channel: vec![None; channels],
+                });
+                grid.stats.len() - 1
+            }
+        };
+        if grid.stats[ei].per_channel[channel].is_none() {
+            let built = SlotStats::build(&grid.partition, &cond[channel]);
+            grid.stats[ei].per_channel[channel] = Some(built);
+            self.visits += coverage;
+        }
+        let k0 = ((start_us - grid.partition.base_us()) / width_us) as usize;
+        (gi, k0)
+    }
+
+    /// Finds (or builds / extends) the grid for `width_us` and the phase
+    /// of `start_us`, covering at least `[start_us, end_us)`.
+    fn grid_idx(&mut self, width_us: u64, start_us: u64, end_us: u64) -> usize {
+        let residue = start_us % width_us;
+        let idx = self
+            .grids
+            .iter()
+            .position(|g| g.width_us == width_us && g.residue_us == residue);
+        match idx {
+            Some(i) => {
+                let g = &mut self.grids[i];
+                let base = g.partition.base_us().min(start_us);
+                let cur_end = g
+                    .partition
+                    .base_us()
+                    .saturating_add((g.partition.n_slots() as u64).saturating_mul(width_us));
+                if base < g.partition.base_us() || end_us > cur_end {
+                    // Coverage grew: rebuild the partition over the union
+                    // and invalidate the per-channel stats.
+                    let end = cur_end.max(end_us);
+                    let n_slots = (end - base).div_ceil(width_us) as usize;
+                    g.partition = SlotPartition::build(&self.bundle.t_us, base, width_us, n_slots);
+                    g.stats.clear();
+                    self.visits += g.partition.coverage_len() as u64;
+                }
+                i
+            }
+            None => {
+                let n_slots = (end_us.max(start_us) - start_us).div_ceil(width_us) as usize;
+                let partition =
+                    SlotPartition::build(&self.bundle.t_us, start_us, width_us, n_slots);
+                self.visits += partition.coverage_len() as u64;
+                self.grids.push(Grid {
+                    width_us,
+                    residue_us: residue,
+                    partition,
+                    stats: Vec::new(),
+                });
+                self.grids.len() - 1
+            }
+        }
+    }
+}
+
+impl Grid {
+    /// The built stats for (half, channel); callers must have gone
+    /// through [`SlotIndex::stats_at`] first.
+    fn stats_for(&self, half: usize, channel: usize) -> &SlotStats {
+        self.stats
+            .iter()
+            .find(|e| e.half == half)
+            .and_then(|e| e.per_channel[channel].as_ref())
+            .expect("stats_at builds before reads")
     }
 }
 

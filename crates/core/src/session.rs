@@ -323,6 +323,13 @@ impl Reader {
     }
 
     /// One uplink exchange at the current deployment geometry.
+    ///
+    /// Every retry/fallback attempt is a *fresh* capture (new seed, new
+    /// packets), so there is nothing to share between attempts here; the
+    /// per-capture [`crate::series::SlotIndex`] reuse — one conditioning
+    /// pass and one set of slot statistics serving every drift-stretch
+    /// re-decode of the same bundle — happens inside
+    /// [`run_uplink_with`]'s decode loop.
     fn run_response(
         &mut self,
         payload: &[bool],

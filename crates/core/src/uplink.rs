@@ -19,7 +19,7 @@
 //!    reject the Intel card's spurious jumps; a majority vote across the
 //!    packets of each timestamp-binned bit slot yields the bit.
 
-use crate::series::SeriesBundle;
+use crate::series::{SeriesBundle, SlotIndex};
 use bs_dsp::codes;
 use bs_dsp::filter::condition;
 use bs_dsp::obs::{NullRecorder, Recorder};
@@ -67,7 +67,9 @@ impl UplinkDecoderConfig {
     /// The paper's CSI decoder configuration for a given bit rate/payload.
     pub fn csi(bit_rate_bps: u64, payload_bits: usize) -> Self {
         UplinkDecoderConfig {
-            bit_duration_us: 1_000_000 / bit_rate_bps.max(1),
+            // Clamped to ≥ 1 µs: above 1 Mbps the integer division would
+            // yield 0 and trip the constructor assert.
+            bit_duration_us: (1_000_000 / bit_rate_bps.max(1)).max(1),
             payload_bits,
             conditioning_window_us: 400_000,
             top_channels: 10,
@@ -211,14 +213,35 @@ impl UplinkDecoder {
     /// selector counters (`uplink.channels-kept`, `uplink.channels-dropped`,
     /// `uplink.packets-binned`, `uplink.hysteresis-holds`,
     /// `uplink.erasures`) and gauges (`uplink.preamble-score`,
-    /// `uplink.mrc-weight-entropy`). The decode itself is bit-identical to
-    /// [`Self::decode`]; the recorder only observes.
+    /// `uplink.mrc-weight-entropy`). The `uplink.align` span's items count
+    /// the slot-index work the search consumed (packets scanned into
+    /// per-slot statistics plus slots read back), which is how the benches
+    /// verify the search is O(packets), not O(candidates × packets). The
+    /// decode itself is bit-identical to [`Self::decode`]; the recorder
+    /// only observes.
     pub fn decode_with(
         &self,
         bundle: &SeriesBundle,
         start_hint_us: u64,
         rec: &mut dyn Recorder,
     ) -> Option<DecodeOutput> {
+        let mut index = SlotIndex::new(bundle);
+        self.decode_indexed(&mut index, start_hint_us, rec)
+    }
+
+    /// [`Self::decode_with`] against a caller-owned [`SlotIndex`], so
+    /// repeated decode attempts over the *same capture* (the drift
+    /// re-scan's stretch candidates, retry/fallback re-decodes) share the
+    /// conditioned series and every slot-statistics build instead of
+    /// re-scanning the packet stream per attempt. Output is bit-identical
+    /// to [`Self::decode`] / [`Self::decode_reference`].
+    pub fn decode_indexed(
+        &self,
+        index: &mut SlotIndex<'_>,
+        start_hint_us: u64,
+        rec: &mut dyn Recorder,
+    ) -> Option<DecodeOutput> {
+        let bundle = index.bundle();
         if bundle.packets() == 0 || bundle.channels() == 0 {
             return None;
         }
@@ -227,29 +250,49 @@ impl UplinkDecoder {
         let preamble: Vec<i8> = codes::BARKER13.to_vec();
         let total_bits = UplinkFrame::on_air_len(self.cfg.payload_bits);
 
-        // 1. Signal conditioning.
+        // 1. Signal conditioning (cached in the index across attempts).
         let half = self.conditioning_half_window(bundle);
-        let conditioned: Vec<Vec<f64>> = bundle
-            .series
-            .iter()
-            .map(|s| condition(s, half))
-            .collect();
+        let conditioned = index.conditioned(half);
         rec.span("uplink.condition", t_lo, t_hi, bundle.channels() as u64);
 
-        // 2. Alignment search + channel selection.
+        // 2. Alignment search + channel selection, served by the slot
+        // index. Candidates are spaced by half a bit, so they fall into
+        // (at most two) slot-phase classes; all candidates of a class
+        // read the same per-channel statistics, built in one O(packets)
+        // pass over the class's coverage.
         let bit = self.cfg.bit_duration_us;
         let step = (bit / 2).max(1);
         let span = self.cfg.search_bits as i64 * 2; // half-bit steps
-        let mut best: Option<(u64, Vec<SelectedChannel>, f64)> = None;
-        let mut candidates_tried = 0u64;
-        for k in -span..=span {
-            let cand = start_hint_us as i64 + k * step as i64;
-            if cand < 0 {
-                continue;
+        let cands: Vec<u64> = (-span..=span)
+            .filter_map(|k| {
+                let cand = start_hint_us as i64 + k * step as i64;
+                (cand >= 0).then_some(cand as u64)
+            })
+            .collect();
+        // Pre-size each phase class to its full query span (every
+        // candidate's preamble window plus the winning frame's slicing
+        // span) so per-channel statistics are built exactly once.
+        let frame_span = total_bits as u64 * bit;
+        let mut classes: Vec<(u64, u64, u64)> = Vec::new(); // (phase, lo, hi)
+        for &cand in &cands {
+            let phase = cand % bit;
+            let hi = cand.saturating_add(frame_span);
+            match classes.iter_mut().find(|e| e.0 == phase) {
+                Some(e) => {
+                    e.1 = e.1.min(cand);
+                    e.2 = e.2.max(hi);
+                }
+                None => classes.push((phase, cand, hi)),
             }
-            let cand = cand as u64;
-            candidates_tried += 1;
-            let Some((channels, score)) = self.rank_channels(bundle, &conditioned, cand, &preamble)
+        }
+        let visits_before = index.visits();
+        for &(_, lo, hi) in &classes {
+            index.ensure_grid(bit, lo, hi);
+        }
+        let mut best: Option<(u64, Vec<SelectedChannel>, f64)> = None;
+        for &cand in &cands {
+            let Some((channels, score)) =
+                self.rank_channels_indexed(index, half, cand, &preamble)
             else {
                 continue;
             };
@@ -257,7 +300,7 @@ impl UplinkDecoder {
                 best = Some((cand, channels, score));
             }
         }
-        rec.span("uplink.align", t_lo, t_hi, candidates_tried);
+        rec.span("uplink.align", t_lo, t_hi, index.visits() - visits_before);
         let (start_us, channels, preamble_score) = best?;
         if preamble_score < self.cfg.min_preamble_score {
             return None;
@@ -276,17 +319,13 @@ impl UplinkDecoder {
             .collect();
         rec.span("uplink.combine", t_lo, t_hi, bundle.packets() as u64);
 
-        // 4. Hysteresis + timestamp-binned majority voting, over the
-        // packets of the whole frame.
-        let frame_packets: Vec<usize> = (0..bundle.packets())
-            .filter(|&p| {
-                let t = bundle.t_us[p];
-                t >= start_us && t < start_us + total_bits as u64 * bit
-            })
-            .collect();
-        let frame_values: Vec<f64> = frame_packets.iter().map(|&p| combined[p]).collect();
+        // 4. Hysteresis + timestamp-binned majority voting. The frame's
+        // packets are one contiguous index range on the ascending
+        // timestamp axis, as is each bit slot within it.
+        let frame_range = index.packet_range(start_us, start_us + total_bits as u64 * bit);
+        let frame_values: Vec<f64> = combined[frame_range.clone()].to_vec();
         let slicer = HysteresisSlicer::from_samples(&frame_values);
-        rec.add("uplink.packets-binned", frame_packets.len() as u64);
+        rec.add("uplink.packets-binned", frame_range.len() as u64);
 
         let pre_len = preamble.len();
         let mut bits = Vec::with_capacity(self.cfg.payload_bits);
@@ -294,10 +333,9 @@ impl UplinkDecoder {
         for slot in pre_len..pre_len + self.cfg.payload_bits {
             let lo = start_us + slot as u64 * bit;
             let hi = lo + bit;
-            let decisions: Vec<Decision> = frame_packets
-                .iter()
-                .filter(|&&p| bundle.t_us[p] >= lo && bundle.t_us[p] < hi)
-                .map(|&p| {
+            let decisions: Vec<Decision> = index
+                .packet_range(lo, hi)
+                .map(|p| {
                     if self.cfg.use_hysteresis {
                         slicer.decide(combined[p])
                     } else {
@@ -334,6 +372,114 @@ impl UplinkDecoder {
         // discriminates bit-clock candidates the preamble cannot.
         let postamble: Vec<i8> = preamble.iter().rev().copied().collect();
         let post_start = start_us + (pre_len + self.cfg.payload_bits) as u64 * bit;
+        let postamble_score =
+            series_slot_means(index, &combined, post_start, bit, postamble.len())
+                .map(|means| bs_dsp::correlate::normalized(&means, &postamble))
+                .unwrap_or(0.0);
+
+        Some(DecodeOutput {
+            bits,
+            frame,
+            start_us,
+            channels,
+            preamble_score,
+            postamble_score,
+        })
+    }
+
+    /// The straight-line reference decoder: the same pipeline as
+    /// [`Self::decode`], but every slot query is a full pass over the
+    /// packet stream — O(candidates × channels × packets) in the
+    /// alignment search. Kept (and exercised by the conformance tests and
+    /// benches) as the ground truth the indexed path must match bit for
+    /// bit.
+    pub fn decode_reference(
+        &self,
+        bundle: &SeriesBundle,
+        start_hint_us: u64,
+    ) -> Option<DecodeOutput> {
+        if bundle.packets() == 0 || bundle.channels() == 0 {
+            return None;
+        }
+        let preamble: Vec<i8> = codes::BARKER13.to_vec();
+        let total_bits = UplinkFrame::on_air_len(self.cfg.payload_bits);
+
+        // 1. Signal conditioning.
+        let half = self.conditioning_half_window(bundle);
+        let conditioned: Vec<Vec<f64>> = bundle
+            .series
+            .iter()
+            .map(|s| condition(s, half))
+            .collect();
+
+        // 2. Alignment search + channel selection.
+        let bit = self.cfg.bit_duration_us;
+        let step = (bit / 2).max(1);
+        let span = self.cfg.search_bits as i64 * 2; // half-bit steps
+        let mut best: Option<(u64, Vec<SelectedChannel>, f64)> = None;
+        for k in -span..=span {
+            let cand = start_hint_us as i64 + k * step as i64;
+            if cand < 0 {
+                continue;
+            }
+            let cand = cand as u64;
+            let Some((channels, score)) = self.rank_channels(bundle, &conditioned, cand, &preamble)
+            else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
+                best = Some((cand, channels, score));
+            }
+        }
+        let (start_us, channels, preamble_score) = best?;
+        if preamble_score < self.cfg.min_preamble_score {
+            return None;
+        }
+
+        // 3. Combining.
+        let combined: Vec<f64> = (0..bundle.packets())
+            .map(|p| channels.iter().map(|c| c.weight * conditioned[c.index][p]).sum())
+            .collect();
+
+        // 4. Hysteresis + timestamp-binned majority voting, over the
+        // packets of the whole frame.
+        let frame_packets: Vec<usize> = (0..bundle.packets())
+            .filter(|&p| {
+                let t = bundle.t_us[p];
+                t >= start_us && t < start_us + total_bits as u64 * bit
+            })
+            .collect();
+        let frame_values: Vec<f64> = frame_packets.iter().map(|&p| combined[p]).collect();
+        let slicer = HysteresisSlicer::from_samples(&frame_values);
+
+        let pre_len = preamble.len();
+        let mut bits = Vec::with_capacity(self.cfg.payload_bits);
+        for slot in pre_len..pre_len + self.cfg.payload_bits {
+            let lo = start_us + slot as u64 * bit;
+            let hi = lo + bit;
+            let decisions: Vec<Decision> = frame_packets
+                .iter()
+                .filter(|&&p| bundle.t_us[p] >= lo && bundle.t_us[p] < hi)
+                .map(|&p| {
+                    if self.cfg.use_hysteresis {
+                        slicer.decide(combined[p])
+                    } else {
+                        bs_dsp::slicer::sign_decision(combined[p])
+                    }
+                })
+                .collect();
+            bits.push(majority(&decisions));
+        }
+
+        let frame = if bits.iter().all(Option::is_some) {
+            Some(UplinkFrame::new(bits.iter().map(|b| b.unwrap()).collect()))
+        } else {
+            None
+        };
+
+        // Postamble check on the combined series.
+        let postamble: Vec<i8> = preamble.iter().rev().copied().collect();
+        let post_start = start_us + (pre_len + self.cfg.payload_bits) as u64 * bit;
         let postamble_score = self
             .slot_means(bundle, &combined, post_start, postamble.len())
             .map(|means| bs_dsp::correlate::normalized(&means, &postamble))
@@ -347,6 +493,57 @@ impl UplinkDecoder {
             preamble_score,
             postamble_score,
         })
+    }
+
+    /// [`Self::rank_channels`] served by the slot index: identical
+    /// selection, ranking and weighting, with the per-channel slot means
+    /// and residual variances read from cached statistics.
+    fn rank_channels_indexed(
+        &self,
+        index: &mut SlotIndex<'_>,
+        half: usize,
+        start_us: u64,
+        preamble: &[i8],
+    ) -> Option<(Vec<SelectedChannel>, f64)> {
+        let n_slots = preamble.len();
+        let bit = self.cfg.bit_duration_us;
+        let mut ranked: Vec<(usize, f64, f64)> = Vec::new(); // (index, |corr|, signed)
+        for i in 0..index.bundle().channels() {
+            let Some(means) = index.slot_means(half, i, start_us, bit, n_slots) else {
+                continue;
+            };
+            let corr = bs_dsp::correlate::normalized(&means, preamble);
+            if !corr.is_finite() {
+                continue;
+            }
+            ranked.push((i, corr.abs(), corr));
+        }
+        if ranked.is_empty() {
+            return None;
+        }
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        ranked.truncate(self.cfg.top_channels);
+
+        let channels: Vec<SelectedChannel> = ranked
+            .iter()
+            .map(|&(i, score, signed)| {
+                let var = index
+                    .residual_variance(half, i, start_us, bit, n_slots)
+                    .max(1e-6);
+                let polarity = if signed >= 0.0 { 1.0 } else { -1.0 };
+                let weight = match self.cfg.combining {
+                    Combining::Mrc => polarity / var,
+                    Combining::BestSingle | Combining::EqualGain => polarity,
+                };
+                SelectedChannel {
+                    index: i,
+                    score,
+                    weight,
+                }
+            })
+            .collect();
+        let mean_score = channels.iter().map(|c| c.score).sum::<f64>() / channels.len() as f64;
+        Some((channels, mean_score))
     }
 
     /// The conditioning half-window in packets, derived from the paper's
@@ -407,12 +604,18 @@ impl UplinkDecoder {
                 continue;
             };
             let corr = bs_dsp::correlate::normalized(&means, preamble);
+            // Zero-variance or overflowing series can produce a NaN/∞
+            // correlation; such a channel carries no rankable signal, so
+            // skip it rather than letting it poison the sort.
+            if !corr.is_finite() {
+                continue;
+            }
             ranked.push((i, corr.abs(), corr));
         }
         if ranked.is_empty() {
             return None;
         }
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranked.truncate(self.cfg.top_channels);
 
         // Noise variance per kept channel: residual around the slot means
@@ -471,6 +674,34 @@ impl UplinkDecoder {
             var_sum / n as f64
         }
     }
+}
+
+/// Per-slot means of a *derived* series (e.g. the combined MRC series)
+/// over contiguous packet ranges; `None` if any slot is empty. The
+/// per-slot accumulation runs in packet order from a fresh 0.0, so the
+/// result is bit-exact against the reference full-scan binning.
+fn series_slot_means(
+    index: &SlotIndex<'_>,
+    series: &[f64],
+    start_us: u64,
+    width_us: u64,
+    n_slots: usize,
+) -> Option<Vec<f64>> {
+    let mut means = Vec::with_capacity(n_slots);
+    for k in 0..n_slots {
+        let lo = start_us + k as u64 * width_us;
+        let range = index.packet_range(lo, lo + width_us);
+        if range.is_empty() {
+            return None;
+        }
+        let count = range.len() as u32;
+        let mut sum = 0.0;
+        for p in range {
+            sum += series[p];
+        }
+        means.push(sum / f64::from(count));
+    }
+    Some(means)
 }
 
 #[cfg(test)]
@@ -678,6 +909,78 @@ mod tests {
         let mut cfg = UplinkDecoderConfig::csi(100, 8);
         cfg.bit_duration_us = 0;
         UplinkDecoder::new(cfg);
+    }
+
+    #[test]
+    fn csi_config_clamps_bit_duration_above_1mbps() {
+        // 2 Mbps: 1_000_000 / 2_000_000 truncates to 0, which used to
+        // trip the constructor assert; the config must clamp to 1 µs.
+        let cfg = UplinkDecoderConfig::csi(2_000_000, 8);
+        assert_eq!(cfg.bit_duration_us, 1);
+        UplinkDecoder::new(cfg); // must not panic
+        let rssi = UplinkDecoderConfig::rssi(2_000_000, 8);
+        assert_eq!(rssi.bit_duration_us, 1);
+        UplinkDecoder::new(rssi);
+    }
+
+    #[test]
+    fn nan_correlation_channel_is_skipped_not_fatal() {
+        // One channel is pure NaN (a wedged sensor): its normalised
+        // preamble correlation is NaN. The ranking must skip it — not
+        // panic in the sort, not keep it — and still decode the clean
+        // channels.
+        let payload = payload_90();
+        let (mut bundle, _) = synth_bundle(&payload, 10, 8, 0.5, 0.1, 333, 10_000, 100_000, 7);
+        for v in &mut bundle.series[9] {
+            *v = f64::NAN;
+        }
+        let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, 90));
+        let out = dec.decode(&bundle, 100_000).expect("no detection");
+        assert!(out.channels.iter().all(|c| c.index != 9), "kept NaN channel");
+        assert!(out.channels.iter().all(|c| c.score.is_finite()));
+        assert_eq!(out.frame.as_ref().expect("erasures").payload, payload);
+        // The reference path applies the same skip.
+        let reference = dec.decode_reference(&bundle, 100_000).expect("no detection");
+        assert_eq!(reference, out);
+    }
+
+    #[test]
+    fn indexed_decode_matches_reference_bit_for_bit() {
+        let payload = payload_90();
+        for (seed, gap, hint) in [(11u64, 333u64, 100_000u64), (12, 1_100, 104_500), (13, 3_300, 95_000)] {
+            let (bundle, _) = synth_bundle(&payload, 20, 8, 0.5, 0.4, gap, 10_000, 100_000, seed);
+            for cfg in [
+                UplinkDecoderConfig::csi(100, 90),
+                UplinkDecoderConfig::rssi(100, 90),
+                UplinkDecoderConfig::csi(100, 90).with_combining(Combining::EqualGain),
+                UplinkDecoderConfig::csi(100, 90).with_hysteresis(false),
+                UplinkDecoderConfig::csi(100, 90).with_search_bits(5),
+            ] {
+                let dec = UplinkDecoder::new(cfg);
+                let a = dec.decode_reference(&bundle, hint);
+                let b = dec.decode(&bundle, hint);
+                assert_eq!(a, b, "seed {seed} gap {gap}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_index_reuse_matches_fresh_decodes() {
+        // One SlotIndex serving several decoders (the drift re-scan
+        // pattern: same capture, different bit durations) must yield the
+        // same outputs as fresh per-decode indexes.
+        use bs_dsp::obs::NullRecorder;
+        let payload = payload_90();
+        let (bundle, _) = synth_bundle(&payload, 20, 8, 0.5, 0.3, 333, 10_000, 100_000, 21);
+        let mut shared = crate::series::SlotIndex::new(&bundle);
+        for bit_us in [10_000u64, 9_950, 10_050, 10_000] {
+            let mut cfg = UplinkDecoderConfig::csi(100, 90);
+            cfg.bit_duration_us = bit_us;
+            let dec = UplinkDecoder::new(cfg);
+            let fresh = dec.decode(&bundle, 100_000);
+            let reused = dec.decode_indexed(&mut shared, 100_000, &mut NullRecorder);
+            assert_eq!(fresh, reused, "bit_us {bit_us}");
+        }
     }
 
     #[test]

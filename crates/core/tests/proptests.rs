@@ -3,6 +3,7 @@
 
 use bs_dsp::testkit::check;
 use bs_tag::frame::UplinkFrame;
+use wifi_backscatter::longrange::{LongRangeConfig, LongRangeDecoder};
 use wifi_backscatter::multitag::{run_inventory, InventoryConfig, InventoryTag};
 use wifi_backscatter::protocol::{select_bit_rate, Query, SUPPORTED_RATES_BPS};
 use wifi_backscatter::series::SeriesBundle;
@@ -164,6 +165,115 @@ fn rate_selection_monotone() {
         assert!(r_lo <= r_hi);
         assert!(SUPPORTED_RATES_BPS.contains(&r_lo));
         assert!(SUPPORTED_RATES_BPS.contains(&r_hi));
+    });
+}
+
+/// Builds an arbitrary — often degenerate — bundle: few (possibly zero)
+/// channels and packets, irregular timestamps with duplicates and long
+/// dead-air gaps, and adversarial value modes (constant zero-variance
+/// series, ±`f64::MAX` alternation, all-NaN, near-zero variance).
+fn degenerate_bundle(g: &mut bs_dsp::testkit::Gen) -> SeriesBundle {
+    let channels = g.usize_in(0, 5);
+    let packets = g.usize_in(0, 60);
+    let mut t = 0u64;
+    let t_us: Vec<u64> = (0..packets)
+        .map(|_| {
+            t += match g.usize_in(0, 3) {
+                0 => 0, // duplicate timestamp
+                1 => g.usize_in(1, 900) as u64,
+                2 => g.usize_in(1_000, 40_000) as u64,
+                _ => g.usize_in(100_000, 400_000) as u64, // dead air
+            };
+            t
+        })
+        .collect();
+    let mode = g.usize_in(0, 4);
+    let series: Vec<Vec<f64>> = (0..channels)
+        .map(|c| {
+            (0..packets)
+                .map(|p| match mode {
+                    0 => 7.25, // constant: zero variance everywhere
+                    1 => {
+                        if p % 2 == 0 {
+                            f64::MAX
+                        } else {
+                            -f64::MAX
+                        }
+                    }
+                    2 => f64::NAN,
+                    3 => (c + p) as f64 * 1e-300, // vanishing variance
+                    _ => ((p * 37 + c * 11) % 13) as f64 - 6.0,
+                })
+                .collect()
+        })
+        .collect();
+    SeriesBundle { t_us, series }
+}
+
+/// Neither decoder panics on degenerate input: empty and single-packet
+/// bundles, constant series, NaN-poisoned channels, zero-variance
+/// slots, sparse gaps. They may (and usually do) return `None` — they
+/// must never unwind.
+#[test]
+fn decoders_never_panic_on_degenerate_bundles() {
+    let uplink = |payload_bits: usize| {
+        UplinkDecoder::new(UplinkDecoderConfig::csi(100, payload_bits))
+    };
+    let longrange =
+        |payload_bits: usize| LongRangeDecoder::new(LongRangeConfig::new(4, 1_000, payload_bits));
+    // Pinned edge cases first: zero packets, zero channels, one
+    // NaN-valued packet.
+    for bundle in [
+        SeriesBundle {
+            t_us: vec![],
+            series: vec![],
+        },
+        SeriesBundle {
+            t_us: vec![0, 10],
+            series: vec![],
+        },
+        SeriesBundle {
+            t_us: vec![0],
+            series: vec![vec![f64::NAN]],
+        },
+    ] {
+        let _ = uplink(4).decode(&bundle, 0);
+        let _ = longrange(4).decode(&bundle, 0);
+    }
+    check("decoders-no-panic-degenerate", 64, |g| {
+        let bundle = degenerate_bundle(g);
+        let hint = g.usize_in(0, 200_000) as u64;
+        let _ = uplink(g.usize_in(1, 12)).decode(&bundle, hint);
+        let _ = longrange(g.usize_in(1, 6)).decode(&bundle, hint);
+    });
+}
+
+/// The slot-indexed decode path is bit-identical to the straight-line
+/// reference on arbitrary noise bundles — whether or not a frame is
+/// actually present (`PartialEq` on the outputs compares every f64).
+#[test]
+fn indexed_decode_matches_reference_on_random_bundles() {
+    check("indexed-matches-reference", 32, |g| {
+        let channels = g.usize_in(1, 6);
+        let packets = g.usize_in(1, 400);
+        let mut t = 0u64;
+        let t_us: Vec<u64> = (0..packets)
+            .map(|_| {
+                t += g.usize_in(1, 2_000) as u64;
+                t
+            })
+            .collect();
+        let series: Vec<Vec<f64>> = (0..channels)
+            .map(|_| (0..packets).map(|_| 9.0 + g.f64_in(-5.0, 5.0)).collect())
+            .collect();
+        let bundle = SeriesBundle { t_us, series };
+        let hint = g.usize_in(0, 50_000) as u64;
+
+        let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(1_000, g.usize_in(1, 8)));
+        assert_eq!(dec.decode_reference(&bundle, hint), dec.decode(&bundle, hint));
+
+        let lr = LongRangeDecoder::new(LongRangeConfig::new(4, 10_000, g.usize_in(1, 4)));
+        assert_eq!(lr.decode_reference(&bundle, hint), lr.decode(&bundle, hint));
     });
 }
 

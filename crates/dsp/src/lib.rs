@@ -20,6 +20,9 @@
 //!   the long-range uplink (§3.4).
 //! * [`slicer`] — hysteresis thresholding (µ ± σ/2, §3.2 step 3) and
 //!   majority voting over the channel measurements of one bit.
+//! * [`slotstats`] — binned slot statistics over a timestamped packet
+//!   stream: the O(packets)-build, O(slots)-query index behind the
+//!   decoders' alignment search and MRC weighting.
 //! * [`bits`] — bit/byte packing, CRC-8 framing checks and bit-error-rate
 //!   accounting used throughout the evaluation.
 //! * [`obs`] — the deterministic observability layer: stage spans in
@@ -44,6 +47,7 @@ pub mod filter;
 pub mod obs;
 pub mod rng;
 pub mod slicer;
+pub mod slotstats;
 pub mod stats;
 pub mod testkit;
 

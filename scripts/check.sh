@@ -1,8 +1,25 @@
 #!/usr/bin/env bash
 # Full local gate: everything CI would require, in dependency order.
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--bench-smoke]
+#   --bench-smoke  additionally run the decode microbench smoke mode in
+#                  release, writing BENCH_decode.json at the repo root.
+#                  The bench exits non-zero if the slot-indexed decode
+#                  path does more packet-stream passes than the
+#                  reference baseline or if its alignment-search work
+#                  scales with the candidate count.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench-smoke) BENCH_SMOKE=1 ;;
+        *)
+            echo "usage: scripts/check.sh [--bench-smoke]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 echo "== no bare #[ignore] (every ignored test must say why) =="
 # #[ignore] without a reason string hides work with no paper trail;
@@ -42,5 +59,12 @@ cargo clippy --all-targets -- -D warnings
 
 echo "== cargo doc --no-deps (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+if [ "$BENCH_SMOKE" -eq 1 ]; then
+    echo "== decode microbench smoke (slot-index pass-count gate) =="
+    # Absolute path: cargo runs bench binaries with CWD = the package
+    # dir, and the record belongs at the repo root.
+    cargo bench -q -p bs-bench --bench decoder_micro -- --json "$PWD/BENCH_decode.json"
+fi
 
 echo "== all checks passed =="
