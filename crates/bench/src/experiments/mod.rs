@@ -9,6 +9,7 @@
 //! | [`power`] | §6 power/harvesting claims |
 //! | [`ablation`] | design-choice ablations (combining, hysteresis, artifacts, conditioning) |
 //! | [`faults`] | fault-injection sweep: degradation with mitigations off vs on |
+//! | [`net`] | transport sweep: goodput vs loss severity × ARQ window over `bs-net` |
 //! | [`obs`] | stage profiling: per-stage spans/counters from armed-recorder runs |
 
 pub mod ablation;
@@ -16,6 +17,7 @@ pub mod ambient;
 pub mod coexistence;
 pub mod downlink;
 pub mod faults;
+pub mod net;
 pub mod obs;
 pub mod power;
 pub mod uplink;

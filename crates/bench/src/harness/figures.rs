@@ -16,7 +16,9 @@ use wifi_backscatter::link::Measurement;
 
 use super::record::{JobOutput, RunRecord};
 use super::scheduler::Job;
-use crate::experiments::{ablation, ambient, coexistence, downlink, faults, obs, power, uplink};
+use crate::experiments::{
+    ablation, ambient, coexistence, downlink, faults, net, obs, power, uplink,
+};
 
 /// How much work each figure does — the knobs the old `all`/`quick`
 /// modes tuned, now a first-class value so tests can shrink it further.
@@ -62,7 +64,7 @@ impl Effort {
 /// Every figure id the harness knows, in canonical output order.
 pub const ALL_FIGURES: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults", "obs",
+    "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults", "obs", "net",
 ];
 
 /// Lines computed from a section's finished records (Fig. 19's impact
@@ -150,6 +152,7 @@ pub fn plan(figs: &[String], effort: &Effort, seed: u64) -> Result<Plan, String>
             "ablation" => ablation_section(&mut p, seed, effort),
             "faults" => faults_section(&mut p, seed, effort),
             "obs" => obs_section(&mut p, seed, effort),
+            "net" => net_section(&mut p, seed, effort),
             other => {
                 return Err(format!(
                     "unknown figure '{other}' (known: {})",
@@ -746,6 +749,38 @@ fn obs_section(p: &mut Plan, seed: u64, e: &Effort) {
                 ..JobOutput::default()
             }
         });
+    }
+}
+
+fn net_section(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "net",
+        vec![
+            "# === net: 1 KiB transfer goodput vs loss severity × ARQ window ===".into(),
+            "# severity  window  goodput_bps  complete_runs  retx  dup_segments".into(),
+        ],
+    );
+    let runs = e.runs.min(3);
+    for severity in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        for window in [1usize, 4, 8, 16] {
+            p.job(s, format!("s={severity:.2} w={window}"), seed, move || {
+                let pt = net::net_point(severity, window, runs, seed);
+                JobOutput {
+                    lines: vec![format!(
+                        "{severity:.2}  {window:>2}  {:9.1}  {}  {}  {}",
+                        pt.goodput_bps, pt.complete_runs, pt.retransmissions, pt.duplicate_segments
+                    )],
+                    metrics: vec![
+                        ("goodput_bps".into(), pt.goodput_bps),
+                        ("complete_runs".into(), pt.complete_runs as f64),
+                        ("retransmissions".into(), pt.retransmissions as f64),
+                    ],
+                    work_items: runs * net::MESSAGE_BYTES as u64,
+                    degradation: Some(pt.report.to_json()),
+                    ..JobOutput::default()
+                }
+            });
+        }
     }
 }
 

@@ -8,7 +8,9 @@
 //! faulted runs: fault streams derive from the plan seed alone) and the
 //! armed-recorder `obs` figure (the contract extends to observability:
 //! spans are simulated time, counters are discrete work, so the `"obs"`
-//! JSON must be byte-identical under any `--jobs`), at a reduced effort
+//! JSON must be byte-identical under any `--jobs`) and the `net`
+//! transport sweep (per-run seeds derive from point coordinates alone,
+//! so whole ARQ transfers reproduce under any worker count), at a reduced effort
 //! (1 run per point, 1 kbit per downlink point, fig10's
 //! 30-packets-per-bit jobs and the half-severity fault cells dropped) so
 //! the test stays fast in the debug profile; the
@@ -36,6 +38,7 @@ fn build() -> (Vec<bs_bench::harness::Section>, Vec<bs_bench::harness::Job>) {
         "fig17".to_string(),
         "faults".to_string(),
         "obs".to_string(),
+        "net".to_string(),
     ];
     let p = plan(&figs, &test_effort(), 7).expect("known figures");
     let mut jobs = p.jobs;
@@ -70,10 +73,19 @@ fn parallel_run_is_byte_identical_to_serial() {
     assert!(table_serial.contains("# === Fig 10a: CSI"));
     assert!(table_serial.contains("# === Fig 17"));
     assert!(table_serial.contains("# === Fault injection"));
+    assert!(table_serial.contains("# === net: 1 KiB transfer goodput"));
 
-    // Fault-enabled records carry identical degradation reports too.
+    // Fault-enabled records carry identical degradation reports too
+    // (the `net` transport sweep splices its aggregated report the same
+    // way the fault figure does, so it is covered by the loop below).
     let faulted: Vec<_> = serial.iter().filter(|r| r.fig == "faults").collect();
     assert!(!faulted.is_empty(), "no fault jobs ran");
+    let net_jobs: Vec<_> = serial.iter().filter(|r| r.fig == "net").collect();
+    assert!(!net_jobs.is_empty(), "no net jobs ran");
+    assert!(
+        net_jobs.iter().all(|r| r.degradation.is_some()),
+        "net record without a degradation report"
+    );
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(s.degradation, p.degradation, "degradation diverged at {}", s.label);
     }

@@ -115,6 +115,31 @@ impl std::fmt::Display for EncodeError {
 
 impl std::error::Error for EncodeError {}
 
+/// Errors from building protocol frames (see [`crate::protocol`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The requested uplink bit rate is not one of
+    /// [`crate::protocol::SUPPORTED_RATES_BPS`], so it has no wire
+    /// encoding. Transports probing rates must handle this instead of
+    /// crashing the reader.
+    UnsupportedRate {
+        /// The offending rate (bits/s).
+        bps: u64,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::UnsupportedRate { bps } => {
+                write!(f, "bit rate {bps} bps has no wire encoding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
 /// The crate-wide error type: every fallible public API converts into it
 /// via `?`.
 ///
@@ -129,6 +154,8 @@ pub enum Error {
     Session(SessionError),
     /// Downlink encoding failed.
     Encode(EncodeError),
+    /// Protocol frame construction failed.
+    Protocol(ProtocolError),
 }
 
 impl std::fmt::Display for Error {
@@ -137,6 +164,7 @@ impl std::fmt::Display for Error {
             Error::Trace(e) => write!(f, "trace: {e}"),
             Error::Session(e) => write!(f, "session: {e}"),
             Error::Encode(e) => write!(f, "encode: {e}"),
+            Error::Protocol(e) => write!(f, "protocol: {e}"),
         }
     }
 }
@@ -147,6 +175,7 @@ impl std::error::Error for Error {
             Error::Trace(e) => Some(e),
             Error::Session(e) => Some(e),
             Error::Encode(e) => Some(e),
+            Error::Protocol(e) => Some(e),
         }
     }
 }
@@ -169,6 +198,12 @@ impl From<EncodeError> for Error {
     }
 }
 
+impl From<ProtocolError> for Error {
+    fn from(e: ProtocolError) -> Self {
+        Error::Protocol(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +220,16 @@ mod tests {
         }
         .into();
         assert!(matches!(e, Error::Encode(_)));
+        let p: Error = ProtocolError::UnsupportedRate { bps: 123 }.into();
+        assert!(matches!(p, Error::Protocol(_)));
+    }
+
+    #[test]
+    fn protocol_error_display_names_the_rate() {
+        let e = Error::from(ProtocolError::UnsupportedRate { bps: 123 });
+        let s = e.to_string();
+        assert!(s.starts_with("protocol:"), "{s}");
+        assert!(s.contains("123"), "{s}");
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub enum SlotOutcome {
 }
 
 /// Result of an inventory run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InventoryResult {
     /// Addresses identified, in discovery order.
     pub identified: Vec<u8>,

@@ -16,7 +16,7 @@
 //! and must update the manifest (and the golden fixture) in the same
 //! commit.
 
-pub use crate::error::{EncodeError, Error, SessionError, TraceError};
+pub use crate::error::{EncodeError, Error, ProtocolError, SessionError, TraceError};
 pub use crate::link::{
     capture_uplink, capture_uplink_with, run_downlink_ber, run_downlink_ber_observed,
     run_downlink_ber_with, run_downlink_frame, run_downlink_frame_with,
@@ -28,7 +28,9 @@ pub use crate::longrange::{LongRangeConfig, LongRangeDecoder, LongRangeOutput};
 pub use crate::multitag::{
     run_inventory, run_inventory_with, InventoryConfig, InventoryResult, InventoryTag,
 };
-pub use crate::protocol::{select_bit_rate, Ack, Query, RetryPolicy, SUPPORTED_RATES_BPS};
+pub use crate::protocol::{
+    select_bit_rate, Ack, Query, RetryPolicy, WindowAck, SUPPORTED_RATES_BPS,
+};
 pub use crate::report::RunReport;
 pub use crate::series::SeriesBundle;
 pub use crate::session::{QueryOutcome, Reader, ReaderConfig};
@@ -69,6 +71,7 @@ pub const PRELUDE_MANIFEST: &[&str] = &[
     "MitigationPolicy",
     "NullRecorder",
     "ObsReport",
+    "ProtocolError",
     "Query",
     "QueryOutcome",
     "Reader",
@@ -87,6 +90,7 @@ pub const PRELUDE_MANIFEST: &[&str] = &[
     "UplinkDecoderConfig",
     "UplinkFrame",
     "UplinkRun",
+    "WindowAck",
     "capture_uplink",
     "capture_uplink_with",
     "run_downlink_ber",

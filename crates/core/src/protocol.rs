@@ -8,6 +8,7 @@
 //! by a conservative margin so that bursty traffic rarely starves a bit of
 //! channel measurements (§5).
 
+use crate::error::{Error, ProtocolError};
 use bs_tag::frame::DownlinkFrame;
 
 /// The uplink bit rates the prototype supports (§7.2 evaluates exactly
@@ -20,6 +21,7 @@ pub const SUPPORTED_RATES_BPS: [u64; 4] = [100, 200, 500, 1000];
 enum Opcode {
     Query = 0x01,
     Ack = 0x02,
+    WindowAck = 0x03,
 }
 
 /// A query from the reader to a tag.
@@ -38,12 +40,20 @@ pub struct Query {
 
 impl Query {
     /// Serialises into a downlink frame payload.
-    pub fn to_frame(&self) -> DownlinkFrame {
+    ///
+    /// Fails with [`ProtocolError::UnsupportedRate`] (wrapped in the
+    /// unified [`Error`]) when `bit_rate_bps` is not one of
+    /// [`SUPPORTED_RATES_BPS`]: the wire format only has indices for
+    /// those four rates, and a transport probing rates must see an error,
+    /// not a reader crash.
+    pub fn to_frame(&self) -> Result<DownlinkFrame, Error> {
         let rate_idx = SUPPORTED_RATES_BPS
             .iter()
             .position(|&r| r == self.bit_rate_bps)
-            .expect("unsupported bit rate") as u8;
-        DownlinkFrame::new(vec![
+            .ok_or(ProtocolError::UnsupportedRate {
+                bps: self.bit_rate_bps,
+            })? as u8;
+        Ok(DownlinkFrame::new(vec![
             Opcode::Query as u8,
             self.tag_address,
             (self.payload_bits >> 8) as u8,
@@ -51,7 +61,7 @@ impl Query {
             rate_idx,
             (self.code_length >> 8) as u8,
             (self.code_length & 0xFF) as u8,
-        ])
+        ]))
     }
 
     /// Parses a query from a downlink frame; `None` if the frame is not a
@@ -101,6 +111,73 @@ impl Ack {
             return None;
         }
         Some(Ack { tag_address: p[1] })
+    }
+}
+
+/// A sliding-window ACK for the `bs-net` transport: cumulative sequence
+/// acknowledgement plus a 32-bit selective-ACK bitmap, carried on the
+/// downlink exactly like [`Ack`] but under its own opcode so the two
+/// never cross-parse.
+///
+/// Semantics follow TCP SACK: every segment with `seq < cumulative` is
+/// acknowledged, and bit `i` of `sack` (LSB first) acknowledges segment
+/// `cumulative + 1 + i` — out-of-order receipts the receiver is holding
+/// while the window head is still missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowAck {
+    /// Address of the tag whose segments are being acknowledged.
+    pub tag_address: u8,
+    /// Message the acknowledgement refers to (wraps at 256 messages).
+    pub msg_id: u8,
+    /// All segments with sequence number `< cumulative` are acknowledged.
+    pub cumulative: u16,
+    /// Bit `i` (LSB first) acknowledges segment `cumulative + 1 + i`.
+    pub sack: u32,
+}
+
+impl WindowAck {
+    /// Serialises into a downlink frame (9 payload bytes; infallible —
+    /// every field value has a wire encoding).
+    pub fn to_frame(&self) -> DownlinkFrame {
+        DownlinkFrame::new(vec![
+            Opcode::WindowAck as u8,
+            self.tag_address,
+            self.msg_id,
+            (self.cumulative >> 8) as u8,
+            (self.cumulative & 0xFF) as u8,
+            (self.sack >> 24) as u8,
+            (self.sack >> 16) as u8,
+            (self.sack >> 8) as u8,
+            (self.sack & 0xFF) as u8,
+        ])
+    }
+
+    /// Parses a window ACK; `None` if the frame is not a well-formed
+    /// window ACK.
+    pub fn from_frame(frame: &DownlinkFrame) -> Option<WindowAck> {
+        let p = &frame.payload;
+        if p.len() != 9 || p[0] != Opcode::WindowAck as u8 {
+            return None;
+        }
+        Some(WindowAck {
+            tag_address: p[1],
+            msg_id: p[2],
+            cumulative: (u16::from(p[3]) << 8) | u16::from(p[4]),
+            sack: (u32::from(p[5]) << 24)
+                | (u32::from(p[6]) << 16)
+                | (u32::from(p[7]) << 8)
+                | u32::from(p[8]),
+        })
+    }
+
+    /// True if this ACK acknowledges segment `seq`, either cumulatively
+    /// or through the selective bitmap.
+    pub fn acks(&self, seq: u16) -> bool {
+        if seq < self.cumulative {
+            return true;
+        }
+        let offset = u32::from(seq) - u32::from(self.cumulative);
+        (1..=32).contains(&offset) && (self.sack >> (offset - 1)) & 1 == 1
     }
 }
 
@@ -212,7 +289,7 @@ mod tests {
             bit_rate_bps: 500,
             code_length: 1,
         };
-        let f = q.to_frame();
+        let f = q.to_frame().unwrap();
         assert_eq!(Query::from_frame(&f), Some(q));
     }
 
@@ -224,7 +301,7 @@ mod tests {
             bit_rate_bps: 100,
             code_length: 150,
         };
-        let f = q.to_frame();
+        let f = q.to_frame().unwrap();
         let back = Query::from_frame(&f).unwrap();
         assert!(back.is_coded());
         assert_eq!(back.code_length, 150);
@@ -241,7 +318,8 @@ mod tests {
             bit_rate_bps: 100,
             code_length: 1,
         }
-        .to_frame();
+        .to_frame()
+        .unwrap();
         f.payload[4] = 9;
         assert_eq!(Query::from_frame(&f), None);
         // Zero code length.
@@ -251,22 +329,43 @@ mod tests {
             bit_rate_bps: 100,
             code_length: 1,
         }
-        .to_frame();
+        .to_frame()
+        .unwrap();
         g.payload[5] = 0;
         g.payload[6] = 0;
         assert_eq!(Query::from_frame(&g), None);
     }
 
+    /// Regression: an unsupported rate used to panic the reader via
+    /// `expect("unsupported bit rate")`; it now surfaces through the
+    /// unified error type so transports can probe rates safely.
     #[test]
-    #[should_panic(expected = "unsupported")]
-    fn query_unsupported_rate_panics() {
-        Query {
-            tag_address: 0,
-            payload_bits: 8,
-            bit_rate_bps: 123,
-            code_length: 1,
+    fn query_unsupported_rate_is_an_error_not_a_panic() {
+        for bps in [0, 99, 123, 999, 1001, u64::MAX] {
+            let q = Query {
+                tag_address: 0,
+                payload_bits: 8,
+                bit_rate_bps: bps,
+                code_length: 1,
+            };
+            match q.to_frame() {
+                Err(Error::Protocol(ProtocolError::UnsupportedRate { bps: got })) => {
+                    assert_eq!(got, bps);
+                }
+                other => panic!("expected UnsupportedRate for {bps} bps, got {other:?}"),
+            }
         }
-        .to_frame();
+        // Every supported rate still encodes.
+        for bps in SUPPORTED_RATES_BPS {
+            assert!(Query {
+                tag_address: 0,
+                payload_bits: 8,
+                bit_rate_bps: bps,
+                code_length: 1,
+            }
+            .to_frame()
+            .is_ok());
+        }
     }
 
     #[test]
@@ -274,6 +373,72 @@ mod tests {
         let a = Ack { tag_address: 7 };
         assert_eq!(Ack::from_frame(&a.to_frame()), Some(a));
         assert_eq!(Ack::from_frame(&DownlinkFrame::new(vec![0x01, 0x02])), None);
+    }
+
+    #[test]
+    fn window_ack_roundtrip() {
+        let w = WindowAck {
+            tag_address: 9,
+            msg_id: 200,
+            cumulative: 0x1234,
+            sack: 0xDEAD_BEEF,
+        };
+        assert_eq!(WindowAck::from_frame(&w.to_frame()), Some(w));
+    }
+
+    #[test]
+    fn window_ack_rejects_garbage_and_other_opcodes() {
+        assert_eq!(WindowAck::from_frame(&DownlinkFrame::new(vec![0x03])), None);
+        let q = Query {
+            tag_address: 1,
+            payload_bits: 8,
+            bit_rate_bps: 100,
+            code_length: 1,
+        }
+        .to_frame()
+        .unwrap();
+        assert_eq!(WindowAck::from_frame(&q), None);
+        let a = Ack { tag_address: 1 }.to_frame();
+        assert_eq!(WindowAck::from_frame(&a), None);
+        // And the reverse: a window ACK parses as neither Query nor Ack.
+        let w = WindowAck {
+            tag_address: 1,
+            msg_id: 0,
+            cumulative: 0,
+            sack: 0,
+        }
+        .to_frame();
+        assert_eq!(Query::from_frame(&w), None);
+        assert_eq!(Ack::from_frame(&w), None);
+    }
+
+    #[test]
+    fn window_ack_sack_semantics() {
+        let w = WindowAck {
+            tag_address: 0,
+            msg_id: 0,
+            cumulative: 5,
+            sack: 0b101, // acks seqs 6 and 8
+        };
+        for seq in 0..5 {
+            assert!(w.acks(seq), "cumulative should cover {seq}");
+        }
+        assert!(!w.acks(5), "the window head is by definition unacked");
+        assert!(w.acks(6));
+        assert!(!w.acks(7));
+        assert!(w.acks(8));
+        assert!(!w.acks(9));
+        // Far beyond the bitmap: never acknowledged, never panics.
+        assert!(!w.acks(u16::MAX));
+        // Full bitmap at the top of the seq space stays in range.
+        let top = WindowAck {
+            tag_address: 0,
+            msg_id: 0,
+            cumulative: u16::MAX,
+            sack: u32::MAX,
+        };
+        assert!(top.acks(0));
+        assert!(!top.acks(u16::MAX));
     }
 
     #[test]

@@ -220,7 +220,11 @@ impl Reader {
             bit_rate_bps: bit_rate,
             code_length: 1,
         };
-        let query_frame = query.to_frame();
+        // Infallible here: `select_bit_rate` only returns rates from
+        // `SUPPORTED_RATES_BPS`, all of which encode.
+        let query_frame = query
+            .to_frame()
+            .expect("select_bit_rate returns only supported rates");
         let query_air_us =
             query_frame.to_bits().len() as u64 * 1_000_000 / self.cfg.downlink_bps.max(1);
         let mut query_attempts = 0;

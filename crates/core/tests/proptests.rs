@@ -144,7 +144,7 @@ fn query_roundtrip() {
             bit_rate_bps: SUPPORTED_RATES_BPS[g.usize_in(0, 4)],
             code_length: g.usize_in(1, 512) as u16,
         };
-        assert_eq!(Query::from_frame(&q.to_frame()), Some(q));
+        assert_eq!(Query::from_frame(&q.to_frame().unwrap()), Some(q));
     });
 }
 
@@ -293,5 +293,123 @@ fn inventory_is_complete_and_sound() {
         ids.dedup();
         assert_eq!(ids.len(), n, "duplicates reported");
         assert!(r.identified.iter().all(|a| (*a as usize) < n), "ghost tag");
+    });
+}
+
+/// Acks and window ACKs round-trip for any field values, and each
+/// parser rejects the other's frames.
+#[test]
+fn ack_and_window_ack_roundtrip() {
+    use wifi_backscatter::protocol::{Ack, WindowAck};
+    check("ack-window-ack-roundtrip", 256, |g| {
+        let ack = Ack { tag_address: g.u8() };
+        let wa = WindowAck {
+            tag_address: g.u8(),
+            msg_id: g.u8(),
+            cumulative: ((u16::from(g.u8())) << 8) | u16::from(g.u8()),
+            sack: u32::from_be_bytes([g.u8(), g.u8(), g.u8(), g.u8()]),
+        };
+        let ack_frame = ack.to_frame();
+        let wa_frame = wa.to_frame();
+        assert_eq!(Ack::from_frame(&ack_frame), Some(ack));
+        assert_eq!(WindowAck::from_frame(&wa_frame), Some(wa));
+
+        // Cross-parsing must fail on the opcode, not mis-decode.
+        assert_eq!(Ack::from_frame(&wa_frame), None);
+        assert_eq!(WindowAck::from_frame(&ack_frame), None);
+    });
+}
+
+/// `Query::to_frame` is total: every bit rate yields `Ok` or the
+/// `UnsupportedRate` error — never a panic.
+#[test]
+fn query_to_frame_is_total_over_rates() {
+    use wifi_backscatter::error::{Error, ProtocolError};
+    check("query-to-frame-total", 256, |g| {
+        let bps = u64::from_be_bytes([
+            g.u8(), g.u8(), g.u8(), g.u8(), g.u8(), g.u8(), g.u8(), g.u8(),
+        ]);
+        let q = Query {
+            tag_address: g.u8(),
+            payload_bits: g.usize_in(1, 1024) as u16,
+            bit_rate_bps: bps,
+            code_length: g.usize_in(1, 512) as u16,
+        };
+        match q.to_frame() {
+            Ok(f) => {
+                assert!(SUPPORTED_RATES_BPS.contains(&bps));
+                assert_eq!(Query::from_frame(&f), Some(q));
+            }
+            Err(Error::Protocol(ProtocolError::UnsupportedRate { bps: got })) => {
+                assert_eq!(got, bps);
+                assert!(!SUPPORTED_RATES_BPS.contains(&bps));
+            }
+            Err(other) => panic!("unexpected error variant: {other}"),
+        }
+    });
+}
+
+/// Every protocol parser is total over arbitrary frame payloads and
+/// bit-flipped/truncated frame bodies — garbage in, `None`/`Err` out,
+/// never a panic.
+#[test]
+fn protocol_parsers_never_panic_on_corrupt_frames() {
+    use bs_tag::frame::DownlinkFrame;
+    use wifi_backscatter::protocol::{Ack, WindowAck};
+    check("protocol-parsers-total", 512, |g| {
+        // Arbitrary payload bytes wrapped in a well-formed frame.
+        let f = DownlinkFrame::new(g.vec_u8(0, 16));
+        let _ = Query::from_frame(&f);
+        let _ = Ack::from_frame(&f);
+        let _ = WindowAck::from_frame(&f);
+
+        // A real frame's body bits, truncated and bit-flipped.
+        let q = Query {
+            tag_address: g.u8(),
+            payload_bits: g.usize_in(1, 1024) as u16,
+            bit_rate_bps: SUPPORTED_RATES_BPS[g.usize_in(0, SUPPORTED_RATES_BPS.len())],
+            code_length: g.usize_in(1, 512) as u16,
+        };
+        let bits = q.to_frame().unwrap().to_bits();
+        let body = &bits[16..]; // receiver strips the preamble
+        let cut = g.usize_in(0, body.len() + 1);
+        let _ = DownlinkFrame::from_body_bits(&body[..cut]);
+        let mut flipped = body.to_vec();
+        let i = g.usize_in(0, flipped.len());
+        flipped[i] = !flipped[i];
+        if let Ok(frame) = DownlinkFrame::from_body_bits(&flipped) {
+            let _ = Query::from_frame(&frame);
+            let _ = Ack::from_frame(&frame);
+            let _ = WindowAck::from_frame(&frame);
+        }
+    });
+}
+
+/// Segment headers round-trip for arbitrary fields; truncations and
+/// single-bit flips are always rejected without panicking.
+#[test]
+fn segment_header_roundtrip_and_corruption() {
+    use bs_net::prelude::Segment;
+    check("segment-roundtrip-fuzz", 256, |g| {
+        let total = g.usize_in(1, 600) as u16;
+        let seg = Segment {
+            msg_id: g.u8(),
+            seq: g.usize_in(0, total as usize) as u16,
+            total,
+            payload: g.vec_u8(0, 32),
+        };
+        assert_eq!(Segment::from_bytes(&seg.to_bytes()), Ok(seg.clone()));
+        assert_eq!(Segment::from_bits(&seg.to_bits()), Ok(seg.clone()));
+
+        let bits = seg.to_bits();
+        let cut = g.usize_in(0, bits.len());
+        assert!(Segment::from_bits(&bits[..cut]).is_err());
+        let mut flipped = bits;
+        let i = g.usize_in(0, flipped.len());
+        flipped[i] = !flipped[i];
+        assert!(Segment::from_bits(&flipped).is_err(), "flip at {i} accepted");
+
+        // Arbitrary byte soup never panics either.
+        let _ = Segment::from_bytes(&g.vec_u8(0, 64));
     });
 }

@@ -1,0 +1,568 @@
+//! The sliding-window ARQ transport.
+//!
+//! One transfer moves an arbitrary byte message across the lossy
+//! backscatter link in *rounds*. Each round the reader (which drives
+//! everything — the tag is passive between polls):
+//!
+//! 1. transmits a poll — a [`Query`] whose `payload_bits` grants the tag
+//!    an uplink burst of up to `window` unacknowledged segments;
+//! 2. the tag backscatters those segments, oldest-unacked first;
+//! 3. the reader feeds whatever decoded into its [`Reassembler`] and
+//!    answers with a [`WindowAck`] carrying the cumulative sequence
+//!    number plus a 32-bit selective-ACK bitmap.
+//!
+//! A lost poll wastes the round; a lost ACK makes the tag retransmit
+//! segments the reader already holds (counted as duplicates). Rounds
+//! that make no progress back off exponentially through the existing
+//! [`RetryPolicy`], with a seeded ±jitter so paired runs stay
+//! deterministic, and the policy's budget bounds the whole transfer.
+//!
+//! Stop-and-wait is the `window = 1` special case: every segment then
+//! pays the full poll + ACK control overhead, which is exactly the gap
+//! the `net` bench figure measures against `window ≥ 4`.
+
+use crate::linkmodel::{SegmentFate, SegmentLink};
+use crate::seg::{segment_message, Reassembler, Segment};
+use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder};
+use bs_dsp::SimRng;
+use wifi_backscatter::link::DegradationReport;
+use wifi_backscatter::protocol::{Query, RetryPolicy, WindowAck, SUPPORTED_RATES_BPS};
+use wifi_backscatter::report::RunReport;
+
+/// Transport knobs for one transfer.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Address of the tag holding the message.
+    pub tag_address: u8,
+    /// Message identifier carried by every segment and ACK.
+    pub msg_id: u8,
+    /// Segments in flight per round; 1 = stop-and-wait.
+    pub window: usize,
+    /// Payload bytes per segment (1..=255).
+    pub seg_payload_bytes: usize,
+    /// Backoff and budget for no-progress rounds.
+    pub retry: RetryPolicy,
+    /// Hard cap on rounds, a backstop under pathological loss.
+    pub max_rounds: u32,
+    /// ± fractional jitter on each backoff, drawn from the seeded
+    /// timeout stream (0 = none).
+    pub timeout_jitter: f64,
+    /// Seed for the transport's own randomness (timeout jitter); kept
+    /// separate from link and fault seeds.
+    pub seed: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            tag_address: 1,
+            msg_id: 0,
+            window: 8,
+            seg_payload_bytes: 16,
+            retry: RetryPolicy::default(),
+            max_rounds: 4_096,
+            timeout_jitter: 0.25,
+            seed: 1,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Sets the window (builder style).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Sets the per-segment payload size (builder style).
+    pub fn with_seg_payload_bytes(mut self, bytes: usize) -> Self {
+        self.seg_payload_bytes = bytes.clamp(1, 255);
+        self
+    }
+
+    /// Sets the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the transport seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What one ARQ round accomplished — the unit the gateway scheduler
+/// charges against a tag's deficit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Payload bytes put on the air this round (sent, not acked).
+    pub sent_bytes: u64,
+    /// Payload bytes newly acknowledged by this round's ACK.
+    pub acked_bytes: u64,
+    /// Segments retransmitted this round.
+    pub retransmissions: u64,
+    /// Simulated airtime this round consumed, backoff included (µs).
+    pub airtime_us: u64,
+    /// True when the receiver now holds the whole message.
+    pub complete: bool,
+}
+
+/// The completed-transfer report: what arrived, what it cost, what
+/// degraded. Implements [`RunReport`] so harness tooling reads it like
+/// any other run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transfer {
+    /// The reassembled message; `None` if the transfer gave up.
+    pub delivered: Option<Vec<u8>>,
+    /// Bytes the sender offered.
+    pub message_bytes: u64,
+    /// Unique payload bytes that reached the receiver.
+    pub delivered_bytes: u64,
+    /// Segments the message was split into.
+    pub segments_total: u16,
+    /// True when `delivered` holds the complete message.
+    pub complete: bool,
+    /// Rounds the transfer ran.
+    pub rounds: u32,
+    /// Polls transmitted (= rounds; kept separate for clarity).
+    pub polls_sent: u64,
+    /// Segment transmissions, first attempts included.
+    pub segments_sent: u64,
+    /// Segment transmissions beyond each segment's first.
+    pub retransmissions: u64,
+    /// ACKs that repeated the previous round's state verbatim.
+    pub duplicate_acks: u64,
+    /// Duplicate segment arrivals the receiver dropped.
+    pub duplicate_segments: u64,
+    /// Rounds that ended head-of-line blocked.
+    pub hol_stalls: u64,
+    /// Total simulated time, airtime + backoff (µs).
+    pub airtime_us: u64,
+    /// Faults fired and mitigations engaged, link-reported.
+    pub degradation: DegradationReport,
+    /// Observability report, populated only by the `*_observed` entry
+    /// point.
+    pub obs: Option<ObsReport>,
+}
+
+impl Transfer {
+    /// Delivered-message bits per second of simulated time; 0 until
+    /// anything both arrived and time passed.
+    pub fn goodput_bps(&self) -> f64 {
+        if self.airtime_us == 0 || !self.complete {
+            return 0.0;
+        }
+        self.message_bytes as f64 * 8.0 / (self.airtime_us as f64 / 1e6)
+    }
+}
+
+impl RunReport for Transfer {
+    fn bits(&self) -> u64 {
+        self.message_bytes * 8
+    }
+
+    fn bit_errors(&self) -> u64 {
+        (self.message_bytes - self.delivered_bytes.min(self.message_bytes)) * 8
+    }
+
+    fn degradation(&self) -> &DegradationReport {
+        &self.degradation
+    }
+
+    fn obs(&self) -> Option<&ObsReport> {
+        self.obs.as_ref()
+    }
+}
+
+/// The closest wire-encodable rate to an arbitrary chip rate — the
+/// transport's safe path around [`Query::to_frame`]'s
+/// `UnsupportedRate` error when rate adaptation lands between the four
+/// §7.2 operating points.
+pub fn nearest_supported_rate(bps: u64) -> u64 {
+    *SUPPORTED_RATES_BPS
+        .iter()
+        .min_by_key(|&&r| r.abs_diff(bps))
+        .expect("rate table is non-empty")
+}
+
+/// Sender + receiver state of one in-progress transfer. The gateway
+/// steps many of these against one shared clock; [`run_transfer`] is the
+/// single-tag convenience loop.
+#[derive(Debug, Clone)]
+pub struct TransportSession {
+    cfg: TransportConfig,
+    message: Vec<u8>,
+    segments: Vec<Segment>,
+    seg_bits: Vec<Vec<bool>>,
+    sent_once: Vec<bool>,
+    acked: Vec<bool>,
+    rx: Reassembler,
+    rng: SimRng,
+    failed_rounds: u32,
+    started_us: Option<u64>,
+    waited_us: u64,
+    rounds: u32,
+    polls_sent: u64,
+    segments_sent: u64,
+    retransmissions: u64,
+    duplicate_acks: u64,
+    hol_stalls: u64,
+    last_ack: Option<(u16, u32)>,
+}
+
+impl TransportSession {
+    /// Prepares a transfer of `message` under `cfg`.
+    pub fn new(message: &[u8], cfg: TransportConfig) -> Self {
+        let segments = segment_message(cfg.msg_id, message, cfg.seg_payload_bytes);
+        let total = segments.len() as u16;
+        let seg_bits = segments.iter().map(Segment::to_bits).collect();
+        let rng = SimRng::new(cfg.seed).stream("net-timeout");
+        TransportSession {
+            rx: Reassembler::new(cfg.msg_id, total),
+            sent_once: vec![false; segments.len()],
+            acked: vec![false; segments.len()],
+            message: message.to_vec(),
+            segments,
+            seg_bits,
+            rng,
+            cfg,
+            failed_rounds: 0,
+            started_us: None,
+            waited_us: 0,
+            rounds: 0,
+            polls_sent: 0,
+            segments_sent: 0,
+            retransmissions: 0,
+            duplicate_acks: 0,
+            hol_stalls: 0,
+            last_ack: None,
+        }
+    }
+
+    /// True once the receiver holds every segment.
+    pub fn complete(&self) -> bool {
+        self.rx.complete()
+    }
+
+    /// Rounds run so far.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// True while the transfer may run another round: incomplete, under
+    /// the round cap, within the retry budget.
+    pub fn can_continue(&self) -> bool {
+        !self.complete()
+            && self.rounds < self.cfg.max_rounds
+            && self.cfg.retry.within_budget(self.waited_us)
+    }
+
+    /// Payload bytes the next round would put on the air — what the
+    /// gateway charges against a tag's deficit before serving it.
+    pub fn next_round_bytes(&self) -> u64 {
+        self.unacked_window()
+            .iter()
+            .map(|&i| self.segments[i].payload.len() as u64)
+            .sum::<u64>()
+            .max(1)
+    }
+
+    fn unacked_window(&self) -> Vec<usize> {
+        (0..self.segments.len())
+            .filter(|&i| !self.acked[i])
+            .take(self.cfg.window.max(1))
+            .collect()
+    }
+
+    /// Runs one ARQ round over `link`, recording spans and counters on
+    /// `rec`.
+    pub fn step_round(&mut self, link: &mut dyn SegmentLink, rec: &mut dyn Recorder) -> RoundOutcome {
+        if self.started_us.is_none() {
+            self.started_us = Some(link.now_us());
+            // The segmentation span: zero simulated duration (it is
+            // reader-side computation), items = segments produced.
+            let t = link.now_us();
+            rec.span("net.segment", t, t, self.segments.len() as u64);
+        }
+        let round_start = link.now_us();
+        self.rounds += 1;
+
+        // Seeded-deterministic timeout: exponential backoff with ±jitter
+        // before every no-progress retry round.
+        if self.failed_rounds > 0 {
+            let base = self.cfg.retry.backoff_us(self.failed_rounds) as f64;
+            let jitter = 1.0 + self.cfg.timeout_jitter * (2.0 * self.rng.uniform() - 1.0);
+            let wait = (base * jitter.max(0.0)) as u64;
+            link.advance_us(wait);
+        }
+
+        // Poll: grant the tag a burst of up to `window` unacked segments.
+        let window = self.unacked_window();
+        let burst_bits: u64 = window.iter().map(|&i| self.seg_bits[i].len() as u64).sum();
+        let rate = nearest_supported_rate(link.chip_rate_bps());
+        let poll = Query {
+            tag_address: self.cfg.tag_address,
+            payload_bits: burst_bits.min(u16::MAX as u64) as u16,
+            bit_rate_bps: rate,
+            code_length: 1,
+        };
+        let poll_frame = poll
+            .to_frame()
+            .expect("nearest_supported_rate returns encodable rates");
+        self.polls_sent += 1;
+        rec.add("net.polls", 1);
+        let poll_heard = link.send_control(&poll_frame, rec);
+
+        let mut sent_bytes = 0u64;
+        let mut retx_this_round = 0u64;
+        if poll_heard {
+            // The tag's burst, oldest unacked first.
+            let burst_start = link.now_us();
+            for &i in &window {
+                self.segments_sent += 1;
+                rec.add("net.segments-sent", 1);
+                if self.sent_once[i] {
+                    self.retransmissions += 1;
+                    retx_this_round += 1;
+                    rec.add("net.retransmissions", 1);
+                } else {
+                    self.sent_once[i] = true;
+                }
+                sent_bytes += self.segments[i].payload.len() as u64;
+                match link.send_segment(&self.seg_bits[i], rec) {
+                    SegmentFate::Lost => {}
+                    SegmentFate::Delivered => {
+                        self.rx.accept(&self.segments[i]);
+                    }
+                    SegmentFate::DeliveredTwice => {
+                        self.rx.accept(&self.segments[i]);
+                        self.rx.accept(&self.segments[i]);
+                    }
+                }
+            }
+            if retx_this_round > 0 {
+                rec.span("net.retx", burst_start, link.now_us(), retx_this_round);
+            }
+        }
+
+        // The reader's acknowledgement. A repeat of the previous state is
+        // a duplicate ACK (the tag learns nothing new from it).
+        let ack = WindowAck {
+            tag_address: self.cfg.tag_address,
+            msg_id: self.cfg.msg_id,
+            cumulative: self.rx.cumulative(),
+            sack: self.rx.sack(),
+        };
+        if self.last_ack == Some((ack.cumulative, ack.sack)) {
+            self.duplicate_acks += 1;
+            rec.add("net.duplicate-acks", 1);
+        }
+        self.last_ack = Some((ack.cumulative, ack.sack));
+        let ack_heard = link.send_control(&ack.to_frame(), rec);
+
+        // The sender only learns what the ACK told it — a lost ACK means
+        // next round retransmits segments the receiver already holds.
+        let mut acked_bytes = 0u64;
+        if ack_heard {
+            for i in 0..self.segments.len() {
+                if !self.acked[i] && ack.acks(self.segments[i].seq) {
+                    self.acked[i] = true;
+                    acked_bytes += self.segments[i].payload.len() as u64;
+                }
+            }
+        }
+
+        if self.rx.head_of_line_blocked() {
+            self.hol_stalls += 1;
+            rec.add("net.hol-stalls", 1);
+        }
+        if acked_bytes > 0 || self.complete() {
+            self.failed_rounds = 0;
+        } else {
+            self.failed_rounds += 1;
+        }
+        self.waited_us += link.now_us() - round_start;
+        rec.span("net.window", round_start, link.now_us(), window.len() as u64);
+
+        RoundOutcome {
+            sent_bytes,
+            acked_bytes,
+            retransmissions: retx_this_round,
+            airtime_us: link.now_us() - round_start,
+            complete: self.complete(),
+        }
+    }
+
+    /// Closes the session into its [`Transfer`] report, draining the
+    /// link's degradation accounting.
+    pub fn finish(self, link: &mut dyn SegmentLink) -> Transfer {
+        let delivered = self.rx.assemble();
+        let complete = delivered.is_some();
+        let started = self.started_us.unwrap_or_else(|| link.now_us());
+        let mut degradation = link.take_degradation();
+        degradation.packets_duplicated += self.rx.duplicates;
+        Transfer {
+            message_bytes: self.message.len() as u64,
+            delivered_bytes: self.rx.received_bytes(),
+            segments_total: self.segments.len() as u16,
+            complete,
+            delivered,
+            rounds: self.rounds,
+            polls_sent: self.polls_sent,
+            segments_sent: self.segments_sent,
+            retransmissions: self.retransmissions,
+            duplicate_acks: self.duplicate_acks,
+            duplicate_segments: self.rx.duplicates,
+            hol_stalls: self.hol_stalls,
+            airtime_us: link.now_us() - started,
+            degradation,
+            obs: None,
+        }
+    }
+}
+
+/// Transfers `message` over `link`, running rounds until completion, the
+/// round cap, or the retry budget. Observe-enabled twin of
+/// [`run_transfer`].
+pub fn run_transfer_with(
+    message: &[u8],
+    cfg: TransportConfig,
+    link: &mut dyn SegmentLink,
+    rec: &mut dyn Recorder,
+) -> Transfer {
+    let mut session = TransportSession::new(message, cfg);
+    while session.can_continue() {
+        session.step_round(link, rec);
+    }
+    session.finish(link)
+}
+
+/// Transfers `message` over `link` with no observability overhead.
+pub fn run_transfer(message: &[u8], cfg: TransportConfig, link: &mut dyn SegmentLink) -> Transfer {
+    run_transfer_with(message, cfg, link, &mut NullRecorder)
+}
+
+/// Like [`run_transfer`] but attaches the [`ObsReport`] to the result.
+pub fn run_transfer_observed(
+    message: &[u8],
+    cfg: TransportConfig,
+    link: &mut dyn SegmentLink,
+) -> Transfer {
+    let mut rec = MemRecorder::new();
+    let mut t = run_transfer_with(message, cfg, link, &mut rec);
+    t.obs = Some(rec.into_report());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkmodel::SimLink;
+    use bs_channel::faults::FaultPlan;
+
+    fn msg(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 131 + 17) as u8).collect()
+    }
+
+    #[test]
+    fn clean_link_single_round_per_window() {
+        let mut link = SimLink::new(FaultPlan::none(), 1);
+        let t = run_transfer(&msg(64), TransportConfig::default().with_window(8), &mut link);
+        assert!(t.complete);
+        assert_eq!(t.delivered.as_deref(), Some(&msg(64)[..]));
+        assert_eq!(t.retransmissions, 0);
+        assert_eq!(t.duplicate_segments, 0);
+        assert_eq!(t.rounds, 1, "4 segments fit one window-8 round");
+        assert!(t.is_clean());
+        assert_eq!(t.ber(), 0.0);
+    }
+
+    #[test]
+    fn lossy_link_still_delivers_exactly() {
+        let plan = FaultPlan::preset("loss", 1.0, 21).unwrap();
+        let mut link = SimLink::new(plan, 4);
+        let message = msg(256);
+        let t = run_transfer(&message, TransportConfig::default(), &mut link);
+        assert!(t.complete, "30% loss must not defeat ARQ");
+        assert_eq!(t.delivered, Some(message));
+        assert!(t.retransmissions > 0, "loss must force retransmissions");
+    }
+
+    #[test]
+    fn duplication_never_leaks_into_the_message() {
+        let plan = FaultPlan::preset("dup", 1.0, 8).unwrap();
+        let mut link = SimLink::new(plan, 2);
+        let message = msg(200);
+        let t = run_transfer(&message, TransportConfig::default(), &mut link);
+        assert!(t.complete);
+        assert_eq!(t.delivered, Some(message));
+        assert!(t.duplicate_segments > 0, "the dup preset should duplicate");
+    }
+
+    #[test]
+    fn stop_and_wait_needs_at_least_one_round_per_segment() {
+        let mut link = SimLink::new(FaultPlan::none(), 1);
+        let t = run_transfer(&msg(64), TransportConfig::default().with_window(1), &mut link);
+        assert!(t.complete);
+        assert_eq!(t.rounds, 4, "one segment per stop-and-wait round");
+    }
+
+    #[test]
+    fn transfer_is_deterministic() {
+        let plan = FaultPlan::preset("loss", 0.9, 13).unwrap();
+        let run = || {
+            let mut link = SimLink::new(plan.clone(), 7);
+            run_transfer(&msg(300), TransportConfig::default(), &mut link)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn budget_bounds_a_dead_link() {
+        let plan = FaultPlan::new(3)
+            .with(bs_channel::faults::Fault::PacketLoss { prob: 1.0 })
+            .with_severity(1.0);
+        let mut link = SimLink::new(plan, 1);
+        let cfg = TransportConfig {
+            retry: RetryPolicy::default().with_budget_us(2_000_000),
+            ..TransportConfig::default()
+        };
+        let t = run_transfer(&msg(64), cfg, &mut link);
+        assert!(!t.complete);
+        assert!(t.delivered.is_none());
+        assert!(t.bit_errors() > 0, "undelivered bytes must count as errors");
+        assert!(t.rounds < 4_096, "budget should stop it well before the cap");
+    }
+
+    #[test]
+    fn observed_variant_records_spans_and_counters() {
+        let plan = FaultPlan::preset("loss", 1.0, 5).unwrap();
+        let mut link = SimLink::new(plan, 3);
+        let t = run_transfer_observed(&msg(128), TransportConfig::default(), &mut link);
+        let obs = t.obs.as_ref().expect("observed run must attach a report");
+        assert!(obs.spans_for("net.segment").count() == 1);
+        assert!(obs.spans_for("net.window").count() >= 1);
+        assert_eq!(obs.counter("net.polls"), t.polls_sent);
+        assert_eq!(obs.counter("net.segments-sent"), t.segments_sent);
+        assert_eq!(obs.counter("net.retransmissions"), t.retransmissions);
+    }
+
+    #[test]
+    fn nearest_supported_rate_snaps_sensibly() {
+        assert_eq!(nearest_supported_rate(100), 100);
+        assert_eq!(nearest_supported_rate(120), 100);
+        assert_eq!(nearest_supported_rate(160), 200);
+        assert_eq!(nearest_supported_rate(2_000), 1000);
+        assert_eq!(nearest_supported_rate(0), 100);
+        // And the snapped rate always encodes.
+        let q = Query {
+            tag_address: 0,
+            payload_bits: 1,
+            bit_rate_bps: nearest_supported_rate(123),
+            code_length: 1,
+        };
+        assert!(q.to_frame().is_ok());
+    }
+}

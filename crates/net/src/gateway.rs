@@ -1,0 +1,474 @@
+//! The gateway: N tags, one reader, fair service on simulated time.
+//!
+//! This is the "internet connectivity" topology of the paper's Figure 1:
+//! many RF-powered tags share one reader, which relays their messages.
+//! The gateway composes three existing mechanisms and one new one:
+//!
+//! 1. **Singulation** — a framed-slotted-ALOHA inventory
+//!    ([`wifi_backscatter::multitag`]) discovers which tags are present
+//!    and fixes the service order;
+//! 2. **Per-tag transport** — each discovered tag gets its own
+//!    [`TransportSession`] + [`SimLink`], so loss on one tag's channel
+//!    never corrupts another's message;
+//! 3. **Deficit round-robin** — each scheduler cycle tops up every
+//!    incomplete tag's deficit by `quantum_bytes` and serves ARQ rounds
+//!    while the deficit covers the round's payload bytes. A tag stuck
+//!    retransmitting drains its quantum like any other traffic, so it
+//!    cannot starve its neighbours (the scheduler invariant the
+//!    conformance suite pins);
+//! 4. **Per-tag rate adaptation** — after each served round the gateway
+//!    re-estimates the tag's delivered cadence and steps the chip rate
+//!    down via [`bs_wifi::rate_adapt::readapt_chip_rate`] when it has
+//!    collapsed, mirroring the reactive mitigation the single-link
+//!    session uses.
+//!
+//! All of it runs on one shared simulated clock: rounds are serialised
+//! (one reader, one medium), every per-tag link is advanced to the
+//! global clock before its round, and every random draw descends from
+//! the run seed — so a gateway run is a pure function of
+//! `(tags, config)`.
+
+use crate::arq::{Transfer, TransportConfig, TransportSession};
+use crate::linkmodel::{SegmentLink, SimLink};
+use bs_channel::faults::FaultPlan;
+use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder};
+use bs_dsp::SimRng;
+use bs_wifi::rate_adapt::readapt_chip_rate;
+use wifi_backscatter::link::DegradationReport;
+use wifi_backscatter::multitag::{run_inventory_with, InventoryConfig, InventoryResult, InventoryTag};
+use wifi_backscatter::protocol::select_bit_rate;
+use wifi_backscatter::report::RunReport;
+
+/// One tag the gateway serves.
+#[derive(Debug, Clone)]
+pub struct TagProfile {
+    /// Link-layer address (must be unique across the deployment).
+    pub address: u8,
+    /// The message this tag wants delivered.
+    pub message: Vec<u8>,
+    /// Helper packet cadence this tag's channel sees (packets/s) — the
+    /// §5 input to its initial rate selection.
+    pub helper_pps: f64,
+}
+
+impl TagProfile {
+    /// A tag at the paper's nominal cadence.
+    pub fn new(address: u8, message: Vec<u8>) -> Self {
+        TagProfile {
+            address,
+            message,
+            helper_pps: 3_000.0,
+        }
+    }
+
+    /// Overrides the helper cadence (builder style).
+    pub fn with_helper_pps(mut self, pps: f64) -> Self {
+        self.helper_pps = pps;
+        self
+    }
+}
+
+/// Gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Template transport knobs; `tag_address` and `msg_id` are
+    /// overridden per tag.
+    pub transport: TransportConfig,
+    /// Deficit round-robin quantum (payload bytes added per cycle).
+    pub quantum_bytes: u64,
+    /// Singulation parameters.
+    pub inventory: InventoryConfig,
+    /// Air-time charged per inventory slot (µs).
+    pub slot_us: u64,
+    /// Fault plan applied to every tag's link.
+    pub faults: FaultPlan,
+    /// Measurements-per-bit target used for rate selection/adaptation.
+    pub pkts_per_bit: u32,
+    /// Margin for the §5 rate selection.
+    pub rate_margin: f64,
+    /// Cap on scheduler cycles (backstop under pathological loss).
+    pub max_cycles: u32,
+    /// Master seed: inventory, per-tag links and transports all derive
+    /// from it.
+    pub seed: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            transport: TransportConfig::default(),
+            quantum_bytes: 64,
+            inventory: InventoryConfig::default(),
+            slot_us: 2_500,
+            faults: FaultPlan::none(),
+            pkts_per_bit: 5,
+            rate_margin: 0.9,
+            max_cycles: 10_000,
+            seed: 1,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Sets the fault plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the master seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the DRR quantum (builder style).
+    pub fn with_quantum_bytes(mut self, quantum: u64) -> Self {
+        self.quantum_bytes = quantum.max(1);
+        self
+    }
+}
+
+/// Per-tag outcome of a gateway run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagOutcome {
+    /// The tag's address.
+    pub address: u8,
+    /// Chip rate the tag ended on (bps; lower than it started if rate
+    /// adaptation stepped it down).
+    pub final_chip_rate_bps: u64,
+    /// Scheduler rounds this tag was served.
+    pub rounds_served: u32,
+    /// The tag's transfer report.
+    pub transfer: Transfer,
+}
+
+/// The whole gateway run: inventory, per-tag transfers, fairness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayRun {
+    /// The singulation result that fixed the service order.
+    pub inventory: InventoryResult,
+    /// Per-tag outcomes, in discovery order.
+    pub tags: Vec<TagOutcome>,
+    /// Scheduler cycles executed.
+    pub cycles: u32,
+    /// Total simulated time, inventory included (µs).
+    pub airtime_us: u64,
+    /// Jain's fairness index over per-tag delivered bytes (1 = perfectly
+    /// fair; 0 when nothing was delivered).
+    pub fairness: f64,
+    /// True when every discovered tag's message arrived completely.
+    pub all_complete: bool,
+    /// Merged degradation accounting across every tag's link.
+    pub degradation: DegradationReport,
+    /// Observability report, populated only by
+    /// [`run_gateway_observed`].
+    pub obs: Option<ObsReport>,
+}
+
+impl GatewayRun {
+    /// Total delivered-message bits per second of simulated time.
+    pub fn aggregate_goodput_bps(&self) -> f64 {
+        if self.airtime_us == 0 {
+            return 0.0;
+        }
+        let bits: u64 = self
+            .tags
+            .iter()
+            .filter(|t| t.transfer.complete)
+            .map(|t| t.transfer.message_bytes * 8)
+            .sum();
+        bits as f64 / (self.airtime_us as f64 / 1e6)
+    }
+}
+
+impl RunReport for GatewayRun {
+    fn bits(&self) -> u64 {
+        self.tags.iter().map(|t| t.transfer.bits()).sum()
+    }
+
+    fn bit_errors(&self) -> u64 {
+        self.tags.iter().map(|t| t.transfer.bit_errors()).sum()
+    }
+
+    fn degradation(&self) -> &DegradationReport {
+        &self.degradation
+    }
+
+    fn obs(&self) -> Option<&ObsReport> {
+        self.obs.as_ref()
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`, 1.0 for equal shares.
+fn jain_index(shares: &[u64]) -> f64 {
+    if shares.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = shares.iter().map(|&x| x as f64).sum();
+    let sq: f64 = shares.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    if sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (shares.len() as f64 * sq)
+}
+
+struct ServedTag {
+    profile: TagProfile,
+    session: TransportSession,
+    link: SimLink,
+    deficit: u64,
+    rounds_served: u32,
+    // Cadence estimate for rate re-adaptation: payload sent vs acked.
+    sent_bytes: u64,
+    acked_bytes: u64,
+}
+
+/// Runs the gateway over `tags`, recording scheduler spans and counters
+/// on `rec`. Observe-enabled twin of [`run_gateway`].
+pub fn run_gateway_with(
+    tags: &[TagProfile],
+    cfg: &GatewayConfig,
+    rec: &mut dyn Recorder,
+) -> GatewayRun {
+    let root = SimRng::new(cfg.seed);
+
+    // Phase 1 — singulation: discover who is out there and in what
+    // order they will be served.
+    let inv_tags: Vec<InventoryTag> = tags.iter().map(|t| InventoryTag::new(t.address)).collect();
+    let mut inv_rng = root.stream("gateway-inventory");
+    let inventory = run_inventory_with(&inv_tags, cfg.inventory, &mut inv_rng, rec);
+    let mut clock_us = inventory.slots * cfg.slot_us;
+
+    // Phase 2 — one transport session + link per discovered tag.
+    let mut served: Vec<ServedTag> = inventory
+        .identified
+        .iter()
+        .filter_map(|&addr| tags.iter().find(|t| t.address == addr))
+        .enumerate()
+        .map(|(i, profile)| {
+            let chip_rate =
+                select_bit_rate(profile.helper_pps, cfg.pkts_per_bit, cfg.rate_margin);
+            let link_seed = root.stream("gateway-link").substream(i as u64).seed();
+            let mut link = SimLink::new(cfg.faults.clone(), link_seed);
+            link.set_chip_rate_bps(chip_rate);
+            link.advance_us(clock_us);
+            let tcfg = TransportConfig {
+                tag_address: profile.address,
+                msg_id: profile.address,
+                seed: root
+                    .stream("gateway-transport")
+                    .substream(i as u64)
+                    .seed(),
+                ..cfg.transport.clone()
+            };
+            ServedTag {
+                session: TransportSession::new(&profile.message, tcfg),
+                profile: profile.clone(),
+                link,
+                deficit: 0,
+                rounds_served: 0,
+                sent_bytes: 0,
+                acked_bytes: 0,
+            }
+        })
+        .collect();
+
+    // Phase 3 — deficit round-robin on the shared clock.
+    let mut cycles = 0u32;
+    while cycles < cfg.max_cycles && served.iter().any(|t| t.session.can_continue()) {
+        cycles += 1;
+        let cycle_start = clock_us;
+        let mut serves = 0u64;
+        for tag in served.iter_mut() {
+            if !tag.session.can_continue() {
+                tag.deficit = 0; // done: a finished flow banks nothing
+                continue;
+            }
+            tag.deficit += cfg.quantum_bytes;
+            while tag.session.can_continue() && tag.deficit >= tag.session.next_round_bytes() {
+                // One reader, one medium: bring this tag's link forward
+                // to the global clock, serve a round, take the time.
+                let link_now = tag.link.now_us();
+                tag.link.advance_us(clock_us.saturating_sub(link_now));
+                let outcome = tag.session.step_round(&mut tag.link, rec);
+                clock_us = tag.link.now_us();
+                tag.deficit = tag.deficit.saturating_sub(outcome.sent_bytes);
+                tag.rounds_served += 1;
+                tag.sent_bytes += outcome.sent_bytes;
+                tag.acked_bytes += outcome.acked_bytes;
+                serves += 1;
+                rec.add("net.sched-serves", 1);
+
+                // Reactive per-tag rate adaptation: the delivery ratio
+                // scales the §5 cadence estimate; a collapse steps the
+                // chip rate down (never up — the adapter is one-way,
+                // like the session's reactive mitigation).
+                if tag.sent_bytes >= 4 * cfg.quantum_bytes {
+                    let delivery = tag.acked_bytes as f64 / tag.sent_bytes as f64;
+                    let measured_pps = tag.profile.helper_pps * delivery;
+                    if let Some(slower) = readapt_chip_rate(
+                        tag.link.chip_rate_bps(),
+                        measured_pps,
+                        f64::from(cfg.pkts_per_bit),
+                    ) {
+                        tag.link.set_chip_rate_bps(slower);
+                        rec.add("net.rate-readapts", 1);
+                    }
+                }
+            }
+        }
+        rec.add("net.sched-cycles", 1);
+        rec.span("net.sched", cycle_start, clock_us, serves);
+    }
+
+    // Phase 4 — close every session into its report.
+    let mut degradation = DegradationReport::default();
+    let outcomes: Vec<TagOutcome> = served
+        .into_iter()
+        .map(|mut tag| {
+            let final_rate = tag.link.chip_rate_bps();
+            let transfer = tag.session.finish(&mut tag.link);
+            degradation.merge(&transfer.degradation);
+            TagOutcome {
+                address: tag.profile.address,
+                final_chip_rate_bps: final_rate,
+                rounds_served: tag.rounds_served,
+                transfer,
+            }
+        })
+        .collect();
+
+    let delivered: Vec<u64> = outcomes
+        .iter()
+        .map(|t| t.transfer.delivered_bytes)
+        .collect();
+    GatewayRun {
+        all_complete: !outcomes.is_empty() && outcomes.iter().all(|t| t.transfer.complete),
+        fairness: jain_index(&delivered),
+        tags: outcomes,
+        cycles,
+        airtime_us: clock_us,
+        inventory,
+        degradation,
+        obs: None,
+    }
+}
+
+/// Runs the gateway with no observability overhead.
+pub fn run_gateway(tags: &[TagProfile], cfg: &GatewayConfig) -> GatewayRun {
+    run_gateway_with(tags, cfg, &mut NullRecorder)
+}
+
+/// Like [`run_gateway`] but attaches the [`ObsReport`] to the result.
+pub fn run_gateway_observed(tags: &[TagProfile], cfg: &GatewayConfig) -> GatewayRun {
+    let mut rec = MemRecorder::new();
+    let mut run = run_gateway_with(tags, cfg, &mut rec);
+    run.obs = Some(rec.into_report());
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize, bytes: usize) -> Vec<TagProfile> {
+        (0..n)
+            .map(|i| {
+                TagProfile::new(
+                    i as u8 + 1,
+                    (0..bytes).map(|b| ((b + i * 7) % 251) as u8).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_gateway_delivers_everything_fairly() {
+        let run = run_gateway(&fleet(4, 128), &GatewayConfig::default());
+        assert!(run.all_complete);
+        assert_eq!(run.tags.len(), 4);
+        for t in &run.tags {
+            assert!(t.transfer.complete, "tag {} incomplete", t.address);
+            assert_eq!(t.transfer.delivered_bytes, 128);
+        }
+        assert!(run.fairness > 0.99, "fairness {}", run.fairness);
+        assert!(run.is_clean());
+    }
+
+    #[test]
+    fn gateway_is_deterministic() {
+        let cfg = GatewayConfig::default()
+            .with_faults(FaultPlan::preset("loss", 0.8, 3).unwrap())
+            .with_seed(42);
+        let a = run_gateway(&fleet(3, 200), &cfg);
+        let b = run_gateway(&fleet(3, 200), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lossy_gateway_still_delivers_exact_bytes() {
+        let cfg = GatewayConfig::default()
+            .with_faults(FaultPlan::preset("loss", 1.0, 9).unwrap())
+            .with_seed(7);
+        let tags = fleet(3, 160);
+        let run = run_gateway(&tags, &cfg);
+        assert!(run.all_complete, "ARQ must push through 30% loss");
+        // `run.tags` is in discovery order — match by address.
+        for t in &run.tags {
+            let p = tags.iter().find(|p| p.address == t.address).unwrap();
+            assert_eq!(t.transfer.delivered.as_ref(), Some(&p.message));
+        }
+    }
+
+    #[test]
+    fn starved_tag_rate_readapts_downward() {
+        // A tag whose helper cadence is near the commanded rate's floor
+        // plus heavy loss → the delivery-scaled cadence collapses and
+        // the gateway steps the chip rate down.
+        let mut tags = fleet(2, 256);
+        tags[0].helper_pps = 600.0; // selects 100 bps at ppb 5, margin 0.9
+        let cfg = GatewayConfig {
+            faults: FaultPlan::preset("loss", 1.0, 5).unwrap()
+                .with(bs_channel::faults::Fault::RateCollapse { keep: 0.2 }),
+            seed: 11,
+            ..GatewayConfig::default()
+        };
+        let run = run_gateway_observed(&tags, &cfg);
+        let obs = run.obs.as_ref().unwrap();
+        assert!(
+            obs.counter("net.rate-readapts") > 0,
+            "collapsed cadence should trigger re-adaptation"
+        );
+        assert!(run.tags.iter().any(|t| t.final_chip_rate_bps < 100));
+    }
+
+    #[test]
+    fn scheduler_spans_and_counters_recorded() {
+        let run = run_gateway_observed(&fleet(3, 96), &GatewayConfig::default());
+        let obs = run.obs.as_ref().unwrap();
+        assert!(obs.spans_for("net.sched").count() >= 1);
+        assert!(obs.counter("net.sched-cycles") >= 1);
+        assert!(obs.counter("net.sched-serves") >= 3);
+        // The per-tag transports also recorded through the same recorder.
+        assert!(obs.counter("net.polls") >= 3);
+    }
+
+    #[test]
+    fn empty_fleet_is_a_clean_noop() {
+        let run = run_gateway(&[], &GatewayConfig::default());
+        assert!(!run.all_complete);
+        assert!(run.tags.is_empty());
+        assert_eq!(run.fairness, 0.0);
+    }
+
+    #[test]
+    fn jain_index_math() {
+        assert_eq!(jain_index(&[]), 0.0);
+        assert_eq!(jain_index(&[0, 0]), 0.0);
+        assert!((jain_index(&[5, 5, 5]) - 1.0).abs() < 1e-12);
+        // One hog, three starved: 16/(4·100)… = (10)²/(4·(64+4+4+4)).
+        let skewed = jain_index(&[8, 2, 0, 0]);
+        assert!(skewed < 0.5, "{skewed}");
+    }
+}

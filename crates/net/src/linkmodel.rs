@@ -1,0 +1,419 @@
+//! The link abstraction the transport runs over, with two
+//! implementations: a fast seeded loss model for benches and conformance
+//! sweeps, and the full PHY simulation for end-to-end validation.
+//!
+//! The ARQ machinery ([`crate::arq`]) only needs four things from a
+//! link: deliver a downlink control frame or not, deliver an uplink
+//! segment (possibly duplicated) or not, account airtime, and keep a
+//! simulated clock. [`SimLink`] answers those with severity-scaled
+//! Bernoulli draws derived from the same [`FaultPlan`] vocabulary the
+//! rest of the stack uses — `packet-loss` drops, `rate-collapse`
+//! starvation, `helper-outage` windows and `packet-duplication` — so a
+//! transport sweep composes with the existing fault presets. [`PhyLink`]
+//! routes every frame through `run_downlink_frame_with` and every
+//! segment through the actual uplink decode chain.
+
+use bs_channel::faults::{Fault, FaultPlan};
+use bs_dsp::obs::Recorder;
+use bs_dsp::SimRng;
+use bs_tag::frame::DownlinkFrame;
+use wifi_backscatter::link::{
+    run_downlink_frame_with, run_uplink_with, DegradationReport, DownlinkConfig, LinkConfig,
+    MitigationPolicy,
+};
+
+/// What happened to one uplink segment on the air.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentFate {
+    /// Never decoded at the reader.
+    Lost,
+    /// Decoded once.
+    Delivered,
+    /// Decoded twice (MAC-level duplication): the receiver must
+    /// deduplicate.
+    DeliveredTwice,
+}
+
+/// The transport's view of a backscatter link.
+///
+/// All methods are deterministic functions of the construction seed and
+/// the call sequence; the transport owns the call sequence, so a whole
+/// transfer is replayable from its seed.
+pub trait SegmentLink {
+    /// Current simulated time (µs).
+    fn now_us(&self) -> u64;
+
+    /// Advances the simulated clock (airtime, turnaround, backoff).
+    fn advance_us(&mut self, us: u64);
+
+    /// Attempts a downlink control frame (poll or ACK); true = the other
+    /// end decoded it.
+    fn send_control(&mut self, frame: &DownlinkFrame, rec: &mut dyn Recorder) -> bool;
+
+    /// Attempts one uplink segment given its on-air bits.
+    fn send_segment(&mut self, bits: &[bool], rec: &mut dyn Recorder) -> SegmentFate;
+
+    /// On-air time of a downlink control frame (µs).
+    fn control_air_us(&self, frame: &DownlinkFrame) -> u64;
+
+    /// On-air time of an uplink burst of `n_bits` bits (µs).
+    fn segment_air_us(&self, n_bits: usize) -> u64;
+
+    /// Current uplink chip rate (bits/s in plain mode).
+    fn chip_rate_bps(&self) -> u64;
+
+    /// Re-commands the uplink chip rate (rate adaptation).
+    fn set_chip_rate_bps(&mut self, bps: u64);
+
+    /// Takes the degradation accounting accumulated since the last call.
+    fn take_degradation(&mut self) -> DegradationReport;
+}
+
+/// Fast seeded link model: Bernoulli frame outcomes whose probabilities
+/// scale with [`FaultPlan`] severity, plus deterministic outage windows
+/// on the shared simulated clock.
+#[derive(Debug, Clone)]
+pub struct SimLink {
+    /// The armed fault plan; severity scales every probability.
+    pub faults: FaultPlan,
+    /// Downlink (reader→tag) bit rate, bits/s.
+    pub downlink_bps: u64,
+    /// Uplink chip rate, bits/s in plain mode.
+    chip_rate_bps: u64,
+    /// Turnaround gap charged around each airtime segment (µs).
+    pub gap_us: u64,
+    /// Fixed cost of every control exchange (µs): medium access, the
+    /// CTS_to_SELF reservation fronting each downlink frame, and the
+    /// tag's wake/settle turnaround. This is the per-round overhead a
+    /// sliding window amortises over its burst — with it near zero,
+    /// stop-and-wait would look artificially competitive.
+    pub ctrl_overhead_us: u64,
+    now_us: u64,
+    rng: SimRng,
+    report: DegradationReport,
+}
+
+impl SimLink {
+    /// A link with the paper's nominal rates: 20 kbps downlink, 500 bps
+    /// uplink, 200 µs turnaround. All randomness derives from `seed`
+    /// (kept independent of the fault plan's own seed).
+    pub fn new(faults: FaultPlan, seed: u64) -> Self {
+        SimLink {
+            rng: SimRng::new(seed ^ faults.seed.rotate_left(17)).stream("net-simlink"),
+            faults,
+            downlink_bps: 20_000,
+            chip_rate_bps: 500,
+            gap_us: 200,
+            ctrl_overhead_us: 30_000,
+            now_us: 0,
+            report: DegradationReport::default(),
+        }
+    }
+
+    /// Overrides the downlink and uplink rates.
+    pub fn with_rates(mut self, downlink_bps: u64, chip_rate_bps: u64) -> Self {
+        self.downlink_bps = downlink_bps.max(1);
+        self.chip_rate_bps = chip_rate_bps.max(1);
+        self
+    }
+
+    /// Per-segment uplink failure probability: downlink-style frame loss
+    /// composed with rate-collapse starvation (a collapsed helper
+    /// cadence starves the decoder of measurements for the whole
+    /// segment).
+    fn segment_loss_prob(&self) -> f64 {
+        let sev = self.faults.severity.clamp(0.0, 1.0);
+        if sev <= 0.0 {
+            return 0.0;
+        }
+        let mut keep = 1.0 - self.faults.frame_loss_prob();
+        for f in &self.faults.faults {
+            if let Fault::RateCollapse { keep: k } = *f {
+                keep *= 1.0 - (sev * (1.0 - k.clamp(0.0, 1.0))).clamp(0.0, 1.0);
+            }
+        }
+        (1.0 - keep).clamp(0.0, 1.0)
+    }
+
+    /// Whole-segment duplication probability (MAC retransmission whose
+    /// ACK was lost).
+    fn dup_prob(&self) -> f64 {
+        let sev = self.faults.severity.clamp(0.0, 1.0);
+        self.faults
+            .faults
+            .iter()
+            .map(|f| match *f {
+                Fault::PacketDuplication { prob } => (prob * sev).clamp(0.0, 1.0),
+                _ => 0.0,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn record_fault(&mut self, name: &str) {
+        if !self.report.fired(name) {
+            self.report.faults_fired.push(name.to_string());
+        }
+    }
+}
+
+impl SegmentLink for SimLink {
+    fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    fn advance_us(&mut self, us: u64) {
+        self.now_us += us;
+    }
+
+    fn send_control(&mut self, frame: &DownlinkFrame, rec: &mut dyn Recorder) -> bool {
+        let air = self.control_air_us(frame);
+        let outage = self.faults.outage_at(self.now_us + air / 2);
+        let lost = self.rng.chance(self.faults.frame_loss_prob());
+        self.now_us += self.ctrl_overhead_us + air + self.gap_us;
+        if outage || lost {
+            self.report.packets_dropped += 1;
+            self.record_fault(if outage { "helper-outage" } else { "packet-loss" });
+            rec.add("net.control-lost", 1);
+            return false;
+        }
+        true
+    }
+
+    fn send_segment(&mut self, bits: &[bool], rec: &mut dyn Recorder) -> SegmentFate {
+        let air = self.segment_air_us(bits.len());
+        let outage = self.faults.outage_at(self.now_us + air / 2);
+        let lost = self.rng.chance(self.segment_loss_prob());
+        let dup = self.rng.chance(self.dup_prob());
+        self.now_us += air + self.gap_us;
+        if outage || lost {
+            self.report.packets_dropped += 1;
+            self.record_fault(if outage { "helper-outage" } else { "packet-loss" });
+            rec.add("net.segments-lost", 1);
+            return SegmentFate::Lost;
+        }
+        if dup {
+            self.report.packets_duplicated += 1;
+            self.record_fault("packet-duplication");
+            return SegmentFate::DeliveredTwice;
+        }
+        SegmentFate::Delivered
+    }
+
+    fn control_air_us(&self, frame: &DownlinkFrame) -> u64 {
+        frame.to_bits().len() as u64 * 1_000_000 / self.downlink_bps.max(1)
+    }
+
+    fn segment_air_us(&self, n_bits: usize) -> u64 {
+        n_bits as u64 * 1_000_000 / self.chip_rate_bps.max(1)
+    }
+
+    fn chip_rate_bps(&self) -> u64 {
+        self.chip_rate_bps
+    }
+
+    fn set_chip_rate_bps(&mut self, bps: u64) {
+        self.chip_rate_bps = bps.max(1);
+    }
+
+    fn take_degradation(&mut self) -> DegradationReport {
+        std::mem::take(&mut self.report)
+    }
+}
+
+/// Full-PHY link: every control frame runs the downlink envelope
+/// simulation and every segment runs the uplink capture/decode chain.
+/// Orders of magnitude slower than [`SimLink`]; used by the end-to-end
+/// tests and the gateway example to validate that the transport's
+/// abstractions hold over the real stack.
+#[derive(Debug, Clone)]
+pub struct PhyLink {
+    /// Reader↔tag distance (m).
+    pub distance_m: f64,
+    /// Downlink bit rate (bits/s).
+    pub downlink_bps: u64,
+    /// Packets-per-bit target for the uplink decoder.
+    pub pkts_per_bit: u32,
+    /// Injected faults, forwarded to both PHY directions.
+    pub faults: FaultPlan,
+    /// Mitigations armed on the uplink runs.
+    pub mitigations: MitigationPolicy,
+    chip_rate_bps: u64,
+    seed: u64,
+    attempt: u64,
+    now_us: u64,
+    report: DegradationReport,
+}
+
+impl PhyLink {
+    /// A PHY link at `distance_m` with the given fault plan; `seed`
+    /// isolates this link's channel noise from every other stream.
+    pub fn new(distance_m: f64, faults: FaultPlan, seed: u64) -> Self {
+        PhyLink {
+            distance_m,
+            downlink_bps: 20_000,
+            pkts_per_bit: 5,
+            faults,
+            mitigations: MitigationPolicy::all(),
+            chip_rate_bps: 100,
+            seed,
+            attempt: 0,
+            now_us: 0,
+            report: DegradationReport::default(),
+        }
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.attempt += 1;
+        self.seed
+            .wrapping_add(self.attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl SegmentLink for PhyLink {
+    fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    fn advance_us(&mut self, us: u64) {
+        self.now_us += us;
+    }
+
+    fn send_control(&mut self, frame: &DownlinkFrame, _rec: &mut dyn Recorder) -> bool {
+        let cfg = DownlinkConfig::fig17(self.distance_m, self.downlink_bps, self.next_seed())
+            .with_faults(self.faults.clone());
+        self.now_us += self.control_air_us(frame) + 200;
+        let (got, report) = run_downlink_frame_with(&cfg, frame, &mut bs_dsp::obs::NullRecorder);
+        self.report.merge(&report);
+        got.as_ref() == Some(frame)
+    }
+
+    fn send_segment(&mut self, bits: &[bool], _rec: &mut dyn Recorder) -> SegmentFate {
+        let cfg = LinkConfig::fig10(
+            self.distance_m,
+            self.chip_rate_bps,
+            self.pkts_per_bit,
+            self.next_seed(),
+        )
+        .with_payload(bits.to_vec())
+        .with_faults(self.faults.clone())
+        .with_mitigations(self.mitigations);
+        self.now_us += self.segment_air_us(bits.len()) + 200;
+        let run = run_uplink_with(&cfg, &mut bs_dsp::obs::NullRecorder);
+        self.report.merge(&run.degradation);
+        if run.detected && run.ber.errors() == 0 {
+            SegmentFate::Delivered
+        } else {
+            SegmentFate::Lost
+        }
+    }
+
+    fn control_air_us(&self, frame: &DownlinkFrame) -> u64 {
+        frame.to_bits().len() as u64 * 1_000_000 / self.downlink_bps.max(1)
+    }
+
+    fn segment_air_us(&self, n_bits: usize) -> u64 {
+        n_bits as u64 * 1_000_000 / self.chip_rate_bps.max(1)
+    }
+
+    fn chip_rate_bps(&self) -> u64 {
+        self.chip_rate_bps
+    }
+
+    fn set_chip_rate_bps(&mut self, bps: u64) {
+        self.chip_rate_bps = bps.max(1);
+    }
+
+    fn take_degradation(&mut self) -> DegradationReport {
+        std::mem::take(&mut self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_dsp::obs::NullRecorder;
+
+    fn frame() -> DownlinkFrame {
+        DownlinkFrame::new(vec![0x03, 1, 2, 3])
+    }
+
+    #[test]
+    fn clean_simlink_never_loses() {
+        let mut link = SimLink::new(FaultPlan::none(), 42);
+        let mut rec = NullRecorder;
+        for _ in 0..100 {
+            assert!(link.send_control(&frame(), &mut rec));
+            assert_eq!(
+                link.send_segment(&[true; 64], &mut rec),
+                SegmentFate::Delivered
+            );
+        }
+        assert!(link.take_degradation().is_clean());
+    }
+
+    #[test]
+    fn simlink_is_deterministic() {
+        let plan = FaultPlan::preset("loss", 0.8, 77).unwrap();
+        let run = |seed| {
+            let mut link = SimLink::new(plan.clone(), seed);
+            let mut rec = NullRecorder;
+            (0..200)
+                .map(|_| link.send_segment(&[false; 32], &mut rec))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should diverge");
+    }
+
+    #[test]
+    fn loss_probability_scales_with_severity() {
+        let count = |sev: f64| {
+            let plan = FaultPlan::preset("loss", sev, 11).unwrap();
+            let mut link = SimLink::new(plan, 3);
+            let mut rec = NullRecorder;
+            (0..2000)
+                .filter(|_| link.send_segment(&[true; 16], &mut rec) == SegmentFate::Lost)
+                .count()
+        };
+        let (lo, hi) = (count(0.2), count(1.0));
+        assert!(lo < hi, "severity 0.2 lost {lo}, 1.0 lost {hi}");
+        assert_eq!(count(0.0), 0);
+    }
+
+    #[test]
+    fn collapse_composes_into_segment_loss() {
+        let plan = FaultPlan::new(1).with(Fault::RateCollapse { keep: 0.25 });
+        let link = SimLink::new(plan.clone().with_severity(1.0), 0);
+        assert!(link.segment_loss_prob() > 0.5);
+        let mild = SimLink::new(plan.with_severity(0.1), 0);
+        assert!(mild.segment_loss_prob() < link.segment_loss_prob());
+    }
+
+    #[test]
+    fn outage_window_kills_control_frames() {
+        let plan = FaultPlan::preset("outage", 1.0, 5).unwrap();
+        let mut link = SimLink::new(plan.clone(), 9);
+        let mut rec = NullRecorder;
+        // Walk the clock across several outage periods; some sends must
+        // fall inside the silent window.
+        let mut lost = 0;
+        for _ in 0..50 {
+            if !link.send_control(&frame(), &mut rec) {
+                lost += 1;
+            }
+            link.advance_us(40_000);
+        }
+        assert!(lost > 0, "no control frame hit the outage window");
+        assert!(link.take_degradation().fired("helper-outage"));
+    }
+
+    #[test]
+    fn airtime_scales_with_rates() {
+        let link = SimLink::new(FaultPlan::none(), 0).with_rates(20_000, 500);
+        let f = frame();
+        assert_eq!(link.control_air_us(&f), f.to_bits().len() as u64 * 50);
+        assert_eq!(link.segment_air_us(100), 200_000);
+        let fast = SimLink::new(FaultPlan::none(), 0).with_rates(20_000, 1000);
+        assert_eq!(fast.segment_air_us(100), 100_000);
+    }
+}

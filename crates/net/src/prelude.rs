@@ -1,0 +1,86 @@
+//! The blessed public surface of the connectivity layer.
+//!
+//! ```
+//! use bs_net::prelude::*;
+//! ```
+//!
+//! Everything a gateway application or experiment normally touches:
+//! transfer/gateway entry points and their `*_observed` variants, the
+//! configs, the link models, and the wire types. Re-exports of the
+//! handful of core types a transport caller always needs ([`FaultPlan`],
+//! [`RetryPolicy`], [`RunReport`], [`WindowAck`]) ride along so one
+//! import line suffices.
+//!
+//! The list is pinned by [`NET_PRELUDE_MANIFEST`] and guarded by the
+//! same `api_snapshot` drift gate as the core prelude (golden fixture
+//! `tests/golden/prelude_api.txt`, reblessed with `GOLDEN_BLESS=1`).
+
+pub use crate::arq::{
+    nearest_supported_rate, run_transfer, run_transfer_observed, run_transfer_with, RoundOutcome,
+    Transfer, TransportConfig, TransportSession,
+};
+pub use crate::gateway::{
+    run_gateway, run_gateway_observed, run_gateway_with, GatewayConfig, GatewayRun, TagOutcome,
+    TagProfile,
+};
+pub use crate::linkmodel::{PhyLink, SegmentFate, SegmentLink, SimLink};
+pub use crate::seg::{scramble, segment_message, Accept, Reassembler, Segment, SegmentError};
+pub use bs_channel::faults::FaultPlan;
+pub use wifi_backscatter::protocol::{RetryPolicy, WindowAck};
+pub use wifi_backscatter::report::RunReport;
+
+/// The names this prelude exports, sorted — compared against the golden
+/// fixture by the `api_snapshot` drift gate. Keep in lockstep with the
+/// `pub use` lines above.
+pub const NET_PRELUDE_MANIFEST: &[&str] = &[
+    "Accept",
+    "FaultPlan",
+    "GatewayConfig",
+    "GatewayRun",
+    "PhyLink",
+    "Reassembler",
+    "RetryPolicy",
+    "RoundOutcome",
+    "RunReport",
+    "Segment",
+    "SegmentError",
+    "SegmentFate",
+    "SegmentLink",
+    "SimLink",
+    "TagOutcome",
+    "TagProfile",
+    "Transfer",
+    "TransportConfig",
+    "TransportSession",
+    "WindowAck",
+    "nearest_supported_rate",
+    "run_gateway",
+    "run_gateway_observed",
+    "run_gateway_with",
+    "run_transfer",
+    "run_transfer_observed",
+    "run_transfer_with",
+    "scramble",
+    "segment_message",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::NET_PRELUDE_MANIFEST;
+
+    #[test]
+    fn manifest_is_sorted_and_unique() {
+        for w in NET_PRELUDE_MANIFEST.windows(2) {
+            assert!(w[0] < w[1], "manifest out of order near {:?}", w);
+        }
+    }
+
+    #[test]
+    fn prelude_names_resolve() {
+        use super::*;
+        let _ = TransportConfig::default();
+        let _ = GatewayConfig::default();
+        let _ = SimLink::new(FaultPlan::none(), 1);
+        let _: fn(&[u8], TransportConfig, &mut dyn SegmentLink) -> Transfer = run_transfer;
+    }
+}

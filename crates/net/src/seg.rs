@@ -1,0 +1,435 @@
+//! Segmentation and reassembly: arbitrary byte messages in and out of
+//! CRC-protected, sequence-numbered link segments.
+//!
+//! The raw link moves one short frame per query (§4.1); internet
+//! connectivity needs messages far larger than the 127-byte downlink
+//! payload or the few-hundred-bit uplink burst a tag can sustain. A
+//! [`Segment`] is the transport's wire unit: a 6-byte header, up to 255
+//! payload bytes and a trailing CRC-8 over everything before it, so a
+//! corrupted segment is dropped at the receiver instead of poisoning the
+//! reassembled message.
+//!
+//! ```text
+//! byte  0       1..3      3..5      5         6..6+len   6+len
+//!      ┌───────┬─────────┬─────────┬─────────┬──────────┬───────┐
+//!      │msg_id │ seq(BE) │total(BE)│ len     │ payload  │ crc8  │
+//!      └───────┴─────────┴─────────┴─────────┴──────────┴───────┘
+//! ```
+
+use bs_dsp::bits::{bits_to_bytes, bytes_to_bits, crc8};
+use std::fmt;
+
+/// Header + CRC bytes a segment adds around its payload.
+pub const SEGMENT_OVERHEAD_BYTES: usize = 7;
+
+/// One transport segment: the unit of loss, retransmission and
+/// acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Message this segment belongs to (wraps at 256 in-flight messages).
+    pub msg_id: u8,
+    /// 0-based sequence number within the message.
+    pub seq: u16,
+    /// Total segments in the message (always ≥ 1, > `seq`).
+    pub total: u16,
+    /// Payload slice of the original message (≤ 255 bytes).
+    pub payload: Vec<u8>,
+}
+
+/// Why a byte string failed to parse as a [`Segment`]. Parsing never
+/// panics: a truncated or bit-flipped segment is data loss, not a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentError {
+    /// Fewer bytes (or non-byte-aligned bits) than the fixed overhead.
+    Truncated,
+    /// The length field disagrees with the bytes present.
+    BadLength,
+    /// The CRC-8 check failed.
+    BadCrc,
+    /// `total` is zero or `seq` is not below `total`.
+    BadSequence,
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Truncated => write!(f, "segment truncated"),
+            SegmentError::BadLength => write!(f, "segment length field mismatch"),
+            SegmentError::BadCrc => write!(f, "segment CRC mismatch"),
+            SegmentError::BadSequence => write!(f, "segment sequence out of range"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl Segment {
+    /// Serialises to the wire byte layout (header, payload, CRC).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        debug_assert!(self.payload.len() <= 255, "payload exceeds length field");
+        let mut out = Vec::with_capacity(SEGMENT_OVERHEAD_BYTES + self.payload.len());
+        out.push(self.msg_id);
+        out.push((self.seq >> 8) as u8);
+        out.push((self.seq & 0xFF) as u8);
+        out.push((self.total >> 8) as u8);
+        out.push((self.total & 0xFF) as u8);
+        out.push(self.payload.len() as u8);
+        out.extend_from_slice(&self.payload);
+        out.push(crc8(&out));
+        out
+    }
+
+    /// Serialises to on-air bits (MSB-first per byte), whitened by
+    /// [`scramble`], the form the tag actually backscatters.
+    pub fn to_bits(&self) -> Vec<bool> {
+        let mut bits = bytes_to_bits(&self.to_bytes());
+        scramble(&mut bits);
+        bits
+    }
+
+    /// Parses the wire byte layout; every malformation maps to a
+    /// [`SegmentError`] — this function must never panic, whatever the
+    /// input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Segment, SegmentError> {
+        if bytes.len() < SEGMENT_OVERHEAD_BYTES {
+            return Err(SegmentError::Truncated);
+        }
+        let len = bytes[5] as usize;
+        if bytes.len() != SEGMENT_OVERHEAD_BYTES + len {
+            return Err(SegmentError::BadLength);
+        }
+        let (body, crc) = bytes.split_at(bytes.len() - 1);
+        if crc8(body) != crc[0] {
+            return Err(SegmentError::BadCrc);
+        }
+        let seq = (u16::from(bytes[1]) << 8) | u16::from(bytes[2]);
+        let total = (u16::from(bytes[3]) << 8) | u16::from(bytes[4]);
+        if total == 0 || seq >= total {
+            return Err(SegmentError::BadSequence);
+        }
+        Ok(Segment {
+            msg_id: bytes[0],
+            seq,
+            total,
+            payload: bytes[6..6 + len].to_vec(),
+        })
+    }
+
+    /// Parses from on-air bits (descrambling first); a bit count that is
+    /// not a whole number of bytes is a truncation.
+    pub fn from_bits(bits: &[bool]) -> Result<Segment, SegmentError> {
+        if bits.len() % 8 != 0 {
+            return Err(SegmentError::Truncated);
+        }
+        let mut bits = bits.to_vec();
+        scramble(&mut bits);
+        Segment::from_bytes(&bits_to_bytes(&bits))
+    }
+
+    /// Wire size in bytes of a segment carrying `payload_len` bytes.
+    pub fn wire_bytes(payload_len: usize) -> usize {
+        SEGMENT_OVERHEAD_BYTES + payload_len
+    }
+}
+
+/// Whitens on-air bits with the 802.11 additive scrambler (LFSR
+/// `x^7 + x^4 + 1`, fixed nonzero seed). Segment headers start with long
+/// zero runs (`msg_id` 0, `seq` 0, a zero `total` high byte) and the
+/// envelope decoder loses its threshold over a transition-free stretch;
+/// scrambling keeps the backscattered stream DC-balanced exactly the way
+/// the Wi-Fi frames the tag piggybacks on are. XOR with a fixed
+/// keystream is its own inverse, so the same call descrambles.
+pub fn scramble(bits: &mut [bool]) {
+    let mut state: u8 = 0x5D;
+    for b in bits {
+        let feedback = ((state >> 6) ^ (state >> 3)) & 1;
+        *b ^= feedback == 1;
+        state = ((state << 1) | feedback) & 0x7F;
+    }
+}
+
+/// Splits `message` into segments of at most `max_payload` bytes each.
+/// An empty message still produces one zero-length segment so that "send
+/// nothing" remains acknowledgeable. Panics if `max_payload` is 0 or
+/// above 255, or if the message needs more than `u16::MAX` segments —
+/// those are configuration errors, not runtime conditions.
+pub fn segment_message(msg_id: u8, message: &[u8], max_payload: usize) -> Vec<Segment> {
+    assert!(
+        (1..=255).contains(&max_payload),
+        "segment payload must be 1..=255 bytes"
+    );
+    let total = message.len().div_ceil(max_payload).max(1);
+    assert!(total <= u16::MAX as usize, "message needs too many segments");
+    (0..total)
+        .map(|i| Segment {
+            msg_id,
+            seq: i as u16,
+            total: total as u16,
+            payload: message[i * max_payload..(i * max_payload + max_payload).min(message.len())]
+                .to_vec(),
+        })
+        .collect()
+}
+
+/// What [`Reassembler::accept`] did with a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accept {
+    /// First copy of this sequence number: stored.
+    New,
+    /// Already held — a retransmission or link-level duplicate: dropped.
+    Duplicate,
+    /// Wrong message id or inconsistent `total`: dropped.
+    Mismatch,
+}
+
+/// Receiver-side state: collects segments of one message in any order,
+/// deduplicates, and exposes the cumulative + selective acknowledgement
+/// the transport puts on the wire.
+#[derive(Debug, Clone)]
+pub struct Reassembler {
+    msg_id: u8,
+    total: u16,
+    slots: Vec<Option<Vec<u8>>>,
+    cumulative: u16,
+    /// Duplicate segment arrivals dropped so far.
+    pub duplicates: u64,
+    /// Mismatched (foreign / inconsistent) segments dropped so far.
+    pub mismatches: u64,
+}
+
+impl Reassembler {
+    /// A reassembler expecting `total` segments of message `msg_id`.
+    pub fn new(msg_id: u8, total: u16) -> Self {
+        assert!(total >= 1, "a message has at least one segment");
+        Reassembler {
+            msg_id,
+            total,
+            slots: vec![None; total as usize],
+            cumulative: 0,
+            duplicates: 0,
+            mismatches: 0,
+        }
+    }
+
+    /// Offers one received segment.
+    pub fn accept(&mut self, seg: &Segment) -> Accept {
+        if seg.msg_id != self.msg_id || seg.total != self.total || seg.seq >= self.total {
+            self.mismatches += 1;
+            return Accept::Mismatch;
+        }
+        let slot = &mut self.slots[seg.seq as usize];
+        if slot.is_some() {
+            self.duplicates += 1;
+            return Accept::Duplicate;
+        }
+        *slot = Some(seg.payload.clone());
+        while (self.cumulative as usize) < self.slots.len()
+            && self.slots[self.cumulative as usize].is_some()
+        {
+            self.cumulative += 1;
+        }
+        Accept::New
+    }
+
+    /// Segments with `seq < cumulative()` have all arrived.
+    pub fn cumulative(&self) -> u16 {
+        self.cumulative
+    }
+
+    /// Selective-ACK bitmap over the 32 sequence numbers after the
+    /// cumulative head (bit `i` ⇔ `cumulative + 1 + i` held).
+    pub fn sack(&self) -> u32 {
+        let mut bits = 0u32;
+        for i in 0..32u32 {
+            let seq = self.cumulative as usize + 1 + i as usize;
+            if seq < self.slots.len() && self.slots[seq].is_some() {
+                bits |= 1 << i;
+            }
+        }
+        bits
+    }
+
+    /// Segments received so far (unique).
+    pub fn received(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Payload bytes received so far (unique).
+    pub fn received_bytes(&self) -> u64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|p| p.len() as u64)
+            .sum()
+    }
+
+    /// True once every segment has arrived.
+    pub fn complete(&self) -> bool {
+        self.cumulative == self.total
+    }
+
+    /// True while later segments are held but the window head is missing
+    /// — the head-of-line stall the transport counts.
+    pub fn head_of_line_blocked(&self) -> bool {
+        !self.complete() && self.slots[self.cumulative as usize..].iter().any(|s| s.is_some())
+    }
+
+    /// The reassembled message once complete; `None` before that.
+    pub fn assemble(&self) -> Option<Vec<u8>> {
+        if !self.complete() {
+            return None;
+        }
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            out.extend_from_slice(slot.as_deref().unwrap_or_default());
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_sizes() {
+        for len in [0usize, 1, 7, 16, 255] {
+            let seg = Segment {
+                msg_id: 7,
+                seq: 3,
+                total: 9,
+                payload: (0..len).map(|i| (i * 31 + 5) as u8).collect(),
+            };
+            assert_eq!(Segment::from_bytes(&seg.to_bytes()), Ok(seg.clone()));
+            assert_eq!(Segment::from_bits(&seg.to_bits()), Ok(seg));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let seg = Segment {
+            msg_id: 1,
+            seq: 0,
+            total: 2,
+            payload: vec![0xAB, 0xCD, 0xEF],
+        };
+        let bits = seg.to_bits();
+        for i in 0..bits.len() {
+            let mut flipped = bits.clone();
+            flipped[i] = !flipped[i];
+            assert!(
+                Segment::from_bits(&flipped).is_err(),
+                "flip at bit {i} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn truncations_error_out() {
+        let seg = Segment {
+            msg_id: 1,
+            seq: 1,
+            total: 3,
+            payload: vec![1, 2, 3, 4],
+        };
+        let bits = seg.to_bits();
+        for cut in 0..bits.len() {
+            assert!(Segment::from_bits(&bits[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn scrambler_is_an_involution_and_breaks_zero_runs() {
+        let mut bits = vec![false; 256];
+        scramble(&mut bits);
+        // The whitened stream must have no decoder-breaking runs: count
+        // the longest stretch of identical bits.
+        let mut longest = 0;
+        let mut run = 0;
+        let mut last = None;
+        for &b in &bits {
+            run = if last == Some(b) { run + 1 } else { 1 };
+            longest = longest.max(run);
+            last = Some(b);
+        }
+        assert!(longest <= 8, "scrambled all-zeros has a {longest}-bit run");
+        scramble(&mut bits);
+        assert_eq!(bits, vec![false; 256], "scramble must be its own inverse");
+    }
+
+    #[test]
+    fn sequence_bounds_enforced() {
+        let bad = Segment {
+            msg_id: 0,
+            seq: 5,
+            total: 5,
+            payload: vec![],
+        };
+        assert_eq!(Segment::from_bytes(&bad.to_bytes()), Err(SegmentError::BadSequence));
+    }
+
+    #[test]
+    fn segmentation_reassembles_exactly() {
+        let msg: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        let segs = segment_message(9, &msg, 16);
+        assert_eq!(segs.len(), 64);
+        let mut rx = Reassembler::new(9, segs.len() as u16);
+        // Deliver in a scrambled order with duplicates.
+        for k in (0..segs.len()).rev() {
+            assert_eq!(rx.accept(&segs[k]), Accept::New);
+            assert_eq!(rx.accept(&segs[k]), Accept::Duplicate);
+        }
+        assert!(rx.complete());
+        assert_eq!(rx.assemble(), Some(msg));
+        assert_eq!(rx.duplicates, 64);
+    }
+
+    #[test]
+    fn empty_message_is_one_segment() {
+        let segs = segment_message(0, &[], 16);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].payload.is_empty());
+        let mut rx = Reassembler::new(0, 1);
+        rx.accept(&segs[0]);
+        assert_eq!(rx.assemble(), Some(vec![]));
+    }
+
+    #[test]
+    fn sack_tracks_out_of_order_receipts() {
+        let msg = [0u8; 80];
+        let segs = segment_message(3, &msg, 16); // 5 segments
+        let mut rx = Reassembler::new(3, 5);
+        rx.accept(&segs[0]);
+        rx.accept(&segs[2]);
+        rx.accept(&segs[4]);
+        assert_eq!(rx.cumulative(), 1);
+        // seq 2 is cumulative+1 → bit 0; seq 4 → bit 2.
+        assert_eq!(rx.sack(), 0b101);
+        assert!(rx.head_of_line_blocked());
+        rx.accept(&segs[1]);
+        assert_eq!(rx.cumulative(), 3);
+        rx.accept(&segs[3]);
+        assert!(rx.complete());
+        assert!(!rx.head_of_line_blocked());
+    }
+
+    #[test]
+    fn foreign_segments_are_mismatches() {
+        let mut rx = Reassembler::new(1, 4);
+        let other = Segment {
+            msg_id: 2,
+            seq: 0,
+            total: 4,
+            payload: vec![1],
+        };
+        assert_eq!(rx.accept(&other), Accept::Mismatch);
+        let wrong_total = Segment {
+            msg_id: 1,
+            seq: 0,
+            total: 5,
+            payload: vec![1],
+        };
+        assert_eq!(rx.accept(&wrong_total), Accept::Mismatch);
+        assert_eq!(rx.mismatches, 2);
+    }
+}

@@ -46,7 +46,7 @@ fn main() {
             code_length: 1,
         };
         let dl = DownlinkConfig::fig17(0.7, 20_000, 5100 + i as u64);
-        let delivered = run_downlink_frame(&dl, &query.to_frame()).is_some();
+        let delivered = run_downlink_frame(&dl, &query.to_frame().unwrap()).is_some();
 
         // The addressed tag backscatters a reading; it is the only
         // modulating tag, so the plain single-tag uplink applies.

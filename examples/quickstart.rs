@@ -29,7 +29,7 @@ fn main() {
         query.tag_address, query.payload_bits, query.bit_rate_bps
     );
     let dl = DownlinkConfig::fig17(0.6, 20_000, 7);
-    let received = run_downlink_frame(&dl, &query.to_frame())
+    let received = run_downlink_frame(&dl, &query.to_frame().unwrap())
         .expect("tag failed to decode the query at 60 cm");
     let decoded_query = Query::from_frame(&received).expect("frame was not a query");
     assert_eq!(decoded_query, query);

@@ -43,16 +43,26 @@ cargo test --release -q -p wifi-backscatter --test fault_injection
 cargo test --release -q -p bs-bench --test determinism
 
 echo "== public-API drift gate + observability conformance =="
-# The prelude is the blessed API surface; its manifest is pinned against
-# tests/golden/prelude_api.txt. Observability must never perturb a run.
+# The preludes (core and bs-net) are the blessed API surface; both
+# manifests are pinned against tests/golden/prelude_api.txt (re-bless
+# intentionally with GOLDEN_BLESS=1). Observability must never perturb a
+# run.
 cargo test --release -q -p wifi-backscatter --test api_snapshot
 cargo test --release -q -p wifi-backscatter --test obs_conformance
+
+echo "== net transport conformance =="
+# The connectivity layer's contract: exact bytes at every tested
+# severity/seed, monotone goodput, window > stop-and-wait, and
+# bit-for-bit reproducible transfers and gateway runs.
+cargo test --release -q -p bs-net --test net_transport
 
 echo "== examples run clean =="
 for ex in quickstart sensor_network ambient_traffic energy_budget long_range inventory observability; do
     echo "-- example: $ex"
-    cargo run --release -q --example "$ex" > /dev/null
+    cargo run --release -q -p wifi-backscatter --example "$ex" > /dev/null
 done
+echo "-- example: gateway"
+cargo run --release -q -p bs-net --example gateway > /dev/null
 
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --all-targets -- -D warnings

@@ -1,11 +1,14 @@
-//! Public-API drift gate for the prelude.
+//! Public-API drift gate for the preludes.
 //!
 //! `wifi_backscatter::prelude` is the blessed surface applications import;
 //! its contents are mirrored in `PRELUDE_MANIFEST` (a unit test in the
-//! prelude module keeps the two in lockstep at compile time). This test
-//! pins the manifest against a committed fixture, so any addition,
-//! removal, or rename of a prelude export shows up as a reviewable
-//! fixture diff in the same commit. Regenerate intentionally with
+//! prelude module keeps the two in lockstep at compile time). The
+//! connectivity layer's `bs_net::prelude` is pinned the same way via
+//! `NET_PRELUDE_MANIFEST`; both land in one fixture, separated by a
+//! `[bs-net]` marker line. This test pins the manifests against the
+//! committed fixture, so any addition, removal, or rename of a prelude
+//! export shows up as a reviewable fixture diff in the same commit.
+//! Regenerate intentionally with
 //!
 //! ```sh
 //! GOLDEN_BLESS=1 cargo test -p wifi-backscatter --test api_snapshot
@@ -13,6 +16,7 @@
 //!
 //! `scripts/check.sh` runs this gate in release mode.
 
+use bs_net::prelude::NET_PRELUDE_MANIFEST;
 use wifi_backscatter::prelude::PRELUDE_MANIFEST;
 
 /// Compares `actual` against the committed fixture, or rewrites the
@@ -39,6 +43,11 @@ fn prelude_api_matches_golden_snapshot() {
         actual.push_str(name);
         actual.push('\n');
     }
+    actual.push_str("[bs-net]\n");
+    for name in NET_PRELUDE_MANIFEST {
+        actual.push_str(name);
+        actual.push('\n');
+    }
     assert_golden(
         "tests/golden/prelude_api.txt",
         include_str!("golden/prelude_api.txt"),
@@ -47,11 +56,13 @@ fn prelude_api_matches_golden_snapshot() {
 }
 
 #[test]
-fn manifest_has_no_duplicates_or_blanks() {
-    let mut seen = std::collections::BTreeSet::new();
-    for name in PRELUDE_MANIFEST {
-        assert!(!name.is_empty());
-        assert!(!name.contains(char::is_whitespace), "{name:?}");
-        assert!(seen.insert(name), "duplicate manifest entry {name}");
+fn manifests_have_no_duplicates_or_blanks() {
+    for manifest in [PRELUDE_MANIFEST, NET_PRELUDE_MANIFEST] {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in manifest {
+            assert!(!name.is_empty());
+            assert!(!name.contains(char::is_whitespace), "{name:?}");
+            assert!(seen.insert(name), "duplicate manifest entry {name}");
+        }
     }
 }

@@ -16,7 +16,7 @@ fn full_query_response_ack_roundtrip() {
         code_length: 1,
     };
     let dl = DownlinkConfig::fig17(1.0, 20_000, 1001);
-    let received = run_downlink_frame(&dl, &query.to_frame()).expect("query lost on downlink");
+    let received = run_downlink_frame(&dl, &query.to_frame().unwrap()).expect("query lost on downlink");
     let parsed = Query::from_frame(&received).expect("tag failed to parse query");
     assert_eq!(parsed, query);
 
@@ -52,7 +52,7 @@ fn coded_long_range_exchange() {
     };
     // Downlink still works at 1.4 m.
     let dl = DownlinkConfig::fig17(1.4, 20_000, 2001);
-    let received = run_downlink_frame(&dl, &query.to_frame()).expect("query lost");
+    let received = run_downlink_frame(&dl, &query.to_frame().unwrap()).expect("query lost");
     let parsed = Query::from_frame(&received).unwrap();
     assert!(parsed.is_coded());
 
@@ -86,7 +86,7 @@ fn reader_retries_until_query_delivered() {
     for attempt in 0..20 {
         attempts += 1;
         let dl = DownlinkConfig::fig17(2.9, 20_000, 3000 + attempt);
-        if let Some(f) = run_downlink_frame(&dl, &query.to_frame()) {
+        if let Some(f) = run_downlink_frame(&dl, &query.to_frame().unwrap()) {
             if Query::from_frame(&f) == Some(query.clone()) {
                 delivered = true;
                 break;

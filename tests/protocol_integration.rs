@@ -67,7 +67,7 @@ fn all_query_rates_roundtrip_on_downlink() {
             code_length: 1,
         };
         let cfg = DownlinkConfig::fig17(0.8, 20_000, 600 + i as u64);
-        let got = run_downlink_frame(&cfg, &q.to_frame()).expect("query lost");
+        let got = run_downlink_frame(&cfg, &q.to_frame().unwrap()).expect("query lost");
         assert_eq!(Query::from_frame(&got), Some(q));
     }
 }
@@ -91,7 +91,7 @@ fn query_and_ack_do_not_cross_parse() {
         code_length: 1,
     };
     let a = Ack { tag_address: 1 };
-    assert!(Ack::from_frame(&q.to_frame()).is_none());
+    assert!(Ack::from_frame(&q.to_frame().unwrap()).is_none());
     assert!(Query::from_frame(&a.to_frame()).is_none());
 }
 
@@ -117,7 +117,7 @@ fn inventory_then_query_each_tag() {
             code_length: 1,
         };
         let dl = DownlinkConfig::fig17(0.8, 20_000, 910 + i as u64);
-        let got = run_downlink_frame(&dl, &q.to_frame()).expect("query lost");
+        let got = run_downlink_frame(&dl, &q.to_frame().unwrap()).expect("query lost");
         assert_eq!(Query::from_frame(&got).unwrap().tag_address, addr);
 
         let mut ul = LinkConfig::fig10(0.15, 100, 30, 920 + i as u64);
@@ -147,4 +147,32 @@ fn trace_roundtrip_preserves_decodability() {
     let b = dec.decode(&restored, cap.start_us).expect("restored");
     assert_eq!(a.bits, b.bits);
     assert_eq!(a.frame.unwrap().payload, cfg.payload);
+}
+
+/// A window ACK — the ARQ transport's cumulative + selective feedback —
+/// rides the real downlink channel like any other control frame, and its
+/// SACK semantics survive the trip.
+#[test]
+fn window_ack_roundtrips_on_downlink() {
+    use wifi_backscatter::protocol::WindowAck;
+
+    let wa = WindowAck {
+        tag_address: 0x21,
+        msg_id: 4,
+        cumulative: 37,
+        // Segments 38 and 41 received ahead of the cumulative edge.
+        sack: 0b1001,
+    };
+    let cfg = DownlinkConfig::fig17(0.8, 20_000, 800);
+    let got = run_downlink_frame(&cfg, &wa.to_frame()).expect("window ack lost");
+    let parsed = WindowAck::from_frame(&got).expect("window ack failed to parse");
+    assert_eq!(parsed, wa);
+    assert!(parsed.acks(0) && parsed.acks(36), "below the cumulative edge");
+    assert!(parsed.acks(38) && parsed.acks(41), "selective bits");
+    assert!(!parsed.acks(37) && !parsed.acks(39), "unacked holes");
+
+    // None of the three control opcodes cross-parse.
+    assert!(Ack::from_frame(&wa.to_frame()).is_none());
+    assert!(Query::from_frame(&wa.to_frame()).is_none());
+    assert!(WindowAck::from_frame(&Ack { tag_address: 0x21 }.to_frame()).is_none());
 }
