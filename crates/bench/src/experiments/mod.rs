@@ -11,6 +11,7 @@
 //! | [`faults`] | fault-injection sweep: degradation with mitigations off vs on |
 //! | [`net`] | transport sweep: goodput vs loss severity × ARQ window over `bs-net` |
 //! | [`obs`] | stage profiling: per-stage spans/counters from armed-recorder runs |
+//! | [`stream`] | streaming-decode equivalence: batch vs chunked feed/finish, peak resident window |
 
 pub mod ablation;
 pub mod ambient;
@@ -20,6 +21,7 @@ pub mod faults;
 pub mod net;
 pub mod obs;
 pub mod power;
+pub mod stream;
 pub mod uplink;
 
 /// Finds the fastest rate among `candidates` whose measured BER stays

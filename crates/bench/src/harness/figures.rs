@@ -17,7 +17,7 @@ use wifi_backscatter::link::Measurement;
 use super::record::{JobOutput, RunRecord};
 use super::scheduler::Job;
 use crate::experiments::{
-    ablation, ambient, coexistence, downlink, faults, net, obs, power, uplink,
+    ablation, ambient, coexistence, downlink, faults, net, obs, power, stream, uplink,
 };
 
 /// How much work each figure does — the knobs the old `all`/`quick`
@@ -64,7 +64,7 @@ impl Effort {
 /// Every figure id the harness knows, in canonical output order.
 pub const ALL_FIGURES: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults", "obs", "net",
+    "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults", "obs", "net", "stream",
 ];
 
 /// Lines computed from a section's finished records (Fig. 19's impact
@@ -153,6 +153,7 @@ pub fn plan(figs: &[String], effort: &Effort, seed: u64) -> Result<Plan, String>
             "faults" => faults_section(&mut p, seed, effort),
             "obs" => obs_section(&mut p, seed, effort),
             "net" => net_section(&mut p, seed, effort),
+            "stream" => stream_section(&mut p, seed),
             other => {
                 return Err(format!(
                     "unknown figure '{other}' (known: {})",
@@ -777,6 +778,37 @@ fn net_section(p: &mut Plan, seed: u64, e: &Effort) {
                     ],
                     work_items: runs * net::MESSAGE_BYTES as u64,
                     degradation: Some(pt.report.to_json()),
+                    ..JobOutput::default()
+                }
+            });
+        }
+    }
+}
+
+fn stream_section(p: &mut Plan, seed: u64) {
+    let s = p.section(
+        "stream",
+        vec![
+            "# === stream: streaming decode vs batch, same capture per measurement ===".into(),
+            "# measurement  chunk_packets  packets  peak_resident  identical  bit_errors".into(),
+        ],
+    );
+    for (kind, m) in [("csi", Measurement::Csi), ("rssi", Measurement::Rssi)] {
+        // 1 = per-packet, 64 = burst, 0 = the whole capture in one feed.
+        for chunk in [1usize, 64, 0] {
+            p.job(s, format!("{kind} chunk={chunk}"), seed, move || {
+                let pt = stream::stream_point(m, chunk, seed);
+                JobOutput {
+                    lines: vec![format!(
+                        "{kind}  {chunk}  {}  {}  {}  {}",
+                        pt.packets, pt.peak_resident, pt.identical, pt.bit_errors
+                    )],
+                    metrics: vec![
+                        ("identical".into(), if pt.identical { 1.0 } else { 0.0 }),
+                        ("peak_resident".into(), pt.peak_resident as f64),
+                        ("bit_errors".into(), pt.bit_errors as f64),
+                    ],
+                    work_items: pt.packets,
                     ..JobOutput::default()
                 }
             });

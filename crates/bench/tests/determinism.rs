@@ -10,7 +10,10 @@
 //! spans are simulated time, counters are discrete work, so the `"obs"`
 //! JSON must be byte-identical under any `--jobs`) and the `net`
 //! transport sweep (per-run seeds derive from point coordinates alone,
-//! so whole ARQ transfers reproduce under any worker count), at a reduced effort
+//! so whole ARQ transfers reproduce under any worker count) and the
+//! `stream` figure (streaming-vs-batch decode equivalence is itself a
+//! determinism claim: feed/finish must land on the batch output whatever
+//! the burst size, and the resulting table under any `--jobs`), at a reduced effort
 //! (1 run per point, 1 kbit per downlink point, fig10's
 //! 30-packets-per-bit jobs and the half-severity fault cells dropped) so
 //! the test stays fast in the debug profile; the
@@ -39,6 +42,7 @@ fn build() -> (Vec<bs_bench::harness::Section>, Vec<bs_bench::harness::Job>) {
         "faults".to_string(),
         "obs".to_string(),
         "net".to_string(),
+        "stream".to_string(),
     ];
     let p = plan(&figs, &test_effort(), 7).expect("known figures");
     let mut jobs = p.jobs;
@@ -74,6 +78,20 @@ fn parallel_run_is_byte_identical_to_serial() {
     assert!(table_serial.contains("# === Fig 17"));
     assert!(table_serial.contains("# === Fault injection"));
     assert!(table_serial.contains("# === net: 1 KiB transfer goodput"));
+    assert!(table_serial.contains("# === stream: streaming decode vs batch"));
+
+    // Every streaming point must report bit-for-bit agreement with the
+    // batch decoder (the tentpole contract, surfaced as a metric).
+    let streamed: Vec<_> = serial.iter().filter(|r| r.fig == "stream").collect();
+    assert!(!streamed.is_empty(), "no stream jobs ran");
+    for r in &streamed {
+        let identical = r
+            .metrics
+            .iter()
+            .find(|(k, _)| k == "identical")
+            .map(|&(_, v)| v);
+        assert_eq!(identical, Some(1.0), "streaming != batch at {}", r.label);
+    }
 
     // Fault-enabled records carry identical degradation reports too
     // (the `net` transport sweep splices its aggregated report the same

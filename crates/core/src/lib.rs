@@ -24,7 +24,10 @@
 //! * [`uplink`] — the reader's uplink decoder (§3.2/§3.3): signal
 //!   conditioning, good-sub-channel selection by preamble correlation,
 //!   maximum-ratio combining by 1/σ², hysteresis thresholding and
-//!   timestamp-binned majority voting.
+//!   timestamp-binned majority voting. Decoding is available batch
+//!   ([`uplink::UplinkDecoder::decode`]) or streaming
+//!   ([`uplink::UplinkDecoder::stream`] → feed packets → `finish()`),
+//!   with the two guaranteed bit-identical.
 //! * [`longrange`] — the coded long-range decoder (§3.4): the tag expands
 //!   each bit to an L-chip orthogonal code; the reader correlates.
 //! * [`downlink`] — the reader's downlink encoder (§4.1): bits as packet /
@@ -79,8 +82,13 @@ pub mod uplink;
 /// one canonical path.
 pub use bs_dsp::obs;
 
+/// The streaming building blocks (`StreamBlock`, `Consumed`, bounded
+/// queues, chunked kernels), re-exported from `bs-dsp` so
+/// `wifi_backscatter::stream::Consumed` is the one canonical path.
+pub use bs_dsp::stream;
+
 pub use error::Error;
 pub use link::{DownlinkRun, LinkConfig, UplinkRun};
 pub use session::{Reader, ReaderConfig};
-pub use series::SeriesBundle;
-pub use uplink::{UplinkDecoder, UplinkDecoderConfig};
+pub use series::{SeriesAccumulator, SeriesBundle};
+pub use uplink::{UplinkDecoder, UplinkDecoderConfig, UplinkStream};

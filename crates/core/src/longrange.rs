@@ -9,10 +9,11 @@
 //! L ≈ 150 (Fig. 20) without the tag doing anything more expensive than
 //! toggling its switch L× as often.
 
-use crate::series::{SeriesBundle, SlotIndex};
+use crate::series::{SeriesAccumulator, SeriesBundle, SlotIndex};
 use bs_dsp::codes::OrthogonalPair;
 use bs_dsp::filter::condition;
 use bs_dsp::obs::{NullRecorder, Recorder};
+use bs_dsp::stream::Consumed;
 use bs_tag::frame::UplinkFrame;
 
 /// Long-range decoder configuration.
@@ -117,8 +118,39 @@ impl LongRangeDecoder {
     /// Decodes one frame starting exactly at `start_us` (the reader timed
     /// the query, and chip-level alignment is maintained by the tag's bit
     /// clock).
+    ///
+    /// Routed through the streaming path ([`Self::stream`]): feed the
+    /// whole bundle, then finish — so batch and streaming cannot diverge.
     pub fn decode(&self, bundle: &SeriesBundle, start_us: u64) -> Option<LongRangeOutput> {
-        self.decode_with(bundle, start_us, &mut NullRecorder)
+        let mut stream = self.stream(bundle.channels(), start_us);
+        stream.feed(bundle);
+        stream.finish()
+    }
+
+    /// Opens a streaming long-range decode session; same contract as
+    /// [`crate::uplink::UplinkDecoder::stream`], with the frame decoded by
+    /// the chip-correlation pipeline on [`LongRangeStream::finish`].
+    pub fn stream(&self, channels: usize, start_us: u64) -> LongRangeStream {
+        LongRangeStream {
+            decoder: self.clone(),
+            acc: SeriesAccumulator::new(channels),
+            start_us,
+        }
+    }
+
+    /// [`Self::stream`] with a hard bound on buffered packets (explicit
+    /// backpressure past `max_packets`).
+    pub fn stream_bounded(
+        &self,
+        channels: usize,
+        start_us: u64,
+        max_packets: usize,
+    ) -> LongRangeStream {
+        LongRangeStream {
+            decoder: self.clone(),
+            acc: SeriesAccumulator::with_capacity(channels, max_packets),
+            start_us,
+        }
     }
 
     /// [`Self::decode`] plus observability: a `uplink.correlate` span over
@@ -334,6 +366,61 @@ impl LongRangeDecoder {
     }
 }
 
+/// A streaming long-range decode session: push packets as they arrive,
+/// decode on [`Self::finish`]. Buffering and equivalence semantics are
+/// identical to [`crate::uplink::UplinkStream`] — the session retains one
+/// bounded frame of packets and hands the completed bundle to the batch
+/// correlator, so streaming is bit-identical to [`LongRangeDecoder::decode`]
+/// by construction.
+#[derive(Debug, Clone)]
+pub struct LongRangeStream {
+    decoder: LongRangeDecoder,
+    acc: SeriesAccumulator,
+    start_us: u64,
+}
+
+impl LongRangeStream {
+    /// Offers one packet; [`Consumed::none`] (nothing buffered) if at
+    /// capacity or the timestamp runs backwards.
+    ///
+    /// # Panics
+    /// Panics if `values` does not have one entry per channel.
+    pub fn feed_packet(&mut self, t_us: u64, values: &[f64]) -> Consumed {
+        self.acc.feed_packet(t_us, values)
+    }
+
+    /// Offers a burst of packets; accepts a prefix and reports how many.
+    ///
+    /// # Panics
+    /// Panics if a non-empty bundle's channel count differs.
+    pub fn feed(&mut self, bundle: &SeriesBundle) -> Consumed {
+        self.acc.feed(bundle)
+    }
+
+    /// Packets buffered so far.
+    pub fn packets(&self) -> usize {
+        self.acc.packets()
+    }
+
+    /// High-water mark of buffered packets.
+    pub fn peak_resident(&self) -> usize {
+        self.acc.peak_resident()
+    }
+
+    /// Completes the session and decodes the buffered packets —
+    /// bit-identical to [`LongRangeDecoder::decode`] on the same packets.
+    pub fn finish(self) -> Option<LongRangeOutput> {
+        self.finish_with(&mut NullRecorder)
+    }
+
+    /// [`Self::finish`] with observability (same recorder contract as
+    /// [`LongRangeDecoder::decode_with`]).
+    pub fn finish_with(self, rec: &mut dyn Recorder) -> Option<LongRangeOutput> {
+        let bundle = self.acc.into_bundle();
+        self.decoder.decode_with(&bundle, self.start_us, rec)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +596,38 @@ mod tests {
         assert!(out.bits[0].is_some() && out.bits[2].is_some());
         assert!(out.frame.is_none(), "frame must wait for all bits");
         assert_eq!(dec.decode_reference(&gapped, 0), Some(out));
+    }
+
+    #[test]
+    fn stream_feed_matches_batch_decode_bit_for_bit() {
+        let payload: Vec<bool> = (0..10).map(|i| i % 3 != 0).collect();
+        let bundle = synth(&payload, 40, 0.2, 0.6, 333, 1_000, 41);
+        let dec = LongRangeDecoder::new(cfg(40, 1_000, 10));
+        let batch = dec.decode(&bundle, 0);
+        assert!(batch.is_some());
+        let mut session = dec.stream(bundle.channels(), 0);
+        for p in 0..bundle.packets() {
+            let values: Vec<f64> = bundle.series.iter().map(|s| s[p]).collect();
+            assert!(session.feed_packet(bundle.t_us[p], &values).any());
+        }
+        assert_eq!(session.packets(), bundle.packets());
+        assert_eq!(session.finish(), batch);
+    }
+
+    #[test]
+    fn bounded_stream_backpressure() {
+        let payload: Vec<bool> = (0..6).map(|i| i % 2 == 0).collect();
+        let bundle = synth(&payload, 20, 0.3, 0.4, 333, 1_000, 42);
+        let cap = bundle.packets() / 3;
+        let dec = LongRangeDecoder::new(cfg(20, 1_000, 6));
+        let mut session = dec.stream_bounded(bundle.channels(), 0, cap);
+        assert_eq!(session.feed(&bundle).accepted, cap);
+        assert!(!session.feed(&bundle).any());
+        let prefix = SeriesBundle {
+            t_us: bundle.t_us[..cap].to_vec(),
+            series: bundle.series.iter().map(|s| s[..cap].to_vec()).collect(),
+        };
+        assert_eq!(session.finish(), dec.decode(&prefix, 0));
     }
 
     #[test]

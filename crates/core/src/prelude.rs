@@ -24,7 +24,7 @@ pub use crate::link::{
     DegradationReport, DownlinkConfig, DownlinkRun, LinkConfig, Measurement, MitigationPolicy,
     UplinkCapture, UplinkRun,
 };
-pub use crate::longrange::{LongRangeConfig, LongRangeDecoder, LongRangeOutput};
+pub use crate::longrange::{LongRangeConfig, LongRangeDecoder, LongRangeOutput, LongRangeStream};
 pub use crate::multitag::{
     run_inventory, run_inventory_with, InventoryConfig, InventoryResult, InventoryTag,
 };
@@ -32,13 +32,16 @@ pub use crate::protocol::{
     select_bit_rate, Ack, Query, RetryPolicy, WindowAck, SUPPORTED_RATES_BPS,
 };
 pub use crate::report::RunReport;
-pub use crate::series::SeriesBundle;
+pub use crate::series::{SeriesAccumulator, SeriesBundle};
 pub use crate::session::{QueryOutcome, Reader, ReaderConfig};
 pub use crate::trace::LoadedCapture;
-pub use crate::uplink::{Combining, DecodeOutput, UplinkDecoder, UplinkDecoderConfig};
+pub use crate::uplink::{
+    Combining, DecodeOutput, UplinkDecoder, UplinkDecoderConfig, UplinkStream,
+};
 pub use bs_channel::faults::{FaultEvents, FaultPlan};
 pub use bs_dsp::bits::BerCounter;
 pub use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder, Span};
+pub use bs_dsp::stream::Consumed;
 pub use bs_dsp::SimRng;
 pub use bs_tag::frame::{DownlinkFrame, UplinkFrame};
 
@@ -49,6 +52,7 @@ pub const PRELUDE_MANIFEST: &[&str] = &[
     "Ack",
     "BerCounter",
     "Combining",
+    "Consumed",
     "DecodeOutput",
     "DegradationReport",
     "DownlinkConfig",
@@ -66,6 +70,7 @@ pub const PRELUDE_MANIFEST: &[&str] = &[
     "LongRangeConfig",
     "LongRangeDecoder",
     "LongRangeOutput",
+    "LongRangeStream",
     "Measurement",
     "MemRecorder",
     "MitigationPolicy",
@@ -80,6 +85,7 @@ pub const PRELUDE_MANIFEST: &[&str] = &[
     "RetryPolicy",
     "RunReport",
     "SUPPORTED_RATES_BPS",
+    "SeriesAccumulator",
     "SeriesBundle",
     "SessionError",
     "SimRng",
@@ -90,6 +96,7 @@ pub const PRELUDE_MANIFEST: &[&str] = &[
     "UplinkDecoderConfig",
     "UplinkFrame",
     "UplinkRun",
+    "UplinkStream",
     "WindowAck",
     "capture_uplink",
     "capture_uplink_with",

@@ -9,6 +9,7 @@
 
 use bs_dsp::filter::condition;
 use bs_dsp::slotstats::{SlotPartition, SlotStats};
+use bs_dsp::stream::{Consumed, CountMedian};
 use bs_wifi::{CsiMeasurement, RssiMeasurement};
 use std::ops::Range;
 use std::rc::Rc;
@@ -89,6 +90,167 @@ impl SeriesBundle {
         let mut gaps: Vec<u64> = self.t_us.windows(2).map(|w| w[1] - w[0]).collect();
         gaps.sort_unstable();
         gaps[gaps.len() / 2]
+    }
+}
+
+/// Streaming builder for a [`SeriesBundle`]: packets are fed one at a
+/// time (or in bundle-sized bursts) as they arrive on the air, with
+/// explicit backpressure when a capacity bound is set.
+///
+/// This is the buffering half of the streaming decode path
+/// (`UplinkDecoder::stream()` / `feed()` / `finish()`): a tag session is
+/// one bounded frame, so the accumulator retains the session's packets —
+/// O(1) memory *per tag session* — and `finish()` hands the completed
+/// bundle to the batch decode chain, which is what makes streaming
+/// bit-identical to batch by construction (the decoder's normalisation
+/// scale and conditioning window are functions of the whole session; see
+/// DESIGN.md §5 "Streaming decode").
+///
+/// The inter-arrival median the decoder derives its conditioning window
+/// from is maintained incrementally ([`CountMedian`]), and equals the
+/// batch [`SeriesBundle::median_gap_us`] exactly at every point.
+#[derive(Debug, Clone)]
+pub struct SeriesAccumulator {
+    t_us: Vec<u64>,
+    series: Vec<Vec<f64>>,
+    capacity: Option<usize>,
+    peak_resident: usize,
+    gaps: CountMedian,
+}
+
+impl SeriesAccumulator {
+    /// An unbounded accumulator for `channels` synchronized series.
+    pub fn new(channels: usize) -> Self {
+        SeriesAccumulator {
+            t_us: Vec::new(),
+            series: vec![Vec::new(); channels],
+            capacity: None,
+            peak_resident: 0,
+            gaps: CountMedian::new(),
+        }
+    }
+
+    /// An accumulator that accepts at most `max_packets` packets; further
+    /// feeds report zero accepted (explicit backpressure) until the
+    /// session is finished.
+    pub fn with_capacity(channels: usize, max_packets: usize) -> Self {
+        SeriesAccumulator {
+            capacity: Some(max_packets),
+            ..Self::new(channels)
+        }
+    }
+
+    /// Number of channels the accumulator was created for.
+    pub fn channels(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Packets accepted so far.
+    pub fn packets(&self) -> usize {
+        self.t_us.len()
+    }
+
+    /// The capacity bound, if one was set.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// High-water mark of resident packets. The accumulator never evicts
+    /// (a session is one frame), so this equals [`Self::packets`]; it is
+    /// reported separately so capacity planning reads the same metric a
+    /// windowed variant would expose.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Median inter-packet gap (µs) of everything fed so far — exactly
+    /// [`SeriesBundle::median_gap_us`] of the equivalent batch bundle,
+    /// maintained incrementally.
+    pub fn median_gap_us(&self) -> u64 {
+        if self.t_us.len() < 2 {
+            return 0;
+        }
+        self.gaps.median().unwrap_or(0)
+    }
+
+    /// Offers one packet (its timestamp and one value per channel).
+    /// Returns [`Consumed::none`] — the packet is **not** buffered — if
+    /// the accumulator is at capacity or the timestamp would break the
+    /// ascending axis the decoders rely on.
+    ///
+    /// # Panics
+    /// Panics if `values` does not have one entry per channel.
+    pub fn feed_packet(&mut self, t_us: u64, values: &[f64]) -> Consumed {
+        assert_eq!(
+            values.len(),
+            self.channels(),
+            "packet shape does not match accumulator channels"
+        );
+        if self.capacity.is_some_and(|c| self.t_us.len() >= c) {
+            return Consumed::none();
+        }
+        if self.t_us.last().is_some_and(|&last| t_us < last) {
+            return Consumed::none();
+        }
+        if let Some(&last) = self.t_us.last() {
+            self.gaps.push(t_us - last);
+        }
+        self.t_us.push(t_us);
+        for (s, &v) in self.series.iter_mut().zip(values) {
+            s.push(v);
+        }
+        self.peak_resident = self.peak_resident.max(self.t_us.len());
+        Consumed::all(1)
+    }
+
+    /// Offers every packet of `bundle` in order; returns how many were
+    /// accepted (a prefix — feeding stops at the first rejection). The
+    /// bulk path appends whole column slices, which is what lets the
+    /// batch `decode()` route through feed/finish at memcpy cost.
+    ///
+    /// # Panics
+    /// Panics if a non-empty bundle's channel count differs.
+    pub fn feed(&mut self, bundle: &SeriesBundle) -> Consumed {
+        if bundle.packets() == 0 {
+            return Consumed::all(0);
+        }
+        assert_eq!(
+            bundle.channels(),
+            self.channels(),
+            "bundle shape does not match accumulator channels"
+        );
+        let free = self
+            .capacity
+            .map_or(usize::MAX, |c| c.saturating_sub(self.t_us.len()));
+        let mut take = bundle.packets().min(free);
+        if let (Some(&last), Some(&first)) = (self.t_us.last(), bundle.t_us.first()) {
+            if first < last {
+                take = 0;
+            }
+        }
+        if take == 0 {
+            return Consumed::none();
+        }
+        if let (Some(&last), Some(&first)) = (self.t_us.last(), bundle.t_us.first()) {
+            self.gaps.push(first - last);
+        }
+        for w in bundle.t_us[..take].windows(2) {
+            self.gaps.push(w[1] - w[0]);
+        }
+        self.t_us.extend_from_slice(&bundle.t_us[..take]);
+        for (s, col) in self.series.iter_mut().zip(&bundle.series) {
+            s.extend_from_slice(&col[..take]);
+        }
+        self.peak_resident = self.peak_resident.max(self.t_us.len());
+        Consumed::all(take)
+    }
+
+    /// Completes the session, yielding the batch bundle.
+    pub fn into_bundle(self) -> SeriesBundle {
+        SeriesBundle {
+            t_us: self.t_us,
+            series: self.series,
+        }
     }
 }
 
@@ -294,20 +456,53 @@ impl<'a> SlotIndex<'a> {
             .position(|g| g.width_us == width_us && g.residue_us == residue);
         match idx {
             Some(i) => {
+                // Cheap Rc clones so built stats can be re-derived below
+                // without re-borrowing self.
+                let cond_cache = self.cond.clone();
                 let g = &mut self.grids[i];
                 let base = g.partition.base_us().min(start_us);
                 let cur_end = g
                     .partition
                     .base_us()
                     .saturating_add((g.partition.n_slots() as u64).saturating_mul(width_us));
-                if base < g.partition.base_us() || end_us > cur_end {
-                    // Coverage grew: rebuild the partition over the union
-                    // and invalidate the per-channel stats.
+                if base < g.partition.base_us() {
+                    // Coverage grew on the low side: the slot anchor
+                    // moved, so every slot re-bins — rebuild the
+                    // partition over the union and invalidate the
+                    // per-channel stats.
                     let end = cur_end.max(end_us);
                     let n_slots = (end - base).div_ceil(width_us) as usize;
                     g.partition = SlotPartition::build(&self.bundle.t_us, base, width_us, n_slots);
                     g.stats.clear();
                     self.visits += g.partition.coverage_len() as u64;
+                } else if end_us > cur_end {
+                    // Coverage grew on the high side only: the anchor is
+                    // unchanged, so extend the partition incrementally
+                    // and re-derive just the changed tail of every built
+                    // per-channel statistic (bitwise identical to a full
+                    // rebuild — see SlotStats::extend).
+                    let n_slots = (end_us - base).div_ceil(width_us) as usize;
+                    let from = g.partition.extend(&self.bundle.t_us, n_slots);
+                    let tail_cov = if from < n_slots {
+                        (g.partition.slot_range(n_slots - 1).end
+                            - g.partition.slot_range(from).start) as u64
+                    } else {
+                        0
+                    };
+                    self.visits += tail_cov;
+                    for e in &mut g.stats {
+                        let cond = cond_cache
+                            .iter()
+                            .find(|(h, _)| *h == e.half)
+                            .map(|(_, c)| Rc::clone(c))
+                            .expect("stats were built from a cached conditioning");
+                        for (ch, slot) in e.per_channel.iter_mut().enumerate() {
+                            if let Some(stats) = slot {
+                                stats.extend(&g.partition, &cond[ch], from);
+                                self.visits += tail_cov;
+                            }
+                        }
+                    }
                 }
                 i
             }
@@ -394,6 +589,82 @@ mod tests {
         let b = SeriesBundle::from_csi(&ms);
         // gaps: 10, 20, 5, 65 → sorted 5,10,20,65 → median idx 2 = 20.
         assert_eq!(b.median_gap_us(), 20);
+    }
+
+    #[test]
+    fn accumulator_feed_packet_matches_batch_bundle() {
+        let ms = vec![csi(0, 1.0), csi(10, 2.0), csi(30, 3.0), csi(35, 4.0), csi(100, 5.0)];
+        let batch = SeriesBundle::from_csi(&ms);
+        let mut acc = SeriesAccumulator::new(batch.channels());
+        for p in 0..batch.packets() {
+            let values: Vec<f64> = batch.series.iter().map(|s| s[p]).collect();
+            assert_eq!(acc.feed_packet(batch.t_us[p], &values).accepted, 1);
+            assert_eq!(acc.median_gap_us(), {
+                let partial = SeriesBundle {
+                    t_us: batch.t_us[..=p].to_vec(),
+                    series: batch.series.iter().map(|s| s[..=p].to_vec()).collect(),
+                };
+                partial.median_gap_us()
+            });
+        }
+        assert_eq!(acc.peak_resident(), batch.packets());
+        assert_eq!(acc.into_bundle(), batch);
+    }
+
+    #[test]
+    fn accumulator_rejects_out_of_order_and_respects_capacity() {
+        let mut acc = SeriesAccumulator::with_capacity(1, 2);
+        assert_eq!(acc.capacity(), Some(2));
+        assert_eq!(acc.feed_packet(100, &[1.0]).accepted, 1);
+        // Out of order: rejected, not buffered.
+        assert_eq!(acc.feed_packet(50, &[9.0]).accepted, 0);
+        assert_eq!(acc.feed_packet(200, &[2.0]).accepted, 1);
+        // At capacity: backpressure.
+        assert!(!acc.feed_packet(300, &[3.0]).any());
+        let b = acc.into_bundle();
+        assert_eq!(b.t_us, vec![100, 200]);
+        assert_eq!(b.series[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn accumulator_bulk_feed_takes_prefix_up_to_capacity() {
+        let ms = vec![csi(0, 1.0), csi(10, 2.0), csi(20, 3.0), csi(30, 4.0)];
+        let bundle = SeriesBundle::from_csi(&ms);
+        let mut acc = SeriesAccumulator::with_capacity(bundle.channels(), 3);
+        let c = acc.feed(&bundle);
+        assert_eq!(c.accepted, 3);
+        assert_eq!(acc.packets(), 3);
+        // Further feeds are refused outright.
+        assert!(!acc.feed(&bundle).any());
+        let got = acc.into_bundle();
+        assert_eq!(got.t_us, vec![0, 10, 20]);
+        assert_eq!(got.median_gap_us(), 10);
+    }
+
+    #[test]
+    fn accumulator_bulk_feed_matches_batch_and_tracks_seam_gap() {
+        let ms = vec![csi(0, 1.0), csi(10, 2.0), csi(30, 3.0), csi(35, 4.0), csi(100, 5.0)];
+        let batch = SeriesBundle::from_csi(&ms);
+        let first = SeriesBundle {
+            t_us: batch.t_us[..2].to_vec(),
+            series: batch.series.iter().map(|s| s[..2].to_vec()).collect(),
+        };
+        let rest = SeriesBundle {
+            t_us: batch.t_us[2..].to_vec(),
+            series: batch.series.iter().map(|s| s[2..].to_vec()).collect(),
+        };
+        let mut acc = SeriesAccumulator::new(batch.channels());
+        assert_eq!(acc.feed(&first).accepted, 2);
+        assert_eq!(acc.feed(&rest).accepted, 3);
+        assert_eq!(acc.median_gap_us(), batch.median_gap_us());
+        assert_eq!(acc.into_bundle(), batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape does not match")]
+    fn accumulator_wrong_shape_panics() {
+        let mut acc = SeriesAccumulator::new(3);
+        acc.feed_packet(0, &[1.0, 2.0]);
     }
 
     #[test]

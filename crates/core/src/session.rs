@@ -25,6 +25,7 @@ use crate::link::{
     Measurement, MitigationPolicy, UplinkRun,
 };
 use crate::protocol::{select_bit_rate, Ack, Query, RetryPolicy};
+use crate::uplink::{UplinkDecoder, UplinkDecoderConfig, UplinkStream};
 use bs_channel::faults::FaultPlan;
 use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder};
 use bs_dsp::SimRng;
@@ -326,6 +327,37 @@ impl Reader {
         })
     }
 
+    /// The uplink decoder this session would apply to a plain
+    /// (uncoded) `payload_bits`-bit response: the §5 rate selection and
+    /// the CSI/RSSI measurement mapping are exactly what the link layer's
+    /// decode path uses, so a capture decoded through this decoder
+    /// matches the session's own decoding bit for bit.
+    pub fn response_decoder(&self, payload_bits: usize) -> UplinkDecoder {
+        let bit_rate =
+            select_bit_rate(self.cfg.helper_pps, self.cfg.pkts_per_bit, self.cfg.rate_margin);
+        let dcfg = match self.cfg.measurement {
+            Measurement::Csi => UplinkDecoderConfig::csi(bit_rate, payload_bits),
+            Measurement::Rssi => UplinkDecoderConfig::rssi(bit_rate, payload_bits),
+        };
+        UplinkDecoder::new(dcfg)
+    }
+
+    /// Opens a streaming decode session for an expected response —
+    /// [`Self::response_decoder`] composed with
+    /// [`UplinkDecoder::stream`]. On hardware this is the entry point
+    /// that consumes live per-packet CSI/RSSI as it arrives; packets are
+    /// pushed with [`UplinkStream::feed_packet`] and the frame decoded on
+    /// [`UplinkStream::finish`], bit-identical to batch-decoding the
+    /// same capture.
+    pub fn response_stream(
+        &self,
+        payload_bits: usize,
+        channels: usize,
+        start_hint_us: u64,
+    ) -> UplinkStream {
+        self.response_decoder(payload_bits).stream(channels, start_hint_us)
+    }
+
     /// One uplink exchange at the current deployment geometry.
     ///
     /// Every retry/fallback attempt is a *fresh* capture (new seed, new
@@ -514,6 +546,29 @@ mod tests {
         assert!(obs.counter("session.query-attempts") >= 1);
         assert!(obs.counter("session.response-attempts") >= 1);
         assert!(!obs.spans.is_empty(), "expected stage spans");
+    }
+
+    #[test]
+    fn response_decoder_mirrors_session_rate_and_measurement() {
+        use crate::link::Measurement;
+        use crate::protocol::select_bit_rate;
+        use crate::uplink::Combining;
+        let cfg = ReaderConfig::default();
+        let rate = select_bit_rate(cfg.helper_pps, cfg.pkts_per_bit, cfg.rate_margin);
+        let csi = Reader::new(cfg.clone(), 1).response_decoder(16);
+        assert_eq!(csi.config().payload_bits, 16);
+        assert_eq!(csi.config().bit_duration_us, (1_000_000 / rate).max(1));
+        assert_eq!(csi.config().combining, Combining::Mrc);
+        let rssi = Reader::new(cfg.with_measurement(Measurement::Rssi), 1).response_decoder(16);
+        assert_eq!(rssi.config().combining, Combining::BestSingle);
+    }
+
+    #[test]
+    fn response_stream_feeds_and_finishes() {
+        let r = Reader::new(ReaderConfig::default(), 1);
+        let mut s = r.response_stream(8, 2, 0);
+        assert!(s.feed_packet(0, &[1.0, 2.0]).any());
+        assert!(s.finish().is_none()); // one packet: no detection
     }
 
     #[test]

@@ -19,11 +19,12 @@
 //!    reject the Intel card's spurious jumps; a majority vote across the
 //!    packets of each timestamp-binned bit slot yields the bit.
 
-use crate::series::{SeriesBundle, SlotIndex};
+use crate::series::{SeriesAccumulator, SeriesBundle, SlotIndex};
 use bs_dsp::codes;
 use bs_dsp::filter::condition;
 use bs_dsp::obs::{NullRecorder, Recorder};
 use bs_dsp::slicer::{majority, Decision, HysteresisSlicer};
+use bs_dsp::stream::Consumed;
 use bs_tag::frame::UplinkFrame;
 
 /// How the decoder combines channels.
@@ -203,8 +204,53 @@ impl UplinkDecoder {
     /// estimate of when the tag's response begins (it sent the query, so it
     /// knows within a bit or two); the decoder refines the alignment by
     /// preamble correlation within ±`search_bits`.
+    ///
+    /// This is literally "feed everything, then finish" on the streaming
+    /// path ([`Self::stream`]): the bundle is fed through a
+    /// [`SeriesAccumulator`] in one bulk append and decoded by
+    /// [`UplinkStream::finish`], so batch and streaming cannot diverge.
     pub fn decode(&self, bundle: &SeriesBundle, start_hint_us: u64) -> Option<DecodeOutput> {
-        self.decode_with(bundle, start_hint_us, &mut NullRecorder)
+        let mut stream = self.stream(bundle.channels(), start_hint_us);
+        stream.feed(bundle);
+        stream.finish()
+    }
+
+    /// Opens a streaming decode session: packets are pushed as they
+    /// arrive ([`UplinkStream::feed_packet`] / [`UplinkStream::feed`]) and
+    /// the frame is decoded on [`UplinkStream::finish`]. Bit-identical to
+    /// calling [`Self::decode`] on the equivalent batch bundle.
+    ///
+    /// ```
+    /// use wifi_backscatter::uplink::{UplinkDecoder, UplinkDecoderConfig};
+    ///
+    /// let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, 8));
+    /// let mut session = dec.stream(4, 0);
+    /// assert_eq!(session.feed_packet(0, &[1.0, 2.0, 3.0, 4.0]).accepted, 1);
+    /// assert!(session.finish().is_none()); // one packet: no detection
+    /// ```
+    pub fn stream(&self, channels: usize, start_hint_us: u64) -> UplinkStream {
+        UplinkStream {
+            decoder: self.clone(),
+            acc: SeriesAccumulator::new(channels),
+            start_hint_us,
+        }
+    }
+
+    /// [`Self::stream`] with a hard bound on buffered packets: feeds past
+    /// `max_packets` report zero accepted (explicit backpressure — see
+    /// [`bs_dsp::stream::Consumed`]) and `finish()` decodes what was
+    /// accepted.
+    pub fn stream_bounded(
+        &self,
+        channels: usize,
+        start_hint_us: u64,
+        max_packets: usize,
+    ) -> UplinkStream {
+        UplinkStream {
+            decoder: self.clone(),
+            acc: SeriesAccumulator::with_capacity(channels, max_packets),
+            start_hint_us,
+        }
     }
 
     /// [`Self::decode`] plus observability: stage spans
@@ -313,10 +359,17 @@ impl UplinkDecoder {
         rec.gauge("uplink.preamble-score", preamble_score);
         rec.gauge("uplink.mrc-weight-entropy", weight_entropy(&channels));
 
-        // 3. Combining.
-        let combined: Vec<f64> = (0..bundle.packets())
-            .map(|p| channels.iter().map(|c| c.weight * conditioned[c.index][p]).sum())
-            .collect();
+        // 3. Combining: fold each selected channel into the accumulator
+        // with the chunked axpy kernel. Folding whole channels in
+        // selection order performs, per packet, the same
+        // `0 + w₀·x₀ + w₁·x₁ + …` chain as the per-packet sum the
+        // reference path computes — chunking unrolls across *packets*,
+        // never reassociates across channels — so the combined series is
+        // bit-identical to `decode_reference`'s.
+        let mut combined = vec![0.0f64; bundle.packets()];
+        for c in &channels {
+            bs_dsp::stream::axpy(&mut combined, c.weight, &conditioned[c.index]);
+        }
         rec.span("uplink.combine", t_lo, t_hi, bundle.packets() as u64);
 
         // 4. Hysteresis + timestamp-binned majority voting. The frame's
@@ -676,6 +729,76 @@ impl UplinkDecoder {
     }
 }
 
+/// A streaming uplink decode session: push packets as they arrive, decode
+/// on [`Self::finish`].
+///
+/// The session buffers its packets in a [`SeriesAccumulator`] — one tag
+/// response is one bounded frame, so memory is O(1) *per tag session* —
+/// and `finish()` hands the completed bundle to the batch pipeline. That
+/// "retain, then decode" shape is deliberate: the decoder's normalisation
+/// scale and conditioning window are functions of the *whole* session
+/// (see DESIGN.md §5 "Streaming decode"), so a decoder that discarded
+/// early packets could not stay bit-identical to batch. With
+/// [`UplinkDecoder::stream_bounded`] the buffer is capped and overflow is
+/// surfaced as explicit backpressure ([`Consumed`]) instead of silent
+/// divergence.
+#[derive(Debug, Clone)]
+pub struct UplinkStream {
+    decoder: UplinkDecoder,
+    acc: SeriesAccumulator,
+    start_hint_us: u64,
+}
+
+impl UplinkStream {
+    /// Offers one packet (MAC timestamp + one value per channel).
+    /// Rejected — [`Consumed::none`], nothing buffered — if the session
+    /// is at capacity or the timestamp runs backwards.
+    ///
+    /// # Panics
+    /// Panics if `values` does not have one entry per channel.
+    pub fn feed_packet(&mut self, t_us: u64, values: &[f64]) -> Consumed {
+        self.acc.feed_packet(t_us, values)
+    }
+
+    /// Offers a burst of packets; accepts a prefix (all of it when
+    /// unbounded and in order) and reports how many.
+    ///
+    /// # Panics
+    /// Panics if a non-empty bundle's channel count differs.
+    pub fn feed(&mut self, bundle: &SeriesBundle) -> Consumed {
+        self.acc.feed(bundle)
+    }
+
+    /// Packets buffered so far.
+    pub fn packets(&self) -> usize {
+        self.acc.packets()
+    }
+
+    /// High-water mark of buffered packets — the session's resident-set
+    /// figure reported by the stream bench.
+    pub fn peak_resident(&self) -> usize {
+        self.acc.peak_resident()
+    }
+
+    /// The reader's frame-start hint this session was opened with.
+    pub fn start_hint_us(&self) -> u64 {
+        self.start_hint_us
+    }
+
+    /// Completes the session and decodes the buffered packets —
+    /// bit-identical to [`UplinkDecoder::decode`] on the same packets.
+    pub fn finish(self) -> Option<DecodeOutput> {
+        self.finish_with(&mut NullRecorder)
+    }
+
+    /// [`Self::finish`] with observability (same recorder contract as
+    /// [`UplinkDecoder::decode_with`]).
+    pub fn finish_with(self, rec: &mut dyn Recorder) -> Option<DecodeOutput> {
+        let bundle = self.acc.into_bundle();
+        self.decoder.decode_with(&bundle, self.start_hint_us, rec)
+    }
+}
+
 /// Per-slot means of a *derived* series (e.g. the combined MRC series)
 /// over contiguous packet ranges; `None` if any slot is empty. The
 /// per-slot accumulation runs in packet order from a fresh 0.0, so the
@@ -981,6 +1104,57 @@ mod tests {
             let reused = dec.decode_indexed(&mut shared, 100_000, &mut NullRecorder);
             assert_eq!(fresh, reused, "bit_us {bit_us}");
         }
+    }
+
+    #[test]
+    fn stream_feed_matches_batch_decode_bit_for_bit() {
+        // Packet-at-a-time, burst-at-a-time, and single-shot feeding must
+        // all produce exactly the batch decode() output.
+        let payload = payload_90();
+        let (bundle, _) = synth_bundle(&payload, 20, 8, 0.5, 0.3, 333, 10_000, 100_000, 31);
+        let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, 90));
+        let batch = dec.decode(&bundle, 100_000);
+        assert!(batch.is_some());
+
+        let mut one_by_one = dec.stream(bundle.channels(), 100_000);
+        for p in 0..bundle.packets() {
+            let values: Vec<f64> = bundle.series.iter().map(|s| s[p]).collect();
+            assert!(one_by_one.feed_packet(bundle.t_us[p], &values).any());
+        }
+        assert_eq!(one_by_one.peak_resident(), bundle.packets());
+        assert_eq!(one_by_one.finish(), batch);
+
+        let mut bursts = dec.stream(bundle.channels(), 100_000);
+        let mut at = 0usize;
+        for size in [1usize, 7, 64, 500, usize::MAX] {
+            let hi = bundle.packets().min(at.saturating_add(size));
+            let chunk = SeriesBundle {
+                t_us: bundle.t_us[at..hi].to_vec(),
+                series: bundle.series.iter().map(|s| s[at..hi].to_vec()).collect(),
+            };
+            assert_eq!(bursts.feed(&chunk).accepted, hi - at);
+            at = hi;
+        }
+        assert_eq!(at, bundle.packets());
+        assert_eq!(bursts.finish(), batch);
+    }
+
+    #[test]
+    fn bounded_stream_applies_backpressure_and_decodes_prefix() {
+        let payload = payload_90();
+        let (bundle, _) = synth_bundle(&payload, 20, 8, 0.5, 0.3, 333, 10_000, 100_000, 32);
+        let cap = bundle.packets() / 2;
+        let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, 90));
+        let mut session = dec.stream_bounded(bundle.channels(), 100_000, cap);
+        assert_eq!(session.feed(&bundle).accepted, cap);
+        assert!(!session.feed(&bundle).any()); // full: explicit backpressure
+        assert_eq!(session.packets(), cap);
+        // The bounded session decodes exactly the prefix it accepted.
+        let prefix = SeriesBundle {
+            t_us: bundle.t_us[..cap].to_vec(),
+            series: bundle.series.iter().map(|s| s[..cap].to_vec()).collect(),
+        };
+        assert_eq!(session.finish(), dec.decode(&prefix, 100_000));
     }
 
     #[test]

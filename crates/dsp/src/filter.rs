@@ -17,23 +17,44 @@
 /// Edge samples average over whatever part of the window is in range, so the
 /// output has the same length as the input and no startup transient is
 /// discarded (the paper decodes full captures).
+///
+/// The interior — every sample with a full window — is a flat
+/// `(prefix[i+half+1] - prefix[i-half]) / (2·half+1)` map, computed through
+/// the chunked kernels in [`crate::stream`] so the compiler can lane it;
+/// only the `2·half` edge samples take the scalar truncated-window path.
+/// Per element the arithmetic is identical either way, so the split is
+/// bit-invisible.
 pub fn moving_average(xs: &[f64], half: usize) -> Vec<f64> {
-    if xs.is_empty() {
+    let len = xs.len();
+    if len == 0 {
         return Vec::new();
     }
-    // Prefix sums for O(n) averaging.
-    let mut prefix = Vec::with_capacity(xs.len() + 1);
+    // Prefix sums for O(n) averaging (a sequential left fold — kept
+    // scalar; reassociating it would change the rounding).
+    let mut prefix = Vec::with_capacity(len + 1);
     prefix.push(0.0);
     for &x in xs {
         prefix.push(prefix.last().unwrap() + x);
     }
-    (0..xs.len())
-        .map(|i| {
-            let lo = i.saturating_sub(half);
-            let hi = (i + half + 1).min(xs.len());
-            (prefix[hi] - prefix[lo]) / (hi - lo) as f64
-        })
-        .collect()
+    let edge = |out: &mut Vec<f64>, i: usize| {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(len);
+        out.push((prefix[hi] - prefix[lo]) / (hi - lo) as f64);
+    };
+    let (int_lo, int_hi) = if len > 2 * half { (half, len - half) } else { (0, 0) };
+    let mut out = Vec::with_capacity(len);
+    for i in 0..int_lo {
+        edge(&mut out, i);
+    }
+    if int_hi > int_lo {
+        let n = int_hi - int_lo;
+        let diffs = crate::stream::subtract(&prefix[2 * half + 1..2 * half + 1 + n], &prefix[..n]);
+        out.extend(crate::stream::scale_div(&diffs, (2 * half + 1) as f64));
+    }
+    for i in int_hi.max(int_lo)..len {
+        edge(&mut out, i);
+    }
+    out
 }
 
 /// The paper's signal-conditioning transform (§3.2 step 1):
@@ -43,14 +64,20 @@ pub fn moving_average(xs: &[f64], half: usize) -> Vec<f64> {
 ///
 /// Returns all zeros if the residual is identically zero (e.g. constant
 /// input), rather than dividing by zero.
+///
+/// The detrend and normalise maps run through the chunked
+/// [`crate::stream::subtract`] / [`crate::stream::scale_div`] kernels —
+/// element-for-element the same operations as the scalar loops they
+/// replaced, so conditioned output is bit-identical; the normalisation
+/// constant itself ([`crate::stats::mean_abs`]) stays a sequential fold.
 pub fn condition(xs: &[f64], half: usize) -> Vec<f64> {
     let ma = moving_average(xs, half);
-    let resid: Vec<f64> = xs.iter().zip(&ma).map(|(x, m)| x - m).collect();
+    let resid = crate::stream::subtract(xs, &ma);
     let scale = crate::stats::mean_abs(&resid);
     if scale == 0.0 {
         return vec![0.0; xs.len()];
     }
-    resid.iter().map(|r| r / scale).collect()
+    crate::stream::scale_div(&resid, scale)
 }
 
 /// Streaming signal conditioner.
@@ -145,6 +172,35 @@ mod tests {
             let hi = (i + half + 1).min(xs.len());
             let naive: f64 = xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
             assert!((f - naive).abs() < 1e-12, "at {i}");
+        }
+    }
+
+    #[test]
+    fn moving_average_split_is_bitwise_identical_to_uniform_formula() {
+        // The head/interior/tail split plus chunked kernels must compute
+        // exactly what the original single per-index formula did.
+        use crate::SimRng;
+        let mut rng = SimRng::new(5).stream("filter-ma-bitwise");
+        for len in [1usize, 2, 5, 8, 9, 40, 127] {
+            for half in [0usize, 1, 3, 20, 80] {
+                let xs: Vec<f64> = (0..len).map(|_| rng.gaussian(0.0, 5.0)).collect();
+                let got = moving_average(&xs, half);
+                let mut prefix = Vec::with_capacity(len + 1);
+                prefix.push(0.0);
+                for &x in &xs {
+                    prefix.push(prefix.last().unwrap() + x);
+                }
+                for (i, g) in got.iter().enumerate() {
+                    let lo = i.saturating_sub(half);
+                    let hi = (i + half + 1).min(len);
+                    let want = (prefix[hi] - prefix[lo]) / (hi - lo) as f64;
+                    assert_eq!(
+                        g.to_bits(),
+                        want.to_bits(),
+                        "len={len} half={half} i={i}"
+                    );
+                }
+            }
         }
     }
 

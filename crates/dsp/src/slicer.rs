@@ -23,6 +23,15 @@ pub enum Decision {
 /// A hysteresis slicer with thresholds `µ ± σ/2` computed from a reference
 /// population of combined channel values (the paper computes µ and σ of
 /// `CSI_weighted` "across packets").
+///
+/// ```
+/// use bs_dsp::slicer::{Decision, HysteresisSlicer};
+///
+/// let slicer = HysteresisSlicer::from_stats(0.0, 1.0); // thresholds ±0.5
+/// assert_eq!(slicer.decide(0.9), Decision::One);
+/// assert_eq!(slicer.decide(-0.9), Decision::Zero);
+/// assert_eq!(slicer.decide(0.2), Decision::Indeterminate);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct HysteresisSlicer {
     thresh1: f64,
@@ -32,6 +41,16 @@ pub struct HysteresisSlicer {
 impl HysteresisSlicer {
     /// Builds a slicer from the reference samples. With no samples the
     /// thresholds are both zero, degenerating to a sign slicer.
+    ///
+    /// ```
+    /// use bs_dsp::slicer::HysteresisSlicer;
+    ///
+    /// // A ±1 population has µ=0, σ=1 → thresholds ±0.5.
+    /// let samples = [1.0, -1.0, 1.0, -1.0];
+    /// let slicer = HysteresisSlicer::from_samples(&samples);
+    /// assert!((slicer.thresh1() - 0.5).abs() < 1e-12);
+    /// assert!((slicer.thresh0() + 0.5).abs() < 1e-12);
+    /// ```
     pub fn from_samples(samples: &[f64]) -> Self {
         let mut r = Running::new();
         for &s in samples {
@@ -41,6 +60,14 @@ impl HysteresisSlicer {
     }
 
     /// Builds a slicer directly from µ and σ.
+    ///
+    /// ```
+    /// use bs_dsp::slicer::HysteresisSlicer;
+    ///
+    /// let slicer = HysteresisSlicer::from_stats(2.0, 4.0);
+    /// assert_eq!(slicer.thresh1(), 4.0);
+    /// assert_eq!(slicer.thresh0(), 0.0);
+    /// ```
     pub fn from_stats(mean: f64, std_dev: f64) -> Self {
         HysteresisSlicer {
             thresh1: mean + std_dev / 2.0,
@@ -58,7 +85,15 @@ impl HysteresisSlicer {
         self.thresh0
     }
 
-    /// Classifies one combined channel value.
+    /// Classifies one combined channel value. Values **on** a threshold
+    /// are indeterminate (strict inequalities).
+    ///
+    /// ```
+    /// use bs_dsp::slicer::{Decision, HysteresisSlicer};
+    ///
+    /// let slicer = HysteresisSlicer::from_stats(0.0, 1.0);
+    /// assert_eq!(slicer.decide(0.5), Decision::Indeterminate); // boundary
+    /// ```
     pub fn decide(&self, x: f64) -> Decision {
         if x > self.thresh1 {
             Decision::One
@@ -73,6 +108,14 @@ impl HysteresisSlicer {
 /// A simple sign slicer (threshold at zero) — the non-hysteresis variant
 /// mentioned first in §3.2 step 3 ("if CSI_weighted is greater than zero,
 /// the receiver outputs a '1'").
+///
+/// ```
+/// use bs_dsp::slicer::{sign_decision, Decision};
+///
+/// assert_eq!(sign_decision(3.0), Decision::One);
+/// assert_eq!(sign_decision(-3.0), Decision::Zero);
+/// assert_eq!(sign_decision(0.0), Decision::Indeterminate);
+/// ```
 pub fn sign_decision(x: f64) -> Decision {
     if x > 0.0 {
         Decision::One
@@ -88,6 +131,13 @@ pub fn sign_decision(x: f64) -> Decision {
 /// Indeterminate decisions abstain. A tie (including the all-abstain case)
 /// returns `None` — the caller counts it as an erasure/error; the paper's
 /// conservative rate selection (§5) is designed to make this rare.
+///
+/// ```
+/// use bs_dsp::slicer::{majority, Decision::*};
+///
+/// assert_eq!(majority(&[One, One, Zero]), Some(true));
+/// assert_eq!(majority(&[One, Indeterminate, Zero]), None); // tie
+/// ```
 pub fn majority(decisions: &[Decision]) -> Option<bool> {
     let mut ones = 0usize;
     let mut zeros = 0usize;
@@ -107,6 +157,14 @@ pub fn majority(decisions: &[Decision]) -> Option<bool> {
 
 /// Convenience: slice every sample in a bit interval with the given slicer
 /// and majority-vote the result.
+///
+/// ```
+/// use bs_dsp::slicer::{vote_bit, HysteresisSlicer};
+///
+/// let slicer = HysteresisSlicer::from_stats(0.0, 1.0);
+/// // A spurious +8.0 spike in a zero interval cannot flip the vote.
+/// assert_eq!(vote_bit(&slicer, &[-1.0, -1.1, 8.0, -0.9]), Some(false));
+/// ```
 pub fn vote_bit(slicer: &HysteresisSlicer, samples: &[f64]) -> Option<bool> {
     let decisions: Vec<Decision> = samples.iter().map(|&x| slicer.decide(x)).collect();
     majority(&decisions)

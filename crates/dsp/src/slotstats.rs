@@ -42,7 +42,18 @@ use std::ops::Range;
 /// slots: slot `k` covers `[base_us + k·width_us, base_us + (k+1)·width_us)`.
 ///
 /// Built in one merge pass; afterwards every slot is a contiguous
-/// packet-index [`Range`], shared by all channels of the bundle.
+/// packet-index [`Range`], shared by all channels of the bundle. A
+/// partition can also grow incrementally — see [`SlotPartition::extend`]
+/// — when packets arrive on the stream or a decoder widens its window.
+///
+/// ```
+/// use bs_dsp::slotstats::SlotPartition;
+///
+/// let t_us = [100, 250, 400, 550];
+/// let part = SlotPartition::build(&t_us, 100, 300, 2);
+/// assert_eq!(part.slot_range(0), 0..2); // 100, 250
+/// assert_eq!(part.slot_range(1), 2..4); // 400, 550
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlotPartition {
     base_us: u64,
@@ -50,6 +61,10 @@ pub struct SlotPartition {
     /// `edges[k]` = first packet index with `t ≥ base_us + k·width_us`;
     /// length `n_slots + 1`.
     edges: Vec<usize>,
+    /// Packets of the timestamp axis seen at the last build/extend;
+    /// edges equal to this value point past all known data and may move
+    /// when the axis grows.
+    seen: usize,
 }
 
 impl SlotPartition {
@@ -73,7 +88,64 @@ impl SlotPartition {
             base_us,
             width_us,
             edges,
+            seen: t_us.len(),
         }
+    }
+
+    /// Extends the partition incrementally: `t_us` is the same axis the
+    /// partition was built over with zero or more packets **appended**
+    /// (still ascending), and `n_slots` the same or larger slot count.
+    /// Only edges that could have moved — those pointing past the data
+    /// seen at the last build — are recomputed; the result is equal to a
+    /// fresh [`SlotPartition::build`] over the new inputs.
+    ///
+    /// Returns the index of the first slot whose packet range is new or
+    /// may have changed (`n_slots` if nothing changed), so per-channel
+    /// [`SlotStats`] layered on top can resume from there via
+    /// [`SlotStats::extend`].
+    ///
+    /// ```
+    /// use bs_dsp::slotstats::SlotPartition;
+    ///
+    /// let mut live = SlotPartition::build(&[100, 250], 100, 300, 1);
+    /// let grown = [100, 250, 400, 550];
+    /// let from = live.extend(&grown, 2);
+    /// assert_eq!(live, SlotPartition::build(&grown, 100, 300, 2));
+    /// assert!(from <= 1);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if the axis shrank or `n_slots` decreased.
+    pub fn extend(&mut self, t_us: &[u64], n_slots: usize) -> usize {
+        assert!(t_us.len() >= self.seen, "timestamp axis shrank");
+        let old_n = self.n_slots();
+        assert!(n_slots >= old_n, "slot count shrank");
+        let prev_seen = self.seen;
+        // An edge equal to `prev_seen` pointed past every packet the
+        // partition had seen; appended packets may fall before its
+        // boundary, so it (and everything after it) must be recomputed.
+        // Edges below `prev_seen` are pinned by an existing packet at or
+        // beyond their boundary and cannot move.
+        let first_movable = self
+            .edges
+            .iter()
+            .position(|&e| e == prev_seen)
+            .unwrap_or(self.edges.len());
+        self.edges.truncate(first_movable);
+        let mut i = self.edges.last().copied().unwrap_or(0);
+        for k in first_movable as u64..=n_slots as u64 {
+            let boundary = self.base_us.saturating_add(k.saturating_mul(self.width_us));
+            if k == 0 {
+                i = t_us.partition_point(|&t| t < boundary);
+            } else {
+                while i < t_us.len() && t_us[i] < boundary {
+                    i += 1;
+                }
+            }
+            self.edges.push(i);
+        }
+        self.seen = t_us.len();
+        first_movable.saturating_sub(1).min(old_n)
     }
 
     /// The anchor time of slot 0.
@@ -132,18 +204,63 @@ impl SlotStats {
     /// Builds the per-slot statistics for `values` (one sample per
     /// packet, same indexing as the partition's timestamp axis) in one
     /// O(coverage + slots) pass.
+    ///
+    /// ```
+    /// use bs_dsp::slotstats::{SlotPartition, SlotStats};
+    ///
+    /// let part = SlotPartition::build(&[100, 250, 400], 100, 300, 2);
+    /// let stats = SlotStats::build(&part, &[1.0, 3.0, 5.0]);
+    /// assert_eq!(stats.mean(0), Some(2.0)); // slot 0 holds 1.0 and 3.0
+    /// assert_eq!(stats.mean(1), Some(5.0));
+    /// ```
     pub fn build(partition: &SlotPartition, values: &[f64]) -> Self {
+        let mut stats = SlotStats {
+            count: Vec::new(),
+            sum: Vec::new(),
+            var: Vec::new(),
+            prefix_count: vec![0],
+            prefix_sum: vec![0.0],
+            prefix_sum_sq: vec![0.0],
+        };
+        stats.extend(partition, values, 0);
+        stats
+    }
+
+    /// Incrementally re-derives the statistics for slots `from_slot..`
+    /// after the partition grew (see [`SlotPartition::extend`]); slots
+    /// below `from_slot` are untouched. Because every per-slot quantity
+    /// is a fresh left fold over its own contiguous slice, and the
+    /// prefix sums extend by the same `prefix[k+1] = prefix[k] + s`
+    /// recurrence as a full build, the result is **bitwise identical**
+    /// to a fresh [`SlotStats::build`] over the grown inputs.
+    ///
+    /// ```
+    /// use bs_dsp::slotstats::{SlotPartition, SlotStats};
+    ///
+    /// let t_us = [100u64, 250, 400, 550];
+    /// let xs = [1.0, 3.0, 5.0, 7.0];
+    /// let mut part = SlotPartition::build(&t_us[..2], 100, 300, 1);
+    /// let mut stats = SlotStats::build(&part, &xs[..2]);
+    /// let from = part.extend(&t_us, 2);
+    /// stats.extend(&part, &xs, from);
+    /// assert_eq!(stats, SlotStats::build(&part, &xs));
+    /// ```
+    pub fn extend(&mut self, partition: &SlotPartition, values: &[f64], from_slot: usize) {
         let n = partition.n_slots();
-        let mut count = Vec::with_capacity(n);
-        let mut sum = Vec::with_capacity(n);
-        let mut var = Vec::with_capacity(n);
-        let mut prefix_count = Vec::with_capacity(n + 1);
-        let mut prefix_sum = Vec::with_capacity(n + 1);
-        let mut prefix_sum_sq = Vec::with_capacity(n + 1);
-        prefix_count.push(0);
-        prefix_sum.push(0.0);
-        prefix_sum_sq.push(0.0);
-        for k in 0..n {
+        let from = from_slot.min(n).min(self.count.len());
+        self.count.truncate(from);
+        self.sum.truncate(from);
+        self.var.truncate(from);
+        self.prefix_count.truncate(from + 1);
+        self.prefix_sum.truncate(from + 1);
+        self.prefix_sum_sq.truncate(from + 1);
+        self.count.reserve(n - from);
+        self.sum.reserve(n - from);
+        self.var.reserve(n - from);
+        self.prefix_count.reserve(n - from);
+        self.prefix_sum.reserve(n - from);
+        self.prefix_sum_sq.reserve(n - from);
+        for k in from..n {
             let slice = &values[partition.slot_range(k)];
             // Fresh accumulators per slot, packet order: bit-exact with a
             // naive "sums[slot] += x" scan.
@@ -155,20 +272,12 @@ impl SlotStats {
                 sq += x * x;
                 w.push(x);
             }
-            count.push(slice.len() as u32);
-            sum.push(s);
-            var.push(w.population_variance());
-            prefix_count.push(prefix_count[k] + slice.len() as u64);
-            prefix_sum.push(prefix_sum[k] + s);
-            prefix_sum_sq.push(prefix_sum_sq[k] + sq);
-        }
-        SlotStats {
-            count,
-            sum,
-            var,
-            prefix_count,
-            prefix_sum,
-            prefix_sum_sq,
+            self.count.push(slice.len() as u32);
+            self.sum.push(s);
+            self.var.push(w.population_variance());
+            self.prefix_count.push(self.prefix_count[k] + slice.len() as u64);
+            self.prefix_sum.push(self.prefix_sum[k] + s);
+            self.prefix_sum_sq.push(self.prefix_sum_sq[k] + sq);
         }
     }
 
@@ -211,6 +320,152 @@ impl SlotStats {
     /// [`Self::window_sum`].
     pub fn window_sum_sq(&self, slots: Range<usize>) -> f64 {
         self.prefix_sum_sq[slots.end] - self.prefix_sum_sq[slots.start]
+    }
+}
+
+/// Sliding-window statistics over the last `capacity` samples, held in a
+/// ring buffer, with results **bitwise identical** to rebuilding the
+/// window's accumulators from scratch in arrival order.
+///
+/// Floating-point sums are left folds, so two regimes apply:
+///
+/// * **Filling** (no eviction yet): each [`WindowStats::push`] extends
+///   the cached fold in O(1) — `sum + x` is exactly what a fresh rebuild
+///   would compute last, so the cache stays bitwise equal to a rebuild.
+/// * **Wrapped** (ring at capacity): evicting the oldest sample breaks
+///   the prefix — f64 subtraction does *not* undo an addition bitwise —
+///   so a push that evicts refolds the ring in **logical order**, oldest
+///   to newest across the wrap point (the two storage slices
+///   `buf[head..]` then `buf[..head]`). Refolding in *storage* order
+///   would silently change the rounding the moment the window wraps;
+///   that distinction is pinned by a proptest against a fresh-rebuild
+///   model.
+///
+/// The O(window) refold per post-wrap push is the price of the
+/// bit-exactness contract; the window sizes the decoders use keep it
+/// cheap, and the filling phase (the common case for one tag session)
+/// stays O(1).
+///
+/// ```
+/// use bs_dsp::slotstats::WindowStats;
+///
+/// let mut w = WindowStats::new(3);
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// // Window is now [2, 3, 4] — identical to folding those afresh.
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.sum().to_bits(), (2.0 + 3.0 + 4.0f64).to_bits());
+/// assert_eq!(w.mean(), Some(3.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowStats {
+    buf: Vec<f64>,
+    capacity: usize,
+    /// Index of the oldest sample once the ring has wrapped; 0 before.
+    head: usize,
+    sum: f64,
+    sum_sq: f64,
+    welford: Running,
+}
+
+impl WindowStats {
+    /// An empty window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        WindowStats {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            welford: Running::new(),
+        }
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The construction-time bound on resident samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the next [`WindowStats::push`] will evict the oldest
+    /// sample.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Pushes one sample; if the ring was full, evicts and returns the
+    /// oldest. O(1) while filling, O(window) once wrapped (see the type
+    /// docs for why the refold cannot be avoided bitwise).
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        if self.buf.len() < self.capacity {
+            self.buf.push(x);
+            // Left-fold extension: exactly the last step of a rebuild.
+            self.sum += x;
+            self.sum_sq += x * x;
+            self.welford.push(x);
+            None
+        } else {
+            let evicted = self.buf[self.head];
+            self.buf[self.head] = x;
+            self.head = (self.head + 1) % self.capacity;
+            self.refold();
+            Some(evicted)
+        }
+    }
+
+    /// Rebuilds the cached folds in logical (arrival) order: the slice
+    /// from `head` to the end holds the oldest run, the slice before
+    /// `head` the newest.
+    fn refold(&mut self) {
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+        self.welford = Running::new();
+        let (newest, oldest) = self.buf.split_at(self.head);
+        for &x in oldest.iter().chain(newest) {
+            self.sum += x;
+            self.sum_sq += x * x;
+            self.welford.push(x);
+        }
+    }
+
+    /// Σx over the window, accumulated in arrival order.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Σx² over the window, accumulated in arrival order.
+    pub fn sum_sq(&self) -> f64 {
+        self.sum_sq
+    }
+
+    /// Mean of the window — `None` when empty.
+    ///
+    /// ```
+    /// # use bs_dsp::slotstats::WindowStats;
+    /// assert_eq!(WindowStats::new(4).mean(), None);
+    /// ```
+    pub fn mean(&self) -> Option<f64> {
+        (!self.buf.is_empty()).then(|| self.sum / self.buf.len() as f64)
+    }
+
+    /// Population variance of the window via the same Welford recurrence
+    /// as [`crate::stats::variance`], folded in arrival order.
+    pub fn population_variance(&self) -> f64 {
+        self.welford.population_variance()
     }
 }
 
@@ -347,5 +602,121 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_width_panics() {
         SlotPartition::build(&[0, 1], 0, 0, 1);
+    }
+
+    #[test]
+    fn extend_matches_fresh_build_bitwise() {
+        let (t_us, xs) = synth(600, 280, 4);
+        // Grow the stream and the slot count together in uneven steps,
+        // as a live session would.
+        let steps = [(50usize, 4usize), (51, 4), (200, 11), (400, 30), (600, 47)];
+        let (n0, s0) = steps[0];
+        let mut part = SlotPartition::build(&t_us[..n0], 7_000, 913, s0);
+        let mut stats = SlotStats::build(&part, &xs[..n0]);
+        for &(n, slots) in &steps[1..] {
+            let from = part.extend(&t_us[..n], slots);
+            stats.extend(&part, &xs[..n], from);
+            let fresh_part = SlotPartition::build(&t_us[..n], 7_000, 913, slots);
+            assert_eq!(part, fresh_part, "partition at n={n} slots={slots}");
+            let fresh = SlotStats::build(&fresh_part, &xs[..n]);
+            assert_eq!(stats, fresh, "stats PartialEq at n={n}");
+            for k in 0..slots {
+                assert_eq!(stats.sum(k).to_bits(), fresh.sum(k).to_bits());
+                assert_eq!(stats.variance(k).to_bits(), fresh.variance(k).to_bits());
+            }
+            assert_eq!(
+                stats.window_sum(0..slots).to_bits(),
+                fresh.window_sum(0..slots).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn extend_with_no_new_data_is_identity() {
+        let (t_us, xs) = synth(100, 300, 5);
+        let mut part = SlotPartition::build(&t_us, 0, 1_000, 10);
+        let before = part.clone();
+        let from = part.extend(&t_us, 10);
+        assert_eq!(part, before);
+        assert_eq!(from, 10, "nothing changed → first changed slot == n_slots");
+        let mut stats = SlotStats::build(&part, &xs);
+        let fresh = stats.clone();
+        stats.extend(&part, &xs, from);
+        assert_eq!(stats, fresh);
+    }
+
+    #[test]
+    fn extend_from_empty_partition() {
+        let (t_us, xs) = synth(120, 200, 6);
+        let mut part = SlotPartition::build(&[], 3_000, 500, 0);
+        let mut stats = SlotStats::build(&part, &[]);
+        let from = part.extend(&t_us, 25);
+        assert_eq!(from, 0);
+        assert_eq!(part, SlotPartition::build(&t_us, 3_000, 500, 25));
+        // A zero-slot build saw no slots; rebuild everything from 0.
+        stats.extend(&part, &xs, from);
+        assert_eq!(stats, SlotStats::build(&part, &xs));
+    }
+
+    #[test]
+    fn window_stats_filling_phase_is_left_fold() {
+        let (_, xs) = synth(40, 100, 7);
+        let mut w = WindowStats::new(64);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut run = Running::new();
+        for &x in &xs {
+            assert_eq!(w.push(x), None, "no eviction while filling");
+            sum += x;
+            sum_sq += x * x;
+            run.push(x);
+            assert_eq!(w.sum().to_bits(), sum.to_bits());
+            assert_eq!(w.sum_sq().to_bits(), sum_sq.to_bits());
+            assert_eq!(
+                w.population_variance().to_bits(),
+                run.population_variance().to_bits()
+            );
+        }
+        assert!(!w.is_full());
+    }
+
+    #[test]
+    fn window_stats_wrap_matches_fresh_rebuild_bitwise() {
+        let (_, xs) = synth(100, 100, 8);
+        let cap = 7;
+        let mut w = WindowStats::new(cap);
+        for (i, &x) in xs.iter().enumerate() {
+            let evicted = w.push(x);
+            if i >= cap {
+                assert_eq!(evicted.map(f64::to_bits), Some(xs[i - cap].to_bits()));
+            } else {
+                assert_eq!(evicted, None);
+            }
+            // Fresh accumulators over the logical window contents.
+            let lo = (i + 1).saturating_sub(cap);
+            let mut sum = 0.0;
+            let mut run = Running::new();
+            for &y in &xs[lo..=i] {
+                sum += y;
+                run.push(y);
+            }
+            assert_eq!(w.len(), i + 1 - lo);
+            assert_eq!(w.sum().to_bits(), sum.to_bits(), "i={i}");
+            assert_eq!(
+                w.population_variance().to_bits(),
+                run.population_variance().to_bits(),
+                "i={i}"
+            );
+            assert_eq!(
+                w.mean().map(f64::to_bits),
+                Some((sum / (i + 1 - lo) as f64).to_bits())
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_window_panics() {
+        WindowStats::new(0);
     }
 }

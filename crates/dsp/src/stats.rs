@@ -90,6 +90,13 @@ impl Running {
 }
 
 /// Mean of a slice (0 for an empty slice).
+///
+/// ```
+/// use bs_dsp::stats::mean;
+///
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(mean(&[]), 0.0);
+/// ```
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         0.0
@@ -98,7 +105,14 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-/// Population variance of a slice.
+/// Population variance of a slice (the same Welford recurrence as
+/// [`Running`], so slice and streaming paths agree bitwise).
+///
+/// ```
+/// use bs_dsp::stats::variance;
+///
+/// assert_eq!(variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]), 4.0);
+/// ```
 pub fn variance(xs: &[f64]) -> f64 {
     let mut r = Running::new();
     for &x in xs {
@@ -109,6 +123,12 @@ pub fn variance(xs: &[f64]) -> f64 {
 
 /// Mean of the absolute values of a slice — the normalisation constant used
 /// by the paper's signal-conditioning step (§3.2 step 1).
+///
+/// ```
+/// use bs_dsp::stats::mean_abs;
+///
+/// assert_eq!(mean_abs(&[3.0, -1.0, -2.0]), 2.0);
+/// ```
 pub fn mean_abs(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         0.0
@@ -119,6 +139,18 @@ pub fn mean_abs(xs: &[f64]) -> f64 {
 
 /// Linear-interpolated percentile (`p` in `[0, 100]`) of *unsorted* data.
 /// Returns 0 for an empty slice.
+///
+/// ```
+/// use bs_dsp::stats::percentile;
+///
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile(&xs, 0.0), 1.0);
+/// assert_eq!(percentile(&xs, 50.0), 2.5);
+/// assert_eq!(percentile(&xs, 100.0), 4.0);
+/// ```
+///
+/// # Panics
+/// Panics if the data contains a NaN.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
@@ -136,7 +168,14 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     }
 }
 
-/// Median of unsorted data.
+/// Median of unsorted data (the 50th [`percentile`], interpolated).
+///
+/// ```
+/// use bs_dsp::stats::median;
+///
+/// assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+/// assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+/// ```
 pub fn median(xs: &[f64]) -> f64 {
     percentile(xs, 50.0)
 }
@@ -145,6 +184,18 @@ pub fn median(xs: &[f64]) -> f64 {
 ///
 /// Fig. 4 of the paper plots PDFs of normalised channel values over
 /// `[-3, 3]`; `Histogram::new(-3.0, 3.0, 60)` reproduces that axis.
+///
+/// ```
+/// use bs_dsp::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 4.0, 4);
+/// for x in [0.5, 1.5, 1.6, 9.0] {
+///     h.push(x);
+/// }
+/// assert_eq!(h.count(1), 2);
+/// assert_eq!(h.out_of_range(), (0, 1)); // the 9.0
+/// assert_eq!(h.total(), 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,

@@ -1,0 +1,521 @@
+//! Composable streaming blocks over bounded buffers.
+//!
+//! The paper's reader decodes a *continuous* packet process in real
+//! time; the batch decoders in `bs-core` consume a complete capture per
+//! call. This module provides the streaming substrate between the two:
+//! small blocks in the FutureSDR `Kernel` shape — bounded internal
+//! state, a [`StreamBlock::push`] that reports how much input it
+//! accepted (backpressure is the caller seeing `accepted < offered`),
+//! and a drain side for produced samples.
+//!
+//! Three kinds of item live here:
+//!
+//! * the block protocol — [`Sample`], [`Consumed`], [`StreamBlock`] —
+//!   and two concrete blocks, [`BoundedQueue`] and [`MovingAvg`];
+//! * [`CountMedian`], an exact incremental median for the integer
+//!   inter-arrival statistics the decoders key their conditioning on;
+//! * the chunked vector kernels ([`axpy`], [`subtract`], [`scale_div`])
+//!   the decode hot path is written in terms of. They restructure
+//!   per-element loops into flat fixed-width lanes the autovectorizer
+//!   can pack, while performing **exactly** the same floating-point
+//!   operation on each element in the same order — so the vectorized
+//!   decode is bit-identical to the scalar reference (see DESIGN.md §5,
+//!   "Streaming decode", for the argument).
+
+use crate::slotstats::WindowStats;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// The sample type flowing between streaming blocks.
+///
+/// `f64`, not `f32`: the decoders carry a bit-exactness contract against
+/// their straight-line references, and narrowing the stream would change
+/// every rounding step. The vector kernels lane `f64` instead.
+pub type Sample = f64;
+
+/// How much of an offered slice a block accepted.
+///
+/// Backpressure is explicit and cooperative: a block never buffers more
+/// than its bound, and the caller learns how far it got by comparing
+/// `accepted` against what it offered.
+///
+/// ```
+/// use bs_dsp::stream::Consumed;
+///
+/// let c = Consumed::all(3);
+/// assert_eq!(c.accepted, 3);
+/// assert!(!Consumed::none().any());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Consumed {
+    /// Number of samples (or packets, for packet-granular feeders)
+    /// accepted from the front of the offered slice.
+    pub accepted: usize,
+}
+
+impl Consumed {
+    /// Everything offered was accepted.
+    ///
+    /// ```
+    /// # use bs_dsp::stream::Consumed;
+    /// assert_eq!(Consumed::all(5).accepted, 5);
+    /// ```
+    pub fn all(n: usize) -> Self {
+        Consumed { accepted: n }
+    }
+
+    /// Nothing was accepted — the block is full (backpressure).
+    ///
+    /// ```
+    /// # use bs_dsp::stream::Consumed;
+    /// assert_eq!(Consumed::none().accepted, 0);
+    /// ```
+    pub fn none() -> Self {
+        Consumed { accepted: 0 }
+    }
+
+    /// Whether any samples were accepted.
+    ///
+    /// ```
+    /// # use bs_dsp::stream::Consumed;
+    /// assert!(Consumed::all(1).any());
+    /// assert!(!Consumed::none().any());
+    /// ```
+    pub fn any(&self) -> bool {
+        self.accepted > 0
+    }
+}
+
+/// A streaming block: push samples in, drain produced samples out.
+///
+/// The contract, in the shape of FutureSDR's `Kernel::work`:
+///
+/// * `push` accepts a **prefix** of the offered slice and says how long
+///   that prefix was; it never reorders, drops from the middle, or
+///   blocks. `accepted < offered` is backpressure — retry the remainder
+///   after draining.
+/// * `drain` removes and returns everything the block has produced so
+///   far; between drains the block's resident state stays within its
+///   construction-time bound.
+///
+/// ```
+/// use bs_dsp::stream::{MovingAvg, StreamBlock};
+///
+/// let mut ma = MovingAvg::new(2, 8);
+/// ma.push(&[1.0, 3.0, 5.0]);
+/// // Trailing window of 2: [1], [1,3], [3,5].
+/// assert_eq!(ma.drain(), vec![1.0, 2.0, 4.0]);
+/// ```
+pub trait StreamBlock {
+    /// Offers `samples`; returns how many were accepted from the front.
+    fn push(&mut self, samples: &[Sample]) -> Consumed;
+
+    /// Removes and returns the samples produced so far, in order.
+    fn drain(&mut self) -> Vec<Sample>;
+}
+
+/// A bounded FIFO of samples: the simplest block, useful as the elastic
+/// buffer between a fast producer and a slow consumer.
+///
+/// ```
+/// use bs_dsp::stream::{BoundedQueue, StreamBlock};
+///
+/// let mut q = BoundedQueue::new(2);
+/// assert_eq!(q.push(&[1.0, 2.0, 3.0]).accepted, 2); // backpressure
+/// assert_eq!(q.drain(), vec![1.0, 2.0]);
+/// assert_eq!(q.push(&[3.0]).accepted, 1); // space again after drain
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue {
+    buf: VecDeque<Sample>,
+    capacity: usize,
+}
+
+impl BoundedQueue {
+    /// A queue holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    ///
+    /// ```
+    /// # use bs_dsp::stream::BoundedQueue;
+    /// assert_eq!(BoundedQueue::new(4).capacity(), 4);
+    /// ```
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Samples currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the queue holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The construction-time bound on resident samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl StreamBlock for BoundedQueue {
+    fn push(&mut self, samples: &[Sample]) -> Consumed {
+        let take = samples.len().min(self.capacity - self.buf.len());
+        self.buf.extend(&samples[..take]);
+        Consumed::all(take)
+    }
+
+    fn drain(&mut self) -> Vec<Sample> {
+        self.buf.drain(..).collect()
+    }
+}
+
+/// Streaming trailing moving average over the last `window` samples,
+/// built on [`WindowStats`] so its running sum follows the same
+/// left-fold accumulation order as a batch rebuild of the window.
+///
+/// Output sample `i` is the mean of input samples
+/// `[i.saturating_sub(window-1), i]` — the warm-up outputs average the
+/// partial window, matching how a ring fills. The output buffer is
+/// bounded by `out_capacity`; a full output buffer backpressures
+/// `push`.
+///
+/// ```
+/// use bs_dsp::stream::{MovingAvg, StreamBlock};
+///
+/// let mut ma = MovingAvg::new(3, 4);
+/// assert_eq!(ma.push(&[3.0, 3.0, 3.0, 9.0, 9.0]).accepted, 4); // out full
+/// assert_eq!(ma.drain(), vec![3.0, 3.0, 3.0, 5.0]);
+/// ma.push(&[9.0]);
+/// assert_eq!(ma.drain(), vec![7.0]); // window now [3, 9, 9]
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingAvg {
+    win: WindowStats,
+    out: Vec<Sample>,
+    out_capacity: usize,
+}
+
+impl MovingAvg {
+    /// A trailing average over `window` samples with an output buffer of
+    /// `out_capacity`.
+    ///
+    /// # Panics
+    /// Panics if `window == 0` or `out_capacity == 0`.
+    pub fn new(window: usize, out_capacity: usize) -> Self {
+        assert!(out_capacity > 0, "output capacity must be positive");
+        MovingAvg {
+            win: WindowStats::new(window),
+            out: Vec::with_capacity(out_capacity),
+            out_capacity,
+        }
+    }
+
+    /// The window length being averaged over.
+    pub fn window(&self) -> usize {
+        self.win.capacity()
+    }
+}
+
+impl StreamBlock for MovingAvg {
+    fn push(&mut self, samples: &[Sample]) -> Consumed {
+        let take = samples.len().min(self.out_capacity - self.out.len());
+        for &x in &samples[..take] {
+            self.win.push(x);
+            // The window is never empty here, so the mean exists.
+            self.out.push(self.win.mean().unwrap());
+        }
+        Consumed::all(take)
+    }
+
+    fn drain(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// Exact incremental median of a `u64` multiset, via a count map.
+///
+/// The decoders derive their conditioning window from the **median
+/// inter-arrival gap** of the packet stream; the batch path computes it
+/// by sorting all gaps and taking index `len / 2`. This type maintains
+/// the same element online: `median()` walks the sorted count map to
+/// the item at index `len / 2`, which is *identical* (not just close)
+/// to the sort-then-index result, so a streaming accumulator derives
+/// the same conditioning window the batch decode would.
+///
+/// ```
+/// use bs_dsp::stream::CountMedian;
+///
+/// let mut m = CountMedian::new();
+/// for gap in [300, 100, 200, 100] {
+///     m.push(gap);
+/// }
+/// let mut sorted = vec![300, 100, 200, 100];
+/// sorted.sort_unstable();
+/// assert_eq!(m.median(), Some(sorted[sorted.len() / 2]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CountMedian {
+    counts: BTreeMap<u64, u64>,
+    len: u64,
+}
+
+impl CountMedian {
+    /// An empty multiset.
+    pub fn new() -> Self {
+        CountMedian::default()
+    }
+
+    /// Inserts one value. O(log distinct-values).
+    pub fn push(&mut self, v: u64) {
+        *self.counts.entry(v).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Number of values inserted so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no values have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The element at index `len / 2` of the sorted multiset — the
+    /// upper median, matching `sorted[len / 2]` exactly. `None` when
+    /// empty.
+    pub fn median(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let target = self.len / 2;
+        let mut seen = 0u64;
+        for (&v, &c) in &self.counts {
+            seen += c;
+            if seen > target {
+                return Some(v);
+            }
+        }
+        unreachable!("count map totals disagree with len")
+    }
+}
+
+// ---- chunked vector kernels ----
+
+/// Lane width of the chunked kernels. 8 × f64 = one cache line; wide
+/// enough for any SIMD unit the autovectorizer targets, and the
+/// remainder loop is at most 7 scalar iterations.
+pub const LANES: usize = 8;
+
+/// `acc[i] += w * xs[i]` for every element — the MRC combining kernel.
+///
+/// Chunked into fixed [`LANES`]-wide blocks so the compiler can pack the
+/// multiply-adds; each element still receives exactly one
+/// `acc[i] + w * xs[i]` in index order, so folding channels through
+/// repeated `axpy` calls reproduces the scalar per-packet
+/// `Σ w_c · x_c[i]` accumulation **bit for bit** (same additions, same
+/// order — chunking unrolls the loop, it never reassociates across
+/// elements).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+///
+/// ```
+/// use bs_dsp::stream::axpy;
+///
+/// let mut acc = vec![0.0; 3];
+/// axpy(&mut acc, 2.0, &[1.0, 2.0, 3.0]);
+/// axpy(&mut acc, -1.0, &[0.0, 1.0, 2.0]);
+/// assert_eq!(acc, vec![2.0, 3.0, 4.0]);
+/// ```
+pub fn axpy(acc: &mut [f64], w: f64, xs: &[f64]) {
+    assert_eq!(acc.len(), xs.len(), "axpy length mismatch");
+    let mut a = acc.chunks_exact_mut(LANES);
+    let mut x = xs.chunks_exact(LANES);
+    for (ac, xc) in a.by_ref().zip(x.by_ref()) {
+        for k in 0..LANES {
+            ac[k] += w * xc[k];
+        }
+    }
+    for (ac, &xv) in a.into_remainder().iter_mut().zip(x.remainder()) {
+        *ac += w * xv;
+    }
+}
+
+/// Element-wise `xs[i] - ys[i]` — the detrend kernel of the conditioner.
+///
+/// Same chunking (and the same bit-exactness argument) as [`axpy`].
+///
+/// # Panics
+/// Panics if the slices differ in length.
+///
+/// ```
+/// use bs_dsp::stream::subtract;
+///
+/// assert_eq!(subtract(&[3.0, 5.0], &[1.0, 2.0]), vec![2.0, 3.0]);
+/// ```
+pub fn subtract(xs: &[f64], ys: &[f64]) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len(), "subtract length mismatch");
+    let mut out = vec![0.0; xs.len()];
+    let mut o = out.chunks_exact_mut(LANES);
+    let mut x = xs.chunks_exact(LANES);
+    let mut y = ys.chunks_exact(LANES);
+    for ((oc, xc), yc) in o.by_ref().zip(x.by_ref()).zip(y.by_ref()) {
+        for k in 0..LANES {
+            oc[k] = xc[k] - yc[k];
+        }
+    }
+    for ((ov, &xv), &yv) in o
+        .into_remainder()
+        .iter_mut()
+        .zip(x.remainder())
+        .zip(y.remainder())
+    {
+        *ov = xv - yv;
+    }
+    out
+}
+
+/// Element-wise `xs[i] / d` — the normalisation kernel of the
+/// conditioner.
+///
+/// Divides rather than multiplying by a reciprocal: `x / d` and
+/// `x * (1.0 / d)` round differently, and the conditioner's output is
+/// pinned bitwise against the scalar reference.
+///
+/// ```
+/// use bs_dsp::stream::scale_div;
+///
+/// assert_eq!(scale_div(&[2.0, 4.0, 6.0], 2.0), vec![1.0, 2.0, 3.0]);
+/// ```
+pub fn scale_div(xs: &[f64], d: f64) -> Vec<f64> {
+    let mut out = vec![0.0; xs.len()];
+    let mut o = out.chunks_exact_mut(LANES);
+    let mut x = xs.chunks_exact(LANES);
+    for (oc, xc) in o.by_ref().zip(x.by_ref()) {
+        for k in 0..LANES {
+            oc[k] = xc[k] / d;
+        }
+    }
+    for (ov, &xv) in o.into_remainder().iter_mut().zip(x.remainder()) {
+        *ov = xv / d;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    #[test]
+    fn bounded_queue_backpressures_and_drains() {
+        let mut q = BoundedQueue::new(3);
+        assert!(q.is_empty());
+        assert_eq!(q.push(&[1.0, 2.0]).accepted, 2);
+        assert_eq!(q.push(&[3.0, 4.0]).accepted, 1);
+        assert_eq!(q.push(&[4.0]), Consumed::none());
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.drain(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(q.push(&[4.0]).accepted, 1);
+        assert_eq!(q.drain(), vec![4.0]);
+    }
+
+    #[test]
+    fn moving_avg_matches_direct_windowed_mean() {
+        let mut rng = SimRng::new(7).stream("stream-ma");
+        let xs: Vec<f64> = (0..200).map(|_| rng.gaussian(0.0, 3.0)).collect();
+        let window = 13;
+        let mut ma = MovingAvg::new(window, xs.len());
+        assert_eq!(ma.push(&xs).accepted, xs.len());
+        let got = ma.drain();
+        for (i, &g) in got.iter().enumerate() {
+            let lo = (i + 1).saturating_sub(window);
+            let slice = &xs[lo..=i];
+            let want = slice.iter().sum::<f64>() / slice.len() as f64;
+            assert!((g - want).abs() < 1e-9, "i={i}: {g} vs {want}");
+        }
+    }
+
+    #[test]
+    fn moving_avg_backpressure_resumes_cleanly() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut ma = MovingAvg::new(2, 2);
+        let mut out = Vec::new();
+        let mut fed = 0;
+        while fed < xs.len() {
+            let c = ma.push(&xs[fed..]);
+            fed += c.accepted;
+            out.extend(ma.drain());
+            assert!(c.any() || !out.is_empty());
+        }
+        out.extend(ma.drain());
+        assert_eq!(out, vec![1.0, 1.5, 2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn count_median_matches_sort_then_index() {
+        let mut rng = SimRng::new(9).stream("stream-median");
+        for round in 0..50 {
+            let n = 1 + (round * 7) % 40;
+            let mut m = CountMedian::new();
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = rng.gaussian(500.0, 200.0).abs() as u64 % 17;
+                m.push(v);
+                vals.push(v);
+                let mut sorted = vals.clone();
+                sorted.sort_unstable();
+                assert_eq!(m.median(), Some(sorted[sorted.len() / 2]));
+                assert_eq!(m.len(), vals.len() as u64);
+            }
+        }
+        assert_eq!(CountMedian::new().median(), None);
+    }
+
+    #[test]
+    fn axpy_bitwise_matches_scalar_fold() {
+        let mut rng = SimRng::new(11).stream("stream-axpy");
+        for len in [0usize, 1, 7, 8, 9, 64, 100] {
+            let rows: Vec<Vec<f64>> = (0..5)
+                .map(|_| (0..len).map(|_| rng.gaussian(0.0, 1e3)).collect())
+                .collect();
+            let ws: Vec<f64> = (0..5).map(|_| rng.gaussian(0.0, 2.0)).collect();
+            let mut acc = vec![0.0; len];
+            for (row, &w) in rows.iter().zip(&ws) {
+                axpy(&mut acc, w, row);
+            }
+            for i in 0..len {
+                let mut want = 0.0;
+                for (row, &w) in rows.iter().zip(&ws) {
+                    want += w * row[i];
+                }
+                assert_eq!(acc[i].to_bits(), want.to_bits(), "len={len} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_and_scale_div_bitwise_match_scalar() {
+        let mut rng = SimRng::new(12).stream("stream-elemwise");
+        for len in [0usize, 1, 7, 8, 9, 33] {
+            let xs: Vec<f64> = (0..len).map(|_| rng.gaussian(0.0, 1e3)).collect();
+            let ys: Vec<f64> = (0..len).map(|_| rng.gaussian(0.0, 1e3)).collect();
+            let d = rng.gaussian(1.0, 0.3).abs() + 0.1;
+            let sub = subtract(&xs, &ys);
+            let div = scale_div(&xs, d);
+            for i in 0..len {
+                assert_eq!(sub[i].to_bits(), (xs[i] - ys[i]).to_bits());
+                assert_eq!(div[i].to_bits(), (xs[i] / d).to_bits());
+            }
+        }
+    }
+}

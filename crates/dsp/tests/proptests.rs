@@ -7,8 +7,11 @@ use bs_dsp::complex::Complex;
 use bs_dsp::correlate;
 use bs_dsp::filter::{condition, moving_average};
 use bs_dsp::slicer::{majority, Decision};
+use bs_dsp::slotstats::{SlotPartition, SlotStats, WindowStats};
 use bs_dsp::stats::{mean, mean_abs, percentile, Histogram, Running};
+use bs_dsp::stream::{axpy, BoundedQueue, CountMedian, MovingAvg, StreamBlock};
 use bs_dsp::testkit::check;
+use std::collections::VecDeque;
 
 // ---- complex arithmetic ----
 
@@ -242,6 +245,189 @@ fn majority_matches_naive_count() {
             None
         };
         assert_eq!(majority(&decisions), expect);
+    });
+}
+
+// ---- streaming windows & slot statistics ----
+
+/// The ring-wrap pin (ISSUE 6 bugfix): however the window wraps, every
+/// statistic must equal a fresh-accumulator rebuild over the window's
+/// logical contents — to the bit. A storage-order refold fails this the
+/// moment the first eviction happens.
+#[test]
+fn window_stats_any_push_sequence_matches_fresh_rebuild() {
+    check("window-stats-rebuild", 256, |g| {
+        let cap = g.usize_in(1, 12) + 1;
+        let xs = g.vec_f64(-1e6, 1e6, 1, 60);
+        let mut win = WindowStats::new(cap);
+        let mut model: VecDeque<f64> = VecDeque::new();
+        for &x in &xs {
+            let evicted = win.push(x);
+            if model.len() == cap {
+                assert_eq!(
+                    evicted.map(f64::to_bits),
+                    model.pop_front().map(f64::to_bits)
+                );
+            } else {
+                assert_eq!(evicted, None);
+            }
+            model.push_back(x);
+            // Fresh accumulators over the logical window, arrival order.
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            let mut run = Running::new();
+            for &y in &model {
+                sum += y;
+                sum_sq += y * y;
+                run.push(y);
+            }
+            assert_eq!(win.len(), model.len());
+            assert_eq!(win.sum().to_bits(), sum.to_bits());
+            assert_eq!(win.sum_sq().to_bits(), sum_sq.to_bits());
+            assert_eq!(
+                win.population_variance().to_bits(),
+                run.population_variance().to_bits()
+            );
+            assert_eq!(
+                win.mean().map(f64::to_bits),
+                Some((sum / model.len() as f64).to_bits())
+            );
+        }
+    });
+}
+
+/// Growing a partition + stats incrementally in random steps lands on
+/// exactly the state a fresh batch build produces.
+#[test]
+fn slot_extend_matches_fresh_build_bitwise() {
+    check("slot-extend-rebuild", 128, |g| {
+        let n = g.usize_in(4, 120);
+        let width = 1 + g.usize_in(0, 900) as u64;
+        let base = g.usize_in(0, 2_000) as u64;
+        let mut t = 0u64;
+        let mut t_us = Vec::with_capacity(n);
+        for _ in 0..n {
+            t += 1 + g.usize_in(0, 300) as u64;
+            t_us.push(t);
+        }
+        let xs = g.vec_f64(-1e3, 1e3, n, n + 1);
+        // Random monotone growth schedule over (packets, slots).
+        let mut cut = g.usize_in(0, n);
+        let mut slots = g.usize_in(0, 20);
+        let mut part = SlotPartition::build(&t_us[..cut], base, width, slots);
+        let mut stats = SlotStats::build(&part, &xs[..cut]);
+        for _ in 0..3 {
+            cut = cut.max(g.usize_in(0, n + 1)).min(n);
+            slots = slots.max(g.usize_in(0, 40));
+            let from = part.extend(&t_us[..cut], slots);
+            stats.extend(&part, &xs[..cut], from);
+            let fresh_part = SlotPartition::build(&t_us[..cut], base, width, slots);
+            assert_eq!(part, fresh_part);
+            let fresh = SlotStats::build(&fresh_part, &xs[..cut]);
+            assert_eq!(stats, fresh);
+            for k in 0..slots {
+                assert_eq!(stats.sum(k).to_bits(), fresh.sum(k).to_bits());
+                assert_eq!(stats.variance(k).to_bits(), fresh.variance(k).to_bits());
+            }
+        }
+    });
+}
+
+// ---- streaming blocks ----
+
+/// Chunk boundaries are invisible: feeding a signal through a block in
+/// arbitrary pieces (riding out backpressure) yields the same output as
+/// one large push.
+#[test]
+fn moving_avg_chunking_is_invisible() {
+    check("moving-avg-chunking", 128, |g| {
+        let xs = g.vec_f64(-1e3, 1e3, 1, 80);
+        let window = g.usize_in(1, 16) + 1;
+        let out_cap = g.usize_in(1, 8) + 1;
+        let mut whole = MovingAvg::new(window, xs.len());
+        whole.push(&xs);
+        let want = whole.drain();
+        let mut chunked = MovingAvg::new(window, out_cap);
+        let mut got = Vec::new();
+        let mut fed = 0;
+        while fed < xs.len() {
+            let hi = (fed + 1 + g.usize_in(0, 10)).min(xs.len());
+            let c = chunked.push(&xs[fed..hi]);
+            fed += c.accepted;
+            got.extend(chunked.drain());
+        }
+        got.extend(chunked.drain());
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    });
+}
+
+/// A bounded queue conserves samples: accepted prefix in, same samples
+/// out, never exceeding capacity.
+#[test]
+fn bounded_queue_conserves_samples() {
+    check("bounded-queue-conservation", 128, |g| {
+        let xs = g.vec_f64(-1e6, 1e6, 0, 60);
+        let cap = g.usize_in(1, 10) + 1;
+        let mut q = BoundedQueue::new(cap);
+        let mut out = Vec::new();
+        let mut fed = 0;
+        while fed < xs.len() {
+            let hi = (fed + 1 + g.usize_in(0, 7)).min(xs.len());
+            let c = q.push(&xs[fed..hi]);
+            assert!(q.len() <= cap);
+            assert_eq!(c.accepted, (hi - fed).min(cap - (q.len() - c.accepted)));
+            fed += c.accepted;
+            if g.usize_in(0, 2) == 0 {
+                out.extend(q.drain());
+            }
+        }
+        out.extend(q.drain());
+        assert_eq!(out, xs);
+    });
+}
+
+/// The incremental count-map median is the sort-then-index median.
+#[test]
+fn count_median_matches_sorted_index() {
+    check("count-median-sorted", 256, |g| {
+        let n = g.usize_in(1, 200);
+        let mut m = CountMedian::new();
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = g.usize_in(0, 50) as u64;
+            m.push(v);
+            vals.push(v);
+        }
+        let mut sorted = vals;
+        sorted.sort_unstable();
+        assert_eq!(m.median(), Some(sorted[sorted.len() / 2]));
+    });
+}
+
+/// The chunked axpy kernel folds channels into the accumulator with the
+/// exact additions of the scalar per-element loop.
+#[test]
+fn axpy_fold_matches_scalar_per_element() {
+    check("axpy-scalar-fold", 128, |g| {
+        let len = g.usize_in(0, 70);
+        let rows: Vec<Vec<f64>> = (0..g.usize_in(1, 6))
+            .map(|_| g.vec_f64(-1e4, 1e4, len, len + 1))
+            .collect();
+        let ws: Vec<f64> = rows.iter().map(|_| g.f64_in(-3.0, 3.0)).collect();
+        let mut acc = vec![0.0; len];
+        for (row, &w) in rows.iter().zip(&ws) {
+            axpy(&mut acc, w, row);
+        }
+        for i in 0..len {
+            let mut want = 0.0;
+            for (row, &w) in rows.iter().zip(&ws) {
+                want += w * row[i];
+            }
+            assert_eq!(acc[i].to_bits(), want.to_bits());
+        }
     });
 }
 

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Full local gate: everything CI would require, in dependency order.
 # Usage: scripts/check.sh [--bench-smoke]
-#   --bench-smoke  additionally run the decode microbench smoke mode in
-#                  release, writing BENCH_decode.json at the repo root.
-#                  The bench exits non-zero if the slot-indexed decode
-#                  path does more packet-stream passes than the
-#                  reference baseline or if its alignment-search work
-#                  scales with the candidate count.
+#   --bench-smoke  additionally run the decode and stream microbench
+#                  smoke modes in release, writing BENCH_decode.json
+#                  and BENCH_stream.json at the repo root. The decode
+#                  bench exits non-zero if the slot-indexed decode path
+#                  does more packet-stream passes than the reference
+#                  baseline or if its alignment-search work scales with
+#                  the candidate count; the stream bench if streaming
+#                  decode is not bit-identical to batch/reference, the
+#                  session buffers more than one frame, or feed+finish
+#                  falls under 2x the reference per-packet throughput.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +38,12 @@ cargo build --release --all-targets
 
 echo "== cargo test -q =="
 cargo test -q
+
+echo "== cargo test --doc (runnable API examples) =="
+# Every public item in the bs-dsp streaming/stats modules and the
+# core streaming sessions carries a runnable doc-example; keep them
+# compiling and passing like any other test.
+cargo test --doc -q
 
 echo "== fault-injection conformance + harness determinism =="
 # One release-mode pass over the two contracts the fault layer must keep:
@@ -75,6 +85,8 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     # Absolute path: cargo runs bench binaries with CWD = the package
     # dir, and the record belongs at the repo root.
     cargo bench -q -p bs-bench --bench decoder_micro -- --json "$PWD/BENCH_decode.json"
+    echo "== stream microbench smoke (streaming == batch, residency, throughput) =="
+    cargo bench -q -p bs-bench --bench stream_micro -- --json "$PWD/BENCH_stream.json"
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,161 @@
+//! Streaming-vs-batch equivalence on the golden decode workloads.
+//!
+//! The streaming sessions ([`UplinkDecoder::stream`],
+//! [`LongRangeDecoder::stream`]) promise the exact batch output — not
+//! approximately, bit for bit and ulp for ulp — whatever the feeding
+//! granularity. The golden fixtures under `tests/golden/` pin the batch
+//! decoder's behaviour; this suite pins the streaming path to it on the
+//! same three operating points (CSI/MRC, RSSI/best-single, long-range
+//! coded), fed one packet at a time, in ragged bursts, and as one whole
+//! capture, plus the straight-line `decode_reference` as the third
+//! witness on the plain-mode points.
+
+use bs_dsp::codes::OrthogonalPair;
+use wifi_backscatter::link::{capture_uplink, LinkConfig, Measurement, UplinkCapture};
+use wifi_backscatter::longrange::{LongRangeConfig, LongRangeDecoder};
+use wifi_backscatter::series::SeriesBundle;
+use wifi_backscatter::uplink::{UplinkDecoder, UplinkDecoderConfig};
+
+/// The golden 16-bit payload (`golden_decode.rs` uses the same one).
+fn golden_payload() -> Vec<bool> {
+    (0..16).map(|i| (i * 5) % 3 == 0).collect()
+}
+
+/// The golden close-range capture: fig-10 at 10 cm, 100 bps, 10
+/// packets per bit, seed 77.
+fn golden_capture(measurement: Measurement) -> (LinkConfig, UplinkCapture) {
+    let mut cfg = LinkConfig::fig10(0.1, 100, 10, 77);
+    cfg.measurement = measurement;
+    cfg.payload = golden_payload();
+    let capture = capture_uplink(&cfg);
+    (cfg, capture)
+}
+
+/// A sub-bundle of packets `[at, end)`, the shape a burst arrives in.
+fn burst(bundle: &SeriesBundle, at: usize, end: usize) -> SeriesBundle {
+    SeriesBundle {
+        t_us: bundle.t_us[at..end].to_vec(),
+        series: bundle.series.iter().map(|s| s[at..end].to_vec()).collect(),
+    }
+}
+
+/// Feeds `bundle` into a fresh session from `open()` in bursts whose
+/// sizes cycle through `sizes`, then returns the finished output.
+fn decode_via_bursts<S, T>(
+    open: impl Fn() -> S,
+    bundle: &SeriesBundle,
+    sizes: &[usize],
+    feed: impl Fn(&mut S, &SeriesBundle) -> usize,
+    finish: impl Fn(S) -> T,
+) -> T {
+    let mut session = open();
+    let mut at = 0usize;
+    let mut round = 0usize;
+    while at < bundle.packets() {
+        let end = at
+            .saturating_add(sizes[round % sizes.len()].max(1))
+            .min(bundle.packets());
+        let accepted = feed(&mut session, &burst(bundle, at, end));
+        assert_eq!(accepted, end - at, "unbounded session must accept the burst");
+        at = end;
+        round += 1;
+    }
+    finish(session)
+}
+
+/// CSI and RSSI: per-packet, ragged-burst and whole-capture streaming
+/// all land on the batch output, which matches `decode_reference`.
+#[test]
+fn plain_mode_streaming_matches_batch_and_reference_on_golden_workloads() {
+    for measurement in [Measurement::Csi, Measurement::Rssi] {
+        let (cfg, capture) = golden_capture(measurement);
+        let dcfg = match measurement {
+            Measurement::Csi => UplinkDecoderConfig::csi(100, cfg.payload.len()),
+            Measurement::Rssi => UplinkDecoderConfig::rssi(100, cfg.payload.len()),
+        };
+        let dec = UplinkDecoder::new(dcfg);
+
+        let batch = dec.decode(&capture.bundle, capture.start_us);
+        assert!(batch.is_some(), "golden workload must decode ({measurement:?})");
+        assert_eq!(
+            batch,
+            dec.decode_reference(&capture.bundle, capture.start_us),
+            "batch decode drifted from the reference ({measurement:?})"
+        );
+
+        // One packet at a time, through the narrow feed_packet door.
+        let mut by_packet = dec.stream(capture.bundle.channels(), capture.start_us);
+        for (i, &t) in capture.bundle.t_us.iter().enumerate() {
+            let row: Vec<f64> = capture.bundle.series.iter().map(|s| s[i]).collect();
+            assert!(by_packet.feed_packet(t, &row).any());
+        }
+        assert_eq!(by_packet.peak_resident(), capture.bundle.packets());
+        assert_eq!(by_packet.finish(), batch, "per-packet streaming ({measurement:?})");
+
+        // Ragged bursts and the whole capture in one call.
+        for sizes in [&[1usize, 7, 64][..], &[usize::MAX][..]] {
+            let streamed = decode_via_bursts(
+                || dec.stream(capture.bundle.channels(), capture.start_us),
+                &capture.bundle,
+                sizes,
+                |s, b| s.feed(b).accepted,
+                |s| s.finish(),
+            );
+            assert_eq!(streamed, batch, "burst sizes {sizes:?} ({measurement:?})");
+        }
+    }
+}
+
+/// Long-range coded mode: the golden 1 m, length-8-code point decodes
+/// identically batch and streamed.
+#[test]
+fn long_range_streaming_matches_batch_on_golden_workload() {
+    let mut cfg = LinkConfig::fig10(1.0, 200, 10, 78);
+    cfg.measurement = Measurement::Csi;
+    cfg.payload = golden_payload()[..8].to_vec();
+    cfg.code_length = 8;
+    let capture = capture_uplink(&cfg);
+    let dec = LongRangeDecoder::new(LongRangeConfig {
+        chip_duration_us: capture.chip_us,
+        code: OrthogonalPair::new(cfg.code_length),
+        payload_bits: cfg.payload.len(),
+        conditioning_window_us: 400_000,
+        top_channels: 10,
+    });
+
+    let batch = dec.decode(&capture.bundle, capture.start_us);
+    assert!(batch.is_some(), "golden long-range workload must decode");
+
+    for sizes in [&[1usize][..], &[3, 17, 128][..], &[usize::MAX][..]] {
+        let streamed = decode_via_bursts(
+            || dec.stream(capture.bundle.channels(), capture.start_us),
+            &capture.bundle,
+            sizes,
+            |s, b| s.feed(b).accepted,
+            |s| s.finish(),
+        );
+        assert_eq!(streamed, batch, "long-range burst sizes {sizes:?}");
+    }
+}
+
+/// Backpressure on the golden workload: a bounded session accepts
+/// exactly its capacity and decodes the same prefix a batch decode of
+/// that prefix would.
+#[test]
+fn bounded_streaming_decodes_the_accepted_prefix_exactly() {
+    let (cfg, capture) = golden_capture(Measurement::Csi);
+    let dec = UplinkDecoder::new(UplinkDecoderConfig::csi(100, cfg.payload.len()));
+    let cap = capture.bundle.packets() / 2;
+
+    let mut bounded = dec.stream_bounded(capture.bundle.channels(), capture.start_us, cap);
+    let consumed = bounded.feed(&capture.bundle);
+    assert_eq!(consumed.accepted, cap, "session must stop at its capacity");
+    assert_eq!(bounded.peak_resident(), cap);
+
+    let prefix = burst(&capture.bundle, 0, cap);
+    assert_eq!(
+        bounded.finish(),
+        dec.decode(&prefix, capture.start_us),
+        "bounded session output != batch decode of the accepted prefix"
+    );
+}
