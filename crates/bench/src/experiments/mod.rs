@@ -10,6 +10,7 @@
 //! | [`ablation`] | design-choice ablations (combining, hysteresis, artifacts, conditioning) |
 //! | [`faults`] | fault-injection sweep: degradation with mitigations off vs on |
 //! | [`net`] | transport sweep: goodput vs loss severity × ARQ window over `bs-net` |
+//! | [`fec`] | FEC sweep: goodput vs traffic regime × coding scheme over `TrafficLink` |
 //! | [`obs`] | stage profiling: per-stage spans/counters from armed-recorder runs |
 //! | [`stream`] | streaming-decode equivalence: batch vs chunked feed/finish, peak resident window |
 
@@ -18,6 +19,7 @@ pub mod ambient;
 pub mod coexistence;
 pub mod downlink;
 pub mod faults;
+pub mod fec;
 pub mod net;
 pub mod obs;
 pub mod power;

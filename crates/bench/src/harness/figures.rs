@@ -17,7 +17,7 @@ use wifi_backscatter::link::Measurement;
 use super::record::{JobOutput, RunRecord};
 use super::scheduler::Job;
 use crate::experiments::{
-    ablation, ambient, coexistence, downlink, faults, net, obs, power, stream, uplink,
+    ablation, ambient, coexistence, downlink, faults, fec, net, obs, power, stream, uplink,
 };
 
 /// How much work each figure does — the knobs the old `all`/`quick`
@@ -64,7 +64,8 @@ impl Effort {
 /// Every figure id the harness knows, in canonical output order.
 pub const ALL_FIGURES: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults", "obs", "net", "stream",
+    "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults", "obs", "net", "fec",
+    "stream",
 ];
 
 /// Lines computed from a section's finished records (Fig. 19's impact
@@ -153,6 +154,7 @@ pub fn plan(figs: &[String], effort: &Effort, seed: u64) -> Result<Plan, String>
             "faults" => faults_section(&mut p, seed, effort),
             "obs" => obs_section(&mut p, seed, effort),
             "net" => net_section(&mut p, seed, effort),
+            "fec" => fec_section(&mut p, seed, effort),
             "stream" => stream_section(&mut p, seed),
             other => {
                 return Err(format!(
@@ -782,6 +784,62 @@ fn net_section(p: &mut Plan, seed: u64, e: &Effort) {
                 }
             });
         }
+    }
+}
+
+fn fec_section(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "fec",
+        vec![
+            "# === fec: 1 KiB transfer goodput vs traffic regime × coding scheme ===".into(),
+            "# regime  coding  severity  goodput_bps  complete_runs  repairs  decode_fails".into(),
+        ],
+    );
+    let runs = e.runs.min(3);
+    let codings = [fec::Coding::ArqOnly, fec::Coding::Fixed, fec::Coding::Adaptive];
+    // Regime × coding grid at the acceptance severity.
+    for regime in fec::REGIMES {
+        for coding in codings {
+            p.job(s, format!("{regime} {}", coding.label()), seed, move || {
+                fec_job(fec::fec_point(regime, coding, 0.5, runs, seed))
+            });
+        }
+    }
+    // Severity sweep in the wild regime: the paired ARQ-vs-adaptive
+    // comparison the conformance suite and the fec bench gate on.
+    for severity in [0.0f64, 0.25, 0.75, 1.0] {
+        for coding in [fec::Coding::ArqOnly, fec::Coding::Adaptive] {
+            p.job(
+                s,
+                format!("wild {} s={severity:.2}", coding.label()),
+                seed,
+                move || fec_job(fec::fec_point("wild", coding, severity, runs, seed)),
+            );
+        }
+    }
+}
+
+/// Renders one [`fec::FecPoint`] as a job line + metrics.
+fn fec_job(pt: fec::FecPoint) -> JobOutput {
+    JobOutput {
+        lines: vec![format!(
+            "{}  {}  {:.2}  {:9.1}  {}  {}  {}",
+            pt.regime,
+            pt.coding.label(),
+            pt.severity,
+            pt.goodput_bps,
+            pt.complete_runs,
+            pt.fec_repairs,
+            pt.fec_decode_fails
+        )],
+        metrics: vec![
+            ("goodput_bps".into(), pt.goodput_bps),
+            ("complete_runs".into(), pt.complete_runs as f64),
+            ("fec_repairs".into(), pt.fec_repairs as f64),
+            ("fec_decode_fails".into(), pt.fec_decode_fails as f64),
+        ],
+        work_items: pt.per_run_goodput.len() as u64 * fec::MESSAGE_BYTES as u64,
+        ..JobOutput::default()
     }
 }
 

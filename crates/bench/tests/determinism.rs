@@ -11,7 +11,9 @@
 //! JSON must be byte-identical under any `--jobs`) and the `net`
 //! transport sweep (per-run seeds derive from point coordinates alone,
 //! so whole ARQ transfers reproduce under any worker count) and the
-//! `stream` figure (streaming-vs-batch decode equivalence is itself a
+//! `fec` figure (paired links: every coding scheme replays the identical
+//! arrival trace and fault stream per run, so goodput deltas reproduce
+//! exactly) and the `stream` figure (streaming-vs-batch decode equivalence is itself a
 //! determinism claim: feed/finish must land on the batch output whatever
 //! the burst size, and the resulting table under any `--jobs`), at a reduced effort
 //! (1 run per point, 1 kbit per downlink point, fig10's
@@ -42,6 +44,7 @@ fn build() -> (Vec<bs_bench::harness::Section>, Vec<bs_bench::harness::Job>) {
         "faults".to_string(),
         "obs".to_string(),
         "net".to_string(),
+        "fec".to_string(),
         "stream".to_string(),
     ];
     let p = plan(&figs, &test_effort(), 7).expect("known figures");
@@ -78,6 +81,7 @@ fn parallel_run_is_byte_identical_to_serial() {
     assert!(table_serial.contains("# === Fig 17"));
     assert!(table_serial.contains("# === Fault injection"));
     assert!(table_serial.contains("# === net: 1 KiB transfer goodput"));
+    assert!(table_serial.contains("# === fec: 1 KiB transfer goodput"));
     assert!(table_serial.contains("# === stream: streaming decode vs batch"));
 
     // Every streaming point must report bit-for-bit agreement with the

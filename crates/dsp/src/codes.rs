@@ -1,4 +1,5 @@
-//! Line codes used by the tag.
+//! Line codes used by the tag, plus the finite-field arithmetic the
+//! transport's forward-error-correction layer builds on.
 //!
 //! * **Barker codes** — the prototype uses a 13-bit Barker code as its
 //!   uplink preamble "for its good autocorrelation properties" (§6). We also
@@ -8,6 +9,11 @@
 //!   correlates with both and picks the larger. Correlating over L chips
 //!   buys an SNR gain proportional to L, which is what extends the range to
 //!   2.1 m in Fig. 20.
+//! * **[`gf256`]** — table-driven GF(2⁸) arithmetic (the AES/CD-ROM field,
+//!   primitive polynomial `x⁸+x⁴+x³+x²+1`), the symbol field of the
+//!   Reed-Solomon coder in `bs_net::fec`. Offline like everything else in
+//!   the workspace: the log/antilog tables are built by a `const fn` at
+//!   compile time, no external crate involved.
 
 /// The 13-chip Barker code (peak sidelobe 1/13).
 pub const BARKER13: [i8; 13] = [1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1];
@@ -118,6 +124,155 @@ impl OrthogonalPair {
         let c1 = crate::correlate::dot(window, &self.one);
         let c0 = crate::correlate::dot(window, &self.zero);
         ((c1 >= c0), (c1 - c0).abs())
+    }
+}
+
+/// Table-driven arithmetic in GF(2⁸) with primitive polynomial
+/// `x⁸+x⁴+x³+x²+1` (0x11D) and generator α = 2.
+///
+/// This is the symbol field of the Reed-Solomon coder in `bs_net::fec`.
+/// The antilog table is doubled (512 entries) so products of two logs
+/// never need a modulo: `EXP[LOG[a] + LOG[b]]` is always in range.
+/// All tables are computed by a `const fn` at compile time.
+///
+/// ```
+/// use bs_dsp::codes::gf256;
+/// let a = 0x53u8;
+/// let inv = gf256::inv(a);
+/// assert_eq!(gf256::mul(a, inv), 1);
+/// assert_eq!(gf256::add(a, a), 0); // characteristic 2: addition is XOR
+/// ```
+pub mod gf256 {
+    /// Field order.
+    pub const ORDER: usize = 256;
+
+    /// The primitive polynomial `x⁸+x⁴+x³+x²+1`, as the reduction mask
+    /// applied when a product overflows 8 bits.
+    pub const POLY: u16 = 0x11D;
+
+    const fn build_tables() -> ([u8; 512], [u8; 256]) {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        let mut i = 0usize;
+        while i < 255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+            i += 1;
+        }
+        // Double the antilog table so EXP[la + lb] needs no reduction
+        // (la + lb <= 508), and fill the seam at 255 with α⁰ = 1.
+        while i < 512 {
+            exp[i] = exp[i - 255];
+            i += 1;
+        }
+        (exp, log)
+    }
+
+    const TABLES: ([u8; 512], [u8; 256]) = build_tables();
+
+    /// Antilog table: `EXP[i] = α^i`, doubled to 512 entries.
+    pub const EXP: [u8; 512] = TABLES.0;
+
+    /// Log table: `LOG[x] = log_α(x)` for x ≠ 0; `LOG[0]` is 0 and must
+    /// never be consulted (every accessor below guards the zero case).
+    pub const LOG: [u8; 256] = TABLES.1;
+
+    /// Field addition (= subtraction): XOR.
+    #[inline]
+    pub const fn add(a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication via the log/antilog tables.
+    #[inline]
+    pub fn mul(a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+        }
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    #[inline]
+    pub fn div(a: u8, b: u8) -> u8 {
+        assert!(b != 0, "GF(256) division by zero");
+        if a == 0 {
+            0
+        } else {
+            EXP[255 + LOG[a as usize] as usize - LOG[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on `inv(0)`.
+    #[inline]
+    pub fn inv(a: u8) -> u8 {
+        assert!(a != 0, "GF(256) inverse of zero");
+        EXP[255 - LOG[a as usize] as usize]
+    }
+
+    /// `a` raised to the (possibly negative) power `n`.
+    #[inline]
+    pub fn pow(a: u8, n: i32) -> u8 {
+        if a == 0 {
+            return if n == 0 { 1 } else { 0 };
+        }
+        let l = i64::from(LOG[a as usize]) * i64::from(n);
+        EXP[l.rem_euclid(255) as usize]
+    }
+
+    /// `α^i` for any integer exponent (taken mod 255).
+    #[inline]
+    pub fn alpha_pow(i: i32) -> u8 {
+        EXP[(i.rem_euclid(255)) as usize]
+    }
+
+    /// Discrete log base α of a non-zero element.
+    ///
+    /// # Panics
+    /// Panics on `log(0)`.
+    #[inline]
+    pub fn log(a: u8) -> u8 {
+        assert!(a != 0, "GF(256) log of zero");
+        LOG[a as usize]
+    }
+
+    /// Evaluates the polynomial `poly` (coefficients in descending
+    /// degree order) at `x`, by Horner's rule.
+    pub fn poly_eval(poly: &[u8], x: u8) -> u8 {
+        let mut y = 0u8;
+        for &c in poly {
+            y = add(mul(y, x), c);
+        }
+        y
+    }
+
+    /// Product of two polynomials (descending-order coefficients).
+    pub fn poly_mul(a: &[u8], b: &[u8]) -> Vec<u8> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u8; a.len() + b.len() - 1];
+        for (i, &ca) in a.iter().enumerate() {
+            if ca == 0 {
+                continue;
+            }
+            for (j, &cb) in b.iter().enumerate() {
+                out[i + j] ^= mul(ca, cb);
+            }
+        }
+        out
     }
 }
 
@@ -291,5 +446,84 @@ mod tests {
         assert_eq!(sidelobe_ratio(&[]), 0.0);
         // A length-2 orthogonal-ish code [1, -1]: lag-1 autocorr = -1.
         assert_eq!(sidelobe_ratio(&[1, -1]), 2.0);
+    }
+
+    #[test]
+    fn gf256_tables_are_consistent() {
+        // α^0 = 1, tables round-trip, and the doubled antilog half
+        // mirrors the first.
+        assert_eq!(gf256::EXP[0], 1);
+        for x in 1..=255u8 {
+            assert_eq!(gf256::EXP[gf256::LOG[x as usize] as usize], x);
+        }
+        for i in 0..255usize {
+            assert_eq!(gf256::EXP[i], gf256::EXP[i + 255]);
+        }
+    }
+
+    #[test]
+    fn gf256_mul_matches_carryless_reference() {
+        // Bitwise carry-less multiply with 0x11D reduction, checked
+        // against the table path over a spread of operands.
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut p = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                let hi = a & 0x80 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= (gf256::POLY & 0xFF) as u8;
+                }
+                b >>= 1;
+            }
+            p
+        }
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                assert_eq!(gf256::mul(a, b), slow_mul(a, b), "{a} * {b}");
+            }
+        }
+        assert_eq!(gf256::mul(0, 77), 0);
+        assert_eq!(gf256::mul(77, 0), 0);
+    }
+
+    #[test]
+    fn gf256_inverse_and_division() {
+        for a in 1..=255u8 {
+            let i = gf256::inv(a);
+            assert_eq!(gf256::mul(a, i), 1, "inv({a})");
+            assert_eq!(gf256::div(a, a), 1);
+            assert_eq!(gf256::div(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn gf256_pow_edge_cases() {
+        assert_eq!(gf256::pow(0, 0), 1);
+        assert_eq!(gf256::pow(0, 5), 0);
+        assert_eq!(gf256::pow(2, 255), 1); // α has order 255
+        assert_eq!(gf256::pow(2, -1), gf256::inv(2));
+        assert_eq!(gf256::alpha_pow(-1), gf256::inv(2));
+        assert_eq!(gf256::alpha_pow(255), 1);
+    }
+
+    #[test]
+    fn gf256_poly_eval_and_mul() {
+        // (x + 1)(x + 2) = x² + 3x + 2 in GF(256) (3 = 1 XOR 2).
+        let p = gf256::poly_mul(&[1, 1], &[1, 2]);
+        assert_eq!(p, vec![1, 3, 2]);
+        // Roots: x = 1 and x = 2.
+        assert_eq!(gf256::poly_eval(&p, 1), 0);
+        assert_eq!(gf256::poly_eval(&p, 2), 0);
+        assert_eq!(gf256::poly_eval(&[], 9), 0);
+        assert!(gf256::poly_mul(&[], &[1]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn gf256_div_by_zero_panics() {
+        gf256::div(3, 0);
     }
 }

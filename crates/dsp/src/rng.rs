@@ -230,6 +230,25 @@ impl SimRng {
         -mean * u.ln()
     }
 
+    /// Pareto-distributed value with shape `alpha` and scale (minimum)
+    /// `xmin`: heavy-tailed with tail index `alpha`. Used for the idle
+    /// gaps of the "wild" ambient-traffic model — measured Wi-Fi idle
+    /// periods are famously heavy-tailed, unlike the exponential gaps
+    /// of a Poisson process.
+    ///
+    /// # Panics
+    /// Panics if `alpha <= 0` or `xmin <= 0`.
+    pub fn pareto(&mut self, alpha: f64, xmin: f64) -> f64 {
+        assert!(alpha > 0.0 && xmin > 0.0, "pareto needs alpha > 0, xmin > 0");
+        let u: f64 = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        xmin * u.powf(-1.0 / alpha)
+    }
+
     /// Uniformly random phase in `[0, 2π)`.
     pub fn phase(&mut self) -> f64 {
         self.uniform() * 2.0 * std::f64::consts::PI

@@ -21,8 +21,9 @@
 //! pays the full poll + ACK control overhead, which is exactly the gap
 //! the `net` bench figure measures against `window ≥ 4`.
 
+use crate::fec::{FecConfig, GroupCoder};
 use crate::linkmodel::{SegmentFate, SegmentLink};
-use crate::seg::{segment_message, Reassembler, Segment};
+use crate::seg::{segment_message, Accept, Reassembler, Segment};
 use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder};
 use bs_dsp::SimRng;
 use wifi_backscatter::link::DegradationReport;
@@ -50,6 +51,9 @@ pub struct TransportConfig {
     /// Seed for the transport's own randomness (timeout jitter); kept
     /// separate from link and fault seeds.
     pub seed: u64,
+    /// Forward error correction across segment groups; disabled by
+    /// default (plain ARQ, bit for bit the pre-FEC transport).
+    pub fec: FecConfig,
 }
 
 impl Default for TransportConfig {
@@ -63,6 +67,7 @@ impl Default for TransportConfig {
             max_rounds: 4_096,
             timeout_jitter: 0.25,
             seed: 1,
+            fec: FecConfig::none(),
         }
     }
 }
@@ -89,6 +94,18 @@ impl TransportConfig {
     /// Sets the transport seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Arms forward error correction (builder style). A disabled config
+    /// ([`FecConfig::none`]) keeps the transport bit-identical to plain
+    /// ARQ. With FEC enabled the segment payload is capped at 254 bytes
+    /// (parity columns carry one extra length byte).
+    pub fn with_fec(mut self, fec: FecConfig) -> Self {
+        self.fec = fec;
+        if fec.is_enabled() {
+            self.seg_payload_bytes = self.seg_payload_bytes.min(254);
+        }
         self
     }
 }
@@ -138,6 +155,12 @@ pub struct Transfer {
     pub duplicate_segments: u64,
     /// Rounds that ended head-of-line blocked.
     pub hol_stalls: u64,
+    /// Segments reconstructed by the FEC layer instead of a
+    /// retransmission round trip (0 with FEC disabled).
+    pub fec_repairs: u64,
+    /// Group-repair attempts that found more holes than parity could
+    /// cover (the group waited for ARQ instead).
+    pub fec_decode_fails: u64,
     /// Total simulated time, airtime + backoff (µs).
     pub airtime_us: u64,
     /// Faults fired and mitigations engaged, link-reported.
@@ -199,6 +222,7 @@ pub struct TransportSession {
     sent_once: Vec<bool>,
     acked: Vec<bool>,
     rx: Reassembler,
+    coder: Option<GroupCoder>,
     rng: SimRng,
     failed_rounds: u32,
     started_us: Option<u64>,
@@ -209,13 +233,27 @@ pub struct TransportSession {
     retransmissions: u64,
     duplicate_acks: u64,
     hol_stalls: u64,
+    fec_repairs: u64,
+    fec_decode_fails: u64,
     last_ack: Option<(u16, u32)>,
 }
 
 impl TransportSession {
     /// Prepares a transfer of `message` under `cfg`.
     pub fn new(message: &[u8], cfg: TransportConfig) -> Self {
-        let segments = segment_message(cfg.msg_id, message, cfg.seg_payload_bytes);
+        let (segments, coder) = if cfg.fec.is_enabled() {
+            let coder = GroupCoder::for_message(
+                message.len(),
+                cfg.seg_payload_bytes.min(254),
+                cfg.fec,
+            );
+            (coder.encode_message(cfg.msg_id, message), Some(coder))
+        } else {
+            (
+                segment_message(cfg.msg_id, message, cfg.seg_payload_bytes),
+                None,
+            )
+        };
         let total = segments.len() as u16;
         let seg_bits = segments.iter().map(Segment::to_bits).collect();
         let rng = SimRng::new(cfg.seed).stream("net-timeout");
@@ -226,6 +264,7 @@ impl TransportSession {
             message: message.to_vec(),
             segments,
             seg_bits,
+            coder,
             rng,
             cfg,
             failed_rounds: 0,
@@ -237,6 +276,8 @@ impl TransportSession {
             retransmissions: 0,
             duplicate_acks: 0,
             hol_stalls: 0,
+            fec_repairs: 0,
+            fec_decode_fails: 0,
             last_ack: None,
         }
     }
@@ -270,10 +311,22 @@ impl TransportSession {
     }
 
     fn unacked_window(&self) -> Vec<usize> {
-        (0..self.segments.len())
+        let mut window: Vec<usize> = (0..self.segments.len())
             .filter(|&i| !self.acked[i])
             .take(self.cfg.window.max(1))
-            .collect()
+            .collect();
+        // With FEC on, interleave the burst across code groups: helper
+        // silence kills *consecutive transmissions*, and a window sent
+        // in sequence order concentrates those holes in one group —
+        // past its parity. Striping the order (position within group
+        // first, group second) spreads a length-L outage over ~L/G
+        // groups, each within erasure reach. Stable on (pos, group, seq)
+        // so the order is deterministic and ARQ-alone is untouched.
+        if let Some(coder) = &self.coder {
+            let span = coder.group_size().max(1);
+            window.sort_by_key(|&i| (i % span, i / span, i));
+        }
+        window
     }
 
     /// Runs one ARQ round over `link`, recording spans and counters on
@@ -317,6 +370,7 @@ impl TransportSession {
 
         let mut sent_bytes = 0u64;
         let mut retx_this_round = 0u64;
+        let mut touched_groups: Vec<usize> = Vec::new();
         if poll_heard {
             // The tag's burst, oldest unacked first.
             let burst_start = link.now_us();
@@ -331,19 +385,55 @@ impl TransportSession {
                     self.sent_once[i] = true;
                 }
                 sent_bytes += self.segments[i].payload.len() as u64;
-                match link.send_segment(&self.seg_bits[i], rec) {
-                    SegmentFate::Lost => {}
-                    SegmentFate::Delivered => {
-                        self.rx.accept(&self.segments[i]);
+                let fate = link.send_segment(&self.seg_bits[i], rec);
+                if fate != SegmentFate::Lost {
+                    if self.rx.accept(&self.segments[i]) == Accept::New {
+                        if let Some(coder) = &self.coder {
+                            touched_groups.push(coder.group_of(self.segments[i].seq));
+                        }
                     }
-                    SegmentFate::DeliveredTwice => {
-                        self.rx.accept(&self.segments[i]);
+                    if fate == SegmentFate::DeliveredTwice {
                         self.rx.accept(&self.segments[i]);
                     }
                 }
             }
             if retx_this_round > 0 {
                 rec.span("net.retx", burst_start, link.now_us(), retx_this_round);
+            }
+        }
+
+        // FEC repair before the ACK is built: any group that can decode
+        // fills its holes (data *and* parity) from parity, the ACK then
+        // covers the reconstruction, and ARQ never retransmits those
+        // segments. A touched group that still has more holes than
+        // parity is a decode failure — it waits for another round.
+        if let Some(coder) = &self.coder {
+            touched_groups.sort_unstable();
+            touched_groups.dedup();
+            for g in 0..coder.groups() {
+                let (first, d, p) = coder.group_span(g);
+                let missing = (first..first + (d + p) as u16)
+                    .filter(|&s| !self.rx.has(s))
+                    .count();
+                if missing == 0 {
+                    continue;
+                }
+                if missing <= p {
+                    let out = coder.repair_group(g, &mut self.rx);
+                    if out.repaired > 0 {
+                        self.fec_repairs += out.repaired;
+                        rec.add("net.fec.repair", out.repaired);
+                    }
+                    if out.failed {
+                        self.fec_decode_fails += 1;
+                        rec.add("net.fec.decode_fail", 1);
+                    }
+                } else if touched_groups.binary_search(&g).is_ok() {
+                    // New segments arrived but the group is still short:
+                    // an attempted-and-failed repair.
+                    self.fec_decode_fails += 1;
+                    rec.add("net.fec.decode_fail", 1);
+                }
             }
         }
 
@@ -398,14 +488,25 @@ impl TransportSession {
     /// Closes the session into its [`Transfer`] report, draining the
     /// link's degradation accounting.
     pub fn finish(self, link: &mut dyn SegmentLink) -> Transfer {
-        let delivered = self.rx.assemble();
+        // With FEC the deliverable is the data slots alone (parity is
+        // overhead, not payload); without it, the whole reassembly.
+        let (delivered, delivered_bytes) = match &self.coder {
+            Some(coder) => (coder.assemble_data(&self.rx), coder.data_bytes(&self.rx)),
+            None => (self.rx.assemble(), self.rx.received_bytes()),
+        };
         let complete = delivered.is_some();
         let started = self.started_us.unwrap_or_else(|| link.now_us());
-        let mut degradation = link.take_degradation();
-        degradation.packets_duplicated += self.rx.duplicates;
+        // `packets_duplicated` is the link's own count of on-air MAC
+        // duplication. The receiver's `rx.duplicates` additionally
+        // counts every retransmit that arrived after a SACK hole was
+        // already filled — summing the two double-counted each on-air
+        // duplicate and misread ordinary ARQ retransmissions as link
+        // faults. The receiver-side dedup count is reported separately
+        // as `duplicate_segments`.
+        let degradation = link.take_degradation();
         Transfer {
             message_bytes: self.message.len() as u64,
-            delivered_bytes: self.rx.received_bytes(),
+            delivered_bytes,
             segments_total: self.segments.len() as u16,
             complete,
             delivered,
@@ -416,6 +517,8 @@ impl TransportSession {
             duplicate_acks: self.duplicate_acks,
             duplicate_segments: self.rx.duplicates,
             hol_stalls: self.hol_stalls,
+            fec_repairs: self.fec_repairs,
+            fec_decode_fails: self.fec_decode_fails,
             airtime_us: link.now_us() - started,
             degradation,
             obs: None,
@@ -547,6 +650,96 @@ mod tests {
         assert_eq!(obs.counter("net.polls"), t.polls_sent);
         assert_eq!(obs.counter("net.segments-sent"), t.segments_sent);
         assert_eq!(obs.counter("net.retransmissions"), t.retransmissions);
+    }
+
+    #[test]
+    fn duplicate_accounting_counts_each_on_air_event_once() {
+        // Regression for the retransmit/SACK-hole double count: the
+        // transfer's degradation must report exactly the link's own
+        // duplication events, not link events + receiver-side dedup
+        // drops summed.
+        let plan = FaultPlan::preset("dup", 1.0, 8).unwrap();
+        let mut link = SimLink::new(plan, 2);
+        let t = run_transfer(&msg(400), TransportConfig::default(), &mut link);
+        assert!(t.complete);
+        assert!(t.duplicate_segments > 0, "the dup preset should duplicate");
+        assert_eq!(
+            t.degradation.packets_duplicated, t.duplicate_segments,
+            "dup-only plan: every receiver dedup drop is one on-air MAC \
+             duplicate, so the counts must match exactly (the old code \
+             reported 2x)"
+        );
+    }
+
+    #[test]
+    fn loss_only_plan_reports_zero_link_duplication() {
+        // A lost ACK makes the tag retransmit a segment the reader
+        // already holds — a receiver-side duplicate that is *not* link
+        // duplication and must not appear in the degradation report.
+        let plan = FaultPlan::preset("loss", 1.0, 21).unwrap();
+        let mut link = SimLink::new(plan, 8);
+        let t = run_transfer(&msg(256), TransportConfig::default(), &mut link);
+        assert!(t.complete);
+        assert!(
+            t.duplicate_segments > 0,
+            "lost ACKs should cause retransmit-duplicates at the receiver"
+        );
+        assert_eq!(
+            t.degradation.packets_duplicated, 0,
+            "loss-only plan: no MAC duplication occurred on the air"
+        );
+    }
+
+    #[test]
+    fn fec_disabled_is_bit_identical_to_plain_arq() {
+        let plan = FaultPlan::preset("loss", 0.8, 31).unwrap();
+        let run = |cfg: TransportConfig| {
+            let mut link = SimLink::new(plan.clone(), 9);
+            run_transfer(&msg(300), cfg, &mut link)
+        };
+        let plain = run(TransportConfig::default());
+        let nofec = run(TransportConfig::default().with_fec(crate::fec::FecConfig::none()));
+        assert_eq!(plain, nofec);
+    }
+
+    #[test]
+    fn fec_transfer_delivers_exactly_and_repairs() {
+        let plan = FaultPlan::preset("loss", 1.0, 5).unwrap();
+        let message = msg(600);
+        let cfg = TransportConfig::default().with_fec(crate::fec::FecConfig::fixed(4, 2));
+        let mut link = SimLink::new(plan, 11);
+        let t = run_transfer(&message, cfg, &mut link);
+        assert!(t.complete);
+        assert_eq!(t.delivered, Some(message.clone()));
+        assert_eq!(t.delivered_bytes, message.len() as u64);
+        assert!(t.fec_repairs > 0, "30% loss should exercise repair");
+        assert!(
+            t.segments_total > (600u16).div_ceil(16),
+            "wire total must include parity segments"
+        );
+    }
+
+    #[test]
+    fn fec_transfer_is_deterministic() {
+        let plan = FaultPlan::preset("loss", 0.9, 13).unwrap();
+        let cfg = TransportConfig::default().with_fec(crate::fec::FecConfig::fixed(8, 2));
+        let run = || {
+            let mut link = SimLink::new(plan.clone(), 7);
+            run_transfer(&msg(500), cfg.clone(), &mut link)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fec_counters_reach_the_recorder() {
+        let plan = FaultPlan::preset("loss", 1.0, 17).unwrap();
+        let cfg = TransportConfig::default().with_fec(crate::fec::FecConfig::fixed(4, 2));
+        let mut link = SimLink::new(plan, 3);
+        let t = run_transfer_observed(&msg(800), cfg, &mut link);
+        let obs = t.obs.as_ref().unwrap();
+        assert_eq!(obs.counter("net.fec.repair"), t.fec_repairs);
+        assert_eq!(obs.counter("net.fec.decode_fail"), t.fec_decode_fails);
+        assert!(t.fec_repairs > 0);
     }
 
     #[test]

@@ -1,0 +1,1031 @@
+//! Forward error correction across segment groups.
+//!
+//! ARQ alone recovers losses by retransmitting, and every retransmission
+//! costs a poll + backoff round trip — painful when the helper traffic
+//! that powers the link vanishes for a heavy-tailed idle gap and takes a
+//! whole burst with it. GuardRider-style Reed-Solomon coding attacks the
+//! same losses *in line*: each group of `k` data segments travels with
+//! `p` parity segments, and any `k` of the `k+p` reconstruct the rest
+//! without another round trip.
+//!
+//! Three layers live here:
+//!
+//! * [`ReedSolomon`] — a GF(256) RS(n,k) coder: systematic encode by
+//!   LFSR synthetic division, Berlekamp–Massey + Forney decode with
+//!   erasure support, built only on [`bs_dsp::codes::gf256`] (no
+//!   external crates). Decode is *total*: any input either corrects to
+//!   a verified codeword or returns [`FecError`] — never garbage, never
+//!   a panic.
+//! * [`FecConfig`] — the per-transfer code-rate choice, including the
+//!   [`FecConfig::for_traffic`] rule that maps measured helper-traffic
+//!   statistics (`bs_wifi::traffic::TrafficStats`) to a parity budget.
+//! * [`GroupCoder`] — the segment-group layout: how a message's data
+//!   segments are grouped, where parity segments sit in the sequence
+//!   space, and how a [`Reassembler`] full of
+//!   holes gets repaired.
+//!
+//! Segment loss is an *erasure* (the CRC-8 already converted corruption
+//! into loss, and the receiver knows exactly which sequence numbers are
+//! missing), so the coder runs at its full `p`-erasure capacity rather
+//! than the `p/2`-error capacity.
+
+use crate::seg::{Reassembler, Segment};
+use bs_dsp::codes::gf256;
+use bs_wifi::traffic::TrafficStats;
+use std::fmt;
+
+/// Why a Reed-Solomon operation failed. Decoding never panics and never
+/// returns uncorrected data as if it were corrected: every failure mode
+/// maps here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FecError {
+    /// The codeword slice length does not match the code's `n`.
+    WrongLength,
+    /// An erasure position lies outside the codeword.
+    ErasureOutOfRange,
+    /// More erasures than parity symbols: unrecoverable by construction.
+    TooManyErasures,
+    /// The corruption exceeds the code's correction capacity (detected
+    /// either structurally during decode or by the post-correction
+    /// syndrome re-check).
+    BeyondCapacity,
+}
+
+impl fmt::Display for FecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FecError::WrongLength => write!(f, "codeword length does not match the code"),
+            FecError::ErasureOutOfRange => write!(f, "erasure position outside the codeword"),
+            FecError::TooManyErasures => write!(f, "more erasures than parity symbols"),
+            FecError::BeyondCapacity => write!(f, "corruption beyond correction capacity"),
+        }
+    }
+}
+
+impl std::error::Error for FecError {}
+
+/// A systematic Reed-Solomon code over GF(256) with `n` total and `k`
+/// data symbols (`n - k` parity), generator roots `α⁰..α^{n-k-1}`.
+///
+/// Corrects any combination of `e` errors and `f` erasures with
+/// `2e + f ≤ n − k`. Codewords are `data || parity`.
+///
+/// ```
+/// use bs_net::fec::ReedSolomon;
+/// let rs = ReedSolomon::new(12, 8);
+/// let mut cw = rs.encode(&[1, 2, 3, 4, 5, 6, 7, 8]);
+/// cw[3] = 0xEE; // corrupt one symbol, position unknown to the decoder
+/// assert_eq!(rs.decode(&mut cw, &[]), Ok(1));
+/// assert_eq!(&cw[..8], &[1, 2, 3, 4, 5, 6, 7, 8]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReedSolomon {
+    n: usize,
+    k: usize,
+    /// Generator polynomial, descending-degree coefficients, monic of
+    /// degree `n - k`.
+    gen: Vec<u8>,
+}
+
+impl ReedSolomon {
+    /// Builds the RS(n, k) code.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ k < n ≤ 255` (a configuration error, not a
+    /// runtime condition).
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(
+            k >= 1 && k < n && n <= 255,
+            "ReedSolomon needs 1 <= k < n <= 255, got n={n} k={k}"
+        );
+        let mut gen = vec![1u8];
+        for i in 0..(n - k) {
+            gen = gf256::poly_mul(&gen, &[1, gf256::alpha_pow(i as i32)]);
+        }
+        ReedSolomon { n, k, gen }
+    }
+
+    /// Total symbols per codeword.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data symbols per codeword.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parity symbols per codeword.
+    pub fn parity_len(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// The parity symbols for a `k`-symbol data block: the remainder of
+    /// `data(x)·x^{n−k}` divided by the generator polynomial, computed
+    /// by LFSR-style synthetic division.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != k`.
+    pub fn parity(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), self.k, "parity() needs exactly k data symbols");
+        let nsym = self.parity_len();
+        let mut rem = vec![0u8; nsym];
+        for &d in data {
+            let coef = gf256::add(d, rem[0]);
+            rem.rotate_left(1);
+            rem[nsym - 1] = 0;
+            if coef != 0 {
+                for (r, &g) in rem.iter_mut().zip(&self.gen[1..]) {
+                    *r = gf256::add(*r, gf256::mul(g, coef));
+                }
+            }
+        }
+        rem
+    }
+
+    /// Systematic encode: `data || parity`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != k`.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let mut cw = Vec::with_capacity(self.n);
+        cw.extend_from_slice(data);
+        cw.extend_from_slice(&self.parity(data));
+        cw
+    }
+
+    /// Syndromes `S_i = c(α^i)` for `i = 0..n−k`; all-zero ⇔ valid
+    /// codeword.
+    fn syndromes(&self, cw: &[u8]) -> Vec<u8> {
+        (0..self.parity_len())
+            .map(|i| gf256::poly_eval(cw, gf256::alpha_pow(i as i32)))
+            .collect()
+    }
+
+    /// Corrects `cw` in place given the known-missing positions
+    /// (`erasures`, as codeword indices `0..n`); unknown errors are
+    /// located by Berlekamp–Massey. Returns the number of symbol
+    /// positions corrected.
+    ///
+    /// Totality: on any input this either returns `Ok` with `cw` a
+    /// verified codeword (post-correction syndromes re-checked) or
+    /// returns `Err` with `cw` restored to the input — it never leaves
+    /// garbage behind and never panics.
+    pub fn decode(&self, cw: &mut [u8], erasures: &[usize]) -> Result<usize, FecError> {
+        if cw.len() != self.n {
+            return Err(FecError::WrongLength);
+        }
+        if erasures.iter().any(|&p| p >= self.n) {
+            return Err(FecError::ErasureOutOfRange);
+        }
+        let mut erasures: Vec<usize> = erasures.to_vec();
+        erasures.sort_unstable();
+        erasures.dedup();
+        let nsym = self.parity_len();
+        if erasures.len() > nsym {
+            return Err(FecError::TooManyErasures);
+        }
+
+        let synd = self.syndromes(cw);
+        if synd.iter().all(|&s| s == 0) {
+            return Ok(0);
+        }
+
+        let backup = cw.to_vec();
+        match self.correct(cw, &synd, &erasures) {
+            Ok(count) => {
+                // The decisive totality check: BM happily produces a
+                // plausible-looking "correction" beyond capacity; only a
+                // re-verified syndrome proves we landed on a codeword.
+                if self.syndromes(cw).iter().all(|&s| s == 0) {
+                    Ok(count)
+                } else {
+                    cw.copy_from_slice(&backup);
+                    Err(FecError::BeyondCapacity)
+                }
+            }
+            Err(e) => {
+                cw.copy_from_slice(&backup);
+                Err(e)
+            }
+        }
+    }
+
+    /// The correction pipeline: Forney syndromes → Berlekamp–Massey →
+    /// Chien search → Forney magnitudes. Positions are codeword indices;
+    /// "coefficient positions" (`n−1−index`) are the exponent space the
+    /// locator polynomial lives in.
+    fn correct(&self, cw: &mut [u8], synd: &[u8], erasures: &[usize]) -> Result<usize, FecError> {
+        let nsym = self.parity_len();
+
+        // Forney syndromes: fold the known erasure locations out of the
+        // syndromes so BM only has to find the unknown error positions.
+        let mut fsynd = synd.to_vec();
+        for &pos in erasures {
+            let x = gf256::alpha_pow((self.n - 1 - pos) as i32);
+            for j in 0..fsynd.len() - 1 {
+                fsynd[j] = gf256::add(gf256::mul(fsynd[j], x), fsynd[j + 1]);
+            }
+        }
+
+        // Berlekamp–Massey over the Forney syndromes. `err_loc` is the
+        // error locator Λ(x), descending coefficients.
+        let mut err_loc = vec![1u8];
+        let mut old_loc = vec![1u8];
+        for i in 0..nsym.saturating_sub(erasures.len()) {
+            let mut delta = fsynd[i];
+            for j in 1..err_loc.len() {
+                if j > i {
+                    // Older syndromes than S_0 do not exist; the naive
+                    // port of the textbook loop would index fsynd[i-j]
+                    // with i-j < 0 and wrap.
+                    break;
+                }
+                delta = gf256::add(
+                    delta,
+                    gf256::mul(err_loc[err_loc.len() - 1 - j], fsynd[i - j]),
+                );
+            }
+            old_loc.push(0);
+            if delta != 0 {
+                if old_loc.len() > err_loc.len() {
+                    let new_loc: Vec<u8> = old_loc.iter().map(|&c| gf256::mul(c, delta)).collect();
+                    old_loc = err_loc
+                        .iter()
+                        .map(|&c| gf256::mul(c, gf256::inv(delta)))
+                        .collect();
+                    err_loc = new_loc;
+                }
+                let shift = err_loc.len() - old_loc.len();
+                for (j, &c) in old_loc.iter().enumerate() {
+                    err_loc[shift + j] = gf256::add(err_loc[shift + j], gf256::mul(c, delta));
+                }
+            }
+        }
+        while err_loc.len() > 1 && err_loc[0] == 0 {
+            err_loc.remove(0);
+        }
+        let errs = err_loc.len() - 1;
+        if 2 * errs + erasures.len() > nsym {
+            return Err(FecError::BeyondCapacity);
+        }
+
+        // Chien search: roots of Λ give the unknown error positions.
+        let mut positions = erasures.to_vec();
+        if errs > 0 {
+            let mut found = 0usize;
+            for i in 0..self.n {
+                let x = gf256::alpha_pow(i as i32);
+                // Λ(α^{-coef}) = 0 ⇔ error at coefficient position coef;
+                // evaluating the reversed polynomial at α^{coef} is the
+                // same test without inversions.
+                let rev: Vec<u8> = err_loc.iter().rev().copied().collect();
+                if gf256::poly_eval(&rev, x) == 0 {
+                    positions.push(self.n - 1 - i);
+                    found += 1;
+                }
+            }
+            if found != errs {
+                return Err(FecError::BeyondCapacity);
+            }
+        }
+        positions.sort_unstable();
+        positions.dedup();
+
+        // Errata locator over every known-bad position, then the error
+        // evaluator Ω(x) = S(x)·Λ(x) mod x^{deg+1}.
+        let mut errata_loc = vec![1u8];
+        for &pos in &positions {
+            let x = gf256::alpha_pow((self.n - 1 - pos) as i32);
+            errata_loc = gf256::poly_mul(&errata_loc, &[x, 1]);
+        }
+        // S(x) as a descending-order polynomial is the reversed syndrome
+        // list with a trailing zero (the syndromes are the coefficients
+        // of x¹..x^{nsym}, not x⁰.. — the classic off-by-one of the
+        // fcr = 0 convention).
+        let mut synd_rev: Vec<u8> = synd.iter().rev().copied().collect();
+        synd_rev.push(0);
+        let prod = gf256::poly_mul(&synd_rev, &errata_loc);
+        let keep = errata_loc.len();
+        let omega: Vec<u8> = prod[prod.len().saturating_sub(keep)..].to_vec();
+
+        // Forney magnitudes.
+        let xs: Vec<u8> = positions
+            .iter()
+            .map(|&pos| gf256::alpha_pow((self.n - 1 - pos) as i32))
+            .collect();
+        let mut corrected = 0usize;
+        for (idx, &pos) in positions.iter().enumerate() {
+            let xi = xs[idx];
+            let xi_inv = gf256::inv(xi);
+            // Λ'(Xi⁻¹) as the product form Π_{j≠i} (1 − Xi⁻¹·Xj).
+            let mut loc_prime = 1u8;
+            for (j, &xj) in xs.iter().enumerate() {
+                if j != idx {
+                    loc_prime = gf256::mul(loc_prime, gf256::add(1, gf256::mul(xi_inv, xj)));
+                }
+            }
+            if loc_prime == 0 {
+                return Err(FecError::BeyondCapacity);
+            }
+            let y = gf256::mul(xi, gf256::poly_eval(&omega, xi_inv));
+            let magnitude = gf256::div(y, loc_prime);
+            if magnitude != 0 {
+                corrected += 1;
+            }
+            cw[pos] = gf256::add(cw[pos], magnitude);
+        }
+        Ok(corrected)
+    }
+}
+
+/// The transport's code-rate choice: every group of `group_data` data
+/// segments is followed by `group_parity` parity segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FecConfig {
+    /// Data segments per group (`k`), 1..=64.
+    pub group_data: usize,
+    /// Parity segments per group (`p`), 0 disables FEC.
+    pub group_parity: usize,
+}
+
+impl Default for FecConfig {
+    fn default() -> Self {
+        FecConfig {
+            group_data: 8,
+            group_parity: 0,
+        }
+    }
+}
+
+impl FecConfig {
+    /// FEC disabled: the transport degenerates to plain ARQ, bit for
+    /// bit.
+    pub fn none() -> Self {
+        FecConfig::default()
+    }
+
+    /// A fixed (k, p) group code.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ group_data ≤ 64` and `group_parity ≤ 64` —
+    /// wider groups exceed the sequence-space and windowing assumptions.
+    pub fn fixed(group_data: usize, group_parity: usize) -> Self {
+        assert!(
+            (1..=64).contains(&group_data) && group_parity <= 64,
+            "FecConfig needs 1 <= group_data <= 64 and group_parity <= 64"
+        );
+        FecConfig {
+            group_data,
+            group_parity,
+        }
+    }
+
+    /// True when parity segments will be generated.
+    pub fn is_enabled(&self) -> bool {
+        self.group_parity > 0
+    }
+
+    /// Code rate `k / (k + p)` (1.0 when disabled).
+    pub fn rate(&self) -> f64 {
+        self.group_data as f64 / (self.group_data + self.group_parity) as f64
+    }
+
+    /// The adaptive code-rate rule: picks a parity budget from measured
+    /// helper-traffic statistics ([`bs_wifi::traffic::RateEstimator`]).
+    ///
+    /// The decision wants the *tail*, not the mean: a Poisson stream at
+    /// the same mean rate rarely starves a whole segment, while a
+    /// Pareto-gap stream with tail index near 1 regularly goes silent
+    /// for multiples of the segment airtime and erases segments in
+    /// bursts — exactly the loss process RS-across-the-group repairs and
+    /// ARQ pays round trips for. The rule therefore keys on
+    /// `tail_index` (heavier tail = smaller α = more parity) and
+    /// `gap_cv` (burstiness), with the mean rate only gating the
+    /// "plenty of traffic" fast path.
+    ///
+    /// All non-trivial tiers use the widest group (k = 64): pooling the
+    /// parity across a whole window of windows means a burst erasure
+    /// anywhere in the group draws on the *shared* budget, instead of
+    /// overwhelming one small group while a neighbour's parity goes
+    /// unused. Combined with the transport's interleaved send order and
+    /// its stop-when-repairable behaviour (trailing parity a finished
+    /// group never needed is never transmitted), wider is strictly
+    /// kinder to bursts:
+    ///
+    /// | regime | test | parity (k = 64) |
+    /// |---|---|---|
+    /// | benign    | CV ≤ 1.5 and tail α > 2.5 | 0 (plain ARQ) |
+    /// | bursty    | CV > 1.5 or tail α ≤ 2.5  | 12 (rate 0.84) |
+    /// | wild      | tail α ≤ 1.8              | 24 (rate 0.73) |
+    /// | starved   | tail α ≤ 1.3              | 32 (rate 0.67) |
+    pub fn for_traffic(stats: &TrafficStats) -> Self {
+        let k = 64;
+        let alpha = stats.tail_index;
+        let parity = if alpha <= 1.3 {
+            32
+        } else if alpha <= 1.8 {
+            24
+        } else if stats.gap_cv > 1.5 || alpha <= 2.5 {
+            12
+        } else {
+            0
+        };
+        FecConfig {
+            group_data: k,
+            group_parity: parity,
+        }
+    }
+}
+
+/// What one group-repair attempt did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairOutcome {
+    /// Segments (data and parity) reconstructed into the reassembler.
+    pub repaired: u64,
+    /// True when the group had too many holes to decode this time.
+    pub failed: bool,
+}
+
+/// The segment-group layout: how a message maps onto interleaved data +
+/// parity sequence numbers, and how received groups get repaired.
+///
+/// Group `g` owns the contiguous sequence range
+/// `[g·(k+p), g·(k+p) + d + p)` with `d = k` except possibly in the last
+/// group; data slots come first, then parity. Each data segment
+/// contributes one column `[len, payload, 0-pad]` of `L+1` bytes (`L` =
+/// `seg_payload_bytes`); the last group's absent data columns are
+/// *known zeros* on both sides (a shortened code), not erasures. Parity
+/// segments carry their `L+1` column bytes verbatim, so with FEC enabled
+/// `L` must stay ≤ 254.
+#[derive(Debug, Clone)]
+pub struct GroupCoder {
+    cfg: FecConfig,
+    seg_payload: usize,
+    data_total: u16,
+    wire_total: u16,
+    groups: usize,
+    rs: ReedSolomon,
+}
+
+impl GroupCoder {
+    /// Layout for a `message_len`-byte message split into
+    /// `seg_payload`-byte segments under `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` is disabled, `seg_payload` is outside 1..=254, or
+    /// the message needs more than `u16::MAX` wire segments.
+    pub fn for_message(message_len: usize, seg_payload: usize, cfg: FecConfig) -> Self {
+        assert!(cfg.is_enabled(), "GroupCoder needs an enabled FecConfig");
+        assert!(
+            (1..=254).contains(&seg_payload),
+            "FEC needs seg_payload_bytes in 1..=254 (parity columns add one byte)"
+        );
+        let data_total = message_len.div_ceil(seg_payload).max(1);
+        Self::from_data_total(data_total, seg_payload, cfg)
+    }
+
+    /// Layout reconstructed from a received `total` field — the
+    /// receiver-side constructor (derives `data_total` from the wire
+    /// count, which is unambiguous for any k, p).
+    ///
+    /// # Panics
+    /// Panics on a `wire_total` no message under this `cfg` could
+    /// produce.
+    pub fn for_wire(wire_total: u16, seg_payload: usize, cfg: FecConfig) -> Self {
+        assert!(cfg.is_enabled(), "GroupCoder needs an enabled FecConfig");
+        let span = cfg.group_data + cfg.group_parity;
+        let groups = (wire_total as usize).div_ceil(span);
+        let data_total = (wire_total as usize)
+            .checked_sub(groups * cfg.group_parity)
+            .expect("wire_total too small for the configured parity");
+        let c = Self::from_data_total(data_total, seg_payload, cfg);
+        assert_eq!(c.wire_total, wire_total, "wire_total inconsistent with cfg");
+        c
+    }
+
+    fn from_data_total(data_total: usize, seg_payload: usize, cfg: FecConfig) -> Self {
+        let groups = data_total.div_ceil(cfg.group_data).max(1);
+        let wire_total = data_total + groups * cfg.group_parity;
+        assert!(
+            wire_total <= u16::MAX as usize,
+            "message needs too many wire segments"
+        );
+        GroupCoder {
+            rs: ReedSolomon::new(cfg.group_data + cfg.group_parity, cfg.group_data),
+            cfg,
+            seg_payload,
+            data_total: data_total as u16,
+            wire_total: wire_total as u16,
+            groups,
+        }
+    }
+
+    /// Data segments (before parity).
+    pub fn data_total(&self) -> u16 {
+        self.data_total
+    }
+
+    /// Wire segments (data + parity) — the `total` every segment
+    /// carries.
+    pub fn wire_total(&self) -> u16 {
+        self.wire_total
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Wire sequence numbers spanned by one full group (data + parity).
+    pub fn group_size(&self) -> usize {
+        self.cfg.group_data + self.cfg.group_parity
+    }
+
+    /// The group a wire sequence number belongs to.
+    pub fn group_of(&self, seq: u16) -> usize {
+        let span = self.cfg.group_data + self.cfg.group_parity;
+        ((seq as usize) / span).min(self.groups - 1)
+    }
+
+    /// (first wire seq, data slots, parity slots) of group `g`.
+    pub fn group_span(&self, g: usize) -> (u16, usize, usize) {
+        let span = self.cfg.group_data + self.cfg.group_parity;
+        let first = g * span;
+        let data = if g + 1 == self.groups {
+            self.data_total as usize - g * self.cfg.group_data
+        } else {
+            self.cfg.group_data
+        };
+        (first as u16, data, self.cfg.group_parity)
+    }
+
+    /// True when `seq` is a parity slot.
+    pub fn is_parity(&self, seq: u16) -> bool {
+        let g = self.group_of(seq);
+        let (first, data, _) = self.group_span(g);
+        seq >= first + data as u16
+    }
+
+    /// The 0-based data index of a data slot (`None` for parity).
+    pub fn data_index(&self, seq: u16) -> Option<usize> {
+        let g = self.group_of(seq);
+        let (first, data, _) = self.group_span(g);
+        let off = (seq - first) as usize;
+        if off < data {
+            Some(g * self.cfg.group_data + off)
+        } else {
+            None
+        }
+    }
+
+    /// The `L+1`-byte column a data payload contributes to its group's
+    /// codewords: length byte, payload, zero padding.
+    fn column(&self, payload: &[u8]) -> Vec<u8> {
+        debug_assert!(payload.len() <= self.seg_payload);
+        let mut col = Vec::with_capacity(self.seg_payload + 1);
+        col.push(payload.len() as u8);
+        col.extend_from_slice(payload);
+        col.resize(self.seg_payload + 1, 0);
+        col
+    }
+
+    /// Splits `message` into the full wire segment list: data segments
+    /// interleaved with their groups' parity segments, all carrying
+    /// `total = wire_total`.
+    pub fn encode_message(&self, msg_id: u8, message: &[u8]) -> Vec<Segment> {
+        let l = self.seg_payload;
+        let mut out = Vec::with_capacity(self.wire_total as usize);
+        for g in 0..self.groups {
+            let (first, data, parity) = self.group_span(g);
+            // The k columns of this group's codewords (virtual all-zero
+            // columns for the shortened tail).
+            let mut cols: Vec<Vec<u8>> = Vec::with_capacity(self.cfg.group_data);
+            for slot in 0..data {
+                let di = g * self.cfg.group_data + slot;
+                let lo = (di * l).min(message.len());
+                let hi = ((di + 1) * l).min(message.len());
+                let payload = &message[lo..hi];
+                cols.push(self.column(payload));
+                out.push(Segment {
+                    msg_id,
+                    seq: first + slot as u16,
+                    total: self.wire_total,
+                    payload: payload.to_vec(),
+                });
+            }
+            cols.resize(self.cfg.group_data, vec![0u8; l + 1]);
+            // Row-wise RS over the columns: parity column j, byte r.
+            let mut parity_cols = vec![vec![0u8; l + 1]; parity];
+            let mut row = vec![0u8; self.cfg.group_data];
+            for r in 0..=l {
+                for (c, col) in cols.iter().enumerate() {
+                    row[c] = col[r];
+                }
+                for (j, pr) in self.rs.parity(&row).into_iter().enumerate() {
+                    parity_cols[j][r] = pr;
+                }
+            }
+            for (j, pc) in parity_cols.into_iter().enumerate() {
+                out.push(Segment {
+                    msg_id,
+                    seq: first + (data + j) as u16,
+                    total: self.wire_total,
+                    payload: pc,
+                });
+            }
+        }
+        out
+    }
+
+    /// Attempts to reconstruct every missing slot of group `g` from the
+    /// slots the reassembler holds. Missing slots are erasures; if they
+    /// number more than the group's parity the attempt fails (and will
+    /// be retried when more segments arrive). On success both data *and*
+    /// parity slots are filled, so the group acks completely and ARQ
+    /// stops touching it.
+    pub fn repair_group(&self, g: usize, rx: &mut Reassembler) -> RepairOutcome {
+        let (first, data, parity) = self.group_span(g);
+        let n = self.cfg.group_data + self.cfg.group_parity;
+        let l = self.seg_payload;
+        let missing: Vec<usize> = (0..data + parity)
+            .filter(|&s| !rx.has(first + s as u16))
+            .collect();
+        if missing.is_empty() {
+            return RepairOutcome::default();
+        }
+        if missing.len() > self.cfg.group_parity {
+            return RepairOutcome {
+                repaired: 0,
+                failed: true,
+            };
+        }
+
+        // Codeword positions: 0..k data (shortened tail = known zeros),
+        // k..n parity. Wire slot s maps to position s for data slots and
+        // k + (s - data) for parity slots.
+        let pos_of = |s: usize| if s < data { s } else { self.cfg.group_data + (s - data) };
+        let erasures: Vec<usize> = missing.iter().map(|&s| pos_of(s)).collect();
+
+        // One codeword per byte row, columns gathered from held slots.
+        let mut cols: Vec<Vec<u8>> = vec![vec![0u8; l + 1]; n];
+        for s in 0..data + parity {
+            if let Some(payload) = rx.payload_of(first + s as u16) {
+                cols[pos_of(s)] = if s < data {
+                    self.column(payload)
+                } else {
+                    let mut c = payload.to_vec();
+                    c.resize(l + 1, 0);
+                    c
+                };
+            }
+        }
+        let mut repaired_cols: Vec<Vec<u8>> = vec![vec![0u8; l + 1]; missing.len()];
+        let mut cw = vec![0u8; n];
+        for r in 0..=l {
+            for (p, col) in cols.iter().enumerate() {
+                cw[p] = col[r];
+            }
+            for &e in &erasures {
+                cw[e] = 0;
+            }
+            if self.rs.decode(&mut cw, &erasures).is_err() {
+                return RepairOutcome {
+                    repaired: 0,
+                    failed: true,
+                };
+            }
+            for (m, &e) in erasures.iter().enumerate() {
+                repaired_cols[m][r] = cw[e];
+            }
+        }
+
+        let mut repaired = 0u64;
+        for (m, &s) in missing.iter().enumerate() {
+            let col = &repaired_cols[m];
+            let payload = if s < data {
+                let len = col[0] as usize;
+                if len > l {
+                    // A decoded length byte outside the segment size
+                    // means the repair is inconsistent; refuse it.
+                    return RepairOutcome {
+                        repaired,
+                        failed: true,
+                    };
+                }
+                col[1..1 + len].to_vec()
+            } else {
+                col.clone()
+            };
+            if rx.insert_repaired(first + s as u16, payload) {
+                repaired += 1;
+            }
+        }
+        RepairOutcome {
+            repaired,
+            failed: false,
+        }
+    }
+
+    /// True once every *data* slot is held (parity may still be
+    /// missing).
+    pub fn data_complete(&self, rx: &Reassembler) -> bool {
+        (0..self.wire_total)
+            .filter(|&s| !self.is_parity(s))
+            .all(|s| rx.has(s))
+    }
+
+    /// Unique data payload bytes held so far (what `delivered_bytes`
+    /// should count — parity is overhead, not delivery).
+    pub fn data_bytes(&self, rx: &Reassembler) -> u64 {
+        (0..self.wire_total)
+            .filter(|&s| !self.is_parity(s))
+            .filter_map(|s| rx.payload_of(s))
+            .map(|p| p.len() as u64)
+            .sum()
+    }
+
+    /// The reassembled message from the data slots alone; `None` until
+    /// [`Self::data_complete`].
+    pub fn assemble_data(&self, rx: &Reassembler) -> Option<Vec<u8>> {
+        if !self.data_complete(rx) {
+            return None;
+        }
+        let mut out = Vec::new();
+        for s in 0..self.wire_total {
+            if !self.is_parity(s) {
+                out.extend_from_slice(rx.payload_of(s)?);
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_dsp::SimRng;
+
+    #[test]
+    fn rs_roundtrip_clean() {
+        let rs = ReedSolomon::new(15, 11);
+        let data: Vec<u8> = (1..=11).collect();
+        let mut cw = rs.encode(&data);
+        assert_eq!(cw.len(), 15);
+        assert_eq!(rs.decode(&mut cw, &[]), Ok(0));
+        assert_eq!(&cw[..11], &data[..]);
+    }
+
+    #[test]
+    fn rs_corrects_errors_to_half_parity() {
+        let rs = ReedSolomon::new(20, 12);
+        let data: Vec<u8> = (0..12).map(|i| (i * 37 + 5) as u8).collect();
+        let clean = rs.encode(&data);
+        let mut rng = SimRng::new(9).stream("fec-test");
+        for errs in 0..=4usize {
+            let mut cw = clean.clone();
+            let mut hit = Vec::new();
+            while hit.len() < errs {
+                let p = rng.index(cw.len());
+                if !hit.contains(&p) {
+                    hit.push(p);
+                    cw[p] ^= (rng.index(255) + 1) as u8;
+                }
+            }
+            assert_eq!(rs.decode(&mut cw, &[]), Ok(errs), "errs {errs}");
+            assert_eq!(cw, clean);
+        }
+    }
+
+    #[test]
+    fn rs_corrects_erasures_to_full_parity() {
+        let rs = ReedSolomon::new(12, 8);
+        let data = [9u8, 8, 7, 6, 5, 4, 3, 2];
+        let clean = rs.encode(&data);
+        let mut cw = clean.clone();
+        for &p in &[0usize, 3, 9, 11] {
+            cw[p] = 0xAA;
+        }
+        assert!(rs.decode(&mut cw, &[0, 3, 9, 11]).is_ok());
+        assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn rs_mixed_errors_and_erasures() {
+        // 2e + f <= nsym with e = 2, f = 2, nsym = 6.
+        let rs = ReedSolomon::new(16, 10);
+        let data: Vec<u8> = (0..10).map(|i| (i + 100) as u8).collect();
+        let clean = rs.encode(&data);
+        let mut cw = clean.clone();
+        cw[1] ^= 0x5A; // unknown error
+        cw[8] ^= 0x11; // unknown error
+        cw[4] = 0; // erasure
+        cw[13] = 0; // erasure
+        assert!(rs.decode(&mut cw, &[4, 13]).is_ok());
+        assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn rs_rejects_beyond_capacity() {
+        let rs = ReedSolomon::new(12, 8);
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let clean = rs.encode(&data);
+        // 3 unknown errors > nsym/2 = 2: must refuse, not fabricate.
+        let mut cw = clean.clone();
+        cw[0] ^= 1;
+        cw[5] ^= 7;
+        cw[10] ^= 9;
+        let before = cw.clone();
+        assert!(rs.decode(&mut cw, &[]).is_err());
+        assert_eq!(cw, before, "failed decode must not mutate");
+        // 5 erasures > nsym = 4.
+        let mut cw = clean;
+        assert_eq!(
+            rs.decode(&mut cw, &[0, 1, 2, 3, 4]),
+            Err(FecError::TooManyErasures)
+        );
+    }
+
+    #[test]
+    fn rs_wrong_length_and_bad_erasure() {
+        let rs = ReedSolomon::new(10, 6);
+        let mut short = vec![0u8; 9];
+        assert_eq!(rs.decode(&mut short, &[]), Err(FecError::WrongLength));
+        let mut cw = rs.encode(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(rs.decode(&mut cw, &[10]), Err(FecError::ErasureOutOfRange));
+    }
+
+    #[test]
+    fn config_rules() {
+        assert!(!FecConfig::none().is_enabled());
+        assert_eq!(FecConfig::none().rate(), 1.0);
+        let c = FecConfig::fixed(8, 4);
+        assert!(c.is_enabled());
+        assert!((c.rate() - 8.0 / 12.0).abs() < 1e-12);
+        // Traffic rule endpoints.
+        let benign = TrafficStats {
+            mean_pps: 800.0,
+            gap_cv: 1.0,
+            tail_index: 5.0,
+            max_gap_us: 50_000,
+        };
+        assert!(!FecConfig::for_traffic(&benign).is_enabled());
+        let wild = TrafficStats {
+            mean_pps: 300.0,
+            gap_cv: 3.0,
+            tail_index: 1.2,
+            max_gap_us: 5_000_000,
+        };
+        assert_eq!(FecConfig::for_traffic(&wild).group_parity, 32);
+        let heavy = TrafficStats {
+            mean_pps: 300.0,
+            gap_cv: 2.0,
+            tail_index: 1.6,
+            max_gap_us: 1_000_000,
+        };
+        assert_eq!(FecConfig::for_traffic(&heavy).group_parity, 24);
+        let bursty = TrafficStats {
+            mean_pps: 500.0,
+            gap_cv: 2.5,
+            tail_index: 3.0,
+            max_gap_us: 400_000,
+        };
+        assert_eq!(FecConfig::for_traffic(&bursty).group_parity, 12);
+        for c in [
+            FecConfig::for_traffic(&wild),
+            FecConfig::for_traffic(&heavy),
+            FecConfig::for_traffic(&bursty),
+        ] {
+            assert_eq!(c.group_data, 64, "adaptive tiers pool the widest group");
+        }
+    }
+
+    #[test]
+    fn group_layout_roundtrips() {
+        // 100 bytes, L = 8 → 13 data segments; k = 4, p = 2 → 4 groups,
+        // last group 1 data; wire span 4*6 - 3 + ... = 13 + 8 = 21.
+        let cfg = FecConfig::fixed(4, 2);
+        let c = GroupCoder::for_message(100, 8, cfg);
+        assert_eq!(c.data_total(), 13);
+        assert_eq!(c.groups(), 4);
+        assert_eq!(c.wire_total(), 13 + 4 * 2);
+        let via_wire = GroupCoder::for_wire(c.wire_total(), 8, cfg);
+        assert_eq!(via_wire.data_total(), 13);
+        // Span accounting covers every seq exactly once.
+        let mut covered = vec![false; c.wire_total() as usize];
+        for g in 0..c.groups() {
+            let (first, d, p) = c.group_span(g);
+            for s in first..first + (d + p) as u16 {
+                assert!(!covered[s as usize]);
+                covered[s as usize] = true;
+                assert_eq!(c.group_of(s), g);
+            }
+        }
+        assert!(covered.iter().all(|&x| x));
+        // Data indices enumerate 0..data_total in seq order.
+        let idx: Vec<usize> = (0..c.wire_total())
+            .filter_map(|s| c.data_index(s))
+            .collect();
+        assert_eq!(idx, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn encode_then_full_erasure_repair() {
+        let msg: Vec<u8> = (0..200u32).map(|i| (i * 13 % 251) as u8).collect();
+        let cfg = FecConfig::fixed(6, 3);
+        let c = GroupCoder::for_message(msg.len(), 16, cfg);
+        let segs = c.encode_message(5, &msg);
+        assert_eq!(segs.len(), c.wire_total() as usize);
+        let mut rx = Reassembler::new(5, c.wire_total());
+        // Drop up to p slots per group (data or parity, mixed), deliver
+        // the rest.
+        let mut rng = SimRng::new(77).stream("fec-drop");
+        let mut dropped_any = false;
+        for g in 0..c.groups() {
+            let (first, d, p) = c.group_span(g);
+            let drop: Vec<u16> = (0..3)
+                .map(|_| first + rng.index(d + p) as u16)
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .take(p)
+                .collect();
+            for s in &segs[first as usize..(first as usize + d + p)] {
+                if !drop.contains(&s.seq) {
+                    rx.accept(s);
+                } else {
+                    dropped_any = true;
+                }
+            }
+        }
+        assert!(dropped_any);
+        assert!(!rx.complete());
+        let mut total_repaired = 0;
+        for g in 0..c.groups() {
+            let out = c.repair_group(g, &mut rx);
+            assert!(!out.failed, "group {g} should repair");
+            total_repaired += out.repaired;
+        }
+        assert!(total_repaired > 0);
+        assert!(rx.complete(), "repair fills parity slots too");
+        assert!(c.data_complete(&rx));
+        assert_eq!(c.assemble_data(&rx), Some(msg.clone()));
+        assert_eq!(c.data_bytes(&rx), msg.len() as u64);
+    }
+
+    #[test]
+    fn repair_fails_gracefully_beyond_parity_then_recovers() {
+        let msg = vec![0x42u8; 64];
+        let cfg = FecConfig::fixed(4, 1);
+        let c = GroupCoder::for_message(msg.len(), 16, cfg); // 4 data, 1 group? 64/16=4 → 1 group +1 parity
+        let segs = c.encode_message(1, &msg);
+        let mut rx = Reassembler::new(1, c.wire_total());
+        // Deliver only half: too many holes.
+        rx.accept(&segs[0]);
+        rx.accept(&segs[1]);
+        let out = c.repair_group(0, &mut rx);
+        assert!(out.failed);
+        assert_eq!(out.repaired, 0);
+        // Two more arrive; now exactly one hole = parity capacity.
+        rx.accept(&segs[2]);
+        rx.accept(&segs[4]);
+        let out = c.repair_group(0, &mut rx);
+        assert!(!out.failed);
+        assert_eq!(out.repaired, 1);
+        assert_eq!(c.assemble_data(&rx), Some(msg));
+    }
+
+    #[test]
+    fn shortened_last_group_repairs() {
+        // 17 bytes, L = 16 → 2 data segments; k = 8 → one group with
+        // d = 2 of 8, heavily shortened.
+        let msg: Vec<u8> = (0..17).map(|i| i as u8 + 1).collect();
+        let cfg = FecConfig::fixed(8, 2);
+        let c = GroupCoder::for_message(msg.len(), 16, cfg);
+        assert_eq!(c.data_total(), 2);
+        assert_eq!(c.groups(), 1);
+        let segs = c.encode_message(2, &msg);
+        let mut rx = Reassembler::new(2, c.wire_total());
+        // Lose both data segments; the two parity segments must rebuild
+        // them (the 1-byte second segment exercises the len column).
+        rx.accept(&segs[2]);
+        rx.accept(&segs[3]);
+        let out = c.repair_group(0, &mut rx);
+        assert!(!out.failed);
+        assert_eq!(out.repaired, 2);
+        assert_eq!(c.assemble_data(&rx), Some(msg));
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_complete_groups() {
+        let msg = vec![1u8; 32];
+        let c = GroupCoder::for_message(msg.len(), 16, FecConfig::fixed(2, 1));
+        let segs = c.encode_message(0, &msg);
+        let mut rx = Reassembler::new(0, c.wire_total());
+        for s in &segs {
+            rx.accept(s);
+        }
+        let out = c.repair_group(0, &mut rx);
+        assert_eq!(out, RepairOutcome::default());
+    }
+}

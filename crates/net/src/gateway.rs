@@ -127,6 +127,15 @@ impl GatewayConfig {
         self.quantum_bytes = quantum.max(1);
         self
     }
+
+    /// Arms forward error correction on every tag's transport (builder
+    /// style): the template's segment payload is capped and the group
+    /// code applied exactly as in
+    /// [`TransportConfig::with_fec`](crate::arq::TransportConfig::with_fec).
+    pub fn with_fec(mut self, fec: crate::fec::FecConfig) -> Self {
+        self.transport = self.transport.with_fec(fec);
+        self
+    }
 }
 
 /// Per-tag outcome of a gateway run.
@@ -452,6 +461,28 @@ mod tests {
         assert!(obs.counter("net.sched-serves") >= 3);
         // The per-tag transports also recorded through the same recorder.
         assert!(obs.counter("net.polls") >= 3);
+    }
+
+    #[test]
+    fn fec_gateway_delivers_exactly_and_repairs() {
+        let cfg = GatewayConfig::default()
+            .with_faults(FaultPlan::preset("loss", 1.0, 13).unwrap())
+            .with_seed(3)
+            .with_fec(crate::fec::FecConfig::fixed(8, 2));
+        let tags = fleet(3, 160);
+        let run = run_gateway_observed(&tags, &cfg);
+        assert!(run.all_complete, "FEC gateway must deliver under loss");
+        for t in &run.tags {
+            let p = tags.iter().find(|p| p.address == t.address).unwrap();
+            assert_eq!(t.transfer.delivered.as_ref(), Some(&p.message));
+        }
+        let repairs: u64 = run.tags.iter().map(|t| t.transfer.fec_repairs).sum();
+        assert!(repairs > 0, "30% loss across 3 tags should repair something");
+        assert_eq!(
+            run.obs.as_ref().unwrap().counter("net.fec.repair"),
+            repairs,
+            "per-tag counters and the shared recorder must agree"
+        );
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //!   downlink, no-progress rounds back off through the link stack's
 //!   [`RetryPolicy`] with seeded jitter, and the whole transfer is a
 //!   deterministic function of its seeds;
+//! * [`fec`] — forward error correction under the ARQ: an in-repo
+//!   GF(256) Reed-Solomon coder applied across segment groups, so a
+//!   window reconstructs lost segments from parity instead of paying a
+//!   retransmission round trip — the difference between limping and
+//!   living when the helper traffic goes heavy-tailed (enable with
+//!   [`arq::TransportConfig::with_fec`], pick the rate from measured
+//!   traffic with [`fec::FecConfig::for_traffic`]);
 //! * [`gateway`] — N tags behind one reader: singulation via the
 //!   existing inventory, deficit-round-robin service, per-tag rate
 //!   adaptation, all on one simulated clock.
@@ -36,6 +43,7 @@
 //! [`RetryPolicy`]: wifi_backscatter::protocol::RetryPolicy
 
 pub mod arq;
+pub mod fec;
 pub mod gateway;
 pub mod linkmodel;
 pub mod prelude;

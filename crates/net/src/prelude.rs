@@ -6,10 +6,12 @@
 //!
 //! Everything a gateway application or experiment normally touches:
 //! transfer/gateway entry points and their `*_observed` variants, the
-//! configs, the link models, and the wire types. Re-exports of the
-//! handful of core types a transport caller always needs ([`FaultPlan`],
-//! [`RetryPolicy`], [`RunReport`], [`WindowAck`]) ride along so one
-//! import line suffices.
+//! configs, the link models, the FEC layer, and the wire types.
+//! Re-exports of the handful of core types a transport caller always
+//! needs ([`FaultPlan`], [`RetryPolicy`], [`RunReport`], [`WindowAck`])
+//! ride along, as do the traffic-measurement types the FEC rate rule
+//! consumes ([`WildTraffic`], [`RateEstimator`], [`TrafficStats`]), so
+//! one import line suffices.
 //!
 //! The list is pinned by [`NET_PRELUDE_MANIFEST`] and guarded by the
 //! same `api_snapshot` drift gate as the core prelude (golden fixture
@@ -19,13 +21,15 @@ pub use crate::arq::{
     nearest_supported_rate, run_transfer, run_transfer_observed, run_transfer_with, RoundOutcome,
     Transfer, TransportConfig, TransportSession,
 };
+pub use crate::fec::{FecConfig, FecError, GroupCoder, ReedSolomon, RepairOutcome};
 pub use crate::gateway::{
     run_gateway, run_gateway_observed, run_gateway_with, GatewayConfig, GatewayRun, TagOutcome,
     TagProfile,
 };
-pub use crate::linkmodel::{PhyLink, SegmentFate, SegmentLink, SimLink};
+pub use crate::linkmodel::{PhyLink, SegmentFate, SegmentLink, SimLink, TrafficLink};
 pub use crate::seg::{scramble, segment_message, Accept, Reassembler, Segment, SegmentError};
 pub use bs_channel::faults::FaultPlan;
+pub use bs_wifi::traffic::{RateEstimator, TrafficStats, WildTraffic};
 pub use wifi_backscatter::protocol::{RetryPolicy, WindowAck};
 pub use wifi_backscatter::report::RunReport;
 
@@ -35,10 +39,16 @@ pub use wifi_backscatter::report::RunReport;
 pub const NET_PRELUDE_MANIFEST: &[&str] = &[
     "Accept",
     "FaultPlan",
+    "FecConfig",
+    "FecError",
     "GatewayConfig",
     "GatewayRun",
+    "GroupCoder",
     "PhyLink",
+    "RateEstimator",
     "Reassembler",
+    "ReedSolomon",
+    "RepairOutcome",
     "RetryPolicy",
     "RoundOutcome",
     "RunReport",
@@ -49,9 +59,12 @@ pub const NET_PRELUDE_MANIFEST: &[&str] = &[
     "SimLink",
     "TagOutcome",
     "TagProfile",
+    "TrafficLink",
+    "TrafficStats",
     "Transfer",
     "TransportConfig",
     "TransportSession",
+    "WildTraffic",
     "WindowAck",
     "nearest_supported_rate",
     "run_gateway",
@@ -81,6 +94,10 @@ mod tests {
         let _ = TransportConfig::default();
         let _ = GatewayConfig::default();
         let _ = SimLink::new(FaultPlan::none(), 1);
+        let _ = FecConfig::fixed(8, 2);
+        let _ = ReedSolomon::new(12, 8);
+        let _ = WildTraffic::wild();
+        let _ = RateEstimator::new();
         let _: fn(&[u8], TransportConfig, &mut dyn SegmentLink) -> Transfer = run_transfer;
     }
 }

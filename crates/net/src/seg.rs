@@ -249,6 +249,35 @@ impl Reassembler {
         bits
     }
 
+    /// True when the segment with this sequence number has arrived (or
+    /// been reconstructed).
+    pub fn has(&self, seq: u16) -> bool {
+        (seq as usize) < self.slots.len() && self.slots[seq as usize].is_some()
+    }
+
+    /// The held payload for `seq`, if any.
+    pub fn payload_of(&self, seq: u16) -> Option<&[u8]> {
+        self.slots.get(seq as usize)?.as_deref()
+    }
+
+    /// Fills an empty slot with a payload reconstructed by the FEC layer
+    /// (not received off the air). Advances the cumulative head like a
+    /// normal arrival but does **not** touch the duplicate counter — a
+    /// repair is not an on-air event. Returns false (and stores nothing)
+    /// if the slot is already held or `seq` is out of range.
+    pub fn insert_repaired(&mut self, seq: u16, payload: Vec<u8>) -> bool {
+        if seq >= self.total || self.slots[seq as usize].is_some() {
+            return false;
+        }
+        self.slots[seq as usize] = Some(payload);
+        while (self.cumulative as usize) < self.slots.len()
+            && self.slots[self.cumulative as usize].is_some()
+        {
+            self.cumulative += 1;
+        }
+        true
+    }
+
     /// Segments received so far (unique).
     pub fn received(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
@@ -411,6 +440,28 @@ mod tests {
         rx.accept(&segs[3]);
         assert!(rx.complete());
         assert!(!rx.head_of_line_blocked());
+    }
+
+    #[test]
+    fn insert_repaired_fills_holes_without_counting_duplicates() {
+        let msg = [7u8; 48];
+        let segs = segment_message(4, &msg, 16); // 3 segments
+        let mut rx = Reassembler::new(4, 3);
+        rx.accept(&segs[0]);
+        rx.accept(&segs[2]);
+        assert_eq!(rx.cumulative(), 1);
+        assert!(!rx.has(1));
+        assert_eq!(rx.payload_of(1), None);
+        assert!(rx.insert_repaired(1, segs[1].payload.clone()));
+        assert_eq!(rx.cumulative(), 3, "repair must advance the head");
+        assert!(rx.complete());
+        assert_eq!(rx.duplicates, 0, "repairs are not duplicates");
+        assert_eq!(rx.assemble(), Some(msg.to_vec()));
+        // Repairing a held or out-of-range slot is refused.
+        assert!(!rx.insert_repaired(1, vec![0]));
+        assert!(!rx.insert_repaired(9, vec![0]));
+        assert_eq!(rx.payload_of(2), Some(&segs[2].payload[..]));
+        assert_eq!(rx.payload_of(9), None);
     }
 
     #[test]

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # Full local gate: everything CI would require, in dependency order.
 # Usage: scripts/check.sh [--bench-smoke]
-#   --bench-smoke  additionally run the decode and stream microbench
-#                  smoke modes in release, writing BENCH_decode.json
-#                  and BENCH_stream.json at the repo root. The decode
-#                  bench exits non-zero if the slot-indexed decode path
+#   --bench-smoke  additionally run the decode, stream and fec
+#                  microbench smoke modes in release, writing
+#                  BENCH_decode.json, BENCH_stream.json and
+#                  BENCH_fec.json at the repo root. The decode bench
+#                  exits non-zero if the slot-indexed decode path
 #                  does more packet-stream passes than the reference
 #                  baseline or if its alignment-search work scales with
 #                  the candidate count; the stream bench if streaming
 #                  decode is not bit-identical to batch/reference, the
 #                  session buffers more than one frame, or feed+finish
-#                  falls under 2x the reference per-packet throughput.
+#                  falls under 2x the reference per-packet throughput;
+#                  the fec bench if Reed-Solomon decode is not exact at
+#                  capacity, adaptive FEC loses any paired run to plain
+#                  ARQ, the wild-regime severity-0.5 goodput ratio
+#                  falls under 1.5x, or the adaptive rule fails to
+#                  disable itself on benign traffic.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -66,6 +72,12 @@ echo "== net transport conformance =="
 # bit-for-bit reproducible transfers and gateway runs.
 cargo test --release -q -p bs-net --test net_transport
 
+echo "== fec conformance (cross-layer: dsp GF(256) -> net coder -> wild traffic) =="
+# The FEC path's contract: adaptive FEC never lowers goodput on paired
+# links, repairs are byte-perfect, transfers reproduce bit for bit with
+# the coder on, and the rate rule disables itself on benign traffic.
+cargo test --release -q -p bs-net --test fec_transport
+
 echo "== examples run clean =="
 for ex in quickstart sensor_network ambient_traffic energy_budget long_range inventory observability; do
     echo "-- example: $ex"
@@ -87,6 +99,8 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     cargo bench -q -p bs-bench --bench decoder_micro -- --json "$PWD/BENCH_decode.json"
     echo "== stream microbench smoke (streaming == batch, residency, throughput) =="
     cargo bench -q -p bs-bench --bench stream_micro -- --json "$PWD/BENCH_stream.json"
+    echo "== fec bench smoke (RS exactness, paired goodput, wild 1.5x gate) =="
+    cargo bench -q -p bs-bench --bench fec_micro -- --json "$PWD/BENCH_fec.json"
 fi
 
 echo "== all checks passed =="
