@@ -3,7 +3,8 @@
 //! paper's near / boundary operating points.
 
 use bs_bench::microbench::Group;
-use wifi_backscatter::link::{run_uplink, LinkConfig, Measurement};
+use wifi_backscatter::link::{LinkConfig, Measurement};
+use wifi_backscatter::phy::run_uplink;
 
 fn main() {
     let g = Group::new("fig10_uplink");

@@ -3,7 +3,8 @@
 //! each of the paper's three rates.
 
 use bs_bench::microbench::Group;
-use wifi_backscatter::link::{run_downlink_ber, DownlinkConfig};
+use wifi_backscatter::link::DownlinkConfig;
+use wifi_backscatter::phy::run_downlink_ber;
 
 fn main() {
     let g = Group::new("fig17_downlink");

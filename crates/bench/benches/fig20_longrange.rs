@@ -3,7 +3,8 @@
 //! iteration.
 
 use bs_bench::microbench::Group;
-use wifi_backscatter::link::{run_uplink, LinkConfig};
+use wifi_backscatter::link::LinkConfig;
+use wifi_backscatter::phy::run_uplink;
 
 fn main() {
     let g = Group::new("fig20_longrange");

@@ -3,7 +3,8 @@
 //! so the sweep uses every core; rows print in distance order regardless
 //! of worker count (the `bs_bench::harness` determinism guarantee).
 use bs_bench::harness::{run_jobs, Job, JobOutput};
-use wifi_backscatter::link::{run_uplink, LinkConfig, Measurement};
+use wifi_backscatter::link::{LinkConfig, Measurement};
+use wifi_backscatter::phy::run_uplink;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -72,7 +73,8 @@ fn uplink_jobs() -> Vec<Job> {
 }
 
 fn downlink_jobs() -> Vec<Job> {
-    use wifi_backscatter::link::{run_downlink_ber, DownlinkConfig};
+    use wifi_backscatter::link::DownlinkConfig;
+    use wifi_backscatter::phy::run_downlink_ber;
     [50u32, 100, 150, 200, 213, 250, 290, 320, 350]
         .into_iter()
         .map(|d_cm| Job {

@@ -14,7 +14,8 @@
 //!   shorter/longer windows under environmental fading.
 
 use bs_dsp::bits::BerCounter;
-use wifi_backscatter::link::{capture_uplink, run_uplink, LinkConfig};
+use wifi_backscatter::link::{capture_uplink, LinkConfig};
+use wifi_backscatter::phy::run_uplink;
 use wifi_backscatter::uplink::{Combining, UplinkDecoder, UplinkDecoderConfig};
 
 use super::uplink::eval_payload;

@@ -3,7 +3,8 @@
 
 use bs_dsp::bits::BerCounter;
 use bs_dsp::SimRng;
-use wifi_backscatter::link::{run_uplink, LinkConfig};
+use wifi_backscatter::link::LinkConfig;
+use wifi_backscatter::phy::run_uplink;
 use wifi_backscatter::link::Measurement;
 
 use super::uplink::eval_payload;

@@ -5,7 +5,8 @@ use bs_dsp::bits::BerCounter;
 use bs_dsp::SimRng;
 use bs_tag::receiver::DownlinkDecoder;
 use bs_wifi::mac::{Medium, Station};
-use wifi_backscatter::link::{run_downlink_ber, timeline_to_transitions, DownlinkConfig};
+use wifi_backscatter::link::{timeline_to_transitions, DownlinkConfig};
+use wifi_backscatter::phy::run_downlink_ber;
 
 /// One Fig. 17 point.
 #[derive(Debug, Clone, Copy)]

@@ -11,9 +11,8 @@
 
 use bs_channel::faults::FaultPlan;
 use bs_dsp::bits::BerCounter;
-use wifi_backscatter::link::{
-    run_uplink, DegradationReport, LinkConfig, Measurement, MitigationPolicy,
-};
+use wifi_backscatter::link::{DegradationReport, LinkConfig, Measurement, MitigationPolicy};
+use wifi_backscatter::phy::run_uplink;
 
 /// One measured `(scenario, severity, mitigated)` point.
 #[derive(Debug, Clone)]

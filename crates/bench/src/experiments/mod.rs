@@ -11,6 +11,7 @@
 //! | [`faults`] | fault-injection sweep: degradation with mitigations off vs on |
 //! | [`net`] | transport sweep: goodput vs loss severity × ARQ window over `bs-net` |
 //! | [`fec`] | FEC sweep: goodput vs traffic regime × coding scheme over `TrafficLink` |
+//! | [`phy`] | PHY mode sweep: tag goodput vs helper-traffic rate, presence vs codeword translation |
 //! | [`obs`] | stage profiling: per-stage spans/counters from armed-recorder runs |
 //! | [`stream`] | streaming-decode equivalence: batch vs chunked feed/finish, peak resident window |
 
@@ -22,6 +23,7 @@ pub mod faults;
 pub mod fec;
 pub mod net;
 pub mod obs;
+pub mod phy;
 pub mod power;
 pub mod stream;
 pub mod uplink;

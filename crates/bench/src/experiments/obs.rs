@@ -13,9 +13,8 @@
 //! byte-identical under any `--jobs`.
 
 use bs_dsp::obs::ObsReport;
-use wifi_backscatter::link::{
-    run_downlink_ber_observed, run_uplink_observed, DownlinkConfig, LinkConfig, Measurement,
-};
+use wifi_backscatter::link::{DownlinkConfig, LinkConfig, Measurement};
+use wifi_backscatter::phy::{run_downlink_ber_observed, run_uplink_observed};
 use wifi_backscatter::session::{Reader, ReaderConfig};
 
 /// One profiled operating point: the merged observability report across

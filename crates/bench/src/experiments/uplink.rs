@@ -3,7 +3,8 @@
 use bs_dsp::bits::BerCounter;
 use bs_dsp::filter::condition;
 use bs_dsp::stats::Histogram;
-use wifi_backscatter::link::{capture_uplink, run_uplink, LinkConfig, Measurement};
+use wifi_backscatter::link::{capture_uplink, LinkConfig, Measurement};
+use wifi_backscatter::phy::run_uplink;
 use wifi_backscatter::uplink::{UplinkDecoder, UplinkDecoderConfig};
 use wifi_backscatter::SeriesBundle;
 

@@ -17,7 +17,7 @@ use wifi_backscatter::link::Measurement;
 use super::record::{JobOutput, RunRecord};
 use super::scheduler::Job;
 use crate::experiments::{
-    ablation, ambient, coexistence, downlink, faults, fec, net, obs, power, stream, uplink,
+    ablation, ambient, coexistence, downlink, faults, fec, net, obs, phy, power, stream, uplink,
 };
 
 /// How much work each figure does — the knobs the old `all`/`quick`
@@ -65,7 +65,7 @@ impl Effort {
 pub const ALL_FIGURES: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
     "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults", "obs", "net", "fec",
-    "stream",
+    "phy", "stream",
 ];
 
 /// Lines computed from a section's finished records (Fig. 19's impact
@@ -155,6 +155,7 @@ pub fn plan(figs: &[String], effort: &Effort, seed: u64) -> Result<Plan, String>
             "obs" => obs_section(&mut p, seed, effort),
             "net" => net_section(&mut p, seed, effort),
             "fec" => fec_section(&mut p, seed, effort),
+            "phy" => phy_section(&mut p, seed, effort),
             "stream" => stream_section(&mut p, seed),
             other => {
                 return Err(format!(
@@ -839,6 +840,51 @@ fn fec_job(pt: fec::FecPoint) -> JobOutput {
             ("fec_decode_fails".into(), pt.fec_decode_fails as f64),
         ],
         work_items: pt.per_run_goodput.len() as u64 * fec::MESSAGE_BYTES as u64,
+        ..JobOutput::default()
+    }
+}
+
+fn phy_section(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "phy",
+        vec![
+            "# === phy: tag goodput vs helper-traffic rate, presence vs codeword translation ==="
+                .into(),
+            "# mode  helper_pps  bit_rate_bps  goodput_bps  detected_runs  bit_errors".into(),
+        ],
+    );
+    let runs = e.runs.min(3);
+    for &pps in phy::HELPER_PPS {
+        for mode in [phy::Mode::Presence, phy::Mode::Codeword] {
+            p.job(
+                s,
+                format!("{} pps={pps:.0}", mode.label()),
+                seed,
+                move || phy_job(phy::phy_point(mode, pps, runs, seed)),
+            );
+        }
+    }
+}
+
+/// Renders one [`phy::PhyPoint`] as a job line + metrics.
+fn phy_job(pt: phy::PhyPoint) -> JobOutput {
+    JobOutput {
+        lines: vec![format!(
+            "{}  {:.0}  {}  {:9.1}  {}  {}",
+            pt.mode.label(),
+            pt.helper_pps,
+            pt.bit_rate_bps,
+            pt.goodput_bps,
+            pt.detected_runs,
+            pt.bit_errors
+        )],
+        metrics: vec![
+            ("goodput_bps".into(), pt.goodput_bps),
+            ("bit_rate_bps".into(), pt.bit_rate_bps as f64),
+            ("detected_runs".into(), pt.detected_runs as f64),
+            ("bit_errors".into(), pt.bit_errors as f64),
+        ],
+        work_items: pt.per_run_goodput.len() as u64 * phy::PAYLOAD_BITS as u64,
         ..JobOutput::default()
     }
 }

@@ -37,6 +37,10 @@
 //! * [`link`] — an end-to-end simulator wiring scene + MAC + tag + reader
 //!   together; this is the API the examples and every experiment harness
 //!   use.
+//! * [`phy`] — the PHY mode family: [`phy::PresencePhy`] (the paper's
+//!   PHY, above) and [`phy::CodewordPhy`] (FreeRider-style codeword
+//!   translation, [`codeword`]) behind object-safe traits; the routed
+//!   `phy::run_*` entry points are what the prelude exports.
 //!
 //! Beyond the paper's evaluation, two extensions it explicitly points at:
 //!
@@ -64,11 +68,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codeword;
 pub mod downlink;
 pub mod error;
 pub mod link;
 pub mod longrange;
 pub mod multitag;
+pub mod phy;
 pub mod prelude;
 pub mod protocol;
 pub mod report;

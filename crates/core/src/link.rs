@@ -17,13 +17,14 @@
 
 use crate::downlink::{DownlinkEncoder, DownlinkEncoderConfig};
 use crate::longrange::{LongRangeConfig, LongRangeDecoder};
+use crate::phy::PhyConfig;
 use crate::series::{SeriesBundle, SlotIndex};
 use crate::uplink::{UplinkDecoder, UplinkDecoderConfig};
 use bs_channel::faults::{FaultEvents, FaultPlan};
 use bs_channel::scene::{Scene, SceneConfig};
 use bs_dsp::bits::BerCounter;
 use bs_dsp::codes::OrthogonalPair;
-use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder};
+use bs_dsp::obs::{NullRecorder, ObsReport, Recorder};
 use bs_dsp::SimRng;
 use bs_tag::envelope::{EnvelopeConfig, EnvelopeModel};
 use bs_tag::frame::{DownlinkFrame, UplinkFrame};
@@ -257,6 +258,9 @@ pub struct LinkConfig {
     pub faults: FaultPlan,
     /// Which mitigations the reader arms against those faults.
     pub mitigations: MitigationPolicy,
+    /// Which PHY mode runs the exchange (default:
+    /// [`PhyConfig::Presence`], the paper's PHY).
+    pub phy: PhyConfig,
 }
 
 impl LinkConfig {
@@ -278,6 +282,7 @@ impl LinkConfig {
             csi_spurious_boost: 1.0,
             faults: FaultPlan::none(),
             mitigations: MitigationPolicy::none(),
+            phy: PhyConfig::Presence,
         }
     }
 
@@ -325,6 +330,13 @@ impl LinkConfig {
         self.mitigations = mitigations;
         self
     }
+
+    /// Sets the PHY mode (default: [`PhyConfig::Presence`]). The
+    /// `crate::phy::run_*` entry points dispatch on this.
+    pub fn with_phy(mut self, phy: PhyConfig) -> Self {
+        self.phy = phy;
+        self
+    }
 }
 
 /// Result of an uplink run.
@@ -344,9 +356,16 @@ pub struct UplinkRun {
     pub pkts_per_bit: f64,
     /// Which faults fired and which mitigations engaged.
     pub degradation: DegradationReport,
-    /// Observability report, populated only by [`run_uplink_observed`];
-    /// `None` everywhere else so existing records stay byte-stable.
+    /// Observability report, populated only by
+    /// [`crate::phy::run_uplink_observed`]; `None` everywhere else so
+    /// existing records stay byte-stable.
     pub obs: Option<ObsReport>,
+    /// Simulated airtime of the (final) exchange (µs) — what goodput
+    /// figures divide delivered bits by. For the presence PHY this is
+    /// the capture window (conditioning lead + frame span + lead); for
+    /// codeword translation it ends with the helper frame carrying the
+    /// schedule's last symbol.
+    pub elapsed_us: u64,
 }
 
 impl UplinkRun {
@@ -626,28 +645,46 @@ fn decode_capture(
 /// so an undrifted capture keeps its baseline decode on ties.
 const DRIFT_CANDIDATES: [f64; 7] = [0.0, 0.005, -0.005, 0.01, -0.01, 0.02, -0.02];
 
-/// Runs one end-to-end uplink frame exchange, engaging whatever armed
-/// mitigations the observed degradation calls for.
+/// Runs one end-to-end uplink frame exchange, routed through the PHY
+/// mode configured in `cfg.phy`.
+#[deprecated(
+    since = "0.8.0",
+    note = "use wifi_backscatter::phy::run_uplink — routed through the configured PhyMode"
+)]
 pub fn run_uplink(cfg: &LinkConfig) -> UplinkRun {
-    run_uplink_with(cfg, &mut NullRecorder)
+    crate::phy::run_uplink(cfg)
 }
 
-/// [`run_uplink`] with an armed [`MemRecorder`]: the returned run carries
+/// [`run_uplink`] with an armed [`MemRecorder`](bs_dsp::obs::MemRecorder): the
+/// returned run carries
 /// `Some(ObsReport)` with the full span/counter/gauge profile of the
 /// exchange. The run itself (bits, BER, degradation) is bit-identical to
 /// [`run_uplink`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use wifi_backscatter::phy::run_uplink_observed — routed through the configured PhyMode"
+)]
 pub fn run_uplink_observed(cfg: &LinkConfig) -> UplinkRun {
-    let mut rec = MemRecorder::new();
-    let mut run = run_uplink_with(cfg, &mut rec);
-    run.obs = Some(rec.into_report());
-    run
+    crate::phy::run_uplink_observed(cfg)
 }
 
-/// [`run_uplink`] plus observability threading: all capture and decode
-/// instrumentation, plus the link-level counters `link.retries` and
-/// `link.mitigations-engaged`. Every RNG draw is identical whatever the
-/// recorder, so results match [`run_uplink`] bit for bit.
+/// [`run_uplink`] plus observability threading.
+#[deprecated(
+    since = "0.8.0",
+    note = "use wifi_backscatter::phy::run_uplink_with — routed through the configured PhyMode"
+)]
 pub fn run_uplink_with(cfg: &LinkConfig, rec: &mut dyn Recorder) -> UplinkRun {
+    crate::phy::run_uplink_with(cfg, rec)
+}
+
+/// The presence/CSI uplink exchange — the body behind
+/// [`crate::phy::PresencePhy`]. This is the pre-trait `run_uplink_with`
+/// code path, moved verbatim: all capture and decode instrumentation,
+/// plus the link-level counters `link.retries` and
+/// `link.mitigations-engaged`, engaging whatever armed mitigations the
+/// observed degradation calls for. Every RNG draw is identical whatever
+/// the recorder.
+pub(crate) fn presence_uplink_with(cfg: &LinkConfig, rec: &mut dyn Recorder) -> UplinkRun {
     let mut report = DegradationReport::default();
     let mut eff = cfg.clone();
 
@@ -739,6 +776,9 @@ pub fn run_uplink_with(cfg: &LinkConfig, rec: &mut dyn Recorder) -> UplinkRun {
 
     let mut ber = BerCounter::new();
     ber.compare_with_erasures(&cfg.payload, &best.decoded);
+    // The final capture's simulated window: lead + frame span + lead.
+    let frame_span_us =
+        capture.frame.to_bits().len() as u64 * eff.code_length as u64 * capture.chip_us;
     UplinkRun {
         transmitted: cfg.payload.clone(),
         decoded: best.decoded,
@@ -748,6 +788,7 @@ pub fn run_uplink_with(cfg: &LinkConfig, rec: &mut dyn Recorder) -> UplinkRun {
         pkts_per_bit: capture.pkts_per_chip * cfg.code_length as f64,
         degradation: report,
         obs: None,
+        elapsed_us: 2 * capture.start_us + frame_span_us,
     }
 }
 
@@ -764,6 +805,10 @@ pub struct DownlinkConfig {
     pub seed: u64,
     /// Injected faults; [`FaultPlan::none`] leaves the run untouched.
     pub faults: FaultPlan,
+    /// Which PHY mode runs the exchange (default:
+    /// [`PhyConfig::Presence`]; both shipped modes share the envelope
+    /// downlink).
+    pub phy: PhyConfig,
 }
 
 impl DownlinkConfig {
@@ -775,6 +820,7 @@ impl DownlinkConfig {
             tx_dbm: bs_channel::calib::READER_TX_DBM,
             seed,
             faults: FaultPlan::none(),
+            phy: PhyConfig::Presence,
         }
     }
 
@@ -787,6 +833,12 @@ impl DownlinkConfig {
     /// Sets the injected fault plan (default: [`FaultPlan::none`]).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the PHY mode (default: [`PhyConfig::Presence`]).
+    pub fn with_phy(mut self, phy: PhyConfig) -> Self {
+        self.phy = phy;
         self
     }
 
@@ -831,27 +883,48 @@ pub struct DownlinkRun {
 
 /// Measures raw downlink BER over `n_bits` random bits at the configured
 /// distance/rate (the Fig. 17 experiment).
+#[deprecated(
+    since = "0.8.0",
+    note = "use wifi_backscatter::phy::run_downlink_ber — routed through the configured PhyMode"
+)]
 pub fn run_downlink_ber(cfg: &DownlinkConfig, n_bits: usize) -> DownlinkRun {
-    run_downlink_ber_with(cfg, n_bits, &mut NullRecorder)
+    crate::phy::run_downlink_ber(cfg, n_bits)
 }
 
-/// [`run_downlink_ber`] with an armed [`MemRecorder`]: the returned run
+/// [`run_downlink_ber`] with an armed [`MemRecorder`](bs_dsp::obs::MemRecorder):
+/// the returned run
 /// carries `Some(ObsReport)`. The BER itself is bit-identical to
 /// [`run_downlink_ber`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use wifi_backscatter::phy::run_downlink_ber_observed — routed through the configured PhyMode"
+)]
 pub fn run_downlink_ber_observed(cfg: &DownlinkConfig, n_bits: usize) -> DownlinkRun {
-    let mut rec = MemRecorder::new();
-    let mut run = run_downlink_ber_with(cfg, n_bits, &mut rec);
-    run.obs = Some(rec.into_report());
-    run
+    crate::phy::run_downlink_ber_observed(cfg, n_bits)
 }
 
-/// [`run_downlink_ber`] plus observability: a `downlink.envelope` span
-/// over the simulated trace, the tag comparator span and transition
-/// counter from [`ReceiverCircuit::run_with`], counters
-/// `downlink.bits-sent` / `downlink.bit-errors`, and the tag's energy
-/// ledger gauges (`tag.energy-uj`, `tag.mean-uw`) for the receive window.
-/// Every RNG draw is identical whatever the recorder.
+/// [`run_downlink_ber`] plus observability threading.
+#[deprecated(
+    since = "0.8.0",
+    note = "use wifi_backscatter::phy::run_downlink_ber_with — routed through the configured PhyMode"
+)]
 pub fn run_downlink_ber_with(
+    cfg: &DownlinkConfig,
+    n_bits: usize,
+    rec: &mut dyn Recorder,
+) -> DownlinkRun {
+    crate::phy::run_downlink_ber_with(cfg, n_bits, rec)
+}
+
+/// The presence/envelope raw-BER downlink — the body behind
+/// [`crate::phy::PresencePhy`] (and, the downlink being shared, behind
+/// `CodewordPhy` too): a `downlink.envelope` span over the simulated
+/// trace, the tag comparator span and transition counter from
+/// [`ReceiverCircuit::run_with`], counters `downlink.bits-sent` /
+/// `downlink.bit-errors`, and the tag's energy ledger gauges
+/// (`tag.energy-uj`, `tag.mean-uw`) for the receive window. Every RNG
+/// draw is identical whatever the recorder.
+pub(crate) fn presence_downlink_ber_with(
     cfg: &DownlinkConfig,
     n_bits: usize,
     rec: &mut dyn Recorder,
@@ -914,31 +987,54 @@ pub fn run_downlink_ber_with(
 /// Sends one framed downlink message end-to-end and reports whether the
 /// tag's full pipeline (preamble match + mid-bit slicing + CRC) recovered
 /// it.
+#[deprecated(
+    since = "0.8.0",
+    note = "use wifi_backscatter::phy::run_downlink_frame — routed through the configured PhyMode"
+)]
 pub fn run_downlink_frame(cfg: &DownlinkConfig, frame: &DownlinkFrame) -> Option<DownlinkFrame> {
-    run_downlink_frame_with_report(cfg, frame).0
+    crate::phy::run_downlink_frame(cfg, frame)
 }
 
 /// [`run_downlink_frame`] plus a [`DegradationReport`] naming the faults
-/// that hit the exchange. An armed [`Fault::PacketLoss`] can swallow the
-/// whole short query burst (the frame-level loss the session layer
-/// retries around); an armed interference burst raises the envelope floor
-/// under the frame.
-///
-/// [`Fault::PacketLoss`]: bs_channel::faults::Fault::PacketLoss
+/// that hit the exchange.
+#[deprecated(
+    since = "0.8.0",
+    note = "use wifi_backscatter::phy::run_downlink_frame_with_report — routed through the configured PhyMode"
+)]
 pub fn run_downlink_frame_with_report(
     cfg: &DownlinkConfig,
     frame: &DownlinkFrame,
 ) -> (Option<DownlinkFrame>, DegradationReport) {
-    run_downlink_frame_with(cfg, frame, &mut NullRecorder)
+    crate::phy::run_downlink_frame_with_report(cfg, frame)
 }
 
-/// [`run_downlink_frame_with_report`] plus observability: a
-/// `downlink.encode` span over the transmission's on-air extent, the tag
-/// comparator instrumentation from [`ReceiverCircuit::run_with`], and
-/// counters `downlink.frames-attempted` / `downlink.frames-recovered` /
+/// [`run_downlink_frame_with_report`] plus observability threading.
+#[deprecated(
+    since = "0.8.0",
+    note = "use wifi_backscatter::phy::run_downlink_frame_with — routed through the configured PhyMode"
+)]
+pub fn run_downlink_frame_with(
+    cfg: &DownlinkConfig,
+    frame: &DownlinkFrame,
+    rec: &mut dyn Recorder,
+) -> (Option<DownlinkFrame>, DegradationReport) {
+    crate::phy::run_downlink_frame_with(cfg, frame, rec)
+}
+
+/// The presence/envelope framed-downlink exchange — the body behind
+/// both shipped PHY modes (the wake/command channel is shared). An
+/// armed [`Fault::PacketLoss`] can swallow the whole short query burst
+/// (the frame-level loss the session layer retries around); an armed
+/// interference burst raises the envelope floor under the frame.
+/// Observability: a `downlink.encode` span over the transmission's
+/// on-air extent, the tag comparator instrumentation from
+/// [`ReceiverCircuit::run_with`], and counters
+/// `downlink.frames-attempted` / `downlink.frames-recovered` /
 /// `downlink.frames-lost`. The exchange is bit-identical whatever the
 /// recorder.
-pub fn run_downlink_frame_with(
+///
+/// [`Fault::PacketLoss`]: bs_channel::faults::Fault::PacketLoss
+pub(crate) fn presence_downlink_frame_with(
     cfg: &DownlinkConfig,
     frame: &DownlinkFrame,
     rec: &mut dyn Recorder,
@@ -1024,6 +1120,7 @@ pub fn timeline_to_transitions(timeline: &[Transmission], merge_gap_us: u64) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::phy::{run_downlink_ber, run_downlink_frame, run_uplink};
     use bs_channel::fading::FadingConfig;
 
     #[test]

@@ -108,6 +108,20 @@ impl InventoryResult {
     pub fn complete(&self, tags: &[InventoryTag]) -> bool {
         tags.iter().all(|t| self.identified.contains(&t.address))
     }
+
+    /// The inventory's airtime cost (µs) at a given slot length.
+    ///
+    /// Slot-count bookkeeping inside this module is PHY-neutral — a slot
+    /// is a slot — but *pricing* those slots is not: a slot must fit one
+    /// short reply, so its length follows the PHY's reply rate. Audit
+    /// note: the gateway used to hardcode its 2 500 µs presence slot and
+    /// multiply inline; callers should now pass
+    /// [`PhyCapabilities::inventory_slot_us`] here.
+    ///
+    /// [`PhyCapabilities::inventory_slot_us`]: crate::phy::PhyCapabilities::inventory_slot_us
+    pub fn airtime_us(&self, slot_us: u64) -> u64 {
+        self.slots * slot_us
+    }
 }
 
 /// Deterministic slot choice: FNV-style hash of (address, round seed),
@@ -269,6 +283,25 @@ mod tests {
         assert!(r.identified.is_empty());
         assert_eq!(r.rounds, 0);
         assert_eq!(r.slots, 0);
+        assert_eq!(r.airtime_us(2_500), 0);
+    }
+
+    #[test]
+    fn airtime_scales_with_phy_slot_length() {
+        // Audit site: inventory clock time used to hard-code the presence
+        // slot length at the caller; the per-PHY slot duration now comes
+        // from `PhyCapabilities::inventory_slot_us`.
+        use crate::phy::PhyConfig;
+        let t = tags(4);
+        let r = run_inventory(&t, InventoryConfig::default(), &mut rng(5));
+        let presence = PhyConfig::Presence.capabilities();
+        let codeword = PhyConfig::codeword().capabilities();
+        assert_eq!(r.airtime_us(presence.inventory_slot_us), r.slots * 2_500);
+        assert_eq!(r.airtime_us(codeword.inventory_slot_us), r.slots * 400);
+        assert!(
+            r.airtime_us(codeword.inventory_slot_us) < r.airtime_us(presence.inventory_slot_us),
+            "codeword slots are shorter than presence slots"
+        );
     }
 
     #[test]

@@ -16,17 +16,21 @@
 //! and must update the manifest (and the golden fixture) in the same
 //! commit.
 
+pub use crate::codeword::CodewordParams;
 pub use crate::error::{EncodeError, Error, ProtocolError, SessionError, TraceError};
 pub use crate::link::{
-    capture_uplink, capture_uplink_with, run_downlink_ber, run_downlink_ber_observed,
-    run_downlink_ber_with, run_downlink_frame, run_downlink_frame_with,
-    run_downlink_frame_with_report, run_uplink, run_uplink_observed, run_uplink_with,
-    DegradationReport, DownlinkConfig, DownlinkRun, LinkConfig, Measurement, MitigationPolicy,
-    UplinkCapture, UplinkRun,
+    capture_uplink, capture_uplink_with, DegradationReport, DownlinkConfig, DownlinkRun,
+    LinkConfig, Measurement, MitigationPolicy, UplinkCapture, UplinkRun,
 };
 pub use crate::longrange::{LongRangeConfig, LongRangeDecoder, LongRangeOutput, LongRangeStream};
 pub use crate::multitag::{
     run_inventory, run_inventory_with, InventoryConfig, InventoryResult, InventoryTag,
+};
+pub use crate::phy::{
+    run_downlink_ber, run_downlink_ber_observed, run_downlink_ber_with, run_downlink_frame,
+    run_downlink_frame_with, run_downlink_frame_with_report, run_uplink, run_uplink_observed,
+    run_uplink_with, CodewordPhy, PhyCapabilities, PhyConfig, PhyDownlink, PhyMode, PhyUplink,
+    PresencePhy,
 };
 pub use crate::protocol::{
     select_bit_rate, Ack, Query, RetryPolicy, WindowAck, SUPPORTED_RATES_BPS,
@@ -51,6 +55,8 @@ pub use bs_tag::frame::{DownlinkFrame, UplinkFrame};
 pub const PRELUDE_MANIFEST: &[&str] = &[
     "Ack",
     "BerCounter",
+    "CodewordParams",
+    "CodewordPhy",
     "Combining",
     "Consumed",
     "DecodeOutput",
@@ -76,6 +82,12 @@ pub const PRELUDE_MANIFEST: &[&str] = &[
     "MitigationPolicy",
     "NullRecorder",
     "ObsReport",
+    "PhyCapabilities",
+    "PhyConfig",
+    "PhyDownlink",
+    "PhyMode",
+    "PhyUplink",
+    "PresencePhy",
     "ProtocolError",
     "Query",
     "QueryOutcome",

@@ -101,7 +101,8 @@ impl RunReport for QueryOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::link::{run_downlink_ber, run_uplink, DownlinkConfig, LinkConfig};
+    use crate::link::{DownlinkConfig, LinkConfig};
+    use crate::phy::{run_downlink_ber, run_uplink};
 
     #[test]
     fn uplink_run_reports() {

@@ -21,10 +21,10 @@
 
 use crate::error as err;
 use crate::link::{
-    run_downlink_frame_with, run_uplink_with, DegradationReport, DownlinkConfig, LinkConfig,
-    Measurement, MitigationPolicy, UplinkRun,
+    DegradationReport, DownlinkConfig, LinkConfig, Measurement, MitigationPolicy, UplinkRun,
 };
-use crate::protocol::{select_bit_rate, Ack, Query, RetryPolicy};
+use crate::phy::{run_downlink_frame_with, run_uplink_with, PhyConfig};
+use crate::protocol::{Ack, Query, RetryPolicy};
 use crate::uplink::{UplinkDecoder, UplinkDecoderConfig, UplinkStream};
 use bs_channel::faults::FaultPlan;
 use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder};
@@ -65,6 +65,11 @@ pub struct ReaderConfig {
     pub mitigations: MitigationPolicy,
     /// Backoff schedule and time budget bounding the retry loops.
     pub retry: RetryPolicy,
+    /// Which PHY mode the session's link exchanges run
+    /// (default: [`PhyConfig::Presence`]). Rate selection, response
+    /// airtime budgeting and the long-range fallback all follow this
+    /// mode's [`crate::phy::PhyCapabilities`].
+    pub phy: PhyConfig,
 }
 
 impl Default for ReaderConfig {
@@ -82,6 +87,7 @@ impl Default for ReaderConfig {
             faults: FaultPlan::none(),
             mitigations: MitigationPolicy::all(),
             retry: RetryPolicy::default(),
+            phy: PhyConfig::Presence,
         }
     }
 }
@@ -122,6 +128,12 @@ impl ReaderConfig {
     /// [`RetryPolicy::default`]).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the PHY mode (default: [`PhyConfig::Presence`]).
+    pub fn with_phy(mut self, phy: PhyConfig) -> Self {
+        self.phy = phy;
         self
     }
 }
@@ -206,8 +218,14 @@ impl Reader {
         tag_payload: &[bool],
         rec: &mut dyn Recorder,
     ) -> Result<QueryOutcome, err::SessionError> {
-        // §5: pick the uplink rate from the network conditions.
-        let bit_rate = select_bit_rate(self.cfg.helper_pps, self.cfg.pkts_per_bit, self.cfg.rate_margin);
+        // §5: pick the uplink rate from the network conditions — in the
+        // configured PHY's own currency (packets per bit for presence,
+        // symbols per bit for codeword translation). Audit note: this
+        // used to call `select_bit_rate` directly, baking the presence
+        // step table into the session.
+        let caps = self.cfg.phy.capabilities();
+        let bit_rate =
+            caps.select_rate_bps(self.cfg.helper_pps, self.cfg.pkts_per_bit, self.cfg.rate_margin);
 
         // §4.1: retransmit the query until the tag decodes it — with
         // exponential backoff between attempts and a hard time budget so
@@ -218,14 +236,18 @@ impl Reader {
         let query = Query {
             tag_address,
             payload_bits: tag_payload.len() as u16,
-            bit_rate_bps: bit_rate,
+            // The wire format encodes an index into the presence rate
+            // table; the capabilities map the selected rate onto an
+            // encodable one (identity for presence, pinned for codeword
+            // — see `PhyCapabilities::wire_rate_bps`).
+            bit_rate_bps: caps.wire_rate_bps(bit_rate),
             code_length: 1,
         };
-        // Infallible here: `select_bit_rate` only returns rates from
+        // Infallible here: `wire_rate_bps` only returns rates from
         // `SUPPORTED_RATES_BPS`, all of which encode.
         let query_frame = query
             .to_frame()
-            .expect("select_bit_rate returns only supported rates");
+            .expect("wire_rate_bps returns only supported rates");
         let query_air_us =
             query_frame.to_bits().len() as u64 * 1_000_000 / self.cfg.downlink_bps.max(1);
         let mut query_attempts = 0;
@@ -246,6 +268,7 @@ impl Reader {
                 tx_dbm: bs_channel::calib::READER_TX_DBM,
                 seed: self.rng.next_u64_seed(),
                 faults: self.cfg.faults.clone(),
+                phy: self.cfg.phy.clone(),
             };
             let (got, dl_report) = run_downlink_frame_with(&dl, &query_frame, rec);
             report.merge(&dl_report);
@@ -275,7 +298,10 @@ impl Reader {
             }
             response_attempts += 1;
             rec.add("session.response-attempts", 1);
-            waited_us += response_air_us(tag_payload.len(), bit_rate, 1);
+            // Audit note: the budget charge used to assume the presence
+            // capture's 1.2 s conditioning lead for every PHY; the
+            // capabilities now own the per-mode formula.
+            waited_us += caps.response_air_us(tag_payload.len(), bit_rate, 1);
             let run = self.run_response(tag_payload, bit_rate, 1, rec);
             report.merge(&run.degradation);
             if run.perfect() {
@@ -294,12 +320,20 @@ impl Reader {
             best_errors = best_errors.min(run.ber.errors());
         }
 
-        // Long-range fallback (§3.4), if enabled and affordable.
-        if self.cfg.fallback_code_length > 1 && retry.within_budget(waited_us) {
+        // Long-range fallback (§3.4), if this PHY has one, it is enabled,
+        // and the budget affords it. Audit note: the gate used to test
+        // only `fallback_code_length`, silently running the presence
+        // coded decoder whatever the PHY; orthogonal chip spreading is a
+        // presence-mode mechanism, so `PhyCapabilities::coded_fallback`
+        // now guards it.
+        if caps.coded_fallback
+            && self.cfg.fallback_code_length > 1
+            && retry.within_budget(waited_us)
+        {
             response_attempts += 1;
             rec.add("session.response-attempts", 1);
             rec.add("session.fallback-engaged", 1);
-            waited_us += response_air_us(
+            waited_us += caps.response_air_us(
                 tag_payload.len(),
                 bit_rate,
                 self.cfg.fallback_code_length,
@@ -332,9 +366,16 @@ impl Reader {
     /// the CSI/RSSI measurement mapping are exactly what the link layer's
     /// decode path uses, so a capture decoded through this decoder
     /// matches the session's own decoding bit for bit.
+    ///
+    /// This is a presence-PHY instrument — the codeword mode has no
+    /// CSI/RSSI capture to re-decode — so it always mirrors the
+    /// presence-configured session.
     pub fn response_decoder(&self, payload_bits: usize) -> UplinkDecoder {
-        let bit_rate =
-            select_bit_rate(self.cfg.helper_pps, self.cfg.pkts_per_bit, self.cfg.rate_margin);
+        let bit_rate = crate::protocol::select_bit_rate(
+            self.cfg.helper_pps,
+            self.cfg.pkts_per_bit,
+            self.cfg.rate_margin,
+        );
         let dcfg = match self.cfg.measurement {
             Measurement::Csi => UplinkDecoderConfig::csi(bit_rate, payload_bits),
             Measurement::Rssi => UplinkDecoderConfig::rssi(bit_rate, payload_bits),
@@ -385,6 +426,7 @@ impl Reader {
         cfg.code_length = code_length;
         cfg.faults = self.cfg.faults.clone();
         cfg.mitigations = self.cfg.mitigations;
+        cfg.phy = self.cfg.phy.clone();
         run_uplink_with(&cfg, rec)
     }
 
@@ -397,18 +439,11 @@ impl Reader {
             tx_dbm: bs_channel::calib::READER_TX_DBM,
             seed: self.rng.next_u64_seed(),
             faults: self.cfg.faults.clone(),
+            phy: self.cfg.phy.clone(),
         };
         let (_, report) = run_downlink_frame_with(&dl, &Ack { tag_address }.to_frame(), rec);
         report
     }
-}
-
-/// Rough airtime of one uplink response (µs): lead-in/out the capture
-/// needs for conditioning plus the frame's chips at the commanded rate.
-/// Used only for budget bookkeeping, so approximate is fine.
-fn response_air_us(payload_bits: usize, bit_rate_bps: u64, code_length: usize) -> u64 {
-    let frame_bits = (payload_bits + 13) as u64 * code_length as u64;
-    1_200_000 + frame_bits * 1_000_000 / bit_rate_bps.max(1)
 }
 
 /// Small extension so the session can mint per-attempt seeds.
@@ -586,5 +621,107 @@ mod tests {
         assert!(e.to_string().contains('4'));
         let g = SessionError::ResponseGarbled { best_bit_errors: 9 };
         assert!(g.to_string().contains('9'));
+    }
+
+    #[test]
+    fn codeword_session_selects_codeword_rate_and_charges_no_lead() {
+        // Audit sites A + C: with a codeword PHY the session must pick
+        // from the codeword rate table (not the presence 100..1000 bps
+        // steps) and must not charge the presence capture's 1.2 s
+        // conditioning lead per response attempt.
+        use crate::phy::PhyConfig;
+        let mut r = Reader::new(
+            ReaderConfig {
+                helper_pps: 3_000.0,
+                phy: PhyConfig::codeword(),
+                ..Default::default()
+            },
+            11,
+        );
+        let p = payload(24);
+        let out = r.query(0x07, &p).expect("codeword query failed");
+        assert_eq!(out.payload, p);
+        assert_eq!(
+            out.bit_rate_bps, 25_000,
+            "3000 pps x 42 sym/frame / 4 sym-per-bit x 0.8 -> 25 kbps step"
+        );
+        assert!(!out.used_fallback);
+        // One query + one response, no conditioning lead: far under the
+        // 1.2 s a single presence response attempt alone would charge.
+        assert!(
+            out.waited_us < 1_200_000,
+            "codeword budget charged a presence-style lead: {} us",
+            out.waited_us
+        );
+    }
+
+    #[test]
+    fn codeword_session_never_engages_coded_fallback() {
+        // Audit site B: orthogonal chip spreading is a presence-mode
+        // mechanism; a codeword session must not run it even when the
+        // plain response fails. A permanent helper outage starves the
+        // codeword uplink of symbols while leaving the (reader-transmitted)
+        // downlink alive, so the query is delivered but every response
+        // attempt fails.
+        use crate::phy::PhyConfig;
+        use bs_channel::faults::{Fault, FaultPlan};
+        use bs_dsp::obs::MemRecorder;
+        let outage = FaultPlan::new(9).with(Fault::HelperOutage {
+            period_us: 1_000_000_000,
+            outage_us: 1_000_000_000,
+        });
+        let mut r = Reader::new(
+            ReaderConfig {
+                phy: PhyConfig::codeword(),
+                faults: outage,
+                fallback_code_length: 20, // would enable fallback on presence
+                ..Default::default()
+            },
+            12,
+        );
+        let mut rec = MemRecorder::new();
+        let got = r.query_with(0x07, &payload(16), &mut rec);
+        assert!(
+            matches!(got, Err(SessionError::ResponseGarbled { .. })),
+            "expected a garbled response under total outage, got {got:?}"
+        );
+        let obs = rec.into_report();
+        assert_eq!(
+            obs.counter("session.fallback-engaged"),
+            0,
+            "codeword session must never run the presence coded fallback"
+        );
+    }
+
+    #[test]
+    fn presence_session_fallback_still_charges_attempt() {
+        // Companion to the codeword gate above: the same outage on a
+        // presence session must still engage (and count) the coded
+        // fallback, proving the `coded_fallback` capability gate did not
+        // disable the presence path.
+        use bs_channel::faults::{Fault, FaultPlan};
+        use bs_dsp::obs::MemRecorder;
+        let outage = FaultPlan::new(9).with(Fault::HelperOutage {
+            period_us: 1_000_000_000,
+            outage_us: 1_000_000_000,
+        });
+        let mut r = Reader::new(
+            ReaderConfig {
+                faults: outage,
+                fallback_code_length: 20,
+                max_response_attempts: 1,
+                ..Default::default()
+            },
+            13,
+        );
+        let mut rec = MemRecorder::new();
+        let got = r.query_with(0x07, &payload(16), &mut rec);
+        assert!(got.is_err(), "total outage should defeat presence too");
+        let obs = rec.into_report();
+        assert_eq!(
+            obs.counter("session.fallback-engaged"),
+            1,
+            "presence session must still attempt the coded fallback"
+        );
     }
 }

@@ -101,6 +101,13 @@ impl TransportConfig {
     /// ([`FecConfig::none`]) keeps the transport bit-identical to plain
     /// ARQ. With FEC enabled the segment payload is capped at 254 bytes
     /// (parity columns carry one extra length byte).
+    ///
+    /// FEC operates on segments, above the PHY: it composes with any
+    /// [`wifi_backscatter::phy::PhyMode`] — presence captures and
+    /// codeword-translation residue decoding alike — because the
+    /// transport only sees segment fates, never how the bits crossed
+    /// the air (see [`crate::linkmodel::PhyLink::with_phy`] and
+    /// [`crate::gateway::GatewayConfig::with_phy`]).
     pub fn with_fec(mut self, fec: FecConfig) -> Self {
         self.fec = fec;
         if fec.is_enabled() {

@@ -33,10 +33,9 @@ use crate::linkmodel::{SegmentLink, SimLink};
 use bs_channel::faults::FaultPlan;
 use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder};
 use bs_dsp::SimRng;
-use bs_wifi::rate_adapt::readapt_chip_rate;
 use wifi_backscatter::link::DegradationReport;
 use wifi_backscatter::multitag::{run_inventory_with, InventoryConfig, InventoryResult, InventoryTag};
-use wifi_backscatter::protocol::select_bit_rate;
+use wifi_backscatter::phy::PhyConfig;
 use wifi_backscatter::report::RunReport;
 
 /// One tag the gateway serves.
@@ -78,7 +77,9 @@ pub struct GatewayConfig {
     pub quantum_bytes: u64,
     /// Singulation parameters.
     pub inventory: InventoryConfig,
-    /// Air-time charged per inventory slot (µs).
+    /// Air-time charged per inventory slot (µs). [`Self::with_phy`]
+    /// re-derives it from the mode's
+    /// [`inventory_slot_us`](wifi_backscatter::phy::PhyCapabilities::inventory_slot_us).
     pub slot_us: u64,
     /// Fault plan applied to every tag's link.
     pub faults: FaultPlan,
@@ -91,6 +92,11 @@ pub struct GatewayConfig {
     /// Master seed: inventory, per-tag links and transports all derive
     /// from it.
     pub seed: u64,
+    /// PHY mode every tag's link runs (default:
+    /// [`PhyConfig::Presence`]). Rate selection, re-adaptation and the
+    /// inventory slot length all follow this mode's
+    /// [`wifi_backscatter::phy::PhyCapabilities`].
+    pub phy: PhyConfig,
 }
 
 impl Default for GatewayConfig {
@@ -105,6 +111,7 @@ impl Default for GatewayConfig {
             rate_margin: 0.9,
             max_cycles: 10_000,
             seed: 1,
+            phy: PhyConfig::Presence,
         }
     }
 }
@@ -134,6 +141,16 @@ impl GatewayConfig {
     /// [`TransportConfig::with_fec`](crate::arq::TransportConfig::with_fec).
     pub fn with_fec(mut self, fec: crate::fec::FecConfig) -> Self {
         self.transport = self.transport.with_fec(fec);
+        self
+    }
+
+    /// Sets the PHY mode (builder style) and re-derives the inventory
+    /// slot length from the mode's capabilities — codeword singulation
+    /// replies ride short residue bursts instead of multi-packet
+    /// presence captures, so its slots are much shorter.
+    pub fn with_phy(mut self, phy: PhyConfig) -> Self {
+        self.slot_us = phy.capabilities().inventory_slot_us;
+        self.phy = phy;
         self
     }
 }
@@ -241,13 +258,17 @@ pub fn run_gateway_with(
     rec: &mut dyn Recorder,
 ) -> GatewayRun {
     let root = SimRng::new(cfg.seed);
+    let caps = cfg.phy.capabilities();
 
     // Phase 1 — singulation: discover who is out there and in what
-    // order they will be served.
+    // order they will be served. Audit note: the inventory clock used to
+    // multiply slots by the raw config field inline; the accounting now
+    // goes through `InventoryResult::airtime_us` so the slot length can
+    // follow the PHY (see `GatewayConfig::with_phy`).
     let inv_tags: Vec<InventoryTag> = tags.iter().map(|t| InventoryTag::new(t.address)).collect();
     let mut inv_rng = root.stream("gateway-inventory");
     let inventory = run_inventory_with(&inv_tags, cfg.inventory, &mut inv_rng, rec);
-    let mut clock_us = inventory.slots * cfg.slot_us;
+    let mut clock_us = inventory.airtime_us(cfg.slot_us);
 
     // Phase 2 — one transport session + link per discovered tag.
     let mut served: Vec<ServedTag> = inventory
@@ -256,8 +277,11 @@ pub fn run_gateway_with(
         .filter_map(|&addr| tags.iter().find(|t| t.address == addr))
         .enumerate()
         .map(|(i, profile)| {
+            // Audit note: initial rate selection used to call the
+            // presence-only `select_bit_rate`; the capabilities pick
+            // from the configured PHY's own rate table.
             let chip_rate =
-                select_bit_rate(profile.helper_pps, cfg.pkts_per_bit, cfg.rate_margin);
+                caps.select_rate_bps(profile.helper_pps, cfg.pkts_per_bit, cfg.rate_margin);
             let link_seed = root.stream("gateway-link").substream(i as u64).seed();
             let mut link = SimLink::new(cfg.faults.clone(), link_seed);
             link.set_chip_rate_bps(chip_rate);
@@ -312,11 +336,15 @@ pub fn run_gateway_with(
                 // Reactive per-tag rate adaptation: the delivery ratio
                 // scales the §5 cadence estimate; a collapse steps the
                 // chip rate down (never up — the adapter is one-way,
-                // like the session's reactive mitigation).
+                // like the session's reactive mitigation). Audit note:
+                // this used to call `readapt_chip_rate` directly,
+                // halving against the presence floor whatever the PHY;
+                // the capabilities step down the configured mode's own
+                // rate table instead.
                 if tag.sent_bytes >= 4 * cfg.quantum_bytes {
                     let delivery = tag.acked_bytes as f64 / tag.sent_bytes as f64;
                     let measured_pps = tag.profile.helper_pps * delivery;
-                    if let Some(slower) = readapt_chip_rate(
+                    if let Some(slower) = caps.readapt_rate(
                         tag.link.chip_rate_bps(),
                         measured_pps,
                         f64::from(cfg.pkts_per_bit),
@@ -482,6 +510,40 @@ mod tests {
             run.obs.as_ref().unwrap().counter("net.fec.repair"),
             repairs,
             "per-tag counters and the shared recorder must agree"
+        );
+    }
+
+    #[test]
+    fn codeword_gateway_selects_codeword_rates_and_short_slots() {
+        // Audit sites D/E/F: a codeword gateway must pick from the
+        // codeword rate table (25 kbps at the nominal 3000 pps cadence,
+        // not the presence table's 1 kbps cap), charge the codeword's
+        // short singulation slots, and still deliver everything.
+        let cw = GatewayConfig::default().with_phy(PhyConfig::codeword());
+        assert_eq!(
+            cw.slot_us,
+            PhyConfig::codeword().capabilities().inventory_slot_us,
+            "with_phy must re-derive the inventory slot length"
+        );
+        let tags = fleet(3, 128);
+        let run = run_gateway(&tags, &cw);
+        assert!(run.all_complete);
+        for t in &run.tags {
+            assert_eq!(
+                t.final_chip_rate_bps, 25_000,
+                "tag {} not on the codeword rate table",
+                t.address
+            );
+        }
+        // Same seed, same inventory outcome, but every phase is faster:
+        // shorter slots and a ~25x uplink rate.
+        let presence = run_gateway(&tags, &GatewayConfig::default());
+        assert_eq!(run.inventory.slots, presence.inventory.slots);
+        assert!(
+            run.airtime_us < presence.airtime_us,
+            "codeword {} us vs presence {} us",
+            run.airtime_us,
+            presence.airtime_us
         );
     }
 

@@ -1,0 +1,146 @@
+//! Tag-side toggling for the codeword-translation uplink
+//! (`wifi_backscatter::phy::CodewordPhy`).
+//!
+//! In codeword mode the tag does not free-run its bit clock against
+//! wall time the way [`crate::modulator::Modulator`] does. Instead it
+//! carrier-senses the helper's transmissions and advances a *symbol
+//! cursor*: every 802.11 symbol that flies past consumes one position
+//! of the tag's chip sequence, and the tag's RF switch applies a π
+//! phase flip to exactly the symbols whose chip is a `1`. Because the
+//! clock is the helper's own symbol train, the scheme is immune to tag
+//! oscillator drift — there is no independent clock to drift.
+//!
+//! The chip sequence is the [`crate::frame::UplinkFrame`] bit stream
+//! (Barker-13 preamble, payload, postamble) with each bit repeated
+//! `chips_per_bit` times, and each chip held for `sym_per_chip`
+//! consecutive symbols so the reader can majority-vote its per-symbol
+//! flip decisions.
+
+use crate::frame::UplinkFrame;
+
+/// The tag's symbol-clocked chip schedule for one codeword-mode frame.
+#[derive(Debug, Clone)]
+pub struct CodewordModulator {
+    chips: Vec<bool>,
+    sym_per_chip: u32,
+}
+
+impl CodewordModulator {
+    /// Builds the schedule for `frame`, repeating each on-air bit
+    /// `chips_per_bit` times and holding each chip for `sym_per_chip`
+    /// symbols. Both factors are clamped to at least 1.
+    pub fn new(frame: &UplinkFrame, chips_per_bit: u32, sym_per_chip: u32) -> Self {
+        let chips_per_bit = chips_per_bit.max(1) as usize;
+        let mut chips = Vec::new();
+        for bit in frame.to_bits() {
+            chips.extend(std::iter::repeat_n(bit, chips_per_bit));
+        }
+        CodewordModulator {
+            chips,
+            sym_per_chip: sym_per_chip.max(1),
+        }
+    }
+
+    /// Whether the tag flips helper symbol `k` (counted across *all*
+    /// carrier-sensed symbols since the schedule started), or `None`
+    /// once the schedule is exhausted and the switch rests at absorb.
+    pub fn flip_at_symbol(&self, k: u64) -> Option<bool> {
+        let chip = (k / u64::from(self.sym_per_chip)) as usize;
+        self.chips.get(chip).copied()
+    }
+
+    /// Number of chips in the schedule.
+    pub fn total_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Symbols the schedule needs before it completes.
+    pub fn total_symbols(&self) -> u64 {
+        self.chips.len() as u64 * u64::from(self.sym_per_chip)
+    }
+
+    /// Symbols each chip is held for.
+    pub fn sym_per_chip(&self) -> u32 {
+        self.sym_per_chip
+    }
+
+    /// RF-switch transitions over the whole schedule (for the energy
+    /// model): one per chip boundary where the chip value changes,
+    /// plus the final return to absorb if the last chip is a flip.
+    pub fn transitions(&self) -> usize {
+        let mut n = 0;
+        let mut prev = false;
+        for &c in &self.chips {
+            if c != prev {
+                n += 1;
+            }
+            prev = c;
+        }
+        if prev {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> UplinkFrame {
+        UplinkFrame::new(vec![true, false, true])
+    }
+
+    #[test]
+    fn schedule_length_matches_on_air_bits() {
+        let f = frame();
+        let m = CodewordModulator::new(&f, 2, 3);
+        assert_eq!(m.total_chips(), f.to_bits().len() * 2);
+        assert_eq!(m.total_symbols(), m.total_chips() as u64 * 3);
+        assert_eq!(m.sym_per_chip(), 3);
+    }
+
+    #[test]
+    fn flips_follow_the_frame_bits() {
+        let f = frame();
+        let bits = f.to_bits();
+        let m = CodewordModulator::new(&f, 2, 2);
+        for (i, &bit) in bits.iter().enumerate() {
+            // Bit i covers chips 2i, 2i+1 → symbols 4i .. 4i+4.
+            for s in 0..4u64 {
+                assert_eq!(m.flip_at_symbol(i as u64 * 4 + s), Some(bit));
+            }
+        }
+        assert_eq!(m.flip_at_symbol(m.total_symbols()), None);
+    }
+
+    #[test]
+    fn factors_clamp_to_one() {
+        let f = frame();
+        let m = CodewordModulator::new(&f, 0, 0);
+        assert_eq!(m.total_chips(), f.to_bits().len());
+        assert_eq!(m.total_symbols(), m.total_chips() as u64);
+    }
+
+    #[test]
+    fn transitions_count_switch_toggles() {
+        // Chips 1,1,0,0,1,1 (bits [1,0,1] at cpb=2, ignoring pre/post):
+        // use a raw frame to keep the arithmetic visible instead.
+        let f = frame();
+        let m = CodewordModulator::new(&f, 1, 1);
+        let bits = f.to_bits();
+        let mut expect = 0;
+        let mut prev = false;
+        for &b in &bits {
+            if b != prev {
+                expect += 1;
+            }
+            prev = b;
+        }
+        if prev {
+            expect += 1;
+        }
+        assert_eq!(m.transitions(), expect);
+        assert!(m.transitions() >= 2, "preamble alone must toggle");
+    }
+}

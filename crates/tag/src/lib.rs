@@ -10,6 +10,9 @@
 //! * [`modulator`] — uplink transmit logic: a bit clock driving the RF
 //!   switch, in plain-bit or long-range orthogonal-code mode (§3.4). The
 //!   modulator yields the tag's [`bs_channel::TagState`] at any instant.
+//! * [`codeword`] — the symbol-clocked chip schedule for the
+//!   codeword-translation (FreeRider-style) uplink, where the helper's
+//!   own symbol train is the tag's clock.
 //! * [`envelope`] — the incident-power envelope at the tag's detector
 //!   input: OFDM's smoothed high-PAPR envelope during packets, detector
 //!   noise during silence.
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codeword;
 pub mod envelope;
 pub mod firmware;
 pub mod frame;

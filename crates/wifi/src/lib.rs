@@ -19,6 +19,9 @@
 //! * [`rssi`] — per-packet RSSI with 1 dB quantisation (§3.3).
 //! * [`rate_adapt`] — an SNR-driven rate-adaptation model used to show the
 //!   tag's impact on normal Wi-Fi traffic is absorbed (Fig. 19, §9).
+//! * [`symbol`] — the sub-frame symbol model for codeword-translation
+//!   backscatter (FreeRider-style): symbol clock, phase-flip codeword
+//!   mapping and the residue-decision error model.
 //! * [`wire`] — byte-level 802.11 frame formats (CTS/ACK/data/beacon) with
 //!   FCS, smoltcp-style typed encode/parse.
 //! * [`waveform`] — symbol-level OFDM synthesis (QAM + IFFT + cyclic
@@ -33,6 +36,7 @@ pub mod mac;
 pub mod ofdm;
 pub mod rate_adapt;
 pub mod rssi;
+pub mod symbol;
 pub mod traffic;
 pub mod waveform;
 pub mod wire;

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Full local gate: everything CI would require, in dependency order.
 # Usage: scripts/check.sh [--bench-smoke]
-#   --bench-smoke  additionally run the decode, stream and fec
+#   --bench-smoke  additionally run the decode, stream, fec and phy
 #                  microbench smoke modes in release, writing
-#                  BENCH_decode.json, BENCH_stream.json and
-#                  BENCH_fec.json at the repo root. The decode bench
+#                  BENCH_decode.json, BENCH_stream.json, BENCH_fec.json
+#                  and BENCH_phy.json at the repo root. The decode bench
 #                  exits non-zero if the slot-indexed decode path
 #                  does more packet-stream passes than the reference
 #                  baseline or if its alignment-search work scales with
@@ -16,7 +16,11 @@
 #                  capacity, adaptive FEC loses any paired run to plain
 #                  ARQ, the wild-regime severity-0.5 goodput ratio
 #                  falls under 1.5x, or the adaptive rule fails to
-#                  disable itself on benign traffic.
+#                  disable itself on benign traffic; the phy bench if
+#                  the presence PHY is not bit-identical across the
+#                  routed/direct/deprecated decode paths, or codeword
+#                  translation's goodput falls under 10x presence at
+#                  equal helper traffic in the benign regime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -66,6 +70,13 @@ echo "== public-API drift gate + observability conformance =="
 cargo test --release -q -p wifi-backscatter --test api_snapshot
 cargo test --release -q -p wifi-backscatter --test obs_conformance
 
+echo "== phy mode conformance (presence identity, codeword round-trip, determinism) =="
+# The PhyMode redesign's contract: the presence PHY is bit-identical
+# across the routed, direct and deprecated entry points (faults
+# included), codeword translation round-trips random payloads in the
+# benign regime, and both modes are pure functions of the seed.
+cargo test --release -q -p wifi-backscatter --test phy_conformance
+
 echo "== net transport conformance =="
 # The connectivity layer's contract: exact bytes at every tested
 # severity/seed, monotone goodput, window > stop-and-wait, and
@@ -101,6 +112,8 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     cargo bench -q -p bs-bench --bench stream_micro -- --json "$PWD/BENCH_stream.json"
     echo "== fec bench smoke (RS exactness, paired goodput, wild 1.5x gate) =="
     cargo bench -q -p bs-bench --bench fec_micro -- --json "$PWD/BENCH_fec.json"
+    echo "== phy bench smoke (presence bit identity, codeword 10x goodput gate) =="
+    cargo bench -q -p bs-bench --bench phy_micro -- --json "$PWD/BENCH_phy.json"
 fi
 
 echo "== all checks passed =="

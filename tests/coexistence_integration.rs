@@ -8,7 +8,8 @@ use bs_dsp::bits::BerCounter;
 use bs_wifi::frame::FrameKind;
 use bs_wifi::mac::{Medium, Station};
 use wifi_backscatter::downlink::{DownlinkEncoder, DownlinkEncoderConfig};
-use wifi_backscatter::link::{run_uplink, LinkConfig};
+use wifi_backscatter::link::LinkConfig;
+use wifi_backscatter::phy::run_uplink;
 
 /// The uplink still works when the helper shares the medium with other
 /// stations (§5: "Wi-Fi Backscatter in a general Wi-Fi network").

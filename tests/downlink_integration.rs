@@ -3,7 +3,8 @@
 
 use bs_dsp::bits::BerCounter;
 use bs_tag::frame::DownlinkFrame;
-use wifi_backscatter::link::{run_downlink_ber, run_downlink_frame, DownlinkConfig};
+use wifi_backscatter::link::DownlinkConfig;
+use wifi_backscatter::phy::{run_downlink_ber, run_downlink_frame};
 
 /// Frames of several sizes round-trip at the paper's three rates at 1 m.
 #[test]

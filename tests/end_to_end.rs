@@ -1,7 +1,8 @@
 //! End-to-end integration: the full query-response exchange of §2 across
 //! the real downlink and uplink channel simulations.
 
-use wifi_backscatter::link::{run_downlink_frame, run_uplink, DownlinkConfig, LinkConfig};
+use wifi_backscatter::link::{DownlinkConfig, LinkConfig};
+use wifi_backscatter::phy::{run_downlink_frame, run_uplink};
 use wifi_backscatter::protocol::{Ack, Query};
 
 /// The canonical round trip: the reader queries, the tag answers, the

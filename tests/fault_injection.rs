@@ -18,8 +18,9 @@
 use bs_channel::faults::{FaultPlan, PRESET_SCENARIOS};
 use bs_dsp::bits::BerCounter;
 use wifi_backscatter::link::{
-    run_uplink, DegradationReport, LinkConfig, Measurement, MitigationPolicy, UplinkRun,
+    DegradationReport, LinkConfig, Measurement, MitigationPolicy, UplinkRun,
 };
+use wifi_backscatter::phy::run_uplink;
 use wifi_backscatter::error::SessionError;
 use wifi_backscatter::protocol::RetryPolicy;
 use wifi_backscatter::session::{Reader, ReaderConfig};

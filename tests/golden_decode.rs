@@ -15,7 +15,8 @@
 
 use bs_dsp::correlate::{best_alignment, peak, sliding};
 use bs_dsp::slicer::{majority, sign_decision, vote_bit, Decision, HysteresisSlicer};
-use wifi_backscatter::link::{capture_uplink, run_uplink, LinkConfig, Measurement};
+use wifi_backscatter::link::{capture_uplink, LinkConfig, Measurement};
+use wifi_backscatter::phy::run_uplink;
 use wifi_backscatter::uplink::{UplinkDecoder, UplinkDecoderConfig};
 
 /// Compares `actual` against the committed fixture, or rewrites the

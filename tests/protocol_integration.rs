@@ -3,7 +3,8 @@
 
 use bs_dsp::SimRng;
 use bs_wifi::mac::{Medium, Station};
-use wifi_backscatter::link::{run_downlink_frame, run_uplink, DownlinkConfig, LinkConfig};
+use wifi_backscatter::link::{DownlinkConfig, LinkConfig};
+use wifi_backscatter::phy::{run_downlink_frame, run_uplink};
 use wifi_backscatter::protocol::{select_bit_rate, Ack, Query, SUPPORTED_RATES_BPS};
 
 /// The reader measures the helper's delivered rate off a real MAC

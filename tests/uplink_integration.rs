@@ -2,7 +2,8 @@
 //! exercised through the full simulation stack.
 
 use bs_dsp::bits::BerCounter;
-use wifi_backscatter::link::{run_uplink, LinkConfig, Measurement};
+use wifi_backscatter::link::{LinkConfig, Measurement};
+use wifi_backscatter::phy::run_uplink;
 
 fn payload() -> Vec<bool> {
     (0..45).map(|i| (i * 13) % 7 < 3).collect()
