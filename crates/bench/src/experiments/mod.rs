@@ -11,6 +11,7 @@
 //! | [`faults`] | fault-injection sweep: degradation with mitigations off vs on |
 //! | [`net`] | transport sweep: goodput vs loss severity × ARQ window over `bs-net` |
 //! | [`fec`] | FEC sweep: goodput vs traffic regime × coding scheme over `TrafficLink` |
+//! | [`fleet`] | fleet sweep: aggregate goodput, fairness and tail latency vs deployment population over `bs_net::fleet` |
 //! | [`phy`] | PHY mode sweep: tag goodput vs helper-traffic rate, presence vs codeword translation |
 //! | [`obs`] | stage profiling: per-stage spans/counters from armed-recorder runs |
 //! | [`stream`] | streaming-decode equivalence: batch vs chunked feed/finish, peak resident window |
@@ -21,6 +22,7 @@ pub mod coexistence;
 pub mod downlink;
 pub mod faults;
 pub mod fec;
+pub mod fleet;
 pub mod net;
 pub mod obs;
 pub mod phy;

@@ -17,7 +17,8 @@ use wifi_backscatter::link::Measurement;
 use super::record::{JobOutput, RunRecord};
 use super::scheduler::Job;
 use crate::experiments::{
-    ablation, ambient, coexistence, downlink, faults, fec, net, obs, phy, power, stream, uplink,
+    ablation, ambient, coexistence, downlink, faults, fec, fleet, net, obs, phy, power, stream,
+    uplink,
 };
 
 /// How much work each figure does — the knobs the old `all`/`quick`
@@ -65,7 +66,7 @@ impl Effort {
 pub const ALL_FIGURES: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
     "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults", "obs", "net", "fec",
-    "phy", "stream",
+    "phy", "stream", "fleet",
 ];
 
 /// Lines computed from a section's finished records (Fig. 19's impact
@@ -157,6 +158,7 @@ pub fn plan(figs: &[String], effort: &Effort, seed: u64) -> Result<Plan, String>
             "fec" => fec_section(&mut p, seed, effort),
             "phy" => phy_section(&mut p, seed, effort),
             "stream" => stream_section(&mut p, seed),
+            "fleet" => fleet_section(&mut p, seed, effort),
             other => {
                 return Err(format!(
                     "unknown figure '{other}' (known: {})",
@@ -886,6 +888,54 @@ fn phy_job(pt: phy::PhyPoint) -> JobOutput {
         ],
         work_items: pt.per_run_goodput.len() as u64 * phy::PAYLOAD_BITS as u64,
         ..JobOutput::default()
+    }
+}
+
+fn fleet_section(p: &mut Plan, seed: u64, e: &Effort) {
+    let s = p.section(
+        "fleet",
+        vec![
+            "# === fleet: aggregate goodput, fairness and tail latency vs population ===".into(),
+            "# gateways  tags  goodput_bps  fairness  p50_us  p99_us  handoffs  truncated  digest"
+                .into(),
+        ],
+    );
+    // Full effort adds the 10⁵-tag acceptance point; quick/tiny efforts
+    // stop at the debug-budget populations.
+    let mut pops: Vec<(usize, usize)> = fleet::POPULATIONS.to_vec();
+    if e.runs >= 20 {
+        pops.push((500, 200));
+    }
+    for (gateways, tpg) in pops {
+        p.job(s, format!("fleet {gateways}x{tpg}"), seed, move || {
+            let pt = fleet::fleet_point(gateways, tpg, 1, seed);
+            JobOutput {
+                lines: vec![format!(
+                    "{:>4}  {:>6}  {:10.1}  {:.4}  {:10.1}  {:10.1}  {:>5}  {:>3}  {:016x}",
+                    pt.gateways,
+                    pt.tags,
+                    pt.goodput_bps,
+                    pt.fairness,
+                    pt.p50_us,
+                    pt.p99_us,
+                    pt.handoffs,
+                    pt.truncated_gateway_epochs,
+                    pt.digest
+                )],
+                metrics: vec![
+                    ("goodput_bps".into(), pt.goodput_bps),
+                    ("fairness".into(), pt.fairness),
+                    ("p99_us".into(), pt.p99_us),
+                    ("handoffs".into(), pt.handoffs as f64),
+                    (
+                        "truncated_gateway_epochs".into(),
+                        pt.truncated_gateway_epochs as f64,
+                    ),
+                ],
+                work_items: pt.tags as u64 * fleet::EPOCHS as u64,
+                ..JobOutput::default()
+            }
+        });
     }
 }
 

@@ -46,11 +46,16 @@ fn build() -> (Vec<bs_bench::harness::Section>, Vec<bs_bench::harness::Job>) {
         "net".to_string(),
         "fec".to_string(),
         "stream".to_string(),
+        "fleet".to_string(),
     ];
     let p = plan(&figs, &test_effort(), 7).expect("known figures");
     let mut jobs = p.jobs;
     jobs.retain(|j| !j.label.contains("ppb=30"));
     jobs.retain(|j| j.fig != "faults" || j.label.contains("s=1.00"));
+    // One fleet population suffices: the sharded engine's own
+    // determinism is pinned by its conformance suite; here we only need
+    // the figure job to reproduce under the harness scheduler.
+    jobs.retain(|j| j.fig != "fleet" || j.label == "fleet 25x40");
     (p.sections, jobs)
 }
 
@@ -83,6 +88,7 @@ fn parallel_run_is_byte_identical_to_serial() {
     assert!(table_serial.contains("# === net: 1 KiB transfer goodput"));
     assert!(table_serial.contains("# === fec: 1 KiB transfer goodput"));
     assert!(table_serial.contains("# === stream: streaming decode vs batch"));
+    assert!(table_serial.contains("# === fleet: aggregate goodput"));
 
     // Every streaming point must report bit-for-bit agreement with the
     // batch decoder (the tentpole contract, surfaced as a metric).

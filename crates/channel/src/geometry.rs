@@ -90,6 +90,48 @@ pub fn line_of_sight(walls: &[Wall], p: Point, q: Point) -> bool {
     !walls.iter().any(|w| w.blocks(p, q))
 }
 
+/// Intersection area (m²) of two equal-radius coverage discs whose
+/// centres are `d` metres apart — the lens formula
+/// `2r²·cos⁻¹(d/2r) − (d/2)·√(4r² − d²)`.
+///
+/// Two gateways whose coverage discs share area contend for the same
+/// patch of tags and helper airtime; the fleet simulator feeds this
+/// through [`coverage_overlap`] to scale inter-gateway interference.
+/// Degenerate inputs are total: `r ≤ 0` or `d ≥ 2r` give 0, `d ≤ 0`
+/// gives the full disc area.
+pub fn circle_overlap_area(d: f64, r: f64) -> f64 {
+    if r <= 0.0 {
+        return 0.0;
+    }
+    if d <= 0.0 {
+        return std::f64::consts::PI * r * r;
+    }
+    if d >= 2.0 * r {
+        return 0.0;
+    }
+    let half = d / 2.0;
+    2.0 * r * r * (half / r).acos() - half * (4.0 * r * r - d * d).sqrt()
+}
+
+/// Fraction of one coverage disc shared with the other (`0..=1`):
+/// [`circle_overlap_area`] normalised by the disc area. 1 for
+/// co-located gateways, 0 once the centres are ≥ one diameter apart.
+///
+/// ```
+/// use bs_channel::geometry::coverage_overlap;
+///
+/// assert_eq!(coverage_overlap(0.0, 10.0), 1.0);
+/// assert_eq!(coverage_overlap(20.0, 10.0), 0.0);
+/// let half_in = coverage_overlap(10.0, 10.0);
+/// assert!(half_in > 0.3 && half_in < 0.5, "{half_in}");
+/// ```
+pub fn coverage_overlap(d: f64, r: f64) -> f64 {
+    if r <= 0.0 {
+        return 0.0;
+    }
+    (circle_overlap_area(d, r) / (std::f64::consts::PI * r * r)).clamp(0.0, 1.0)
+}
+
 /// The five helper locations of the paper's testbed (Fig. 13).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TestbedLocation {
@@ -248,5 +290,34 @@ mod tests {
         assert!(tb.is_los(TestbedLocation::Loc3));
         assert!(tb.is_los(TestbedLocation::Loc4));
         assert!(!tb.is_los(TestbedLocation::Loc5), "loc 5 must be in the adjacent room");
+    }
+
+    #[test]
+    fn coverage_overlap_endpoints_and_monotonicity() {
+        let r = 25.0;
+        assert!((coverage_overlap(0.0, r) - 1.0).abs() < 1e-12);
+        assert_eq!(coverage_overlap(2.0 * r, r), 0.0);
+        assert_eq!(coverage_overlap(3.0 * r, r), 0.0);
+        // Strictly decreasing in separation across the open interval.
+        let f: Vec<f64> = (0..=10)
+            .map(|i| coverage_overlap(i as f64 * 2.0 * r / 10.0, r))
+            .collect();
+        assert!(f.windows(2).all(|w| w[0] > w[1] || (w[0] == 0.0 && w[1] == 0.0)), "{f:?}");
+        // Scale invariance: the fraction depends only on d/r.
+        assert!((coverage_overlap(10.0, 25.0) - coverage_overlap(4.0, 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circle_overlap_area_degenerate_inputs_are_total() {
+        assert_eq!(circle_overlap_area(1.0, 0.0), 0.0);
+        assert_eq!(circle_overlap_area(1.0, -2.0), 0.0);
+        assert_eq!(coverage_overlap(1.0, 0.0), 0.0);
+        let full = circle_overlap_area(-1.0, 2.0);
+        assert!((full - std::f64::consts::PI * 4.0).abs() < 1e-12);
+        // Half-separation sanity against the closed form at d = r:
+        // A(r, r) = r²(2π/3 − √3/2).
+        let a = circle_overlap_area(2.0, 2.0);
+        let expect = 4.0 * (2.0 * std::f64::consts::PI / 3.0 - 3f64.sqrt() / 2.0);
+        assert!((a - expect).abs() < 1e-9, "{a} vs {expect}");
     }
 }

@@ -140,6 +140,14 @@ pub fn mean_abs(xs: &[f64]) -> f64 {
 /// Linear-interpolated percentile (`p` in `[0, 100]`) of *unsorted* data.
 /// Returns 0 for an empty slice.
 ///
+/// Non-finite handling (the fleet-report policy, matching the decoder's
+/// PR-4 `total_cmp` sweep): NaN observations are *skipped* — under
+/// `total_cmp` they would rank above `+∞` and poison the interpolation —
+/// and `±∞` participate with their natural ordering. When a rank falls
+/// between a finite value and an infinity, the nearer rank wins instead
+/// of interpolating (interpolating across `-∞‥+∞` would manufacture a
+/// NaN). All-NaN input degrades to the empty-slice result, 0.
+///
 /// ```
 /// use bs_dsp::stats::percentile;
 ///
@@ -147,25 +155,51 @@ pub fn mean_abs(xs: &[f64]) -> f64 {
 /// assert_eq!(percentile(&xs, 0.0), 1.0);
 /// assert_eq!(percentile(&xs, 50.0), 2.5);
 /// assert_eq!(percentile(&xs, 100.0), 4.0);
+/// // A stray NaN (an idle tag with no latency sample) is ignored:
+/// assert_eq!(percentile(&[2.0, f64::NAN, 4.0], 50.0), 3.0);
 /// ```
-///
-/// # Panics
-/// Panics if the data contains a NaN.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    if xs.is_empty() {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    v.sort_by(f64::total_cmp);
+    percentile_of_sorted(&v, p)
+}
+
+/// Several percentiles of the same data with one sort — what the fleet
+/// report uses for its p50/p90/p99 latency columns over 10⁵-tag inputs,
+/// where re-sorting per quantile would triple the dominant cost.
+/// Returns one value per entry of `ps`, with the same non-finite policy
+/// as [`percentile`].
+///
+/// ```
+/// use bs_dsp::stats::percentile_many;
+///
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile_many(&xs, &[0.0, 50.0, 100.0]), vec![1.0, 2.5, 4.0]);
+/// ```
+pub fn percentile_many(xs: &[f64], ps: &[f64]) -> Vec<f64> {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    v.sort_by(f64::total_cmp);
+    ps.iter().map(|&p| percentile_of_sorted(&v, p)).collect()
+}
+
+/// Rank interpolation over already-sorted, NaN-free data.
+fn percentile_of_sorted(v: &[f64], p: f64) -> f64 {
+    if v.is_empty() {
         return 0.0;
     }
-    let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
-    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
-        v[lo]
-    } else {
-        let frac = rank - lo as f64;
-        v[lo] * (1.0 - frac) + v[hi] * frac
+        return v[lo];
     }
+    let frac = rank - lo as f64;
+    if v[lo].is_infinite() || v[hi].is_infinite() {
+        // Nearest rank, ties toward the lower: interpolating with an
+        // infinity either saturates or (for -∞‥+∞) yields NaN.
+        return if frac <= 0.5 { v[lo] } else { v[hi] };
+    }
+    v[lo] * (1.0 - frac) + v[hi] * frac
 }
 
 /// Median of unsorted data (the 50th [`percentile`], interpolated).
@@ -405,6 +439,48 @@ mod tests {
     fn percentile_empty_is_zero() {
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_skips_nan_instead_of_panicking() {
+        // Regression: the old partial_cmp().expect sort panicked on the
+        // first NaN; fleet-sized latency vectors legitimately carry
+        // NaN placeholders for tags that never completed.
+        assert_eq!(percentile(&[1.0, f64::NAN, 3.0], 50.0), 2.0);
+        assert_eq!(percentile(&[f64::NAN, 5.0], 0.0), 5.0);
+        assert_eq!(percentile(&[f64::NAN, 5.0], 100.0), 5.0);
+        // All-NaN degrades to the empty-slice result.
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), 0.0);
+        assert_eq!(median(&[f64::NAN]), 0.0);
+    }
+
+    #[test]
+    fn percentile_orders_infinities_without_nan() {
+        let xs = [f64::NEG_INFINITY, 0.0, f64::INFINITY];
+        assert_eq!(percentile(&xs, 0.0), f64::NEG_INFINITY);
+        assert_eq!(percentile(&xs, 50.0), 0.0);
+        assert_eq!(percentile(&xs, 100.0), f64::INFINITY);
+        // Interpolating between -inf and +inf must not manufacture NaN:
+        // nearest rank wins, ties toward the lower rank.
+        let two = [f64::NEG_INFINITY, f64::INFINITY];
+        assert_eq!(percentile(&two, 50.0), f64::NEG_INFINITY);
+        assert_eq!(percentile(&two, 75.0), f64::INFINITY);
+        // Finite-to-infinite ranks saturate instead of interpolating.
+        let mix = [1.0, f64::INFINITY];
+        assert_eq!(percentile(&mix, 25.0), 1.0);
+        assert_eq!(percentile(&mix, 75.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn percentile_many_matches_single_calls() {
+        let xs = [9.0, -2.0, 4.5, 0.0, 7.25, f64::NAN, 3.0];
+        let ps = [0.0, 10.0, 50.0, 90.0, 99.0, 100.0];
+        let many = percentile_many(&xs, &ps);
+        for (i, &p) in ps.iter().enumerate() {
+            assert_eq!(many[i], percentile(&xs, p), "p{p}");
+        }
+        assert!(percentile_many(&[], &[50.0]) == vec![0.0]);
+        assert!(percentile_many(&xs, &[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,1030 @@
+//! Fleet-scale simulation: many gateways, 10⁵–10⁶ tags, one seed.
+//!
+//! The paper's Figure-1 deployment is not one reader — it is a building
+//! full of them, each relaying its tag population to the internet. This
+//! module scales the single-reader [`gateway`](crate::gateway) to that
+//! regime: gateways are laid out on a jittered grid, every tag lives
+//! near a home gateway and associates with the nearest one in range,
+//! and the simulation advances in *epochs*. Each epoch:
+//!
+//! 1. **Movement** — a seeded fraction of tags take a Gaussian step;
+//! 2. **Handoff** — every tag re-evaluates its nearest gateway; moves
+//!    are proposed per shard, then merged and applied in global tag-id
+//!    order under a per-gateway address-space cap, so the outcome never
+//!    depends on how the work was partitioned;
+//! 3. **Interference** — each gateway's fault severity is raised by the
+//!    coverage overlap with its loaded neighbours
+//!    ([`bs_channel::geometry::coverage_overlap`]): two readers whose
+//!    cells overlap steal each other's helper transmissions;
+//! 4. **Service** — every gateway runs a full
+//!    [`run_gateway`] pass over its
+//!    current roster (singulation, per-tag ARQ, deficit round-robin,
+//!    rate adaptation), uploading one fresh message per tag.
+//!
+//! # Sharding and determinism
+//!
+//! The flat per-entity control blocks (tag positions, associations,
+//! per-gateway rosters) are partitioned into contiguous **shards**.
+//! Workers claim shards through a single atomic cursor and report
+//! results over an `mpsc` channel tagged with the shard index — there
+//! are no mutexes or rwlocks anywhere on the hot path. Every random
+//! draw descends from a stream keyed by the *entity's* coordinates
+//! (tag id, gateway id, epoch), never by the worker or shard that
+//! happened to compute it, and every cross-shard merge is applied in
+//! global id order. Consequently a fleet run is a pure function of
+//! the [`FleetConfig`] alone: byte-identical for any `jobs` count, and
+//! per-tag outcomes are invariant under the shard-count choice (the
+//! conformance suite pins both).
+//!
+//! ```
+//! use bs_net::fleet::{run_fleet, FleetConfig};
+//!
+//! let cfg = FleetConfig::default().with_population(9, 6).with_seed(7);
+//! let a = run_fleet(&cfg, 1).unwrap();
+//! let b = run_fleet(&cfg, 4).unwrap();
+//! assert_eq!(a.to_json(), b.to_json()); // worker count never shows
+//! assert_eq!(a.tags, 54);
+//! ```
+
+use crate::gateway::{jain_index, run_gateway, GatewayConfig, GatewayError, TagProfile};
+use bs_channel::geometry::coverage_overlap;
+use bs_dsp::stats::percentile_many;
+use bs_dsp::SimRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Hard per-gateway roster cap: the link-layer address is a `u8` and a
+/// handful of values are reserved, so one reader can serve at most this
+/// many tags per epoch. Handoffs that would overflow a gateway are
+/// denied and retried in a later epoch.
+pub const MAX_TAGS_PER_GATEWAY: usize = 250;
+
+/// Why a fleet run could not start (or finish).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// The config asked for zero gateways.
+    NoGateways,
+    /// The config asked for zero tags per gateway.
+    NoTags,
+    /// The nominal population per gateway exceeds the link-layer
+    /// address space ([`MAX_TAGS_PER_GATEWAY`]).
+    TooManyTagsPerGateway {
+        /// What the config asked for.
+        requested: usize,
+    },
+    /// A per-gateway run was rejected (mirrors the single-gateway
+    /// contract; unreachable when the fleet assigns addresses itself).
+    Gateway(GatewayError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoGateways => write!(f, "fleet config has zero gateways"),
+            FleetError::NoTags => write!(f, "fleet config has zero tags per gateway"),
+            FleetError::TooManyTagsPerGateway { requested } => write!(
+                f,
+                "{requested} tags per gateway exceeds the {MAX_TAGS_PER_GATEWAY}-address link-layer space"
+            ),
+            FleetError::Gateway(e) => write!(f, "gateway run rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<GatewayError> for FleetError {
+    fn from(e: GatewayError) -> Self {
+        FleetError::Gateway(e)
+    }
+}
+
+/// Fleet configuration: topology, population, epochs, impairments.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of gateways (laid out on a jittered square grid).
+    pub gateways: usize,
+    /// Nominal tags per gateway (each tag starts near its home
+    /// gateway); must stay within [`MAX_TAGS_PER_GATEWAY`].
+    pub tags_per_gateway: usize,
+    /// Grid pitch between adjacent gateways (m).
+    pub gateway_spacing_m: f64,
+    /// Each gateway's coverage radius (m) — drives both association
+    /// range and inter-gateway interference overlap.
+    pub coverage_radius_m: f64,
+    /// Epochs to simulate; movement/handoff happen from epoch 1 on.
+    pub epochs: u32,
+    /// Fresh upload per tag per epoch (bytes).
+    pub message_bytes: usize,
+    /// Fraction of tags that move each epoch.
+    pub mobility: f64,
+    /// Standard deviation of one movement step (m, per axis).
+    pub move_sigma_m: f64,
+    /// Fault template every gateway's links inherit; its severity is
+    /// the *noise floor* that interference raises per gateway. With an
+    /// empty plan ([`bs_channel::faults::FaultPlan::none`]) interference
+    /// has no fault to express and the fleet runs clean.
+    pub faults: bs_channel::faults::FaultPlan,
+    /// How strongly neighbour coverage overlap raises severity:
+    /// `severity_g = base + gain · Σ_n overlap(d_gn) · load_n`.
+    pub interference_gain: f64,
+    /// Shard count for the flat control blocks (0 = auto: one shard
+    /// per gateway up to 16). Deliberately *not* derived from the
+    /// worker count, so the report is byte-identical for any `jobs`.
+    /// Shard choice groups the [`ShardReport`]s but never changes
+    /// per-tag outcomes.
+    pub shards: usize,
+    /// Per-gateway template (transport, inventory, PHY, `max_cycles`);
+    /// seed and faults are overridden per gateway per epoch.
+    pub gateway: GatewayConfig,
+    /// Master seed; every stream in the fleet descends from it.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            gateways: 16,
+            tags_per_gateway: 8,
+            gateway_spacing_m: 50.0,
+            coverage_radius_m: 40.0,
+            epochs: 2,
+            message_bytes: 48,
+            mobility: 0.2,
+            move_sigma_m: 15.0,
+            faults: bs_channel::faults::FaultPlan::none(),
+            interference_gain: 0.15,
+            shards: 0,
+            gateway: GatewayConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Sets gateway count and nominal tags per gateway (builder style).
+    pub fn with_population(mut self, gateways: usize, tags_per_gateway: usize) -> Self {
+        self.gateways = gateways;
+        self.tags_per_gateway = tags_per_gateway;
+        self
+    }
+
+    /// Sets the master seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fault template (builder style).
+    pub fn with_faults(mut self, faults: bs_channel::faults::FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the epoch count (builder style).
+    pub fn with_epochs(mut self, epochs: u32) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the shard count (builder style); 0 = one shard per worker.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    fn total_tags(&self) -> usize {
+        self.gateways * self.tags_per_gateway
+    }
+}
+
+/// Flat per-tag outcome block, in global tag-id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagRecord {
+    /// Global tag id.
+    pub tag: u32,
+    /// Gateway the tag ended associated with.
+    pub gateway: u32,
+    /// Handoffs the tag performed across the run.
+    pub handoffs: u32,
+    /// Bytes delivered across all epochs.
+    pub delivered_bytes: u64,
+    /// Epochs in which the tag's upload completed.
+    pub complete_epochs: u32,
+    /// Epochs in which the tag's gateway hit its cycle backstop.
+    pub truncated_epochs: u32,
+    /// Last epoch's service latency (singulation + own transfer
+    /// airtime, µs).
+    pub last_latency_us: u64,
+}
+
+/// Per-shard aggregate, mirroring the per-gateway truncation flag at
+/// the resolution the sharded engine actually ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: u32,
+    /// Gateways this shard owned.
+    pub gateways: u32,
+    /// Gateway-epochs in this shard that hit the `max_cycles` backstop
+    /// (mirrors [`GatewayRun::truncated`](crate::gateway::GatewayRun)).
+    pub truncated_gateway_epochs: u32,
+    /// Total airtime charged by this shard's gateways (µs).
+    pub airtime_us: u64,
+    /// Bytes delivered by this shard's gateways.
+    pub delivered_bytes: u64,
+}
+
+/// The fleet run report: flat per-tag records, per-shard aggregates,
+/// and the headline metrics (goodput, Jain fairness, latency tail).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRun {
+    /// Gateways simulated.
+    pub gateways: u32,
+    /// Total tags simulated.
+    pub tags: u32,
+    /// Epochs simulated.
+    pub epochs: u32,
+    /// Shards the control blocks were partitioned into.
+    pub shards: u32,
+    /// Per-tag outcomes, in global tag-id order.
+    pub tag_records: Vec<TagRecord>,
+    /// Per-shard aggregates, in shard order.
+    pub shard_reports: Vec<ShardReport>,
+    /// Handoffs applied across the run.
+    pub handoffs: u64,
+    /// Handoffs denied by the per-gateway address-space cap.
+    pub handoffs_denied: u64,
+    /// Bytes delivered fleet-wide.
+    pub delivered_bytes: u64,
+    /// Every tag completed its upload in every epoch.
+    pub all_complete: bool,
+    /// Gateway-epochs that hit the cycle backstop (sum over shards).
+    pub truncated_gateway_epochs: u32,
+    /// Wall-clock airtime (µs): gateways run concurrently, so each
+    /// epoch costs the *maximum* gateway airtime, summed over epochs.
+    pub airtime_us: u64,
+    /// Fleet goodput: delivered bits over wall-clock airtime.
+    pub aggregate_goodput_bps: f64,
+    /// Jain fairness over per-tag delivered bytes.
+    pub fairness: f64,
+    /// Median per-tag service latency (µs) over all tag-epochs.
+    pub latency_us_p50: f64,
+    /// 90th-percentile latency (µs).
+    pub latency_us_p90: f64,
+    /// 99th-percentile latency (µs).
+    pub latency_us_p99: f64,
+    /// FNV-1a digest over every [`TagRecord`] — two runs agree on every
+    /// per-tag outcome iff their digests agree.
+    pub digest: u64,
+}
+
+impl FleetRun {
+    /// Renders the run as deterministic JSON: fixed field order, fixed
+    /// float formatting, per-tag records included — byte-identical
+    /// across `jobs` counts by construction (the conformance gate
+    /// compares these strings).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.tag_records.len() * 64);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"gateways\": {},\n", self.gateways));
+        s.push_str(&format!("  \"tags\": {},\n", self.tags));
+        s.push_str(&format!("  \"epochs\": {},\n", self.epochs));
+        s.push_str(&format!("  \"shards\": {},\n", self.shards));
+        s.push_str(&format!("  \"handoffs\": {},\n", self.handoffs));
+        s.push_str(&format!("  \"handoffs_denied\": {},\n", self.handoffs_denied));
+        s.push_str(&format!("  \"delivered_bytes\": {},\n", self.delivered_bytes));
+        s.push_str(&format!("  \"all_complete\": {},\n", self.all_complete));
+        s.push_str(&format!(
+            "  \"truncated_gateway_epochs\": {},\n",
+            self.truncated_gateway_epochs
+        ));
+        s.push_str(&format!("  \"airtime_us\": {},\n", self.airtime_us));
+        s.push_str(&format!(
+            "  \"aggregate_goodput_bps\": {:.3},\n",
+            self.aggregate_goodput_bps
+        ));
+        s.push_str(&format!("  \"fairness\": {:.6},\n", self.fairness));
+        s.push_str(&format!("  \"latency_us_p50\": {:.1},\n", self.latency_us_p50));
+        s.push_str(&format!("  \"latency_us_p90\": {:.1},\n", self.latency_us_p90));
+        s.push_str(&format!("  \"latency_us_p99\": {:.1},\n", self.latency_us_p99));
+        s.push_str(&format!("  \"digest\": \"{:016x}\",\n", self.digest));
+        s.push_str("  \"shard_reports\": [\n");
+        for (i, r) in self.shard_reports.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"shard\": {}, \"gateways\": {}, \"truncated_gateway_epochs\": {}, \
+                 \"airtime_us\": {}, \"delivered_bytes\": {}}}{}\n",
+                r.shard,
+                r.gateways,
+                r.truncated_gateway_epochs,
+                r.airtime_us,
+                r.delivered_bytes,
+                if i + 1 < self.shard_reports.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"tag_records\": [\n");
+        for (i, t) in self.tag_records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"tag\": {}, \"gateway\": {}, \"handoffs\": {}, \"delivered_bytes\": {}, \
+                 \"complete_epochs\": {}, \"truncated_epochs\": {}, \"last_latency_us\": {}}}{}\n",
+                t.tag,
+                t.gateway,
+                t.handoffs,
+                t.delivered_bytes,
+                t.complete_epochs,
+                t.truncated_epochs,
+                t.last_latency_us,
+                if i + 1 < self.tag_records.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// FNV-1a 64 over the per-tag records.
+fn digest_records(records: &[TagRecord]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for t in records {
+        eat(t.tag as u64);
+        eat(t.gateway as u64);
+        eat(t.handoffs as u64);
+        eat(t.delivered_bytes);
+        eat(t.complete_epochs as u64);
+        eat(t.truncated_epochs as u64);
+        eat(t.last_latency_us);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Sharded runner
+// ---------------------------------------------------------------------
+
+/// Runs `chunk(i)` for every `i in 0..n`, spreading chunks over `jobs`
+/// workers claimed through one atomic cursor, and returns the results
+/// in chunk order. The per-chunk function sees only the chunk index, so
+/// the partitioning cannot leak into the results; the channel is the
+/// only cross-thread data path.
+fn run_sharded<T, F>(jobs: usize, n: usize, chunk: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(chunk).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let chunk = &chunk;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // The receiver outlives the scope; a send can only fail
+                // if the main thread panicked, which propagates anyway.
+                let _ = tx.send((i, chunk(i)));
+            });
+        }
+        drop(tx);
+    });
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in rx {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .map(|o| o.expect("every chunk reports exactly once"))
+        .collect()
+}
+
+/// Splits `0..n` into `shards` contiguous ranges (first remainder
+/// shards are one longer).
+fn shard_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.max(1).min(n.max(1));
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------
+
+struct Topology {
+    gw_pos: Vec<(f64, f64)>,
+    /// Grid-cell buckets (cell edge = gateway spacing) for O(1)
+    /// nearest-gateway candidate lookup.
+    cells: std::collections::HashMap<(i64, i64), Vec<u32>>,
+    cell_m: f64,
+    side_m: f64,
+}
+
+impl Topology {
+    fn build(cfg: &FleetConfig, root: &SimRng) -> Topology {
+        let side = (cfg.gateways as f64).sqrt().ceil() as usize;
+        let pitch = cfg.gateway_spacing_m;
+        let pos_stream = root.stream("fleet.gw-pos");
+        let mut gw_pos = Vec::with_capacity(cfg.gateways);
+        let mut cells: std::collections::HashMap<(i64, i64), Vec<u32>> =
+            std::collections::HashMap::new();
+        for g in 0..cfg.gateways {
+            let mut rng = pos_stream.substream(g as u64);
+            let jitter = 0.2 * pitch;
+            let x = ((g % side) as f64 + 0.5) * pitch + rng.uniform_range(-jitter, jitter);
+            let y = ((g / side) as f64 + 0.5) * pitch + rng.uniform_range(-jitter, jitter);
+            gw_pos.push((x, y));
+            cells
+                .entry(Self::cell_of(x, y, pitch))
+                .or_default()
+                .push(g as u32);
+        }
+        Topology {
+            gw_pos,
+            cells,
+            cell_m: pitch,
+            side_m: side as f64 * pitch,
+        }
+    }
+
+    fn cell_of(x: f64, y: f64, cell_m: f64) -> (i64, i64) {
+        ((x / cell_m).floor() as i64, (y / cell_m).floor() as i64)
+    }
+
+    /// Nearest gateway to `(x, y)`: ring-by-ring grid search, one extra
+    /// ring past the first hit so a closer gateway in the next ring
+    /// cannot be missed. Ties break on the lower gateway id, so the
+    /// answer is a pure function of the positions.
+    fn nearest_gateway(&self, x: f64, y: f64) -> u32 {
+        let (cx, cy) = Self::cell_of(x, y, self.cell_m);
+        let max_ring = (self.side_m / self.cell_m) as i64 + 2;
+        let mut best: Option<(f64, u32)> = None;
+        let mut settle_rings = 0;
+        for ring in 0..=max_ring {
+            if best.is_some() {
+                settle_rings += 1;
+                if settle_rings > 1 {
+                    break;
+                }
+            }
+            for dx in -ring..=ring {
+                for dy in -ring..=ring {
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue; // interior cells were scanned in earlier rings
+                    }
+                    let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &g in bucket {
+                        let (gx, gy) = self.gw_pos[g as usize];
+                        let d = ((x - gx).powi(2) + (y - gy).powi(2)).sqrt();
+                        let better = match best {
+                            None => true,
+                            Some((bd, bg)) => d < bd || (d == bd && g < bg),
+                        };
+                        if better {
+                            best = Some((d, g));
+                        }
+                    }
+                }
+            }
+        }
+        best.expect("at least one gateway exists").1
+    }
+
+    fn distance(&self, a: u32, b: u32) -> f64 {
+        let (ax, ay) = self.gw_pos[a as usize];
+        let (bx, by) = self.gw_pos[b as usize];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Gateways whose coverage disc can overlap `g`'s (distance
+    /// < 2·radius), via the 3×3-plus cell neighbourhood.
+    fn interference_neighbours(&self, g: u32, radius: f64) -> Vec<u32> {
+        let (x, y) = self.gw_pos[g as usize];
+        let (cx, cy) = Self::cell_of(x, y, self.cell_m);
+        let reach = (2.0 * radius / self.cell_m).ceil() as i64;
+        let mut out = Vec::new();
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &n in bucket {
+                    if n != g && self.distance(g, n) < 2.0 * radius {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------
+
+/// Flat per-tag control block (one per tag, owned by its shard during
+/// parallel phases, mutated only between them on the coordinator).
+#[derive(Debug, Clone)]
+struct TagBlock {
+    x: f64,
+    y: f64,
+    gateway: u32,
+    helper_pps: f64,
+    handoffs: u32,
+    delivered_bytes: u64,
+    complete_epochs: u32,
+    truncated_epochs: u32,
+    last_latency_us: u64,
+}
+
+/// One gateway's serviced epoch, reported back over the channel
+/// (gateway identity is implicit: shard results return in gateway-id
+/// order).
+struct GwEpochResult {
+    truncated: bool,
+    airtime_us: u64,
+    delivered_bytes: u64,
+    /// `(global tag id, delivered bytes, latency µs, complete)` in
+    /// roster order.
+    outcomes: Vec<(u32, u64, u64, bool)>,
+}
+
+/// Deterministic per-tag upload payload for one epoch.
+fn tag_message(tag: u32, epoch: u32, bytes: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|i| {
+            (i as u64)
+                .wrapping_mul(131)
+                .wrapping_add((tag as u64).wrapping_mul(31))
+                .wrapping_add((epoch as u64).wrapping_mul(17)) as u8
+        })
+        .collect()
+}
+
+/// Runs the fleet on `jobs` worker threads. The result is byte-identical
+/// for any `jobs`; see the module docs for the discipline that makes it
+/// so.
+///
+/// # Errors
+/// [`FleetError`] on an impossible population (zero gateways/tags, or a
+/// nominal roster beyond the link-layer address space).
+pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError> {
+    if cfg.gateways == 0 {
+        return Err(FleetError::NoGateways);
+    }
+    if cfg.tags_per_gateway == 0 {
+        return Err(FleetError::NoTags);
+    }
+    if cfg.tags_per_gateway > MAX_TAGS_PER_GATEWAY {
+        return Err(FleetError::TooManyTagsPerGateway {
+            requested: cfg.tags_per_gateway,
+        });
+    }
+
+    let jobs = jobs.max(1);
+    let shards = if cfg.shards == 0 {
+        cfg.gateways.min(16)
+    } else {
+        cfg.shards
+    };
+    let root = SimRng::new(cfg.seed);
+    let topo = Topology::build(cfg, &root);
+    let n_tags = cfg.total_tags();
+
+    // Seed the flat tag blocks: home placement + initial association.
+    let place = root.stream("fleet.tag-pos");
+    let helper = root.stream("fleet.helper");
+    let mut blocks: Vec<TagBlock> = (0..n_tags)
+        .map(|t| {
+            let home = (t % cfg.gateways) as u32;
+            let (hx, hy) = topo.gw_pos[home as usize];
+            let mut rng = place.substream(t as u64);
+            let x = (hx + rng.gaussian(0.0, 0.5 * cfg.coverage_radius_m)).clamp(0.0, topo.side_m);
+            let y = (hy + rng.gaussian(0.0, 0.5 * cfg.coverage_radius_m)).clamp(0.0, topo.side_m);
+            TagBlock {
+                x,
+                y,
+                gateway: topo.nearest_gateway(x, y),
+                helper_pps: helper.substream(t as u64).uniform_range(1_200.0, 3_600.0),
+                handoffs: 0,
+                delivered_bytes: 0,
+                complete_epochs: 0,
+                truncated_epochs: 0,
+                last_latency_us: 0,
+            }
+        })
+        .collect();
+    // The initial association may overflow a gateway's address space;
+    // spill the overflow to its next-nearest neighbour in tag-id order
+    // (the same deterministic rule the handoff cap uses).
+    let mut loads = vec![0usize; cfg.gateways];
+    for (t, b) in blocks.iter_mut().enumerate() {
+        let g = b.gateway as usize;
+        if loads[g] < MAX_TAGS_PER_GATEWAY {
+            loads[g] += 1;
+        } else {
+            let home = (t % cfg.gateways) as u32;
+            b.gateway = home;
+            loads[home as usize] += 1;
+        }
+    }
+
+    let tag_shards = shard_ranges(n_tags, shards);
+    let gw_shards = shard_ranges(cfg.gateways, shards);
+    let move_stream = root.stream("fleet.move");
+    let run_stream = root.stream("fleet.gw-run");
+
+    let mut total_handoffs = 0u64;
+    let mut handoffs_denied = 0u64;
+    let mut airtime_us = 0u64;
+    let mut latencies: Vec<f64> = Vec::with_capacity(n_tags * cfg.epochs as usize);
+    let mut shard_truncated = vec![0u32; gw_shards.len()];
+    let mut shard_airtime = vec![0u64; gw_shards.len()];
+    let mut shard_delivered = vec![0u64; gw_shards.len()];
+    let mut gw_for_shard = vec![0u32; gw_shards.len()];
+    for (s, r) in gw_shards.iter().enumerate() {
+        gw_for_shard[s] = r.len() as u32;
+    }
+
+    for epoch in 0..cfg.epochs {
+        // Phase 1+2: movement (from epoch 1) and handoff proposals,
+        // sharded over tag ranges. Each worker reads the shared blocks
+        // and reports `(tag, new_x, new_y, proposed_gateway)` per shard.
+        if epoch > 0 {
+            let epoch_stream = move_stream.substream(epoch as u64);
+            let proposals: Vec<Vec<(usize, f64, f64, u32)>> =
+                run_sharded(jobs, tag_shards.len(), |s| {
+                    let mut out = Vec::new();
+                    for t in tag_shards[s].clone() {
+                        let b = &blocks[t];
+                        let mut rng = epoch_stream.substream(t as u64);
+                        let (mut x, mut y) = (b.x, b.y);
+                        if rng.chance(cfg.mobility) {
+                            x = (x + rng.gaussian(0.0, cfg.move_sigma_m)).clamp(0.0, topo.side_m);
+                            y = (y + rng.gaussian(0.0, cfg.move_sigma_m)).clamp(0.0, topo.side_m);
+                        }
+                        let best = topo.nearest_gateway(x, y);
+                        if (x, y) != (b.x, b.y) || best != b.gateway {
+                            out.push((t, x, y, best));
+                        }
+                    }
+                    out
+                });
+            // Merge in shard order = global tag-id order; apply the
+            // address-space cap deterministically.
+            for shard in proposals {
+                for (t, x, y, best) in shard {
+                    blocks[t].x = x;
+                    blocks[t].y = y;
+                    let cur = blocks[t].gateway;
+                    if best != cur {
+                        // Only hand off if the new gateway is in reach
+                        // or strictly closer than the old one.
+                        if loads[best as usize] < MAX_TAGS_PER_GATEWAY {
+                            loads[cur as usize] -= 1;
+                            loads[best as usize] += 1;
+                            blocks[t].gateway = best;
+                            blocks[t].handoffs += 1;
+                            total_handoffs += 1;
+                        } else {
+                            handoffs_denied += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 3: interference — neighbour coverage overlap scales the
+        // fault severity each gateway's links see this epoch. Pure
+        // function of positions + loads, computed once on the
+        // coordinator (it is O(gateways · neighbours), not O(tags)).
+        let severity: Vec<f64> = (0..cfg.gateways)
+            .map(|g| {
+                let overlap: f64 = topo
+                    .interference_neighbours(g as u32, cfg.coverage_radius_m)
+                    .iter()
+                    .map(|&n| {
+                        let load = loads[n as usize] as f64 / cfg.tags_per_gateway as f64;
+                        coverage_overlap(topo.distance(g as u32, n), cfg.coverage_radius_m) * load
+                    })
+                    .sum();
+                (cfg.faults.severity + cfg.interference_gain * overlap).clamp(0.0, 1.0)
+            })
+            .collect();
+
+        // Per-gateway rosters, built in global tag-id order so the
+        // address assignment (1..=n in roster order) is deterministic.
+        let mut rosters: Vec<Vec<u32>> = vec![Vec::new(); cfg.gateways];
+        for (t, b) in blocks.iter().enumerate() {
+            rosters[b.gateway as usize].push(t as u32);
+        }
+
+        // Phase 4: service — shards of gateways claimed through the
+        // cursor, each gateway running a full single-reader pass.
+        let epoch_runs = run_stream.substream(epoch as u64);
+        let shard_results: Vec<Result<Vec<GwEpochResult>, GatewayError>> =
+            run_sharded(jobs, gw_shards.len(), |s| {
+                let mut out = Vec::with_capacity(gw_shards[s].len());
+                for g in gw_shards[s].clone() {
+                    let roster = &rosters[g];
+                    if roster.is_empty() {
+                        out.push(GwEpochResult {
+                            truncated: false,
+                            airtime_us: 0,
+                            delivered_bytes: 0,
+                            outcomes: Vec::new(),
+                        });
+                        continue;
+                    }
+                    let profiles: Vec<TagProfile> = roster
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &t)| TagProfile {
+                            address: (i + 1) as u8,
+                            message: tag_message(t, epoch, cfg.message_bytes),
+                            helper_pps: blocks[t as usize].helper_pps,
+                        })
+                        .collect();
+                    let mut gcfg = cfg.gateway.clone();
+                    gcfg.seed = epoch_runs.substream(g as u64).seed();
+                    let mut faults = cfg.faults.clone().with_severity(severity[g]);
+                    faults.seed = epoch_runs.substream(g as u64).stream("faults").seed();
+                    gcfg.faults = faults;
+                    let run = run_gateway(&profiles, &gcfg)?;
+                    let inv_air = run.inventory.airtime_us(gcfg.slot_us);
+                    let outcomes = run
+                        .tags
+                        .iter()
+                        .map(|o| {
+                            let t = roster[o.address as usize - 1];
+                            (
+                                t,
+                                o.transfer.delivered_bytes,
+                                inv_air + o.transfer.airtime_us,
+                                o.transfer.complete,
+                            )
+                        })
+                        .collect();
+                    out.push(GwEpochResult {
+                        truncated: run.truncated,
+                        airtime_us: run.airtime_us,
+                        delivered_bytes: run
+                            .tags
+                            .iter()
+                            .map(|o| o.transfer.delivered_bytes)
+                            .sum(),
+                        outcomes,
+                    });
+                }
+                Ok(out)
+            });
+
+        // Apply in shard order (= gateway-id order).
+        let mut epoch_wall_us = 0u64;
+        for (s, shard) in shard_results.into_iter().enumerate() {
+            let shard = shard?;
+            for r in shard {
+                epoch_wall_us = epoch_wall_us.max(r.airtime_us);
+                shard_airtime[s] += r.airtime_us;
+                shard_delivered[s] += r.delivered_bytes;
+                if r.truncated {
+                    shard_truncated[s] += 1;
+                    for &(t, ..) in &r.outcomes {
+                        blocks[t as usize].truncated_epochs += 1;
+                    }
+                }
+                for (t, delivered, latency, complete) in r.outcomes {
+                    let b = &mut blocks[t as usize];
+                    b.delivered_bytes += delivered;
+                    b.last_latency_us = latency;
+                    if complete {
+                        b.complete_epochs += 1;
+                    }
+                    latencies.push(latency as f64);
+                }
+            }
+        }
+        airtime_us += epoch_wall_us;
+    }
+
+    // Fold the flat blocks into the report.
+    let tag_records: Vec<TagRecord> = blocks
+        .iter()
+        .enumerate()
+        .map(|(t, b)| TagRecord {
+            tag: t as u32,
+            gateway: b.gateway,
+            handoffs: b.handoffs,
+            delivered_bytes: b.delivered_bytes,
+            complete_epochs: b.complete_epochs,
+            truncated_epochs: b.truncated_epochs,
+            last_latency_us: b.last_latency_us,
+        })
+        .collect();
+    let shard_reports: Vec<ShardReport> = (0..gw_shards.len())
+        .map(|s| ShardReport {
+            shard: s as u32,
+            gateways: gw_for_shard[s],
+            truncated_gateway_epochs: shard_truncated[s],
+            airtime_us: shard_airtime[s],
+            delivered_bytes: shard_delivered[s],
+        })
+        .collect();
+    let delivered_bytes: u64 = tag_records.iter().map(|t| t.delivered_bytes).sum();
+    let shares: Vec<u64> = tag_records.iter().map(|t| t.delivered_bytes).collect();
+    let ps = percentile_many(&latencies, &[50.0, 90.0, 99.0]);
+    let digest = digest_records(&tag_records);
+    Ok(FleetRun {
+        gateways: cfg.gateways as u32,
+        tags: n_tags as u32,
+        epochs: cfg.epochs,
+        shards: gw_shards.len() as u32,
+        all_complete: tag_records
+            .iter()
+            .all(|t| t.complete_epochs == cfg.epochs),
+        truncated_gateway_epochs: shard_truncated.iter().sum(),
+        handoffs: total_handoffs,
+        handoffs_denied,
+        delivered_bytes,
+        airtime_us,
+        aggregate_goodput_bps: if airtime_us > 0 {
+            delivered_bytes as f64 * 8.0 / (airtime_us as f64 / 1e6)
+        } else {
+            0.0
+        },
+        fairness: jain_index(&shares),
+        latency_us_p50: ps[0],
+        latency_us_p90: ps[1],
+        latency_us_p99: ps[2],
+        digest,
+        tag_records,
+        shard_reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bs_channel::faults::FaultPlan;
+
+    fn small() -> FleetConfig {
+        FleetConfig::default()
+            .with_population(9, 5)
+            .with_epochs(2)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn clean_fleet_delivers_every_message() {
+        let run = run_fleet(&small(), 1).unwrap();
+        assert_eq!(run.tags, 45);
+        assert!(run.all_complete, "clean fleet must deliver everything");
+        assert_eq!(run.truncated_gateway_epochs, 0);
+        assert_eq!(
+            run.delivered_bytes,
+            45 * 2 * FleetConfig::default().message_bytes as u64
+        );
+        assert!(run.fairness > 0.99, "equal uploads → fairness {}", run.fairness);
+        assert!(run.latency_us_p50 > 0.0 && run.latency_us_p99 >= run.latency_us_p50);
+    }
+
+    #[test]
+    fn jobs_count_never_changes_the_bytes() {
+        let cfg = small().with_faults(FaultPlan::preset("loss", 0.4, 5).unwrap());
+        let a = run_fleet(&cfg, 1).unwrap();
+        let b = run_fleet(&cfg, 4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn shard_count_never_changes_per_tag_outcomes() {
+        let base = small().with_faults(FaultPlan::preset("loss", 0.6, 9).unwrap());
+        let one = run_fleet(&base.clone().with_shards(1), 2).unwrap();
+        let five = run_fleet(&base.with_shards(5), 2).unwrap();
+        assert_eq!(one.tag_records, five.tag_records);
+        assert_eq!(one.digest, five.digest);
+        // The shard grouping itself may differ — that is the point.
+        assert_ne!(one.shard_reports.len(), five.shard_reports.len());
+    }
+
+    #[test]
+    fn mobility_produces_handoffs_and_caps_hold() {
+        let cfg = FleetConfig {
+            mobility: 0.9,
+            move_sigma_m: 60.0,
+            epochs: 3,
+            ..small()
+        };
+        let run = run_fleet(&cfg, 2).unwrap();
+        assert!(run.handoffs > 0, "hot mobility must hand tags off");
+        let mut loads = vec![0usize; cfg.gateways];
+        for t in &run.tag_records {
+            loads[t.gateway as usize] += 1;
+        }
+        assert!(loads.iter().all(|&l| l <= MAX_TAGS_PER_GATEWAY));
+    }
+
+    #[test]
+    fn interference_degrades_crowded_fleets() {
+        // Same population, gateways packed 4x closer: overlap severity
+        // rises, so the crowded fleet pays more airtime per byte.
+        let loose = FleetConfig {
+            interference_gain: 0.6,
+            faults: FaultPlan::preset("loss", 0.05, 3).unwrap(),
+            ..small()
+        };
+        let crowded = FleetConfig {
+            gateway_spacing_m: loose.gateway_spacing_m / 4.0,
+            ..loose.clone()
+        };
+        let a = run_fleet(&loose, 1).unwrap();
+        let b = run_fleet(&crowded, 1).unwrap();
+        assert!(
+            b.aggregate_goodput_bps < a.aggregate_goodput_bps,
+            "crowded {} bps vs loose {} bps",
+            b.aggregate_goodput_bps,
+            a.aggregate_goodput_bps
+        );
+    }
+
+    #[test]
+    fn truncation_is_mirrored_per_shard() {
+        let cfg = FleetConfig {
+            gateway: GatewayConfig {
+                max_cycles: 1,
+                ..GatewayConfig::default()
+            },
+            faults: FaultPlan::preset("loss", 1.0, 7).unwrap(),
+            message_bytes: 400,
+            epochs: 1,
+            ..small()
+        }
+        .with_shards(3);
+        let run = run_fleet(&cfg, 2).unwrap();
+        assert!(run.truncated_gateway_epochs > 0);
+        assert_eq!(
+            run.truncated_gateway_epochs,
+            run.shard_reports
+                .iter()
+                .map(|s| s.truncated_gateway_epochs)
+                .sum::<u32>(),
+            "per-shard mirror must sum to the fleet total"
+        );
+        assert!(run.tag_records.iter().any(|t| t.truncated_epochs > 0));
+        assert!(!run.all_complete);
+    }
+
+    #[test]
+    fn config_validation_rejects_impossible_populations() {
+        assert_eq!(
+            run_fleet(&FleetConfig::default().with_population(0, 5), 1).unwrap_err(),
+            FleetError::NoGateways
+        );
+        assert_eq!(
+            run_fleet(&FleetConfig::default().with_population(4, 0), 1).unwrap_err(),
+            FleetError::NoTags
+        );
+        assert_eq!(
+            run_fleet(&FleetConfig::default().with_population(4, 251), 1).unwrap_err(),
+            FleetError::TooManyTagsPerGateway { requested: 251 }
+        );
+        assert!(FleetError::from(GatewayError::DuplicateAddress { address: 9 })
+            .to_string()
+            .contains("duplicate tag address 9"));
+    }
+
+    #[test]
+    fn json_is_stable_and_self_consistent() {
+        let run = run_fleet(&small(), 2).unwrap();
+        let j = run.to_json();
+        assert!(j.contains(&format!("\"digest\": \"{:016x}\"", run.digest)));
+        assert!(j.contains("\"tag_records\": ["));
+        assert_eq!(j, run_fleet(&small(), 3).unwrap().to_json());
+    }
+}

@@ -155,6 +155,38 @@ impl GatewayConfig {
     }
 }
 
+/// Why a gateway run could not start.
+///
+/// The doc contract on [`TagProfile::address`] ("must be unique across
+/// the deployment") used to be unenforced: a duplicate address made the
+/// profile lookup after singulation silently pair *both* inventory
+/// identifications with the first matching profile, so one tag's
+/// message was reported delivered twice and the other's never sent.
+/// The gateway now rejects the roster up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GatewayError {
+    /// Two [`TagProfile`]s share a link-layer address.
+    DuplicateAddress {
+        /// The address that appears more than once.
+        address: u8,
+    },
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::DuplicateAddress { address } => write!(
+                f,
+                "duplicate tag address {address}: TagProfile.address must be \
+                 unique across the deployment"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
 /// Per-tag outcome of a gateway run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TagOutcome {
@@ -185,6 +217,13 @@ pub struct GatewayRun {
     pub fairness: f64,
     /// True when every discovered tag's message arrived completely.
     pub all_complete: bool,
+    /// True when the [`GatewayConfig::max_cycles`] backstop cut the
+    /// scheduler off while at least one session could still have run
+    /// another round. A truncated run's incomplete transfers say nothing
+    /// about the link — the simulation ran out of cycles, not the tags
+    /// out of budget — which used to be inferable only by guessing from
+    /// `all_complete`. The fleet report mirrors this per shard.
+    pub truncated: bool,
     /// Merged degradation accounting across every tag's link.
     pub degradation: DegradationReport,
     /// Observability report, populated only by
@@ -227,7 +266,7 @@ impl RunReport for GatewayRun {
 }
 
 /// Jain's fairness index: `(Σx)² / (n·Σx²)`, 1.0 for equal shares.
-fn jain_index(shares: &[u64]) -> f64 {
+pub(crate) fn jain_index(shares: &[u64]) -> f64 {
     if shares.is_empty() {
         return 0.0;
     }
@@ -252,11 +291,25 @@ struct ServedTag {
 
 /// Runs the gateway over `tags`, recording scheduler spans and counters
 /// on `rec`. Observe-enabled twin of [`run_gateway`].
+///
+/// # Errors
+/// [`GatewayError::DuplicateAddress`] if two profiles share an address —
+/// the roster is rejected before any simulated time passes.
 pub fn run_gateway_with(
     tags: &[TagProfile],
     cfg: &GatewayConfig,
     rec: &mut dyn Recorder,
-) -> GatewayRun {
+) -> Result<GatewayRun, GatewayError> {
+    // Reject ambiguous rosters up front: with a duplicate address the
+    // post-inventory profile lookup would silently serve the first
+    // matching profile for every identification of that address.
+    let mut seen = [false; 256];
+    for t in tags {
+        if std::mem::replace(&mut seen[t.address as usize], true) {
+            return Err(GatewayError::DuplicateAddress { address: t.address });
+        }
+    }
+
     let root = SimRng::new(cfg.seed);
     let caps = cfg.phy.capabilities();
 
@@ -359,6 +412,11 @@ pub fn run_gateway_with(
         rec.span("net.sched", cycle_start, clock_us, serves);
     }
 
+    // The loop above exits either because every session ran itself to
+    // completion/budget-exhaustion, or because the cycle backstop fired
+    // with work still pending — only the latter is a truncation.
+    let truncated = served.iter().any(|t| t.session.can_continue());
+
     // Phase 4 — close every session into its report.
     let mut degradation = DegradationReport::default();
     let outcomes: Vec<TagOutcome> = served
@@ -380,29 +438,39 @@ pub fn run_gateway_with(
         .iter()
         .map(|t| t.transfer.delivered_bytes)
         .collect();
-    GatewayRun {
+    Ok(GatewayRun {
         all_complete: !outcomes.is_empty() && outcomes.iter().all(|t| t.transfer.complete),
         fairness: jain_index(&delivered),
         tags: outcomes,
         cycles,
         airtime_us: clock_us,
+        truncated,
         inventory,
         degradation,
         obs: None,
-    }
+    })
 }
 
 /// Runs the gateway with no observability overhead.
-pub fn run_gateway(tags: &[TagProfile], cfg: &GatewayConfig) -> GatewayRun {
+///
+/// # Errors
+/// [`GatewayError::DuplicateAddress`] if two profiles share an address.
+pub fn run_gateway(tags: &[TagProfile], cfg: &GatewayConfig) -> Result<GatewayRun, GatewayError> {
     run_gateway_with(tags, cfg, &mut NullRecorder)
 }
 
 /// Like [`run_gateway`] but attaches the [`ObsReport`] to the result.
-pub fn run_gateway_observed(tags: &[TagProfile], cfg: &GatewayConfig) -> GatewayRun {
+///
+/// # Errors
+/// [`GatewayError::DuplicateAddress`] if two profiles share an address.
+pub fn run_gateway_observed(
+    tags: &[TagProfile],
+    cfg: &GatewayConfig,
+) -> Result<GatewayRun, GatewayError> {
     let mut rec = MemRecorder::new();
-    let mut run = run_gateway_with(tags, cfg, &mut rec);
+    let mut run = run_gateway_with(tags, cfg, &mut rec)?;
     run.obs = Some(rec.into_report());
-    run
+    Ok(run)
 }
 
 #[cfg(test)]
@@ -422,7 +490,7 @@ mod tests {
 
     #[test]
     fn clean_gateway_delivers_everything_fairly() {
-        let run = run_gateway(&fleet(4, 128), &GatewayConfig::default());
+        let run = run_gateway(&fleet(4, 128), &GatewayConfig::default()).unwrap();
         assert!(run.all_complete);
         assert_eq!(run.tags.len(), 4);
         for t in &run.tags {
@@ -438,8 +506,8 @@ mod tests {
         let cfg = GatewayConfig::default()
             .with_faults(FaultPlan::preset("loss", 0.8, 3).unwrap())
             .with_seed(42);
-        let a = run_gateway(&fleet(3, 200), &cfg);
-        let b = run_gateway(&fleet(3, 200), &cfg);
+        let a = run_gateway(&fleet(3, 200), &cfg).unwrap();
+        let b = run_gateway(&fleet(3, 200), &cfg).unwrap();
         assert_eq!(a, b);
     }
 
@@ -449,7 +517,7 @@ mod tests {
             .with_faults(FaultPlan::preset("loss", 1.0, 9).unwrap())
             .with_seed(7);
         let tags = fleet(3, 160);
-        let run = run_gateway(&tags, &cfg);
+        let run = run_gateway(&tags, &cfg).unwrap();
         assert!(run.all_complete, "ARQ must push through 30% loss");
         // `run.tags` is in discovery order — match by address.
         for t in &run.tags {
@@ -471,7 +539,7 @@ mod tests {
             seed: 11,
             ..GatewayConfig::default()
         };
-        let run = run_gateway_observed(&tags, &cfg);
+        let run = run_gateway_observed(&tags, &cfg).unwrap();
         let obs = run.obs.as_ref().unwrap();
         assert!(
             obs.counter("net.rate-readapts") > 0,
@@ -482,7 +550,7 @@ mod tests {
 
     #[test]
     fn scheduler_spans_and_counters_recorded() {
-        let run = run_gateway_observed(&fleet(3, 96), &GatewayConfig::default());
+        let run = run_gateway_observed(&fleet(3, 96), &GatewayConfig::default()).unwrap();
         let obs = run.obs.as_ref().unwrap();
         assert!(obs.spans_for("net.sched").count() >= 1);
         assert!(obs.counter("net.sched-cycles") >= 1);
@@ -498,7 +566,7 @@ mod tests {
             .with_seed(3)
             .with_fec(crate::fec::FecConfig::fixed(8, 2));
         let tags = fleet(3, 160);
-        let run = run_gateway_observed(&tags, &cfg);
+        let run = run_gateway_observed(&tags, &cfg).unwrap();
         assert!(run.all_complete, "FEC gateway must deliver under loss");
         for t in &run.tags {
             let p = tags.iter().find(|p| p.address == t.address).unwrap();
@@ -526,7 +594,7 @@ mod tests {
             "with_phy must re-derive the inventory slot length"
         );
         let tags = fleet(3, 128);
-        let run = run_gateway(&tags, &cw);
+        let run = run_gateway(&tags, &cw).unwrap();
         assert!(run.all_complete);
         for t in &run.tags {
             assert_eq!(
@@ -537,7 +605,7 @@ mod tests {
         }
         // Same seed, same inventory outcome, but every phase is faster:
         // shorter slots and a ~25x uplink rate.
-        let presence = run_gateway(&tags, &GatewayConfig::default());
+        let presence = run_gateway(&tags, &GatewayConfig::default()).unwrap();
         assert_eq!(run.inventory.slots, presence.inventory.slots);
         assert!(
             run.airtime_us < presence.airtime_us,
@@ -549,10 +617,43 @@ mod tests {
 
     #[test]
     fn empty_fleet_is_a_clean_noop() {
-        let run = run_gateway(&[], &GatewayConfig::default());
+        let run = run_gateway(&[], &GatewayConfig::default()).unwrap();
         assert!(!run.all_complete);
         assert!(run.tags.is_empty());
         assert_eq!(run.fairness, 0.0);
+    }
+
+    #[test]
+    fn duplicate_addresses_are_rejected_not_mispaired() {
+        // Regression: two tags at the same address used to both pair
+        // with the first matching profile, double-reporting one message
+        // and dropping the other. Now the roster is rejected up front.
+        let mut tags = fleet(3, 64);
+        tags[2].address = tags[0].address;
+        let err = run_gateway(&tags, &GatewayConfig::default()).unwrap_err();
+        assert_eq!(err, GatewayError::DuplicateAddress { address: 1 });
+        assert!(err.to_string().contains("duplicate tag address 1"));
+        // The observed twin takes the same gate.
+        assert!(run_gateway_observed(&tags, &GatewayConfig::default()).is_err());
+    }
+
+    #[test]
+    fn max_cycles_exhaustion_is_reported_as_truncated() {
+        // Regression: a backstop-truncated run used to be
+        // indistinguishable from a finished one except by inferring
+        // from `all_complete`.
+        let cfg = GatewayConfig {
+            max_cycles: 2,
+            faults: FaultPlan::preset("loss", 1.0, 3).unwrap(),
+            ..GatewayConfig::default()
+        };
+        let run = run_gateway(&fleet(3, 400), &cfg).unwrap();
+        assert!(run.truncated, "2 cycles cannot move 400 B under loss");
+        assert!(!run.all_complete);
+
+        let clean = run_gateway(&fleet(3, 64), &GatewayConfig::default()).unwrap();
+        assert!(!clean.truncated, "a naturally finished run is not truncated");
+        assert!(clean.all_complete);
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //!   traffic with [`fec::FecConfig::for_traffic`]);
 //! * [`gateway`] — N tags behind one reader: singulation via the
 //!   existing inventory, deficit-round-robin service, per-tag rate
-//!   adaptation, all on one simulated clock.
+//!   adaptation, all on one simulated clock;
+//! * [`fleet`] — deployment scale: hundreds of gateways and 10⁵–10⁶
+//!   tags in a sharded discrete-event engine with inter-gateway
+//!   interference and tag handoff, byte-identical for any worker
+//!   count.
 //!
 //! The transport runs over any [`linkmodel::SegmentLink`]; use
 //! [`linkmodel::SimLink`] for fast seeded sweeps (the `net` bench
@@ -44,6 +48,7 @@
 
 pub mod arq;
 pub mod fec;
+pub mod fleet;
 pub mod gateway;
 pub mod linkmodel;
 pub mod prelude;

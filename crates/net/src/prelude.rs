@@ -22,9 +22,12 @@ pub use crate::arq::{
     Transfer, TransportConfig, TransportSession,
 };
 pub use crate::fec::{FecConfig, FecError, GroupCoder, ReedSolomon, RepairOutcome};
+pub use crate::fleet::{
+    run_fleet, FleetConfig, FleetError, FleetRun, ShardReport, TagRecord, MAX_TAGS_PER_GATEWAY,
+};
 pub use crate::gateway::{
-    run_gateway, run_gateway_observed, run_gateway_with, GatewayConfig, GatewayRun, TagOutcome,
-    TagProfile,
+    run_gateway, run_gateway_observed, run_gateway_with, GatewayConfig, GatewayError, GatewayRun,
+    TagOutcome, TagProfile,
 };
 pub use crate::linkmodel::{PhyLink, SegmentFate, SegmentLink, SimLink, TrafficLink};
 pub use crate::seg::{scramble, segment_message, Accept, Reassembler, Segment, SegmentError};
@@ -41,9 +44,14 @@ pub const NET_PRELUDE_MANIFEST: &[&str] = &[
     "FaultPlan",
     "FecConfig",
     "FecError",
+    "FleetConfig",
+    "FleetError",
+    "FleetRun",
     "GatewayConfig",
+    "GatewayError",
     "GatewayRun",
     "GroupCoder",
+    "MAX_TAGS_PER_GATEWAY",
     "PhyLink",
     "RateEstimator",
     "Reassembler",
@@ -56,9 +64,11 @@ pub const NET_PRELUDE_MANIFEST: &[&str] = &[
     "SegmentError",
     "SegmentFate",
     "SegmentLink",
+    "ShardReport",
     "SimLink",
     "TagOutcome",
     "TagProfile",
+    "TagRecord",
     "TrafficLink",
     "TrafficStats",
     "Transfer",
@@ -67,6 +77,7 @@ pub const NET_PRELUDE_MANIFEST: &[&str] = &[
     "WildTraffic",
     "WindowAck",
     "nearest_supported_rate",
+    "run_fleet",
     "run_gateway",
     "run_gateway_observed",
     "run_gateway_with",

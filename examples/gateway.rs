@@ -34,7 +34,7 @@ fn main() {
     let faults = FaultPlan::preset("loss", 0.5, 11).expect("known preset");
     let cfg = GatewayConfig::default().with_faults(faults).with_seed(11);
 
-    let run = run_gateway_observed(&tags, &cfg);
+    let run = run_gateway_observed(&tags, &cfg).expect("unique tag addresses");
 
     println!(
         "inventory: {} tags singulated in {} rounds ({} slots, {} collisions)\n",

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Full local gate: everything CI would require, in dependency order.
 # Usage: scripts/check.sh [--bench-smoke]
-#   --bench-smoke  additionally run the decode, stream, fec and phy
-#                  microbench smoke modes in release, writing
-#                  BENCH_decode.json, BENCH_stream.json, BENCH_fec.json
-#                  and BENCH_phy.json at the repo root. The decode bench
+#   --bench-smoke  additionally run the decode, stream, fec, phy and
+#                  fleet microbench smoke modes in release, writing
+#                  BENCH_decode.json, BENCH_stream.json, BENCH_fec.json,
+#                  BENCH_phy.json and BENCH_fleet.json at the repo
+#                  root. The decode bench
 #                  exits non-zero if the slot-indexed decode path
 #                  does more packet-stream passes than the reference
 #                  baseline or if its alignment-search work scales with
@@ -20,7 +21,12 @@
 #                  the presence PHY is not bit-identical across the
 #                  routed/direct/deprecated decode paths, or codeword
 #                  translation's goodput falls under 10x presence at
-#                  equal helper traffic in the benign regime.
+#                  equal helper traffic in the benign regime; the fleet
+#                  bench if the 10^5-tag FleetRun JSON is not
+#                  byte-identical across worker counts, the per-tag
+#                  digest changes with the shard count, or (on hosts
+#                  with >= 4 cores) 4 workers fail to beat 1 worker by
+#                  2x on wall clock.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -89,6 +95,13 @@ echo "== fec conformance (cross-layer: dsp GF(256) -> net coder -> wild traffic)
 # the coder on, and the rate rule disables itself on benign traffic.
 cargo test --release -q -p bs-net --test fec_transport
 
+echo "== fleet conformance (jobs determinism, shard invariance, truncation/duplicate regressions) =="
+# The sharded fleet engine's contract: byte-identical FleetRun JSON
+# under any worker count, per-tag outcomes invariant under the shard
+# count (property test), duplicate addresses rejected with a typed
+# error, and max_cycles truncation mirrored per shard.
+cargo test --release -q -p bs-net --test fleet_conformance
+
 echo "== examples run clean =="
 for ex in quickstart sensor_network ambient_traffic energy_budget long_range inventory observability; do
     echo "-- example: $ex"
@@ -96,6 +109,8 @@ for ex in quickstart sensor_network ambient_traffic energy_budget long_range inv
 done
 echo "-- example: gateway"
 cargo run --release -q -p bs-net --example gateway > /dev/null
+echo "-- example: fleet"
+cargo run --release -q -p bs-net --example fleet > /dev/null
 
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
@@ -114,6 +129,8 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     cargo bench -q -p bs-bench --bench fec_micro -- --json "$PWD/BENCH_fec.json"
     echo "== phy bench smoke (presence bit identity, codeword 10x goodput gate) =="
     cargo bench -q -p bs-bench --bench phy_micro -- --json "$PWD/BENCH_phy.json"
+    echo "== fleet bench smoke (10^5-tag jobs determinism, shard invariance, core scaling) =="
+    cargo bench -q -p bs-bench --bench fleet_micro -- --json "$PWD/BENCH_fleet.json"
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,194 @@
+//! Conformance suite for the `bs_net::fleet` sharded engine.
+//!
+//! The fleet's contract, pinned here:
+//!
+//! - **Jobs determinism** — the full [`FleetRun`] JSON (per-tag records
+//!   included) is byte-identical whether the engine runs on 1, 2 or 8
+//!   worker threads.
+//! - **Shard invariance** — partitioning the flat control blocks into
+//!   any shard count never changes a single per-tag outcome (property
+//!   test over random populations, seeds and shard counts).
+//! - **Satellite regressions** — duplicate `TagProfile` addresses are
+//!   rejected with a typed error at both the gateway and (by
+//!   construction) the fleet layer; `max_cycles` truncation surfaces on
+//!   `GatewayRun::truncated` and is mirrored per shard in the fleet
+//!   report.
+//! - **Physics sanity** — mobility produces handoffs that respect the
+//!   address-space cap, and crowding gateways raises interference
+//!   severity enough to cost goodput.
+
+use bs_channel::faults::FaultPlan;
+use bs_dsp::testkit;
+use bs_net::prelude::*;
+
+fn fleet_cfg(gateways: usize, tags_per_gateway: usize, seed: u64) -> FleetConfig {
+    FleetConfig::default()
+        .with_population(gateways, tags_per_gateway)
+        .with_epochs(2)
+        .with_faults(FaultPlan::preset("loss", 0.3, seed ^ 0xF1EE).unwrap())
+        .with_seed(seed)
+}
+
+#[test]
+fn fleet_json_is_byte_identical_across_jobs_1_2_8() {
+    let cfg = fleet_cfg(16, 10, 21);
+    let one = run_fleet(&cfg, 1).unwrap();
+    let two = run_fleet(&cfg, 2).unwrap();
+    let eight = run_fleet(&cfg, 8).unwrap();
+    assert_eq!(one, two);
+    assert_eq!(one, eight);
+    let json = one.to_json();
+    assert_eq!(json, two.to_json());
+    assert_eq!(json, eight.to_json());
+    assert!(json.contains("\"tag_records\": ["), "records must be in the compared bytes");
+}
+
+#[test]
+fn shard_count_never_changes_per_tag_outcomes_property() {
+    // Random (population, seed, shard-count pair) cases: per-tag
+    // records and the digest must agree between the two partitionings.
+    testkit::check("fleet-shard-invariance", 12, |g| {
+        let gateways = g.usize_in(4, 12);
+        let tags_per_gateway = g.usize_in(2, 8);
+        let seed = g.case() ^ 0x51AB;
+        let base = fleet_cfg(gateways, tags_per_gateway, seed);
+        let shards_a = g.usize_in(1, 3);
+        let shards_b = g.usize_in(4, 9);
+        let a = run_fleet(&base.clone().with_shards(shards_a), 2).unwrap();
+        let b = run_fleet(&base.with_shards(shards_b), 2).unwrap();
+        assert_eq!(
+            a.tag_records, b.tag_records,
+            "tag outcomes diverged between {shards_a} and {shards_b} shards \
+             (gateways={gateways}, tpg={tags_per_gateway}, seed={seed})"
+        );
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.handoffs, b.handoffs);
+    });
+}
+
+#[test]
+fn duplicate_addresses_error_at_the_gateway_seam() {
+    // Regression (satellite 2): two tags at one address used to be
+    // silently mispaired through `find(..)`; now the roster is rejected
+    // before any simulated time passes.
+    let tags = vec![
+        TagProfile::new(9, vec![1, 2, 3]),
+        TagProfile::new(10, vec![4, 5, 6]),
+        TagProfile::new(9, vec![7, 8, 9]),
+    ];
+    let err = run_gateway(&tags, &GatewayConfig::default()).unwrap_err();
+    assert_eq!(err, GatewayError::DuplicateAddress { address: 9 });
+    // The fleet mirrors the gateway contract in its own error type, and
+    // guards its address space up front: a nominal roster beyond the
+    // u8 address range is rejected with a typed error, not mispaired.
+    assert!(matches!(
+        run_fleet(
+            &FleetConfig::default().with_population(2, MAX_TAGS_PER_GATEWAY + 1),
+            1
+        )
+        .unwrap_err(),
+        FleetError::TooManyTagsPerGateway { .. }
+    ));
+}
+
+#[test]
+fn truncation_surfaces_on_the_run_and_per_shard_in_the_fleet() {
+    // Regression (satellite 3): a backstop-truncated run used to be
+    // indistinguishable from a finished one. Gateway layer:
+    let cfg = GatewayConfig {
+        max_cycles: 1,
+        faults: FaultPlan::preset("loss", 1.0, 5).unwrap(),
+        ..GatewayConfig::default()
+    };
+    let tags: Vec<TagProfile> = (1..=3)
+        .map(|a| TagProfile::new(a, vec![a; 300]))
+        .collect();
+    let run = run_gateway(&tags, &cfg).unwrap();
+    assert!(run.truncated, "one cycle cannot move 300 B under loss");
+    assert!(!run.all_complete);
+
+    // Fleet layer: the flag is mirrored per shard and per tag.
+    let fleet = FleetConfig {
+        gateway: cfg,
+        message_bytes: 300,
+        epochs: 1,
+        ..fleet_cfg(8, 4, 17)
+    }
+    .with_shards(4);
+    let frun = run_fleet(&fleet, 2).unwrap();
+    assert!(frun.truncated_gateway_epochs > 0);
+    assert_eq!(
+        frun.truncated_gateway_epochs,
+        frun.shard_reports
+            .iter()
+            .map(|s| s.truncated_gateway_epochs)
+            .sum::<u32>()
+    );
+    assert!(frun.tag_records.iter().any(|t| t.truncated_epochs > 0));
+    assert!(!frun.all_complete);
+}
+
+#[test]
+fn clean_fleet_delivers_everything_with_flat_fairness() {
+    let cfg = FleetConfig::default()
+        .with_population(12, 6)
+        .with_epochs(2)
+        .with_seed(3);
+    let run = run_fleet(&cfg, 2).unwrap();
+    assert!(run.all_complete);
+    assert_eq!(run.truncated_gateway_epochs, 0);
+    assert_eq!(
+        run.delivered_bytes,
+        (12 * 6 * 2) as u64 * cfg.message_bytes as u64,
+        "every tag uploads one fresh message per epoch, exactly"
+    );
+    assert!(run.fairness > 0.99, "equal uploads → fairness {}", run.fairness);
+    assert!(run.latency_us_p50 > 0.0);
+    assert!(run.latency_us_p99 >= run.latency_us_p90);
+    assert!(run.latency_us_p90 >= run.latency_us_p50);
+}
+
+#[test]
+fn mobility_hands_off_within_the_address_space_cap() {
+    let cfg = FleetConfig {
+        mobility: 0.8,
+        move_sigma_m: 60.0,
+        epochs: 3,
+        ..fleet_cfg(9, 6, 13)
+    };
+    let run = run_fleet(&cfg, 2).unwrap();
+    assert!(run.handoffs > 0, "hot mobility must produce handoffs");
+    let mut loads = vec![0usize; 9];
+    for t in &run.tag_records {
+        loads[t.gateway as usize] += 1;
+    }
+    assert!(
+        loads.iter().all(|&l| l <= MAX_TAGS_PER_GATEWAY),
+        "a gateway overflowed its address space: {loads:?}"
+    );
+    // Tags that handed off are counted on the records.
+    assert_eq!(
+        run.handoffs,
+        run.tag_records.iter().map(|t| t.handoffs as u64).sum::<u64>()
+    );
+}
+
+#[test]
+fn interference_from_crowding_costs_goodput() {
+    let loose = FleetConfig {
+        interference_gain: 0.6,
+        ..fleet_cfg(9, 5, 19)
+    };
+    let crowded = FleetConfig {
+        gateway_spacing_m: loose.gateway_spacing_m / 4.0,
+        ..loose.clone()
+    };
+    let a = run_fleet(&loose, 2).unwrap();
+    let b = run_fleet(&crowded, 2).unwrap();
+    assert!(
+        b.aggregate_goodput_bps < a.aggregate_goodput_bps,
+        "crowded {} bps should trail loose {} bps",
+        b.aggregate_goodput_bps,
+        a.aggregate_goodput_bps
+    );
+}

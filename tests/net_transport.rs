@@ -204,7 +204,7 @@ fn gateway_delivers_every_tag_exactly_and_reproduces() {
     let cfg = GatewayConfig::default()
         .with_faults(lossy_plan(0.5, 5))
         .with_seed(5);
-    let run = run_gateway_observed(&tags, &cfg);
+    let run = run_gateway_observed(&tags, &cfg).expect("unique addresses");
     assert!(run.all_complete, "every tag must finish under severity 0.5");
     for outcome in &run.tags {
         let profile = tags
@@ -227,5 +227,5 @@ fn gateway_delivers_every_tag_exactly_and_reproduces() {
     assert!(obs.spans_for("net.sched").next().is_some());
     assert!(obs.counter("net.sched-cycles") > 0);
     // Bit-for-bit reproducibility of the whole multi-tag run.
-    assert_eq!(run, run_gateway_observed(&tags, &cfg));
+    assert_eq!(run, run_gateway_observed(&tags, &cfg).expect("unique addresses"));
 }
