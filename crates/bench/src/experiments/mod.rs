@@ -15,11 +15,13 @@
 //! | [`phy`] | PHY mode sweep: tag goodput vs helper-traffic rate, presence vs codeword translation |
 //! | [`obs`] | stage profiling: per-stage spans/counters from armed-recorder runs |
 //! | [`stream`] | streaming-decode equivalence: batch vs chunked feed/finish, peak resident window |
+//! | [`energy`] | energy sweep: goodput, poll waste and brownout rate vs harvest regime × polling policy |
 
 pub mod ablation;
 pub mod ambient;
 pub mod coexistence;
 pub mod downlink;
+pub mod energy;
 pub mod faults;
 pub mod fec;
 pub mod fleet;

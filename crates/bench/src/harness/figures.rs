@@ -17,8 +17,8 @@ use wifi_backscatter::link::Measurement;
 use super::record::{JobOutput, RunRecord};
 use super::scheduler::Job;
 use crate::experiments::{
-    ablation, ambient, coexistence, downlink, faults, fec, fleet, net, obs, phy, power, stream,
-    uplink,
+    ablation, ambient, coexistence, downlink, energy, faults, fec, fleet, net, obs, phy, power,
+    stream, uplink,
 };
 
 /// How much work each figure does — the knobs the old `all`/`quick`
@@ -66,7 +66,7 @@ impl Effort {
 pub const ALL_FIGURES: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
     "fig17", "fig18", "fig19", "fig20", "power", "ablation", "faults", "obs", "net", "fec",
-    "phy", "stream", "fleet",
+    "phy", "stream", "fleet", "energy",
 ];
 
 /// Lines computed from a section's finished records (Fig. 19's impact
@@ -159,6 +159,7 @@ pub fn plan(figs: &[String], effort: &Effort, seed: u64) -> Result<Plan, String>
             "phy" => phy_section(&mut p, seed, effort),
             "stream" => stream_section(&mut p, seed),
             "fleet" => fleet_section(&mut p, seed, effort),
+            "energy" => energy_section(&mut p, seed),
             other => {
                 return Err(format!(
                     "unknown figure '{other}' (known: {})",
@@ -936,6 +937,53 @@ fn fleet_section(p: &mut Plan, seed: u64, e: &Effort) {
                 ..JobOutput::default()
             }
         });
+    }
+}
+
+fn energy_section(p: &mut Plan, seed: u64) {
+    let s = p.section(
+        "energy",
+        vec![
+            "# === energy: goodput, poll waste and brownouts vs harvest regime × polling ==="
+                .into(),
+            "# regime  policy  tags  goodput_bps  poll_waste  brownouts_per_tag  recoveries  digest"
+                .into(),
+        ],
+    );
+    for &(regime, tx_dbm, ambient_uw) in energy::REGIMES {
+        for policy in [
+            bs_net::gateway::PollingPolicy::Naive,
+            bs_net::gateway::PollingPolicy::EnergyAware,
+        ] {
+            let label = match policy {
+                bs_net::gateway::PollingPolicy::Naive => "naive",
+                bs_net::gateway::PollingPolicy::EnergyAware => "aware",
+            };
+            p.job(s, format!("energy {regime} {label}"), seed, move || {
+                let pt = energy::energy_point(regime, tx_dbm, ambient_uw, policy, seed);
+                JobOutput {
+                    lines: vec![format!(
+                        "{:>7}  {:>5}  {:>4}  {:10.1}  {:.4}  {:8.3}  {:>5}  {:016x}",
+                        pt.regime,
+                        label,
+                        pt.tags,
+                        pt.goodput_bps,
+                        pt.poll_waste,
+                        pt.brownout_rate,
+                        pt.recoveries,
+                        pt.digest
+                    )],
+                    metrics: vec![
+                        ("goodput_bps".into(), pt.goodput_bps),
+                        ("poll_waste".into(), pt.poll_waste),
+                        ("brownouts_per_tag".into(), pt.brownout_rate),
+                        ("missed_polls".into(), pt.missed_polls as f64),
+                    ],
+                    work_items: pt.tags as u64 * energy::EPOCHS as u64,
+                    ..JobOutput::default()
+                }
+            });
+        }
     }
 }
 

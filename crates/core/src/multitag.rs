@@ -36,15 +36,28 @@ pub struct InventoryTag {
     /// Uplink signal strength relative to the strongest tag (linear,
     /// 0 < s ≤ 1). Drives the capture effect.
     pub relative_strength: f64,
+    /// Whether the tag currently has the energy to reply. A browned-out
+    /// tag is simply absent from its slots — the reader observes idles
+    /// where it would have answered and cannot tell silence from absence
+    /// (the energy co-simulation's information boundary).
+    pub powered: bool,
 }
 
 impl InventoryTag {
-    /// A tag with nominal strength.
+    /// A tag with nominal strength, powered.
     pub fn new(address: u8) -> Self {
         InventoryTag {
             address,
             relative_strength: 1.0,
+            powered: true,
         }
+    }
+
+    /// Marks the tag browned out: present in the deployment, silent on
+    /// the air.
+    pub fn unpowered(mut self) -> Self {
+        self.powered = false;
+        self
     }
 }
 
@@ -191,7 +204,7 @@ pub fn run_inventory_with(
             let in_slot: Vec<InventoryTag> = pending
                 .iter()
                 .copied()
-                .filter(|t| slot_of(t.address, round_seed, frame_size) == slot)
+                .filter(|t| t.powered && slot_of(t.address, round_seed, frame_size) == slot)
                 .collect();
             let outcome = judge_slot(&in_slot, cfg.capture_ratio);
             match outcome {
@@ -367,10 +380,12 @@ mod tests {
             InventoryTag {
                 address: 1,
                 relative_strength: 1.0,
+                powered: true,
             },
             InventoryTag {
                 address: 2,
                 relative_strength: 0.05,
+                powered: true,
             },
         ];
         let cfg = InventoryConfig {
@@ -431,6 +446,38 @@ mod tests {
             judge_slot(&[InventoryTag::new(1), InventoryTag::new(2)], 2.0),
             SlotOutcome::Collision
         );
+    }
+
+    #[test]
+    fn unpowered_tag_is_silent_and_unidentified() {
+        // Three tags, one browned out: the powered two are identified,
+        // the dead one never replies and the run exhausts its rounds
+        // looking for it (the reader cannot tell silence from absence).
+        let t = vec![
+            InventoryTag::new(1),
+            InventoryTag::new(2).unpowered(),
+            InventoryTag::new(3),
+        ];
+        let cfg = InventoryConfig {
+            max_rounds: 6,
+            ..Default::default()
+        };
+        let r = run_inventory(&t, cfg, &mut rng(11));
+        assert!(r.identified.contains(&1) && r.identified.contains(&3));
+        assert!(!r.identified.contains(&2), "dead tag replied");
+        assert!(!r.complete(&t));
+        assert_eq!(r.rounds, 6, "reader must keep trying until max_rounds");
+    }
+
+    #[test]
+    fn all_powered_matches_default_construction() {
+        // `powered: true` is the constructor default, so energy-less
+        // callers are bit-identical to the pre-energy inventory.
+        let t = tags(12);
+        assert!(t.iter().all(|x| x.powered));
+        let a = run_inventory(&t, InventoryConfig::default(), &mut rng(12));
+        let b = run_inventory(&t, InventoryConfig::default(), &mut rng(12));
+        assert_eq!(a, b);
     }
 
     #[test]

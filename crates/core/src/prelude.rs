@@ -47,6 +47,7 @@ pub use bs_dsp::bits::BerCounter;
 pub use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder, Span};
 pub use bs_dsp::stream::Consumed;
 pub use bs_dsp::SimRng;
+pub use bs_tag::energy::{Capacitor, CapacitorConfig, EnergyConfig, EnergyPolicy, EnergyState};
 pub use bs_tag::frame::{DownlinkFrame, UplinkFrame};
 
 /// The names this prelude exports, sorted — the contract the
@@ -55,6 +56,8 @@ pub use bs_tag::frame::{DownlinkFrame, UplinkFrame};
 pub const PRELUDE_MANIFEST: &[&str] = &[
     "Ack",
     "BerCounter",
+    "Capacitor",
+    "CapacitorConfig",
     "CodewordParams",
     "CodewordPhy",
     "Combining",
@@ -65,6 +68,9 @@ pub const PRELUDE_MANIFEST: &[&str] = &[
     "DownlinkFrame",
     "DownlinkRun",
     "EncodeError",
+    "EnergyConfig",
+    "EnergyPolicy",
+    "EnergyState",
     "Error",
     "FaultEvents",
     "FaultPlan",
@@ -143,6 +149,8 @@ mod tests {
         use super::*;
         let _ = LinkConfig::fig10(0.3, 100, 5, 1);
         let _ = ReaderConfig::default();
+        let _ = Capacitor::new(CapacitorConfig::default());
+        let _ = EnergyConfig::always_powered();
         let _: fn(&LinkConfig) -> UplinkRun = run_uplink;
         let _ = NullRecorder;
     }

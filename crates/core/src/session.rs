@@ -29,6 +29,7 @@ use crate::uplink::{UplinkDecoder, UplinkDecoderConfig, UplinkStream};
 use bs_channel::faults::FaultPlan;
 use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder};
 use bs_dsp::SimRng;
+use bs_tag::energy::{Capacitor, EnergyConfig, LISTEN_LOAD_UW, RESPOND_LOAD_UW};
 
 /// Former home of the session error type.
 #[deprecated(
@@ -70,6 +71,12 @@ pub struct ReaderConfig {
     /// airtime budgeting and the long-range fallback all follow this
     /// mode's [`crate::phy::PhyCapabilities`].
     pub phy: PhyConfig,
+    /// The simulated tag's energy supply. `None` (the default) models an
+    /// immortal tag and leaves the session bit-identical to the
+    /// pre-energy behaviour. With a supply, a browned-out tag simply
+    /// misses its poll: the reader observes silence and the existing
+    /// [`RetryPolicy`] machinery does the rest.
+    pub tag_energy: Option<EnergyConfig>,
 }
 
 impl Default for ReaderConfig {
@@ -88,6 +95,7 @@ impl Default for ReaderConfig {
             mitigations: MitigationPolicy::all(),
             retry: RetryPolicy::default(),
             phy: PhyConfig::Presence,
+            tag_energy: None,
         }
     }
 }
@@ -136,6 +144,13 @@ impl ReaderConfig {
         self.phy = phy;
         self
     }
+
+    /// Arms the tag energy co-simulation (default: `None`, an immortal
+    /// tag).
+    pub fn with_tag_energy(mut self, energy: EnergyConfig) -> Self {
+        self.tag_energy = Some(energy);
+        self
+    }
 }
 
 /// Outcome of a successful query.
@@ -166,12 +181,17 @@ pub struct QueryOutcome {
 pub struct Reader {
     cfg: ReaderConfig,
     rng: SimRng,
+    /// The simulated tag's storage capacitor, present iff the config
+    /// carries a supply; persists across queries so a poll sequence sees
+    /// the tag charge and discharge.
+    tag_cap: Option<Capacitor>,
 }
 
 impl Reader {
     /// Creates a session.
     pub fn new(cfg: ReaderConfig, seed: u64) -> Self {
         Reader {
+            tag_cap: cfg.tag_energy.map(|e| Capacitor::new(e.capacitor)),
             cfg,
             rng: SimRng::new(seed).stream("reader-session"),
         }
@@ -180,6 +200,40 @@ impl Reader {
     /// The configuration.
     pub fn config(&self) -> &ReaderConfig {
         &self.cfg
+    }
+
+    /// The simulated tag's capacitor, if the energy co-simulation is
+    /// armed — what an experiment inspects for brownout/recovery counts.
+    pub fn tag_capacitor(&self) -> Option<&Capacitor> {
+        self.tag_cap.as_ref()
+    }
+
+    /// Lets simulated wall-clock pass between queries: the tag harvests
+    /// (at listening load when its policy keeps the rx chain on) and the
+    /// capacitor state machine runs. A no-op for energy-less sessions.
+    pub fn idle_us(&mut self, span_us: u64) {
+        let listening = self.tag_can_listen();
+        self.advance_tag(span_us, if listening { LISTEN_LOAD_UW } else { 0.0 });
+    }
+
+    fn advance_tag(&mut self, span_us: u64, load_uw: f64) {
+        if let (Some(e), Some(c)) = (self.cfg.tag_energy, self.tag_cap.as_mut()) {
+            c.advance(span_us as f64, e.harvest_uw, load_uw);
+        }
+    }
+
+    fn tag_can_listen(&self) -> bool {
+        match (self.cfg.tag_energy, self.tag_cap.as_ref()) {
+            (Some(e), Some(c)) => e.policy.can_listen(c.state()),
+            _ => true,
+        }
+    }
+
+    fn tag_can_respond(&self) -> bool {
+        match (self.cfg.tag_energy, self.tag_cap.as_ref()) {
+            (Some(e), Some(c)) => e.policy.can_respond(c.state()),
+            _ => true,
+        }
     }
 
     /// Queries `tag_address` for `payload_bits` bits and returns the
@@ -254,7 +308,10 @@ impl Reader {
         let mut delivered = false;
         while query_attempts < self.cfg.max_query_attempts {
             if query_attempts > 0 {
-                waited_us += retry.backoff_us(query_attempts);
+                let backoff = retry.backoff_us(query_attempts);
+                waited_us += backoff;
+                // The tag keeps harvesting through the reader's backoff.
+                self.idle_us(backoff);
                 if !retry.within_budget(waited_us) {
                     break;
                 }
@@ -262,6 +319,17 @@ impl Reader {
             query_attempts += 1;
             rec.add("session.query-attempts", 1);
             waited_us += query_air_us;
+            // Energy co-simulation: the tag harvests over the query
+            // airtime; if its policy keeps the radio off, the reader
+            // observes pure silence — no downlink exchange is even
+            // simulated, and the retry loop above supplies the reader's
+            // reaction (backoff, budget, eventual TagUnresponsive).
+            let tag_listening = self.tag_can_listen();
+            self.advance_tag(query_air_us, if tag_listening { LISTEN_LOAD_UW } else { 0.0 });
+            if !tag_listening {
+                rec.add("session.energy-missed-polls", 1);
+                continue;
+            }
             let dl = DownlinkConfig {
                 distance_m: self.cfg.tag_distance_m,
                 bit_rate_bps: self.cfg.downlink_bps,
@@ -291,7 +359,9 @@ impl Reader {
         let mut response_attempts = 0;
         for attempt in 0..self.cfg.max_response_attempts {
             if attempt > 0 {
-                waited_us += retry.backoff_us(attempt);
+                let backoff = retry.backoff_us(attempt);
+                waited_us += backoff;
+                self.idle_us(backoff);
                 if !retry.within_budget(waited_us) {
                     break;
                 }
@@ -301,7 +371,25 @@ impl Reader {
             // Audit note: the budget charge used to assume the presence
             // capture's 1.2 s conditioning lead for every PHY; the
             // capabilities now own the per-mode formula.
-            waited_us += caps.response_air_us(tag_payload.len(), bit_rate, 1);
+            let response_air_us = caps.response_air_us(tag_payload.len(), bit_rate, 1);
+            waited_us += response_air_us;
+            // A tag that cannot fund its transmitter stays silent for
+            // this attempt (it may still be listening and charging).
+            let tag_responding = self.tag_can_respond();
+            self.advance_tag(
+                response_air_us,
+                if tag_responding {
+                    RESPOND_LOAD_UW
+                } else if self.tag_can_listen() {
+                    LISTEN_LOAD_UW
+                } else {
+                    0.0
+                },
+            );
+            if !tag_responding {
+                rec.add("session.energy-missed-polls", 1);
+                continue;
+            }
             let run = self.run_response(tag_payload, bit_rate, 1, rec);
             report.merge(&run.degradation);
             if run.perfect() {
@@ -329,15 +417,18 @@ impl Reader {
         if caps.coded_fallback
             && self.cfg.fallback_code_length > 1
             && retry.within_budget(waited_us)
+            && self.tag_can_respond()
         {
             response_attempts += 1;
             rec.add("session.response-attempts", 1);
             rec.add("session.fallback-engaged", 1);
-            waited_us += caps.response_air_us(
+            let fallback_air_us = caps.response_air_us(
                 tag_payload.len(),
                 bit_rate,
                 self.cfg.fallback_code_length,
             );
+            waited_us += fallback_air_us;
+            self.advance_tag(fallback_air_us, RESPOND_LOAD_UW);
             let run = self.run_response(tag_payload, bit_rate, self.cfg.fallback_code_length, rec);
             report.merge(&run.degradation);
             if run.perfect() {
@@ -613,6 +704,77 @@ mod tests {
             .with_fallback_code_length(40);
         assert_eq!(cfg.tag_distance_m, 1.1);
         assert_eq!(cfg.fallback_code_length, 40);
+    }
+
+    #[test]
+    fn always_powered_energy_matches_energy_less_session() {
+        use bs_tag::energy::EnergyConfig;
+        let p = payload(24);
+        let mut bare = Reader::new(ReaderConfig::default(), 1);
+        let mut powered = Reader::new(
+            ReaderConfig::default().with_tag_energy(EnergyConfig::always_powered()),
+            1,
+        );
+        let a = bare.query(0x07, &p).expect("bare query failed");
+        let b = powered.query(0x07, &p).expect("powered query failed");
+        assert_eq!(a.payload, b.payload);
+        assert_eq!(a.query_attempts, b.query_attempts);
+        assert_eq!(a.waited_us, b.waited_us);
+        assert_eq!(a.degradation, b.degradation);
+    }
+
+    #[test]
+    fn dead_tag_misses_every_poll() {
+        use bs_dsp::obs::MemRecorder;
+        use bs_tag::energy::{CapacitorConfig, EnergyConfig, EnergyPolicy};
+        let mut r = Reader::new(
+            ReaderConfig::default().with_tag_energy(EnergyConfig {
+                capacitor: CapacitorConfig {
+                    initial_fraction: 0.0,
+                    ..CapacitorConfig::default()
+                },
+                harvest_uw: 0.0,
+                policy: EnergyPolicy::SleepUntilCharged,
+            }),
+            1,
+        );
+        let mut rec = MemRecorder::new();
+        match r.query_with(0x07, &payload(8), &mut rec) {
+            Err(SessionError::TagUnresponsive { attempts }) => {
+                assert_eq!(attempts, ReaderConfig::default().max_query_attempts)
+            }
+            other => panic!("expected TagUnresponsive, got {other:?}"),
+        }
+        let obs = rec.into_report();
+        assert_eq!(
+            obs.counter("session.energy-missed-polls"),
+            u64::from(ReaderConfig::default().max_query_attempts),
+            "every poll against a dead tag must be a recorded miss"
+        );
+    }
+
+    #[test]
+    fn charging_tag_recovers_across_poll_sequence() {
+        use bs_tag::energy::{CapacitorConfig, EnergyConfig, EnergyPolicy, EnergyState};
+        // Start flat with a strong harvest: early polls miss, and after
+        // enough idle time the tag wakes and answers.
+        let mut r = Reader::new(
+            ReaderConfig::default().with_tag_energy(EnergyConfig {
+                capacitor: CapacitorConfig {
+                    initial_fraction: 0.0,
+                    ..CapacitorConfig::default()
+                },
+                harvest_uw: 60.0,
+                policy: EnergyPolicy::SleepUntilCharged,
+            }),
+            1,
+        );
+        assert!(r.query(0x07, &payload(8)).is_err(), "flat tag must miss");
+        // ~3 s at ~59 µW net fills well past the 120 µJ wake threshold.
+        r.idle_us(3_000_000);
+        assert_eq!(r.tag_capacitor().unwrap().state(), EnergyState::Awake);
+        let out = r.query(0x07, &payload(8)).expect("recovered tag must answer");
+        assert_eq!(out.payload, payload(8));
     }
 
     #[test]

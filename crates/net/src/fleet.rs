@@ -46,10 +46,14 @@
 //! assert_eq!(a.tags, 54);
 //! ```
 
-use crate::gateway::{jain_index, run_gateway, GatewayConfig, GatewayError, TagProfile};
+use crate::gateway::{
+    jain_index, run_gateway, GatewayConfig, GatewayError, TagEnergyOutcome, TagProfile,
+};
 use bs_channel::geometry::coverage_overlap;
 use bs_dsp::stats::percentile_many;
 use bs_dsp::SimRng;
+use bs_tag::energy::{Capacitor, CapacitorConfig, EnergyConfig, EnergyPolicy, LISTEN_LOAD_UW};
+use bs_tag::harvester::{harvested_uw, wifi_incident_dbm};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -100,6 +104,74 @@ impl From<GatewayError> for FleetError {
     }
 }
 
+/// Fleet-wide energy model: how every tag in the population harvests,
+/// stores and spends energy.
+///
+/// Each tag's harvest is a pure function of its grid position — the
+/// incident power from its serving gateway's transmitter
+/// ([`bs_tag::harvester::wifi_incident_dbm`] at the tag–gateway
+/// distance, through the rectifier curve) plus a flat ambient floor
+/// (TV-tower background, §6 of the paper). Tags re-derive their harvest
+/// every epoch, so a tag that wanders away from its gateway starves and
+/// one that wanders closer recovers. Initial charge is drawn per tag
+/// from a tag-keyed stream (cold-start diversity), and charge persists
+/// across epochs through the per-tag control blocks.
+///
+/// ```
+/// use bs_net::fleet::FleetEnergyConfig;
+///
+/// let e = FleetEnergyConfig::default();
+/// assert!(e.tx_power_dbm > 0.0 && e.ambient_uw >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetEnergyConfig {
+    /// Gateway transmit power feeding each tag's harvester, dBm.
+    pub tx_power_dbm: f64,
+    /// Ambient harvest floor added on top of the Wi-Fi harvest, µW
+    /// (TV-tower background; keeps distant tags crawling instead of
+    /// flat-lining).
+    pub ambient_uw: f64,
+    /// Capacitor template every tag instantiates;
+    /// [`CapacitorConfig::initial_fraction`] is overridden per tag by a
+    /// seeded draw and thereafter by the persisted charge.
+    pub capacitor: CapacitorConfig,
+    /// Duty-cycling policy every tag runs.
+    pub policy: EnergyPolicy,
+}
+
+impl Default for FleetEnergyConfig {
+    fn default() -> Self {
+        FleetEnergyConfig {
+            tx_power_dbm: 36.0,
+            ambient_uw: 2.0,
+            capacitor: CapacitorConfig::default(),
+            policy: EnergyPolicy::SleepUntilCharged,
+        }
+    }
+}
+
+impl FleetEnergyConfig {
+    /// Steady-state harvest (µW) for a tag `distance_m` from its
+    /// serving gateway: the Wi-Fi harvest at that range plus the
+    /// ambient floor.
+    pub fn harvest_uw_at(&self, distance_m: f64) -> f64 {
+        harvested_uw(wifi_incident_dbm(self.tx_power_dbm, distance_m)) + self.ambient_uw
+    }
+
+    /// The immortal-tag fleet: capacitors are tracked but an enormous
+    /// ambient harvest keeps them full and the policy never gates
+    /// behaviour, so per-tag outcomes are bit-identical to running with
+    /// [`FleetConfig::energy`]` = None` (the conformance suite pins
+    /// this).
+    pub fn always_powered() -> Self {
+        FleetEnergyConfig {
+            ambient_uw: 1e6,
+            policy: EnergyPolicy::AlwaysPowered,
+            ..FleetEnergyConfig::default()
+        }
+    }
+}
+
 /// Fleet configuration: topology, population, epochs, impairments.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -135,9 +207,16 @@ pub struct FleetConfig {
     /// Shard choice groups the [`ShardReport`]s but never changes
     /// per-tag outcomes.
     pub shards: usize,
-    /// Per-gateway template (transport, inventory, PHY, `max_cycles`);
-    /// seed and faults are overridden per gateway per epoch.
+    /// Per-gateway template (transport, inventory, PHY, `max_cycles`,
+    /// polling policy); seed and faults are overridden per gateway per
+    /// epoch.
     pub gateway: GatewayConfig,
+    /// Energy co-simulation. `None` (the default) runs the immortal-tag
+    /// fleet, bit-identical to the pre-energy engine. `Some` gives every
+    /// tag a capacitor fed by distance-dependent harvest; browned-out
+    /// tags miss polls (or whole inventories) and the per-tag
+    /// [`TagRecord`] reports brownout/recovery counts.
+    pub energy: Option<FleetEnergyConfig>,
     /// Master seed; every stream in the fleet descends from it.
     pub seed: u64,
 }
@@ -157,6 +236,7 @@ impl Default for FleetConfig {
             interference_gain: 0.15,
             shards: 0,
             gateway: GatewayConfig::default(),
+            energy: None,
             seed: 1,
         }
     }
@@ -194,6 +274,12 @@ impl FleetConfig {
         self
     }
 
+    /// Arms the energy co-simulation (builder style).
+    pub fn with_energy(mut self, energy: FleetEnergyConfig) -> Self {
+        self.energy = Some(energy);
+        self
+    }
+
     fn total_tags(&self) -> usize {
         self.gateways * self.tags_per_gateway
     }
@@ -217,6 +303,11 @@ pub struct TagRecord {
     /// Last epoch's service latency (singulation + own transfer
     /// airtime, µs).
     pub last_latency_us: u64,
+    /// Awake→Dead transitions across the run (0 when the energy model
+    /// is off).
+    pub brownouts: u32,
+    /// Post-brownout climbs back to Awake across the run.
+    pub recoveries: u32,
 }
 
 /// Per-shard aggregate, mirroring the per-gateway truncation flag at
@@ -262,6 +353,14 @@ pub struct FleetRun {
     pub all_complete: bool,
     /// Gateway-epochs that hit the cycle backstop (sum over shards).
     pub truncated_gateway_epochs: u32,
+    /// Poll slots scheduled fleet-wide (served rounds + wasted polls).
+    pub polls: u64,
+    /// Poll slots wasted on tags that had no energy to answer.
+    pub missed_polls: u64,
+    /// Brownouts fleet-wide (sum over [`TagRecord::brownouts`]).
+    pub brownouts: u64,
+    /// Recoveries fleet-wide (sum over [`TagRecord::recoveries`]).
+    pub recoveries: u64,
     /// Wall-clock airtime (µs): gateways run concurrently, so each
     /// epoch costs the *maximum* gateway airtime, summed over epochs.
     pub airtime_us: u64,
@@ -300,6 +399,10 @@ impl FleetRun {
             "  \"truncated_gateway_epochs\": {},\n",
             self.truncated_gateway_epochs
         ));
+        s.push_str(&format!("  \"polls\": {},\n", self.polls));
+        s.push_str(&format!("  \"missed_polls\": {},\n", self.missed_polls));
+        s.push_str(&format!("  \"brownouts\": {},\n", self.brownouts));
+        s.push_str(&format!("  \"recoveries\": {},\n", self.recoveries));
         s.push_str(&format!("  \"airtime_us\": {},\n", self.airtime_us));
         s.push_str(&format!(
             "  \"aggregate_goodput_bps\": {:.3},\n",
@@ -328,7 +431,8 @@ impl FleetRun {
         for (i, t) in self.tag_records.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"tag\": {}, \"gateway\": {}, \"handoffs\": {}, \"delivered_bytes\": {}, \
-                 \"complete_epochs\": {}, \"truncated_epochs\": {}, \"last_latency_us\": {}}}{}\n",
+                 \"complete_epochs\": {}, \"truncated_epochs\": {}, \"last_latency_us\": {}, \
+                 \"brownouts\": {}, \"recoveries\": {}}}{}\n",
                 t.tag,
                 t.gateway,
                 t.handoffs,
@@ -336,6 +440,8 @@ impl FleetRun {
                 t.complete_epochs,
                 t.truncated_epochs,
                 t.last_latency_us,
+                t.brownouts,
+                t.recoveries,
                 if i + 1 < self.tag_records.len() { "," } else { "" }
             ));
         }
@@ -363,6 +469,8 @@ fn digest_records(records: &[TagRecord]) -> u64 {
         eat(t.complete_epochs as u64);
         eat(t.truncated_epochs as u64);
         eat(t.last_latency_us);
+        eat(t.brownouts as u64);
+        eat(t.recoveries as u64);
     }
     h
 }
@@ -560,6 +668,11 @@ struct TagBlock {
     complete_epochs: u32,
     truncated_epochs: u32,
     last_latency_us: u64,
+    /// Stored energy persisted across epochs (µJ; unused when the
+    /// energy model is off).
+    charge_uj: f64,
+    brownouts: u32,
+    recoveries: u32,
 }
 
 /// One gateway's serviced epoch, reported back over the channel
@@ -569,9 +682,12 @@ struct GwEpochResult {
     truncated: bool,
     airtime_us: u64,
     delivered_bytes: u64,
-    /// `(global tag id, delivered bytes, latency µs, complete)` in
-    /// roster order.
-    outcomes: Vec<(u32, u64, u64, bool)>,
+    polls: u64,
+    missed_polls: u64,
+    /// `(global tag id, delivered bytes, latency µs, complete, energy)`
+    /// in roster order. Tags that were dead through singulation never
+    /// appear here — the fleet advances their capacitors locally.
+    outcomes: Vec<(u32, u64, u64, bool, Option<TagEnergyOutcome>)>,
 }
 
 /// Deterministic per-tag upload payload for one epoch.
@@ -617,8 +733,15 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError>
     let n_tags = cfg.total_tags();
 
     // Seed the flat tag blocks: home placement + initial association.
+    // Cold-start charge diversity comes from a tag-keyed stream — drawn
+    // only when the energy model is on, so an energy-less fleet consumes
+    // exactly the pre-energy RNG sequence.
     let place = root.stream("fleet.tag-pos");
     let helper = root.stream("fleet.helper");
+    let charge_stream = root.stream("fleet.energy");
+    let cap_capacity_uj = cfg.energy.map(|e| {
+        0.5 * e.capacitor.capacitance_uf * e.capacitor.voltage * e.capacitor.voltage
+    });
     let mut blocks: Vec<TagBlock> = (0..n_tags)
         .map(|t| {
             let home = (t % cfg.gateways) as u32;
@@ -626,6 +749,10 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError>
             let mut rng = place.substream(t as u64);
             let x = (hx + rng.gaussian(0.0, 0.5 * cfg.coverage_radius_m)).clamp(0.0, topo.side_m);
             let y = (hy + rng.gaussian(0.0, 0.5 * cfg.coverage_radius_m)).clamp(0.0, topo.side_m);
+            let charge_uj = match cap_capacity_uj {
+                Some(cap) => charge_stream.substream(t as u64).uniform_range(0.0, cap),
+                None => 0.0,
+            };
             TagBlock {
                 x,
                 y,
@@ -636,6 +763,9 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError>
                 complete_epochs: 0,
                 truncated_epochs: 0,
                 last_latency_us: 0,
+                charge_uj,
+                brownouts: 0,
+                recoveries: 0,
             }
         })
         .collect();
@@ -661,6 +791,8 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError>
 
     let mut total_handoffs = 0u64;
     let mut handoffs_denied = 0u64;
+    let mut total_polls = 0u64;
+    let mut total_missed_polls = 0u64;
     let mut airtime_us = 0u64;
     let mut latencies: Vec<f64> = Vec::with_capacity(n_tags * cfg.epochs as usize);
     let mut shard_truncated = vec![0u32; gw_shards.len()];
@@ -757,17 +889,40 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError>
                             truncated: false,
                             airtime_us: 0,
                             delivered_bytes: 0,
+                            polls: 0,
+                            missed_polls: 0,
                             outcomes: Vec::new(),
                         });
                         continue;
                     }
+                    let (gx, gy) = topo.gw_pos[g];
                     let profiles: Vec<TagProfile> = roster
                         .iter()
                         .enumerate()
-                        .map(|(i, &t)| TagProfile {
-                            address: (i + 1) as u8,
-                            message: tag_message(t, epoch, cfg.message_bytes),
-                            helper_pps: blocks[t as usize].helper_pps,
+                        .map(|(i, &t)| {
+                            let b = &blocks[t as usize];
+                            // Energy is a pure function of the tag's
+                            // block: persisted charge in, harvest from
+                            // its current distance to this gateway.
+                            let energy = cfg.energy.map(|e| {
+                                let d = ((b.x - gx).powi(2) + (b.y - gy).powi(2)).sqrt();
+                                EnergyConfig {
+                                    capacitor: CapacitorConfig {
+                                        initial_fraction: (b.charge_uj
+                                            / cap_capacity_uj.expect("energy is on"))
+                                        .clamp(0.0, 1.0),
+                                        ..e.capacitor
+                                    },
+                                    harvest_uw: e.harvest_uw_at(d),
+                                    policy: e.policy,
+                                }
+                            });
+                            TagProfile {
+                                address: (i + 1) as u8,
+                                message: tag_message(t, epoch, cfg.message_bytes),
+                                helper_pps: b.helper_pps,
+                                energy,
+                            }
                         })
                         .collect();
                     let mut gcfg = cfg.gateway.clone();
@@ -787,6 +942,7 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError>
                                 o.transfer.delivered_bytes,
                                 inv_air + o.transfer.airtime_us,
                                 o.transfer.complete,
+                                o.energy,
                             )
                         })
                         .collect();
@@ -798,6 +954,8 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError>
                             .iter()
                             .map(|o| o.transfer.delivered_bytes)
                             .sum(),
+                        polls: run.polls,
+                        missed_polls: run.missed_polls,
                         outcomes,
                     });
                 }
@@ -808,22 +966,59 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError>
         let mut epoch_wall_us = 0u64;
         for (s, shard) in shard_results.into_iter().enumerate() {
             let shard = shard?;
-            for r in shard {
+            for (g, r) in gw_shards[s].clone().zip(shard) {
                 epoch_wall_us = epoch_wall_us.max(r.airtime_us);
                 shard_airtime[s] += r.airtime_us;
                 shard_delivered[s] += r.delivered_bytes;
+                total_polls += r.polls;
+                total_missed_polls += r.missed_polls;
                 if r.truncated {
                     shard_truncated[s] += 1;
                     for &(t, ..) in &r.outcomes {
                         blocks[t as usize].truncated_epochs += 1;
                     }
                 }
-                for (t, delivered, latency, complete) in r.outcomes {
+                // Roster tags that were dead through singulation never
+                // reached the gateway — advance their capacitors here,
+                // over the same service span, so a browned-out tag
+                // keeps charging toward the next epoch's inventory.
+                if let Some(e) = cfg.energy {
+                    let capacity = cap_capacity_uj.expect("energy is on");
+                    let served: std::collections::HashSet<u32> =
+                        r.outcomes.iter().map(|o| o.0).collect();
+                    let (gx, gy) = topo.gw_pos[g];
+                    for &t in &rosters[g] {
+                        if served.contains(&t) {
+                            continue;
+                        }
+                        let b = &mut blocks[t as usize];
+                        let mut cap = Capacitor::new(CapacitorConfig {
+                            initial_fraction: (b.charge_uj / capacity).clamp(0.0, 1.0),
+                            ..e.capacitor
+                        });
+                        let load = if e.policy.can_listen(cap.state()) {
+                            LISTEN_LOAD_UW
+                        } else {
+                            0.0
+                        };
+                        let d = ((b.x - gx).powi(2) + (b.y - gy).powi(2)).sqrt();
+                        cap.advance(r.airtime_us as f64, e.harvest_uw_at(d), load);
+                        b.charge_uj = cap.charge_uj();
+                        b.brownouts += cap.brownouts();
+                        b.recoveries += cap.recoveries();
+                    }
+                }
+                for (t, delivered, latency, complete, energy) in r.outcomes {
                     let b = &mut blocks[t as usize];
                     b.delivered_bytes += delivered;
                     b.last_latency_us = latency;
                     if complete {
                         b.complete_epochs += 1;
+                    }
+                    if let Some(e) = energy {
+                        b.charge_uj = e.final_charge_uj;
+                        b.brownouts += e.brownouts;
+                        b.recoveries += e.recoveries;
                     }
                     latencies.push(latency as f64);
                 }
@@ -844,6 +1039,8 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError>
             complete_epochs: b.complete_epochs,
             truncated_epochs: b.truncated_epochs,
             last_latency_us: b.last_latency_us,
+            brownouts: b.brownouts,
+            recoveries: b.recoveries,
         })
         .collect();
     let shard_reports: Vec<ShardReport> = (0..gw_shards.len())
@@ -870,6 +1067,10 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError>
         truncated_gateway_epochs: shard_truncated.iter().sum(),
         handoffs: total_handoffs,
         handoffs_denied,
+        polls: total_polls,
+        missed_polls: total_missed_polls,
+        brownouts: tag_records.iter().map(|t| t.brownouts as u64).sum(),
+        recoveries: tag_records.iter().map(|t| t.recoveries as u64).sum(),
         delivered_bytes,
         airtime_us,
         aggregate_goodput_bps: if airtime_us > 0 {
@@ -1017,6 +1218,57 @@ mod tests {
         assert!(FleetError::from(GatewayError::DuplicateAddress { address: 9 })
             .to_string()
             .contains("duplicate tag address 9"));
+    }
+
+    /// A harvest regime scaled so a meaningful slice of the population
+    /// browns out: low reader power, thin ambient floor, small caps.
+    fn starving_fleet_energy() -> FleetEnergyConfig {
+        FleetEnergyConfig {
+            tx_power_dbm: 24.0,
+            ambient_uw: 0.5,
+            capacitor: bs_tag::energy::CapacitorConfig {
+                capacitance_uf: 10.0,
+                ..bs_tag::energy::CapacitorConfig::default()
+            },
+            policy: EnergyPolicy::SleepUntilCharged,
+        }
+    }
+
+    #[test]
+    fn always_powered_fleet_matches_energy_off() {
+        let cfg = small().with_faults(FaultPlan::preset("loss", 0.4, 5).unwrap());
+        let off = run_fleet(&cfg, 1).unwrap();
+        let on = run_fleet(
+            &cfg.clone().with_energy(FleetEnergyConfig::always_powered()),
+            1,
+        )
+        .unwrap();
+        assert_eq!(off.digest, on.digest, "immortal energy must be invisible");
+        assert_eq!(off.tag_records, on.tag_records);
+        assert_eq!(on.missed_polls, 0);
+        assert_eq!(on.brownouts, 0);
+    }
+
+    #[test]
+    fn intermittent_fleet_counts_brownouts_deterministically() {
+        let cfg = small().with_energy(starving_fleet_energy());
+        let a = run_fleet(&cfg, 1).unwrap();
+        let b = run_fleet(&cfg, 4).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "jobs must not show through");
+        assert!(a.brownouts > 0, "starving regime must brown tags out");
+        assert_eq!(
+            a.brownouts,
+            a.tag_records.iter().map(|t| t.brownouts as u64).sum::<u64>()
+        );
+        assert_eq!(
+            a.recoveries,
+            a.tag_records.iter().map(|t| t.recoveries as u64).sum::<u64>()
+        );
+        assert!(a.missed_polls <= a.polls);
+        assert!(
+            !a.all_complete,
+            "a browned-out population cannot deliver everything"
+        );
     }
 
     #[test]

@@ -28,14 +28,16 @@
 //! the run seed — so a gateway run is a pure function of
 //! `(tags, config)`.
 
-use crate::arq::{Transfer, TransportConfig, TransportSession};
+use crate::arq::{nearest_supported_rate, Transfer, TransportConfig, TransportSession};
 use crate::linkmodel::{SegmentLink, SimLink};
 use bs_channel::faults::FaultPlan;
 use bs_dsp::obs::{MemRecorder, NullRecorder, ObsReport, Recorder};
 use bs_dsp::SimRng;
+use bs_tag::energy::{Capacitor, EnergyConfig, LISTEN_LOAD_UW, RESPOND_LOAD_UW};
 use wifi_backscatter::link::DegradationReport;
 use wifi_backscatter::multitag::{run_inventory_with, InventoryConfig, InventoryResult, InventoryTag};
 use wifi_backscatter::phy::PhyConfig;
+use wifi_backscatter::protocol::Query;
 use wifi_backscatter::report::RunReport;
 
 /// One tag the gateway serves.
@@ -48,6 +50,12 @@ pub struct TagProfile {
     /// Helper packet cadence this tag's channel sees (packets/s) — the
     /// §5 input to its initial rate selection.
     pub helper_pps: f64,
+    /// The tag's energy supply. `None` (the default) models an immortal
+    /// tag: the run is bit-identical to the pre-energy gateway. With a
+    /// supply, the simulator tracks the tag's capacitor — a tag that
+    /// cannot fund a response misses its poll and the reader observes
+    /// silence.
+    pub energy: Option<EnergyConfig>,
 }
 
 impl TagProfile {
@@ -57,6 +65,7 @@ impl TagProfile {
             address,
             message,
             helper_pps: 3_000.0,
+            energy: None,
         }
     }
 
@@ -65,6 +74,31 @@ impl TagProfile {
         self.helper_pps = pps;
         self
     }
+
+    /// Arms the tag energy co-simulation (builder style).
+    pub fn with_energy(mut self, energy: EnergyConfig) -> Self {
+        self.energy = Some(energy);
+        self
+    }
+}
+
+/// How the scheduler treats tags that miss their polls.
+///
+/// The gateway never reads a tag's simulator-internal charge — that
+/// information boundary is the point of the energy-aware design. All it
+/// observes is silence, and [`PollingPolicy::EnergyAware`] turns the
+/// *pattern* of silences into a backoff estimate of when the tag will
+/// have harvested enough to answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PollingPolicy {
+    /// Poll every incomplete tag every cycle, paying the control-exchange
+    /// airtime for each silent one.
+    #[default]
+    Naive,
+    /// After `k` consecutive silent polls, skip the tag for `2^k`
+    /// scheduler cycles (capped) before probing again — wasted poll
+    /// slots become charging time.
+    EnergyAware,
 }
 
 /// Gateway configuration.
@@ -97,6 +131,10 @@ pub struct GatewayConfig {
     /// inventory slot length all follow this mode's
     /// [`wifi_backscatter::phy::PhyCapabilities`].
     pub phy: PhyConfig,
+    /// How the scheduler reacts to silent polls (default:
+    /// [`PollingPolicy::Naive`]). Irrelevant when no tag carries an
+    /// energy supply — an immortal tag never misses a poll.
+    pub polling: PollingPolicy,
 }
 
 impl Default for GatewayConfig {
@@ -112,6 +150,7 @@ impl Default for GatewayConfig {
             max_cycles: 10_000,
             seed: 1,
             phy: PhyConfig::Presence,
+            polling: PollingPolicy::Naive,
         }
     }
 }
@@ -153,6 +192,12 @@ impl GatewayConfig {
         self.phy = phy;
         self
     }
+
+    /// Sets the polling policy (builder style).
+    pub fn with_polling(mut self, polling: PollingPolicy) -> Self {
+        self.polling = polling;
+        self
+    }
 }
 
 /// Why a gateway run could not start.
@@ -187,6 +232,19 @@ impl std::fmt::Display for GatewayError {
 
 impl std::error::Error for GatewayError {}
 
+/// Per-tag energy outcome, present iff the profile carried a supply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TagEnergyOutcome {
+    /// Stored charge at the end of the run, µJ.
+    pub final_charge_uj: f64,
+    /// Awake→Dead transitions over the run.
+    pub brownouts: u32,
+    /// Post-brownout climbs back to Awake.
+    pub recoveries: u32,
+    /// Polls the reader transmitted that this tag could not answer.
+    pub missed_polls: u32,
+}
+
 /// Per-tag outcome of a gateway run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TagOutcome {
@@ -199,6 +257,8 @@ pub struct TagOutcome {
     pub rounds_served: u32,
     /// The tag's transfer report.
     pub transfer: Transfer,
+    /// Energy outcome, `None` for an immortal (supply-less) tag.
+    pub energy: Option<TagEnergyOutcome>,
 }
 
 /// The whole gateway run: inventory, per-tag transfers, fairness.
@@ -224,6 +284,12 @@ pub struct GatewayRun {
     /// out of budget — which used to be inferable only by guessing from
     /// `all_complete`. The fleet report mirrors this per shard.
     pub truncated: bool,
+    /// Poll slots the scheduler spent: served rounds plus wasted
+    /// (silent) polls.
+    pub polls: u64,
+    /// Polls wasted on tags that had no energy to answer — each one
+    /// costs a full control exchange of airtime.
+    pub missed_polls: u64,
     /// Merged degradation accounting across every tag's link.
     pub degradation: DegradationReport,
     /// Observability report, populated only by
@@ -287,6 +353,44 @@ struct ServedTag {
     // Cadence estimate for rate re-adaptation: payload sent vs acked.
     sent_bytes: u64,
     acked_bytes: u64,
+    // --- energy co-simulation (simulator-internal truth) ---
+    capacitor: Option<Capacitor>,
+    /// Simulated time up to which the capacitor has been integrated.
+    energy_at_us: u64,
+    missed_polls: u32,
+    // --- scheduler-side estimator (observed silence only) ---
+    consecutive_misses: u32,
+    skip_until_cycle: u32,
+}
+
+impl ServedTag {
+    /// Integrates the tag's supply forward to `up_to_us` at `load_uw`.
+    fn integrate_energy(&mut self, up_to_us: u64, load_uw: f64) {
+        let span = up_to_us.saturating_sub(self.energy_at_us);
+        self.energy_at_us = self.energy_at_us.max(up_to_us);
+        if let (Some(e), Some(c)) = (self.profile.energy, self.capacitor.as_mut()) {
+            c.advance(span as f64, e.harvest_uw, load_uw);
+        }
+    }
+
+    /// The idle load: the rx chain listening for a poll, when the policy
+    /// allows it in the current state.
+    fn idle_load_uw(&self) -> f64 {
+        match (self.profile.energy, self.capacitor.as_ref()) {
+            (Some(e), Some(c)) if e.policy.can_listen(c.state()) => LISTEN_LOAD_UW,
+            _ => 0.0,
+        }
+    }
+
+    /// Simulator-internal truth: can this tag answer a poll right now?
+    /// The *scheduler* never calls this — it only sees the resulting
+    /// silence.
+    fn can_respond_now(&self) -> bool {
+        match (self.profile.energy, self.capacitor.as_ref()) {
+            (Some(e), Some(c)) => e.policy.can_respond(c.state()),
+            _ => true,
+        }
+    }
 }
 
 /// Runs the gateway over `tags`, recording scheduler spans and counters
@@ -317,8 +421,23 @@ pub fn run_gateway_with(
     // order they will be served. Audit note: the inventory clock used to
     // multiply slots by the raw config field inline; the accounting now
     // goes through `InventoryResult::airtime_us` so the slot length can
-    // follow the PHY (see `GatewayConfig::with_phy`).
-    let inv_tags: Vec<InventoryTag> = tags.iter().map(|t| InventoryTag::new(t.address)).collect();
+    // follow the PHY (see `GatewayConfig::with_phy`). A tag whose supply
+    // cannot fund a reply at cold start is silent through singulation:
+    // the reader never learns it exists.
+    let inv_tags: Vec<InventoryTag> = tags
+        .iter()
+        .map(|t| {
+            let powered = t.energy.is_none_or(|e| {
+                e.policy.can_respond(Capacitor::new(e.capacitor).state())
+            });
+            let it = InventoryTag::new(t.address);
+            if powered {
+                it
+            } else {
+                it.unpowered()
+            }
+        })
+        .collect();
     let mut inv_rng = root.stream("gateway-inventory");
     let inventory = run_inventory_with(&inv_tags, cfg.inventory, &mut inv_rng, rec);
     let mut clock_us = inventory.airtime_us(cfg.slot_us);
@@ -350,18 +469,30 @@ pub fn run_gateway_with(
             };
             ServedTag {
                 session: TransportSession::new(&profile.message, tcfg),
+                capacitor: profile.energy.map(|e| Capacitor::new(e.capacitor)),
                 profile: profile.clone(),
                 link,
                 deficit: 0,
                 rounds_served: 0,
                 sent_bytes: 0,
                 acked_bytes: 0,
+                energy_at_us: 0,
+                missed_polls: 0,
+                consecutive_misses: 0,
+                skip_until_cycle: 0,
             }
         })
         .collect();
+    // Tags listened through singulation; charge their supplies over it.
+    for tag in &mut served {
+        let load = tag.idle_load_uw();
+        tag.integrate_energy(clock_us, load);
+    }
 
     // Phase 3 — deficit round-robin on the shared clock.
     let mut cycles = 0u32;
+    let mut polls = 0u64;
+    let mut missed_polls = 0u64;
     while cycles < cfg.max_cycles && served.iter().any(|t| t.session.can_continue()) {
         cycles += 1;
         let cycle_start = clock_us;
@@ -372,6 +503,45 @@ pub fn run_gateway_with(
                 continue;
             }
             tag.deficit += cfg.quantum_bytes;
+            // Energy-aware backoff: a tag the scheduler has marked as
+            // (probably) charging keeps banking quantum but is not
+            // polled, so its silence costs no airtime.
+            if cfg.polling == PollingPolicy::EnergyAware && cycles < tag.skip_until_cycle {
+                rec.add("net.energy-skips", 1);
+                continue;
+            }
+            // Bring the supply forward to the poll instant: the tag was
+            // idle-listening (or dead) since we last looked at it.
+            let idle_load = tag.idle_load_uw();
+            tag.integrate_energy(clock_us, idle_load);
+            if !tag.can_respond_now() {
+                // Wasted poll: the reader transmits the query, then holds
+                // the medium for one segment's worth of response window
+                // before concluding silence. That airtime burns either
+                // way — this is the cost the energy-aware policy avoids.
+                let poll = Query {
+                    tag_address: tag.profile.address,
+                    payload_bits: 0,
+                    bit_rate_bps: nearest_supported_rate(tag.link.chip_rate_bps()),
+                    code_length: 1,
+                };
+                let frame = poll.to_frame().expect("supported rate is encodable");
+                let window_bits = cfg.transport.seg_payload_bytes * 8;
+                clock_us += tag.link.control_air_us(&frame) + tag.link.segment_air_us(window_bits);
+                polls += 1;
+                missed_polls += 1;
+                tag.missed_polls += 1;
+                tag.consecutive_misses += 1;
+                let idle_load = tag.idle_load_uw();
+                tag.integrate_energy(clock_us, idle_load);
+                if cfg.polling == PollingPolicy::EnergyAware {
+                    let backoff = 1u32 << tag.consecutive_misses.min(3);
+                    tag.skip_until_cycle = cycles.saturating_add(backoff);
+                }
+                rec.add("net.energy-missed-polls", 1);
+                continue;
+            }
+            tag.consecutive_misses = 0;
             while tag.session.can_continue() && tag.deficit >= tag.session.next_round_bytes() {
                 // One reader, one medium: bring this tag's link forward
                 // to the global clock, serve a round, take the time.
@@ -379,6 +549,10 @@ pub fn run_gateway_with(
                 tag.link.advance_us(clock_us.saturating_sub(link_now));
                 let outcome = tag.session.step_round(&mut tag.link, rec);
                 clock_us = tag.link.now_us();
+                polls += 1;
+                // The round's span was spent receiving the burst grant
+                // and transmitting the reply — charge the tx-heavy rate.
+                tag.integrate_energy(clock_us, RESPOND_LOAD_UW);
                 tag.deficit = tag.deficit.saturating_sub(outcome.sent_bytes);
                 tag.rounds_served += 1;
                 tag.sent_bytes += outcome.sent_bytes;
@@ -425,11 +599,18 @@ pub fn run_gateway_with(
             let final_rate = tag.link.chip_rate_bps();
             let transfer = tag.session.finish(&mut tag.link);
             degradation.merge(&transfer.degradation);
+            let energy = tag.capacitor.as_ref().map(|c| TagEnergyOutcome {
+                final_charge_uj: c.charge_uj(),
+                brownouts: c.brownouts(),
+                recoveries: c.recoveries(),
+                missed_polls: tag.missed_polls,
+            });
             TagOutcome {
                 address: tag.profile.address,
                 final_chip_rate_bps: final_rate,
                 rounds_served: tag.rounds_served,
                 transfer,
+                energy,
             }
         })
         .collect();
@@ -445,6 +626,8 @@ pub fn run_gateway_with(
         cycles,
         airtime_us: clock_us,
         truncated,
+        polls,
+        missed_polls,
         inventory,
         degradation,
         obs: None,
@@ -654,6 +837,116 @@ mod tests {
         let clean = run_gateway(&fleet(3, 64), &GatewayConfig::default()).unwrap();
         assert!(!clean.truncated, "a naturally finished run is not truncated");
         assert!(clean.all_complete);
+    }
+
+    fn starving_energy() -> EnergyConfig {
+        // 10 µF at 2 V is a 20 µJ reservoir; harvesting 5 µW against an
+        // 11 µW listen draw, the tag browns out while idling and crawls
+        // back while dead.
+        EnergyConfig {
+            capacitor: bs_tag::energy::CapacitorConfig {
+                capacitance_uf: 10.0,
+                ..bs_tag::energy::CapacitorConfig::default()
+            },
+            harvest_uw: 5.0,
+            policy: bs_tag::energy::EnergyPolicy::SleepUntilCharged,
+        }
+    }
+
+    #[test]
+    fn always_powered_energy_matches_energy_none() {
+        let cfg = GatewayConfig::default()
+            .with_faults(FaultPlan::preset("loss", 0.8, 3).unwrap())
+            .with_seed(42);
+        let plain = run_gateway(&fleet(4, 128), &cfg).unwrap();
+        let powered_tags: Vec<TagProfile> = fleet(4, 128)
+            .into_iter()
+            .map(|t| t.with_energy(EnergyConfig::always_powered()))
+            .collect();
+        let powered = run_gateway(&powered_tags, &cfg).unwrap();
+        assert_eq!(plain.airtime_us, powered.airtime_us);
+        assert_eq!(plain.cycles, powered.cycles);
+        assert_eq!(plain.polls, powered.polls);
+        assert_eq!(powered.missed_polls, 0);
+        assert_eq!(plain.fairness, powered.fairness);
+        for (a, b) in plain.tags.iter().zip(powered.tags.iter()) {
+            assert_eq!(a.transfer, b.transfer, "tag {} diverged", a.address);
+            let e = b.energy.expect("supply armed");
+            assert_eq!(e.brownouts, 0);
+            assert_eq!(e.missed_polls, 0);
+        }
+    }
+
+    #[test]
+    fn starving_tag_browns_out_and_misses_polls() {
+        let mut tags = fleet(4, 256);
+        tags[0] = tags[0].clone().with_energy(starving_energy());
+        let cfg = GatewayConfig::default()
+            .with_faults(FaultPlan::preset("loss", 0.6, 7).unwrap())
+            .with_seed(9);
+        let run = run_gateway_observed(&tags, &cfg).unwrap();
+        assert!(run.missed_polls > 0, "starving tag should miss polls");
+        let e = run
+            .tags
+            .iter()
+            .find(|t| t.address == 1)
+            .and_then(|t| t.energy)
+            .expect("tag 1 discovered with a supply");
+        assert!(e.brownouts >= 1, "brownouts: {}", e.brownouts);
+        assert_eq!(u64::from(e.missed_polls), run.missed_polls);
+        assert_eq!(
+            run.obs.as_ref().unwrap().counter("net.energy-missed-polls"),
+            run.missed_polls
+        );
+        // The immortal tags are unaffected.
+        for t in run.tags.iter().filter(|t| t.address != 1) {
+            assert!(t.transfer.complete, "tag {} incomplete", t.address);
+            assert!(t.energy.is_none());
+        }
+    }
+
+    #[test]
+    fn energy_aware_polling_beats_naive_on_paired_seed() {
+        let mut tags = fleet(4, 256);
+        tags[0] = tags[0].clone().with_energy(starving_energy());
+        let base = GatewayConfig::default()
+            .with_faults(FaultPlan::preset("loss", 0.6, 7).unwrap())
+            .with_seed(9);
+        let naive = run_gateway(&tags, &base).unwrap();
+        let aware = run_gateway_observed(
+            &tags,
+            &base.clone().with_polling(PollingPolicy::EnergyAware),
+        )
+        .unwrap();
+        assert!(
+            aware.obs.as_ref().unwrap().counter("net.energy-skips") > 0,
+            "the estimator should engage"
+        );
+        assert!(
+            aware.missed_polls <= naive.missed_polls,
+            "aware {} vs naive {} missed polls",
+            aware.missed_polls,
+            naive.missed_polls
+        );
+        assert!(
+            aware.aggregate_goodput_bps() >= naive.aggregate_goodput_bps(),
+            "aware {} vs naive {} bps",
+            aware.aggregate_goodput_bps(),
+            naive.aggregate_goodput_bps()
+        );
+    }
+
+    #[test]
+    fn dead_at_cold_start_tag_is_never_discovered() {
+        let mut tags = fleet(3, 64);
+        let mut supply = starving_energy();
+        supply.capacitor.initial_fraction = 0.0;
+        supply.harvest_uw = 0.0;
+        tags[1] = tags[1].clone().with_energy(supply);
+        let run = run_gateway(&tags, &GatewayConfig::default()).unwrap();
+        assert_eq!(run.tags.len(), 2, "dead tag must stay invisible");
+        assert!(run.tags.iter().all(|t| t.address != 2));
+        assert_eq!(run.missed_polls, 0, "an unknown tag is never polled");
     }
 
     #[test]

@@ -23,11 +23,12 @@ pub use crate::arq::{
 };
 pub use crate::fec::{FecConfig, FecError, GroupCoder, ReedSolomon, RepairOutcome};
 pub use crate::fleet::{
-    run_fleet, FleetConfig, FleetError, FleetRun, ShardReport, TagRecord, MAX_TAGS_PER_GATEWAY,
+    run_fleet, FleetConfig, FleetEnergyConfig, FleetError, FleetRun, ShardReport, TagRecord,
+    MAX_TAGS_PER_GATEWAY,
 };
 pub use crate::gateway::{
     run_gateway, run_gateway_observed, run_gateway_with, GatewayConfig, GatewayError, GatewayRun,
-    TagOutcome, TagProfile,
+    PollingPolicy, TagEnergyOutcome, TagOutcome, TagProfile,
 };
 pub use crate::linkmodel::{PhyLink, SegmentFate, SegmentLink, SimLink, TrafficLink};
 pub use crate::seg::{scramble, segment_message, Accept, Reassembler, Segment, SegmentError};
@@ -45,6 +46,7 @@ pub const NET_PRELUDE_MANIFEST: &[&str] = &[
     "FecConfig",
     "FecError",
     "FleetConfig",
+    "FleetEnergyConfig",
     "FleetError",
     "FleetRun",
     "GatewayConfig",
@@ -53,6 +55,7 @@ pub const NET_PRELUDE_MANIFEST: &[&str] = &[
     "GroupCoder",
     "MAX_TAGS_PER_GATEWAY",
     "PhyLink",
+    "PollingPolicy",
     "RateEstimator",
     "Reassembler",
     "ReedSolomon",
@@ -66,6 +69,7 @@ pub const NET_PRELUDE_MANIFEST: &[&str] = &[
     "SegmentLink",
     "ShardReport",
     "SimLink",
+    "TagEnergyOutcome",
     "TagOutcome",
     "TagProfile",
     "TagRecord",
@@ -104,6 +108,8 @@ mod tests {
         use super::*;
         let _ = TransportConfig::default();
         let _ = GatewayConfig::default();
+        let _ = FleetEnergyConfig::default();
+        let _ = PollingPolicy::default();
         let _ = SimLink::new(FaultPlan::none(), 1);
         let _ = FecConfig::fixed(8, 2);
         let _ = ReedSolomon::new(12, 8);

@@ -19,10 +19,13 @@
 //! can ask "what did that exchange cost?" and compare against §6's
 //! budget.
 
+use crate::energy::{Capacitor, EnergyConfig, EnergyState, LISTEN_LOAD_UW};
 use crate::envelope::{EnvelopeConfig, EnvelopeModel};
 use crate::frame::{DownlinkFrame, UplinkFrame, DOWNLINK_PREAMBLE};
 use crate::modulator::{Modulator, UplinkMode};
-use crate::power::EnergyLedger;
+use crate::power::{
+    EnergyLedger, MCU_ACTIVE_UW, SAMPLE_AWAKE_US, TX_CIRCUIT_UW, WAKEUP_COST_UJ,
+};
 use crate::receiver::{CircuitConfig, PreambleMatcher, ReceiverCircuit};
 use bs_channel::TagState;
 use bs_dsp::SimRng;
@@ -78,6 +81,12 @@ pub struct FirmwareConfig {
     pub response_payload: Vec<bool>,
     /// Analog receiver circuit parameters.
     pub circuit: CircuitConfig,
+    /// Optional energy supply. `None` (the default) models an immortal
+    /// tag — behaviour is bit-identical to the pre-energy firmware. With
+    /// a supply, every spend the ledger records is also drawn from the
+    /// capacitor, and the [`crate::energy`] state machine gates what the
+    /// firmware may do.
+    pub supply: Option<EnergyConfig>,
 }
 
 impl Default for FirmwareConfig {
@@ -90,6 +99,7 @@ impl Default for FirmwareConfig {
             turnaround_us: 1_000,
             response_payload: (0..16).map(|i| i % 2 == 0).collect(),
             circuit: CircuitConfig::default(),
+            supply: None,
         }
     }
 }
@@ -157,6 +167,8 @@ pub struct TagFirmware {
     debouncer: EdgeDebouncer,
     /// Energy ledger for the whole run.
     pub energy: EnergyLedger,
+    /// The storage capacitor, present iff the config carries a supply.
+    capacitor: Option<Capacitor>,
     last_step_us: Option<u64>,
 }
 
@@ -169,9 +181,21 @@ impl TagFirmware {
             state: FwState::Listening,
             debouncer: EdgeDebouncer::new(cfg.bit_us / 4),
             energy: EnergyLedger::new(),
+            capacitor: cfg.supply.map(|s| Capacitor::new(s.capacitor)),
             cfg,
             last_step_us: None,
         }
+    }
+
+    /// The tag's power lifecycle state. Without a supply the tag is
+    /// immortal and always reports [`EnergyState::Awake`].
+    pub fn power_state(&self) -> EnergyState {
+        self.capacitor.map_or(EnergyState::Awake, |c| c.state())
+    }
+
+    /// The storage capacitor, if an energy supply was configured.
+    pub fn capacitor(&self) -> Option<&Capacitor> {
+        self.capacitor.as_ref()
     }
 
     /// The current switch state (drives the channel model).
@@ -192,6 +216,30 @@ impl TagFirmware {
             debug_assert!(t_us > prev, "firmware time must advance");
         }
         self.last_step_us = Some(t_us);
+
+        // Power overlay: integrate one µs of harvest vs load through the
+        // capacitor before anything else. A tag that may not listen does
+        // nothing this step — no circuit processing, no ledger charge —
+        // and any in-flight decode or response is lost (brownout wipes
+        // RAM; sleep-until-charged powers the radio down).
+        if let Some(supply) = self.cfg.supply {
+            let cap = self.capacitor.as_mut().expect("supply implies capacitor");
+            let powered_before = supply.policy.can_listen(cap.state());
+            let load = if !powered_before {
+                0.0
+            } else if matches!(self.state, FwState::Responding { .. }) {
+                LISTEN_LOAD_UW + TX_CIRCUIT_UW
+            } else {
+                LISTEN_LOAD_UW
+            };
+            let state = cap.advance(1.0, supply.harvest_uw, load);
+            if !supply.policy.can_listen(state) {
+                self.state = FwState::Listening;
+                self.matcher.reset();
+                return None;
+            }
+        }
+
         // The analog chain and MCU sleep current run continuously.
         self.energy.analog(1.0, true, false);
         self.energy.mcu_sleep(1.0);
@@ -203,6 +251,9 @@ impl TagFirmware {
             FwState::Listening => {
                 if let Some((edge_t, edge_level)) = confirmed_edge {
                     self.energy.wakeups(1);
+                    if let Some(c) = self.capacitor.as_mut() {
+                        c.spend(WAKEUP_COST_UJ);
+                    }
                     if let Some(m) = self.matcher.on_transition(edge_t, edge_level) {
                         // Preamble found: schedule mid-bit samples for the
                         // body, starting after the 16 preamble bits.
@@ -229,6 +280,9 @@ impl TagFirmware {
                 }
                 // Mid-bit wake: sample the comparator once (§4.2).
                 self.energy.samples(1);
+                if let Some(c) = self.capacitor.as_mut() {
+                    c.spend(WAKEUP_COST_UJ + MCU_ACTIVE_UW * SAMPLE_AWAKE_US / 1e6);
+                }
                 bits.push(level);
                 *next_sample_us += self.cfg.bit_us;
 
@@ -248,6 +302,9 @@ impl TagFirmware {
                     if bits.len() >= total {
                         // Full wake: framing + CRC (§4.2's final step).
                         self.energy.mcu_active(200.0);
+                        if let Some(c) = self.capacitor.as_mut() {
+                            c.spend(MCU_ACTIVE_UW * 200.0 / 1e6);
+                        }
                         let decoded = DownlinkFrame::from_body_bits(bits);
                         return Some(self.finish_frame(decoded, t_us));
                     }
@@ -279,7 +336,13 @@ impl TagFirmware {
                 // Query layout (core::protocol): [opcode=1, address, ...].
                 let is_our_query =
                     frame.payload.len() >= 2 && frame.payload[0] == 0x01 && frame.payload[1] == self.cfg.address;
-                if is_our_query {
+                // A degraded (listen-only) tag hears the query but will
+                // not spend transmit energy until fully awake.
+                let may_respond = match (self.cfg.supply, self.capacitor.as_ref()) {
+                    (Some(s), Some(c)) => s.policy.can_respond(c.state()),
+                    _ => true,
+                };
+                if is_our_query && may_respond {
                     let response = UplinkFrame::new(self.cfg.response_payload.clone());
                     let modulator = Modulator::from_chip_rate(
                         &response,
@@ -311,6 +374,11 @@ impl TagFirmware {
     pub fn record_obs(&self, rec: &mut dyn bs_dsp::obs::Recorder) {
         self.energy.record(rec);
         rec.add("tag.edge-wakeups", self.matcher.wakeups);
+        if let Some(c) = self.capacitor.as_ref() {
+            rec.gauge("tag.charge-uj", c.charge_uj());
+            rec.add("tag.brownouts", u64::from(c.brownouts()));
+            rec.add("tag.recoveries", u64::from(c.recoveries()));
+        }
     }
 }
 
@@ -440,6 +508,102 @@ mod tests {
         // 100 ms of listening: rx chain (9 µW) + MCU sleep (1 µW) ≈ 1 µJ.
         let uj = fw.energy.total_uj();
         assert!((0.5..2.0).contains(&uj), "idle energy {uj} µJ");
+    }
+
+    #[test]
+    fn always_powered_supply_is_bit_identical_to_no_supply() {
+        use crate::energy::EnergyConfig;
+        let (_, bits) = query_bits(0x42);
+        let trailer = 1_000 + 43 * 10_000 + 10_000;
+        let mut bare = TagFirmware::new(FirmwareConfig {
+            address: 0x42,
+            ..Default::default()
+        });
+        let mut powered = TagFirmware::new(FirmwareConfig {
+            address: 0x42,
+            supply: Some(EnergyConfig::always_powered()),
+            ..Default::default()
+        });
+        let ev_bare = run_against_bits(&mut bare, &bits, 50, strong_signal(), trailer, 1);
+        let ev_powered = run_against_bits(&mut powered, &bits, 50, strong_signal(), trailer, 1);
+        assert_eq!(ev_bare, ev_powered);
+        assert_eq!(bare.energy, powered.energy);
+    }
+
+    #[test]
+    fn starved_tag_stays_silent() {
+        use crate::energy::{CapacitorConfig, EnergyConfig, EnergyPolicy};
+        // No harvest and an empty capacitor: the tag never hears the
+        // query, let alone responds.
+        let mut fw = TagFirmware::new(FirmwareConfig {
+            address: 0x42,
+            supply: Some(EnergyConfig {
+                capacitor: CapacitorConfig {
+                    initial_fraction: 0.0,
+                    ..CapacitorConfig::default()
+                },
+                harvest_uw: 0.0,
+                policy: EnergyPolicy::SleepUntilCharged,
+            }),
+            ..Default::default()
+        });
+        let (_, bits) = query_bits(0x42);
+        let events = run_against_bits(&mut fw, &bits, 50, strong_signal(), 50_000, 1);
+        assert!(events.is_empty(), "dead tag produced {events:?}");
+        assert_eq!(fw.power_state(), crate::energy::EnergyState::Dead);
+        // And it spent nothing: the ledger never ran.
+        assert_eq!(fw.energy.total_uj(), 0.0);
+    }
+
+    #[test]
+    fn well_fed_tag_still_answers_with_supply_on() {
+        use crate::energy::{CapacitorConfig, EnergyConfig, EnergyPolicy};
+        // A strong harvest (well above the ~20 µW worst-case load) keeps
+        // the capacitor topped up through the whole exchange.
+        let mut fw = TagFirmware::new(FirmwareConfig {
+            address: 0x42,
+            supply: Some(EnergyConfig {
+                capacitor: CapacitorConfig::default(),
+                harvest_uw: 100.0,
+                policy: EnergyPolicy::SleepUntilCharged,
+            }),
+            ..Default::default()
+        });
+        let (frame, bits) = query_bits(0x42);
+        let trailer = 1_000 + 43 * 10_000 + 10_000;
+        let events = run_against_bits(&mut fw, &bits, 50, strong_signal(), trailer, 1);
+        let kinds: Vec<&FwEvent> = events.iter().map(|(_, e)| e).collect();
+        assert!(kinds.contains(&&FwEvent::FrameDecoded(frame)));
+        assert!(kinds.contains(&&FwEvent::ResponseSent));
+        assert_eq!(fw.capacitor().unwrap().brownouts(), 0);
+    }
+
+    #[test]
+    fn listen_only_tag_decodes_but_does_not_respond() {
+        use crate::energy::{CapacitorConfig, EnergyConfig, EnergyPolicy, EnergyState};
+        // Start inside the hysteresis band with just enough harvest to
+        // fund listening but never reach the wake threshold.
+        let mut fw = TagFirmware::new(FirmwareConfig {
+            address: 0x42,
+            supply: Some(EnergyConfig {
+                capacitor: CapacitorConfig {
+                    initial_fraction: 0.3,
+                    ..CapacitorConfig::default()
+                },
+                harvest_uw: LISTEN_LOAD_UW + 1.0, // covers listen + leakage only
+                policy: EnergyPolicy::ListenOnly,
+            }),
+            ..Default::default()
+        });
+        let (frame, bits) = query_bits(0x42);
+        let events = run_against_bits(&mut fw, &bits, 50, strong_signal(), 50_000, 1);
+        let kinds: Vec<&FwEvent> = events.iter().map(|(_, e)| e).collect();
+        assert!(kinds.contains(&&FwEvent::FrameDecoded(frame)), "{events:?}");
+        assert!(
+            !kinds.contains(&&FwEvent::ResponseSent),
+            "charging tag transmitted: {events:?}"
+        );
+        assert_eq!(fw.power_state(), EnergyState::Charging);
     }
 
     #[test]

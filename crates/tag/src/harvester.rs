@@ -16,6 +16,28 @@ use bs_channel::pathloss::{db_to_linear, dbm_to_mw, free_space_db};
 /// Schottky rectifiers are strongly nonlinear in input power: negligible
 /// efficiency near the diode's sensitivity floor, ~50 % at 0 dBm. The
 /// anchor points below follow published SMS7630 rectenna curves.
+///
+/// Below the −30 dBm floor the curve collapses proportionally to the
+/// input *power ratio*: `db_to_linear(input_dbm − (−30))` maps the dB
+/// shortfall below the floor to a linear power fraction, so efficiency
+/// falls another 10× for every 10 dB under the floor. That is the
+/// intended shape — deep sub-threshold Schottky conversion scales with
+/// input power (square-law detection), giving a smooth continuous decay
+/// rather than a hard cutoff.
+///
+/// The result is always within `[0, 1]`, and non-finite inputs never
+/// propagate: `NaN` and `−∞` yield 0 (no measurable input power), `+∞`
+/// saturates at the top-anchor efficiency.
+///
+/// ```
+/// use bs_tag::harvester::rectifier_efficiency;
+/// assert!((rectifier_efficiency(0.0) - 0.50).abs() < 1e-9);
+/// // 10 dB below the floor: 10x less efficient than the floor's 1 %.
+/// assert!((rectifier_efficiency(-40.0) - 0.001).abs() < 1e-9);
+/// assert_eq!(rectifier_efficiency(f64::NAN), 0.0);
+/// assert_eq!(rectifier_efficiency(f64::NEG_INFINITY), 0.0);
+/// assert_eq!(rectifier_efficiency(f64::INFINITY), 0.55);
+/// ```
 pub fn rectifier_efficiency(input_dbm: f64) -> f64 {
     const ANCHORS: [(f64, f64); 6] = [
         (-30.0, 0.01),
@@ -25,24 +47,50 @@ pub fn rectifier_efficiency(input_dbm: f64) -> f64 {
         (10.0, 0.55),
         (20.0, 0.55),
     ];
-    if input_dbm <= ANCHORS[0].0 {
-        // Below -30 dBm the efficiency collapses quickly to zero.
-        return (ANCHORS[0].1 * db_to_linear(input_dbm - ANCHORS[0].0)).max(0.0);
+    // Non-finite inputs must not poison downstream energy integration:
+    // NaN / −∞ mean "no measurable input", +∞ saturates the diode curve.
+    if input_dbm.is_nan() || input_dbm == f64::NEG_INFINITY {
+        return 0.0;
     }
-    for w in ANCHORS.windows(2) {
-        let (p0, e0) = w[0];
-        let (p1, e1) = w[1];
-        if input_dbm <= p1 {
-            let frac = (input_dbm - p0) / (p1 - p0);
-            return e0 + frac * (e1 - e0);
+    if input_dbm == f64::INFINITY {
+        return ANCHORS[ANCHORS.len() - 1].1;
+    }
+    let eff = if input_dbm <= ANCHORS[0].0 {
+        // Sub-floor collapse: efficiency proportional to the input power
+        // ratio below the floor (10x per 10 dB), see the docs above.
+        ANCHORS[0].1 * db_to_linear(input_dbm - ANCHORS[0].0)
+    } else if input_dbm >= ANCHORS[ANCHORS.len() - 1].0 {
+        ANCHORS[ANCHORS.len() - 1].1
+    } else {
+        let mut out = ANCHORS[ANCHORS.len() - 1].1;
+        for w in ANCHORS.windows(2) {
+            let (p0, e0) = w[0];
+            let (p1, e1) = w[1];
+            if input_dbm <= p1 {
+                let frac = (input_dbm - p0) / (p1 - p0);
+                out = e0 + frac * (e1 - e0);
+                break;
+            }
         }
-    }
-    ANCHORS[ANCHORS.len() - 1].1
+        out
+    };
+    eff.clamp(0.0, 1.0)
 }
 
-/// Harvested DC power (µW) from an RF input of `input_dbm`.
+/// Harvested DC power (µW) from an RF input of `input_dbm`. Non-finite
+/// or sub-noise inputs harvest nothing.
 pub fn harvested_uw(input_dbm: f64) -> f64 {
-    dbm_to_mw(input_dbm) * 1000.0 * rectifier_efficiency(input_dbm)
+    if !input_dbm.is_finite() && input_dbm != f64::INFINITY {
+        return 0.0;
+    }
+    let uw = dbm_to_mw(input_dbm) * 1000.0 * rectifier_efficiency(input_dbm);
+    if uw.is_finite() {
+        uw
+    } else if uw > 0.0 {
+        f64::MAX
+    } else {
+        0.0
+    }
 }
 
 /// Incident RF power (dBm) at the tag, `distance_m` from a Wi-Fi
@@ -226,6 +274,55 @@ mod tests {
         assert!((rectifier_efficiency(-20.0) - 0.10).abs() < 1e-9);
         assert!((rectifier_efficiency(0.0) - 0.50).abs() < 1e-9);
         assert!(rectifier_efficiency(-35.0) < 0.005);
+    }
+
+    #[test]
+    fn efficiency_subfloor_collapse_shape() {
+        // The sub-floor branch maps the dB shortfall to a linear power
+        // ratio: 10x less efficiency per 10 dB below −30 dBm.
+        assert!((rectifier_efficiency(-40.0) - 1e-3).abs() < 1e-12);
+        assert!((rectifier_efficiency(-50.0) - 1e-4).abs() < 1e-12);
+        // Continuous at the floor itself.
+        assert!((rectifier_efficiency(-30.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_nonfinite_inputs_do_not_propagate() {
+        assert_eq!(rectifier_efficiency(f64::NAN), 0.0);
+        assert_eq!(rectifier_efficiency(f64::NEG_INFINITY), 0.0);
+        assert_eq!(rectifier_efficiency(f64::INFINITY), 0.55);
+        assert_eq!(harvested_uw(f64::NAN), 0.0);
+        assert_eq!(harvested_uw(f64::NEG_INFINITY), 0.0);
+        assert!(harvested_uw(f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn prop_efficiency_bounded_and_finite() {
+        bs_dsp::testkit::check("harvester.eff-bounded", 500, |g| {
+            // Mix ordinary dBm draws with occasional pathological values.
+            let dbm = match g.usize_in(0, 9) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => g.f64_in(-200.0, 100.0),
+            };
+            let e = rectifier_efficiency(dbm);
+            assert!(e.is_finite(), "eff not finite at {dbm}");
+            assert!((0.0..=1.0).contains(&e), "eff {e} out of [0,1] at {dbm}");
+        });
+    }
+
+    #[test]
+    fn prop_efficiency_monotone_nondecreasing() {
+        bs_dsp::testkit::check("harvester.eff-monotone", 500, |g| {
+            let a = g.f64_in(-120.0, 40.0);
+            let b = g.f64_in(-120.0, 40.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            assert!(
+                rectifier_efficiency(lo) <= rectifier_efficiency(hi) + 1e-12,
+                "eff({lo}) > eff({hi})"
+            );
+        });
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   logic with its two power modes (§4.2).
 //! * [`harvester`] — RF-to-DC harvesting from Wi-Fi and TV, storage and
 //!   duty-cycle arithmetic (§6).
+//! * [`energy`] — the harvest-store-spend co-simulation: a storage
+//!   capacitor with brownout/cold-start hysteresis and the duty-cycling
+//!   policy that gates what the tag may do in each power state.
 //! * [`power`] — the measured power budget of the prototype and an energy
 //!   accounting ledger.
 //! * [`firmware`] — the MCU firmware as a *streaming* state machine
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod codeword;
+pub mod energy;
 pub mod envelope;
 pub mod firmware;
 pub mod frame;

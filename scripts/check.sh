@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Full local gate: everything CI would require, in dependency order.
 # Usage: scripts/check.sh [--bench-smoke]
-#   --bench-smoke  additionally run the decode, stream, fec, phy and
-#                  fleet microbench smoke modes in release, writing
+#   --bench-smoke  additionally run the decode, stream, fec, phy, fleet
+#                  and energy microbench smoke modes in release, writing
 #                  BENCH_decode.json, BENCH_stream.json, BENCH_fec.json,
-#                  BENCH_phy.json and BENCH_fleet.json at the repo
-#                  root. The decode bench
+#                  BENCH_phy.json, BENCH_fleet.json and
+#                  BENCH_energy.json at the repo root. The decode bench
 #                  exits non-zero if the slot-indexed decode path
 #                  does more packet-stream passes than the reference
 #                  baseline or if its alignment-search work scales with
@@ -26,7 +26,14 @@
 #                  byte-identical across worker counts, the per-tag
 #                  digest changes with the shard count, or (on hosts
 #                  with >= 4 cores) 4 workers fail to beat 1 worker by
-#                  2x on wall clock.
+#                  2x on wall clock; the energy bench if always-powered
+#                  mode is not bit-identical to the pre-energy engine on
+#                  the golden workloads, energy-aware polling trails
+#                  naive DRR on any paired wild-harvest run, the
+#                  starving scenario misses its waste/recovery bounds
+#                  (naive wastes >= 30% of poll slots, aware recovers
+#                  >= half of them), or the 10^5-tag intermittent fleet
+#                  is not byte-identical across worker counts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -102,6 +109,14 @@ echo "== fleet conformance (jobs determinism, shard invariance, truncation/dupli
 # error, and max_cycles truncation mirrored per shard.
 cargo test --release -q -p bs-net --test fleet_conformance
 
+echo "== energy conformance (always-powered bit-identity, brownout physics, aware >= naive, jobs determinism) =="
+# The energy co-simulation's contract: energy off and always-powered
+# both reproduce the pre-energy engine bit for bit (pinned digests),
+# harvest and brownouts are monotone in distance, the energy-aware
+# scheduler never lowers goodput on paired seeds, and FleetRun JSON
+# stays byte-identical across worker counts with the model armed.
+cargo test --release -q -p bs-net --test energy_conformance
+
 echo "== examples run clean =="
 for ex in quickstart sensor_network ambient_traffic energy_budget long_range inventory observability; do
     echo "-- example: $ex"
@@ -111,6 +126,8 @@ echo "-- example: gateway"
 cargo run --release -q -p bs-net --example gateway > /dev/null
 echo "-- example: fleet"
 cargo run --release -q -p bs-net --example fleet > /dev/null
+echo "-- example: energy"
+cargo run --release -q -p bs-net --example energy > /dev/null
 
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
@@ -131,6 +148,8 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     cargo bench -q -p bs-bench --bench phy_micro -- --json "$PWD/BENCH_phy.json"
     echo "== fleet bench smoke (10^5-tag jobs determinism, shard invariance, core scaling) =="
     cargo bench -q -p bs-bench --bench fleet_micro -- --json "$PWD/BENCH_fleet.json"
+    echo "== energy bench smoke (always-powered identity, aware >= naive, starving recovery, intermittent determinism) =="
+    cargo bench -q -p bs-bench --bench energy_micro -- --json "$PWD/BENCH_energy.json"
 fi
 
 echo "== all checks passed =="
